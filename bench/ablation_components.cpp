@@ -1,0 +1,146 @@
+// Ablation of MIDDLE's design choices (DESIGN.md §5), on the MNIST-like
+// task with the Fig-6 configuration:
+//
+//   full            similarity selection + similarity blend (Eq. 9)
+//   no-blend        similarity selection + plain edge download
+//   no-selection    random selection      + similarity blend
+//   neither         random selection      + plain download (= HierFAVG)
+//   inverted-sel    MOST-similar selection + similarity blend (sign flip)
+//   alpha=<a>       similarity selection + fixed-alpha blend, a in
+//                   {0.3, 0.5, 0.7, 0.9} (Theorem 1's setting; alpha is the
+//                   weight of the EDGE model)
+//   uniform-cloud   full MIDDLE but uniform edge weights at the cloud
+//                   instead of Eq. 7's participating-sample weights
+#include <iomanip>
+#include <iostream>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace middlefl;
+
+struct Variant {
+  std::string name;
+  core::AlgorithmSpec spec;
+  bool weighted_cloud = true;
+  mobility::MoveTopology topology = mobility::MoveTopology::kHomeRing;
+};
+
+std::vector<Variant> make_variants() {
+  std::vector<Variant> variants;
+  const auto add = [&variants](std::string name,
+                               std::unique_ptr<core::SelectionStrategy> sel,
+                               core::OnDeviceRule rule, double alpha = 0.5,
+                               bool weighted_cloud = true) {
+    Variant v;
+    v.spec.name = name;
+    v.spec.selection = std::move(sel);
+    v.spec.on_move = rule;
+    v.spec.fixed_alpha = alpha;
+    v.name = std::move(name);
+    v.weighted_cloud = weighted_cloud;
+    variants.push_back(std::move(v));
+  };
+  using core::OnDeviceRule;
+  add("full", std::make_unique<core::SimilaritySelection>(),
+      OnDeviceRule::kSimilarityBlend);
+  add("no-blend", std::make_unique<core::SimilaritySelection>(),
+      OnDeviceRule::kDownloadEdge);
+  add("no-selection", std::make_unique<core::RandomSelection>(),
+      OnDeviceRule::kSimilarityBlend);
+  add("neither", std::make_unique<core::RandomSelection>(),
+      OnDeviceRule::kDownloadEdge);
+  add("inverted-sel",
+      std::make_unique<core::SimilaritySelection>(/*invert=*/true),
+      OnDeviceRule::kSimilarityBlend);
+  for (const double alpha : {0.3, 0.5, 0.7, 0.9}) {
+    add("alpha=" + std::to_string(alpha).substr(0, 3),
+        std::make_unique<core::SimilaritySelection>(),
+        OnDeviceRule::kFixedAlpha, alpha);
+  }
+  add("uniform-cloud", std::make_unique<core::SimilaritySelection>(),
+      OnDeviceRule::kSimilarityBlend, 0.5, /*weighted_cloud=*/false);
+  add("signed-blend", std::make_unique<core::SimilaritySelection>(),
+      OnDeviceRule::kSignedBlend);
+  add("hybrid-sel", std::make_unique<core::HybridSelection>(),
+      OnDeviceRule::kSimilarityBlend);
+  // Mobility-topology ablation: uniform teleports dissolve the cross-edge
+  // class skew within a few steps (see DESIGN.md §2), ring keeps it without
+  // a home pull.
+  {
+    Variant v;
+    v.spec.name = "topo-uniform";
+    v.spec.selection = std::make_unique<core::SimilaritySelection>();
+    v.spec.on_move = OnDeviceRule::kSimilarityBlend;
+    v.name = "topo-uniform";
+    v.topology = mobility::MoveTopology::kUniform;
+    variants.push_back(std::move(v));
+  }
+  {
+    Variant v;
+    v.spec.name = "topo-ring";
+    v.spec.selection = std::make_unique<core::SimilaritySelection>();
+    v.spec.on_move = OnDeviceRule::kSimilarityBlend;
+    v.name = "topo-ring";
+    v.topology = mobility::MoveTopology::kRing;
+    variants.push_back(std::move(v));
+  }
+  return variants;
+}
+
+int run(int argc, const char* const* argv) {
+  bench::BenchOptions options;
+  std::string task_flag = "mnist";
+  util::CliParser cli("ablation: MIDDLE component contributions");
+  options.register_flags(cli);
+  cli.add_flag("task", "task to ablate on", &task_flag);
+  if (!cli.parse(argc, argv)) return 0;
+  bench::print_banner("Ablation: MIDDLE components", options);
+
+  const auto kind = data::parse_task(task_flag);
+  const auto setup = bench::make_task_setup(kind, options);
+
+  auto csv = bench::open_csv(options);
+  csv->header({"variant", "final_accuracy", "best_accuracy",
+               "time_to_target", "on_device_aggregations",
+               "mean_blend_weight"});
+
+  for (auto& variant : make_variants()) {
+    auto mobility = std::make_unique<mobility::MarkovMobility>(
+        setup.initial_edges, setup.num_edges, options.mobility,
+        options.seed + 101);
+    mobility->set_topology(variant.topology, 0.5);
+    auto cfg = setup.sim_cfg;
+    cfg.weighted_cloud_aggregation = variant.weighted_cloud;
+    core::Simulation sim(cfg, setup.model_spec, *setup.optimizer,
+                         *setup.train, setup.partition, *setup.test,
+                         std::move(mobility), std::move(variant.spec));
+    const auto history = sim.run();
+    const auto tta = history.time_to_accuracy(setup.target_accuracy);
+    csv->add(variant.name)
+        .add(history.final_accuracy())
+        .add(history.best_accuracy())
+        .add(tta ? static_cast<long long>(*tta) : -1)
+        .add(sim.on_device_aggregations())
+        .add(sim.mean_blend_weight());
+    csv->end_row();
+    std::cerr << "   " << std::setw(14) << variant.name << "  final "
+              << std::fixed << std::setprecision(3)
+              << history.final_accuracy() << "  best "
+              << history.best_accuracy() << "  tta "
+              << (tta ? std::to_string(*tta) : std::string("-")) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

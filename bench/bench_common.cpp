@@ -1,0 +1,268 @@
+#include "bench_common.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace middlefl::bench {
+
+void BenchOptions::register_flags(util::CliParser& cli) {
+  cli.add_flag("paper", "run the full-scale configuration of §6.1.2", &paper);
+  cli.add_flag("mobility", "global mobility P", &mobility);
+  cli.add_flag("tc", "cloud-edge communication interval T_c", &cloud_interval);
+  cli.add_flag("seed", "experiment seed", &seed);
+  cli.add_flag("out", "write CSV here instead of stdout", &out);
+  cli.add_flag("steps-scale", "multiply every step budget", &steps_scale);
+  cli.add_flag("repeats", "independent repetitions per configuration",
+               &repeats);
+}
+
+namespace {
+
+struct ScaleParams {
+  std::size_t num_edges;
+  std::size_t num_devices;
+  std::size_t select_per_edge;   // K
+  std::size_t local_steps;       // I
+  std::size_t batch_size;
+  std::size_t samples_per_device;
+  std::size_t train_per_class;
+  std::size_t test_per_class;
+  double data_scale;
+  std::size_t eval_samples;
+};
+
+ScaleParams scale_params(bool paper) {
+  if (paper) {
+    return ScaleParams{
+        .num_edges = 10,
+        .num_devices = 100,
+        .select_per_edge = 5,
+        .local_steps = 10,
+        .batch_size = 16,
+        .samples_per_device = 300,
+        .train_per_class = 400,
+        .test_per_class = 100,
+        .data_scale = 1.0,
+        .eval_samples = 1000,
+    };
+  }
+  return ScaleParams{
+      .num_edges = 10,
+      .num_devices = 30,
+      .select_per_edge = 3,
+      .local_steps = 10,
+      .batch_size = 8,
+      .samples_per_device = 80,
+      .train_per_class = 60,
+      .test_per_class = 30,
+      .data_scale = 0.5,
+      .eval_samples = 300,
+  };
+}
+
+struct TaskTuning {
+  std::size_t total_steps;
+  double target_fast;
+  double target_paper;
+};
+
+TaskTuning task_tuning(data::TaskKind kind, bool paper) {
+  // Paper step budgets mirror the x-axes of Fig. 6; targets are §6.1.2's.
+  // Fast budgets/targets are calibrated so every algorithm's curve fully
+  // unfolds within the budget on the synthetic stand-ins.
+  switch (kind) {
+    case data::TaskKind::kMnist:
+      return {paper ? std::size_t{1500} : std::size_t{400}, 0.65, 0.95};
+    case data::TaskKind::kEmnist:
+      return {paper ? std::size_t{5000} : std::size_t{800}, 0.40, 0.80};
+    case data::TaskKind::kCifar:
+      return {paper ? std::size_t{20000} : std::size_t{600}, 0.38, 0.55};
+    case data::TaskKind::kSpeech:
+      return {paper ? std::size_t{10000} : std::size_t{500}, 0.32, 0.85};
+  }
+  return {100, 0.5, 0.5};
+}
+
+}  // namespace
+
+TaskSetup make_task_setup(data::TaskKind kind, const BenchOptions& options) {
+  const ScaleParams sp = scale_params(options.paper);
+  const TaskTuning tuning = task_tuning(kind, options.paper);
+
+  TaskSetup setup;
+  setup.kind = kind;
+  setup.num_edges = sp.num_edges;
+
+  // Datasets: independent train/test draws from the same generator. At
+  // fast scale the presets are hardened (more prototypes, more noise) so the
+  // shrunken models take a few hundred steps to converge, as the paper's
+  // tasks do at full scale; otherwise every algorithm saturates within a
+  // couple of cloud rounds and the curves cannot separate.
+  auto cfg = data::task_config(kind, sp.data_scale);
+  cfg.seed = parallel::hash_combine(cfg.seed, options.seed);
+  if (!options.paper) {
+    // Per-task hardening: enough intra-class variation that the shrunken
+    // model needs a few hundred steps, without collapsing the Bayes
+    // ceiling (the presets' noise is calibrated for 16x16 inputs and is
+    // relatively harsher on the 8x8 fast inputs).
+    switch (kind) {
+      case data::TaskKind::kMnist:
+        cfg.noise_std *= 1.5f;
+        cfg.prototypes_per_class += 1;
+        cfg.amplitude_jitter = 0.3f;
+        break;
+      case data::TaskKind::kEmnist:
+        cfg.noise_std *= 1.2f;
+        cfg.prototypes_per_class += 1;
+        cfg.amplitude_jitter = 0.3f;
+        break;
+      case data::TaskKind::kCifar:
+        cfg.noise_std *= 0.9f;
+        cfg.amplitude_jitter = 0.3f;
+        break;
+      case data::TaskKind::kSpeech:
+        cfg.noise_std *= 0.8f;
+        cfg.deform = 2;
+        break;
+    }
+  }
+  const data::SyntheticGenerator generator(cfg);
+  setup.train = std::make_shared<data::Dataset>(
+      generator.generate(sp.train_per_class, /*salt=*/1));
+  setup.test = std::make_shared<data::Dataset>(
+      generator.generate(sp.test_per_class, /*salt=*/2));
+
+  // Non-IID partition: each device has a >80% major class (§6.1.2), and
+  // devices are initially clustered onto edges by class group so data is
+  // Non-IID across edges as well.
+  setup.partition = data::partition_major_class(
+      *setup.train, sp.num_devices, sp.samples_per_device,
+      /*major_fraction=*/1.0, options.seed + 11);
+  setup.initial_edges = data::assign_edges_by_major_class(
+      setup.partition, sp.num_edges, cfg.num_classes);
+
+  // Model: paper architectures at paper scale, MLP stand-in at fast scale.
+  setup.model_spec.input_shape =
+      tensor::Shape{cfg.channels, cfg.height, cfg.width};
+  setup.model_spec.num_classes = cfg.num_classes;
+  if (options.paper) {
+    setup.model_spec.arch =
+        (kind == data::TaskKind::kCifar || kind == data::TaskKind::kSpeech)
+            ? nn::ModelArch::kCnn3
+            : nn::ModelArch::kCnn2;
+    setup.model_spec.hidden = 64;
+    setup.model_spec.base_channels = 8;
+  } else {
+    setup.model_spec.arch = nn::ModelArch::kMlp2;
+    setup.model_spec.hidden = 48;
+  }
+
+  // Optimizer: SGD with momentum for image tasks, Adam for speech (§6.1.2).
+  if (kind == data::TaskKind::kSpeech) {
+    setup.optimizer = std::make_unique<optim::Adam>(
+        optim::AdamConfig{.learning_rate = options.paper ? 0.001 : 0.002});
+  } else {
+    setup.optimizer = std::make_unique<optim::Sgd>(optim::SgdConfig{
+        .learning_rate = options.paper ? 0.01 : 0.005, .momentum = 0.9});
+  }
+
+  core::SimulationConfig& sim = setup.sim_cfg;
+  sim.select_per_edge = sp.select_per_edge;
+  sim.local_steps = sp.local_steps;
+  sim.cloud_interval = options.cloud_interval;
+  sim.batch_size = sp.batch_size;
+  sim.total_steps = std::max<std::size_t>(
+      10, static_cast<std::size_t>(
+              std::lround(static_cast<double>(tuning.total_steps) *
+                          options.steps_scale)));
+  sim.eval_every = std::max<std::size_t>(1, sim.total_steps / 40);
+  sim.eval_samples = sp.eval_samples;
+  sim.seed = options.seed;
+  sim.parallel_devices = true;
+
+  setup.target_accuracy =
+      options.paper ? tuning.target_paper : tuning.target_fast;
+  return setup;
+}
+
+std::unique_ptr<core::Simulation> make_simulation(
+    const TaskSetup& setup, core::Algorithm algorithm,
+    const BenchOptions& options, std::size_t repeat) {
+  auto mobility = std::make_unique<mobility::MarkovMobility>(
+      setup.initial_edges, setup.num_edges, options.mobility,
+      options.seed + 101 + 7919 * repeat);
+  // Commuter-style locality: moved devices drift to neighbouring edges and
+  // tend to return home, so the geographic class skew persists the way it
+  // does in ONE-simulator traces (a uniform teleport would mix every edge
+  // into IID within a few steps and erase the phenomenon under study).
+  mobility->set_topology(mobility::MoveTopology::kHomeRing, 0.5);
+  auto cfg = setup.sim_cfg;
+  cfg.seed = setup.sim_cfg.seed + 104729 * repeat;
+  return std::make_unique<core::Simulation>(
+      cfg, setup.model_spec, *setup.optimizer, *setup.train,
+      setup.partition, *setup.test, std::move(mobility),
+      core::make_algorithm(algorithm));
+}
+
+std::vector<core::RunHistory> run_repeats(const TaskSetup& setup,
+                                          core::Algorithm algorithm,
+                                          const BenchOptions& options) {
+  std::vector<core::RunHistory> runs;
+  const std::size_t n = std::max<std::size_t>(1, options.repeats);
+  runs.reserve(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    auto sim = make_simulation(setup, algorithm, options, r);
+    runs.push_back(sim->run());
+  }
+  return runs;
+}
+
+RepeatSummary summarize_repeats(const std::vector<core::RunHistory>& runs,
+                                double target) {
+  RepeatSummary summary;
+  std::vector<double> finals, bests;
+  std::vector<double> ttas;
+  for (const auto& run : runs) {
+    finals.push_back(run.final_accuracy());
+    bests.push_back(run.best_accuracy());
+    if (const auto tta = run.time_to_accuracy(target)) {
+      ttas.push_back(static_cast<double>(*tta));
+    }
+  }
+  summary.mean_final = util::mean(finals);
+  summary.std_final = util::sample_stddev(finals);
+  summary.mean_best = util::mean(bests);
+  if (ttas.size() * 2 >= runs.size() && !ttas.empty()) {
+    summary.median_tta =
+        static_cast<std::size_t>(util::quantile(ttas, 0.5));
+  }
+  return summary;
+}
+
+core::RunHistory run_and_collect(core::Simulation& simulation,
+                                 const std::string& label, bool echo) {
+  if (echo) {
+    return simulation.run([&label](const core::EvalPoint& point) {
+      std::cerr << "  [" << label << "] step " << point.step << "  acc "
+                << point.accuracy << "  loss " << point.loss << "\n";
+    });
+  }
+  return simulation.run();
+}
+
+std::unique_ptr<util::CsvWriter> open_csv(const BenchOptions& options) {
+  if (options.out.empty()) {
+    return std::make_unique<util::CsvWriter>(std::cout);
+  }
+  return std::make_unique<util::CsvWriter>(options.out);
+}
+
+void print_banner(const std::string& title, const BenchOptions& options) {
+  std::cerr << "== " << title << " ==\n"
+            << "   scale=" << (options.paper ? "paper" : "fast")
+            << " P=" << options.mobility << " Tc=" << options.cloud_interval
+            << " seed=" << options.seed << "\n";
+}
+
+}  // namespace middlefl::bench

@@ -1,0 +1,102 @@
+// Shared experiment plumbing for the figure-reproduction benches.
+//
+// Every bench runs at one of two scales:
+//   fast  (default) — shrunken datasets/models/step counts so the whole
+//                     suite finishes in minutes on one core; preserves the
+//                     qualitative shape of every figure.
+//   paper (--paper)  — the configuration of §6.1.2: 10 edges, 100 devices,
+//                     K=5, I=10, T_c=10, P=0.5, CNN-2/CNN-3 models, SGD
+//                     (lr .01, momentum .9) or Adam (lr .001, speech).
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/simulation.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "mobility/markov_mobility.hpp"
+#include "nn/model_factory.hpp"
+#include "optim/adam.hpp"
+#include "optim/sgd.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+namespace middlefl::bench {
+
+struct BenchOptions {
+  bool paper = false;
+  double mobility = 0.5;       // global mobility P
+  std::size_t cloud_interval = 10;  // T_c
+  std::uint64_t seed = 42;
+  std::string out;  // optional CSV path (stdout otherwise)
+  /// Multiplies every step budget (quick smoke runs: --steps-scale 0.1).
+  double steps_scale = 1.0;
+  /// Independent repetitions per configuration (different simulation and
+  /// mobility seeds over the same datasets); benches report mean +- std.
+  std::size_t repeats = 1;
+
+  /// Registers the shared flags on a parser.
+  void register_flags(util::CliParser& cli);
+};
+
+/// Everything needed to construct Simulations for one task at one scale.
+struct TaskSetup {
+  data::TaskKind kind;
+  std::shared_ptr<data::Dataset> train;
+  std::shared_ptr<data::Dataset> test;
+  data::Partition partition;
+  std::vector<std::size_t> initial_edges;
+  nn::ModelSpec model_spec;
+  std::unique_ptr<optim::Optimizer> optimizer;
+  core::SimulationConfig sim_cfg;
+  std::size_t num_edges = 0;
+  /// The paper's time-to-accuracy target for this task (scaled down in fast
+  /// mode because the synthetic stand-in tasks top out lower).
+  double target_accuracy = 0.0;
+};
+
+/// Builds the full per-task experiment environment (datasets, Non-IID
+/// partition, class-grouped initial edge assignment, model, optimizer and
+/// simulation config) for the standard evaluation setup of §6.1.
+TaskSetup make_task_setup(data::TaskKind kind, const BenchOptions& options);
+
+/// Constructs a Simulation for `algorithm` over the given setup, with the
+/// requested mobility P (Markov model) and T_c. `repeat` shifts the
+/// simulation/mobility seeds (the datasets stay fixed), giving independent
+/// repetitions of the same configuration.
+std::unique_ptr<core::Simulation> make_simulation(
+    const TaskSetup& setup, core::Algorithm algorithm,
+    const BenchOptions& options, std::size_t repeat = 0);
+
+/// Runs `options.repeats` independent repetitions and returns all
+/// histories (index = repeat).
+std::vector<core::RunHistory> run_repeats(const TaskSetup& setup,
+                                          core::Algorithm algorithm,
+                                          const BenchOptions& options);
+
+/// Mean and sample standard deviation of final accuracy over repetitions.
+struct RepeatSummary {
+  double mean_final = 0.0;
+  double std_final = 0.0;
+  double mean_best = 0.0;
+  /// Median time-to-target; nullopt if fewer than half the runs hit it.
+  std::optional<std::size_t> median_tta;
+};
+RepeatSummary summarize_repeats(const std::vector<core::RunHistory>& runs,
+                                double target);
+
+/// Runs and returns the history, echoing eval points when `echo` is set.
+core::RunHistory run_and_collect(core::Simulation& simulation,
+                                 const std::string& label, bool echo = false);
+
+/// Opens options.out or falls back to stdout.
+std::unique_ptr<util::CsvWriter> open_csv(const BenchOptions& options);
+
+/// Pretty banner for bench stdout.
+void print_banner(const std::string& title, const BenchOptions& options);
+
+}  // namespace middlefl::bench

@@ -1,0 +1,123 @@
+// Figure 6 — time-to-accuracy of MIDDLE vs OORT / FedMes / Greedy /
+// Ensemble on the four learning tasks, plus the headline speedup table
+// (the paper reports 1.51x-6.85x for MIDDLE over the baselines).
+//
+// Output: one CSV row per (task, algorithm, eval step) with the accuracy
+// series, followed by a time-to-target / speedup summary on stderr.
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace middlefl;
+using bench::BenchOptions;
+
+int run(int argc, const char* const* argv) {
+  BenchOptions options;
+  std::string tasks_flag = "mnist,emnist,cifar10,speech";
+  util::CliParser cli(
+      "fig6: time-to-accuracy over all learning tasks and algorithms");
+  options.register_flags(cli);
+  cli.add_flag("tasks", "comma-separated task list", &tasks_flag);
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::print_banner("Figure 6: time-to-accuracy", options);
+  auto csv = bench::open_csv(options);
+  csv->header({"task", "algorithm", "repeat", "step", "accuracy", "loss"});
+
+  // Parse the task list.
+  std::vector<data::TaskKind> kinds;
+  for (std::size_t pos = 0; pos < tasks_flag.size();) {
+    const auto comma = tasks_flag.find(',', pos);
+    const auto end = comma == std::string::npos ? tasks_flag.size() : comma;
+    kinds.push_back(data::parse_task(tasks_flag.substr(pos, end - pos)));
+    pos = end + 1;
+  }
+
+  std::map<std::string, std::map<std::string, bench::RepeatSummary>> summaries;
+  std::map<std::string, double> targets;
+
+  for (const auto kind : kinds) {
+    const auto setup = bench::make_task_setup(kind, options);
+    const std::string task = data::to_string(kind);
+    targets[task] = setup.target_accuracy;
+    std::cerr << "-- task " << task << ": " << setup.sim_cfg.total_steps
+              << " steps, target " << setup.target_accuracy << ", "
+              << std::max<std::size_t>(1, options.repeats) << " repeat(s)\n";
+    for (const auto algorithm : core::kAllAlgorithms) {
+      const auto runs = bench::run_repeats(setup, algorithm, options);
+      for (std::size_t r = 0; r < runs.size(); ++r) {
+        for (const auto& point : runs[r].points) {
+          csv->add(task)
+              .add(runs[r].algorithm)
+              .add(r)
+              .add(point.step)
+              .add(point.accuracy)
+              .add(point.loss);
+          csv->end_row();
+        }
+      }
+      const auto summary =
+          bench::summarize_repeats(runs, setup.target_accuracy);
+      summaries[task][runs.front().algorithm] = summary;
+      std::cerr << "   " << std::setw(8) << runs.front().algorithm
+                << "  final acc " << std::fixed << std::setprecision(3)
+                << summary.mean_final;
+      if (runs.size() > 1) {
+        std::cerr << " +- " << summary.std_final;
+      }
+      std::cerr << "  time-to-target "
+                << (summary.median_tta ? std::to_string(*summary.median_tta)
+                                       : std::string("-"))
+                << "\n";
+    }
+  }
+
+  // Speedup table: MIDDLE's median time-to-target vs every baseline.
+  std::cerr << "\n== Speedup of MIDDLE over baselines (time steps to target "
+               "accuracy) ==\n";
+  double best = 0.0, worst = std::numeric_limits<double>::infinity();
+  for (const auto& [task, by_alg] : summaries) {
+    const auto& middle = by_alg.at("MIDDLE");
+    for (const auto& [alg, summary] : by_alg) {
+      if (alg == "MIDDLE") continue;
+      std::cerr << "   " << task << "  vs " << std::setw(8) << alg << " : ";
+      if (!middle.median_tta) {
+        std::cerr << "MIDDLE missed target\n";
+        continue;
+      }
+      if (!summary.median_tta) {
+        std::cerr << "baseline never reached target (speedup -> inf)\n";
+        best = std::max(best, 10.0);
+        continue;
+      }
+      const double ratio = static_cast<double>(*summary.median_tta) /
+                           static_cast<double>(*middle.median_tta);
+      std::cerr << std::fixed << std::setprecision(2) << ratio << "x\n";
+      best = std::max(best, ratio);
+      worst = std::min(worst, ratio);
+    }
+  }
+  if (std::isfinite(worst) && best > 0.0) {
+    std::cerr << "   overall speedup range: " << std::fixed
+              << std::setprecision(2) << worst << "x - " << best
+              << "x  (paper: 1.51x - 6.85x)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,198 @@
+// Substrate micro-benchmarks (google-benchmark): the kernels that dominate
+// simulation wall-clock — GEMM, conv forward/backward, full local SGD
+// steps, flat-vector aggregation and similarity, minibatch gathering, and
+// thread-pool dispatch.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/aggregation.hpp"
+#include "core/similarity.hpp"
+#include "data/sampler.hpp"
+#include "data/synthetic.hpp"
+#include "nn/loss.hpp"
+#include "nn/model_factory.hpp"
+#include "optim/sgd.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/rng.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/blas.hpp"
+
+namespace {
+
+using namespace middlefl;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  parallel::Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+void BM_GemmSquare(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n * n, 1);
+  const auto b = random_vec(n * n, 2);
+  std::vector<float> c(n * n, 0.0f);
+  for (auto _ : state) {
+    tensor::gemm(tensor::Trans::kNo, tensor::Trans::kNo, n, n, n, 1.0f, a, b,
+                 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          n * n * n);
+}
+BENCHMARK(BM_GemmSquare)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransB(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n * n, 3);
+  const auto b = random_vec(n * n, 4);
+  std::vector<float> c(n * n, 0.0f);
+  for (auto _ : state) {
+    tensor::gemm(tensor::Trans::kNo, tensor::Trans::kYes, n, n, n, 1.0f, a, b,
+                 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_GemmTransB)->Arg(64)->Arg(128);
+
+void BM_Axpy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_vec(n, 5);
+  auto y = random_vec(n, 6);
+  for (auto _ : state) {
+    tensor::axpy(0.5f, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          sizeof(float) * 2);
+}
+BENCHMARK(BM_Axpy)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_CosineSimilarity(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n, 7);
+  const auto b = random_vec(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cosine_similarity(a, b));
+  }
+}
+BENCHMARK(BM_CosineSimilarity)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_OnDeviceAggregate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto edge = random_vec(n, 9);
+  const auto local = random_vec(n, 10);
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::on_device_aggregate(edge, local, out));
+  }
+}
+BENCHMARK(BM_OnDeviceAggregate)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_WeightedAverage(benchmark::State& state) {
+  const auto models = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 1 << 14;
+  std::vector<std::vector<float>> storage;
+  storage.reserve(models);
+  std::vector<core::WeightedModel> weighted;
+  for (std::size_t i = 0; i < models; ++i) {
+    storage.push_back(random_vec(n, 20 + i));
+    weighted.push_back(core::WeightedModel{storage.back(), 1.0 + i});
+  }
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    core::weighted_average(weighted, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_WeightedAverage)->Arg(5)->Arg(10)->Arg(50);
+
+void BM_ModelForward(benchmark::State& state) {
+  nn::ModelSpec spec;
+  spec.arch = state.range(0) == 0 ? nn::ModelArch::kMlp2 : nn::ModelArch::kCnn2;
+  spec.input_shape = tensor::Shape{1, 16, 16};
+  spec.num_classes = 10;
+  spec.hidden = 48;
+  auto model = nn::build_model(spec, 1);
+  parallel::Xoshiro256 rng(2);
+  const auto batch = tensor::Tensor::randn(tensor::Shape{16, 1, 16, 16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&model->forward(batch, false));
+  }
+  state.SetLabel(nn::to_string(spec.arch));
+}
+BENCHMARK(BM_ModelForward)->Arg(0)->Arg(1);
+
+void BM_LocalSgdStep(benchmark::State& state) {
+  // One full forward+backward+update on a batch — the simulator's inner
+  // loop body.
+  nn::ModelSpec spec;
+  spec.arch = state.range(0) == 0 ? nn::ModelArch::kMlp2 : nn::ModelArch::kCnn2;
+  spec.input_shape = tensor::Shape{1, 16, 16};
+  spec.num_classes = 10;
+  spec.hidden = 48;
+  auto model = nn::build_model(spec, 1);
+  optim::Sgd sgd({.learning_rate = 0.01, .momentum = 0.9});
+  parallel::Xoshiro256 rng(3);
+  const auto batch = tensor::Tensor::randn(tensor::Shape{16, 1, 16, 16}, rng);
+  std::vector<std::int32_t> labels(16);
+  for (auto& l : labels) l = static_cast<std::int32_t>(rng.bounded(10));
+  for (auto _ : state) {
+    const auto& logits = model->forward(batch, true);
+    auto loss = nn::softmax_cross_entropy(logits, labels);
+    model->zero_grad();
+    model->backward(loss.grad_logits);
+    sgd.step(model->parameters(), model->gradients());
+    benchmark::DoNotOptimize(model->parameters().data());
+  }
+  state.SetLabel(nn::to_string(spec.arch));
+}
+BENCHMARK(BM_LocalSgdStep)->Arg(0)->Arg(1);
+
+void BM_SyntheticSample(benchmark::State& state) {
+  const auto cfg = data::task_config(data::TaskKind::kCifar);
+  const data::SyntheticGenerator generator(cfg);
+  parallel::Xoshiro256 rng(4);
+  std::vector<float> sample(generator.sample_shape().numel());
+  for (auto _ : state) {
+    generator.sample_into(static_cast<std::int32_t>(rng.bounded(10)), rng,
+                          sample);
+    benchmark::DoNotOptimize(sample.data());
+  }
+}
+BENCHMARK(BM_SyntheticSample);
+
+void BM_MinibatchGather(benchmark::State& state) {
+  const auto cfg = data::task_config(data::TaskKind::kMnist);
+  const data::SyntheticGenerator generator(cfg);
+  const auto dataset = generator.generate(100, 0);
+  const auto view = data::DataView::all(dataset);
+  parallel::Xoshiro256 rng(5);
+  for (auto _ : state) {
+    auto batch = data::sample_minibatch(view, 16, rng);
+    benchmark::DoNotOptimize(batch.features.data().data());
+  }
+}
+BENCHMARK(BM_MinibatchGather);
+
+void BM_ParallelForDispatch(benchmark::State& state) {
+  const auto tasks = static_cast<std::size_t>(state.range(0));
+  parallel::ThreadPool pool(4);
+  std::vector<double> sink(tasks, 0.0);
+  for (auto _ : state) {
+    parallel::parallel_for(pool, 0, tasks, [&sink](std::size_t i) {
+      double acc = 0.0;
+      for (int k = 0; k < 1000; ++k) acc += static_cast<double>(k) * 1e-9;
+      sink[i] = acc;
+    });
+    benchmark::DoNotOptimize(sink.data());
+  }
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

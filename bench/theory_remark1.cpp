@@ -1,0 +1,100 @@
+// Remark 1 — numerical sweep of the Theorem-1 convergence bound over the
+// global mobility P and the blend coefficient alpha.
+//
+// Reproduces the analytical claims: (i) the bound decreases monotonically
+// in P for every admissible alpha (Eq. 20's derivative is negative); (ii)
+// the mobility term is minimized at alpha = 1/2; (iii) the optimization
+// term vanishes as the horizon T grows, leaving the mobility term as the
+// residual error floor.
+#include <iomanip>
+#include <limits>
+#include <iostream>
+#include <memory>
+
+#include "core/convergence.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using middlefl::core::Theorem1Params;
+
+int run(int argc, const char* const* argv) {
+  double beta = 1.0, mu = 0.1, big_g = 1.0, big_b = 1.0;
+  std::size_t local_steps = 10;
+  std::size_t horizon = 1000;
+  std::string out;
+  middlefl::util::CliParser cli("remark1: Theorem-1 bound vs mobility P");
+  cli.add_flag("beta", "smoothness constant", &beta);
+  cli.add_flag("mu", "strong-convexity constant", &mu);
+  cli.add_flag("G", "gradient norm bound", &big_g);
+  cli.add_flag("B", "variance+heterogeneity constant B", &big_b);
+  cli.add_flag("I", "local steps per round", &local_steps);
+  cli.add_flag("T", "horizon", &horizon);
+  cli.add_flag("out", "CSV path (stdout otherwise)", &out);
+  if (!cli.parse(argc, argv)) return 0;
+
+  std::unique_ptr<middlefl::util::CsvWriter> csv;
+  if (out.empty()) {
+    csv = std::make_unique<middlefl::util::CsvWriter>(std::cout);
+  } else {
+    csv = std::make_unique<middlefl::util::CsvWriter>(out);
+  }
+  csv->header({"alpha", "mobility", "bound", "mobility_term", "dbound_dP"});
+
+  Theorem1Params params;
+  params.beta = beta;
+  params.mu = mu;
+  params.big_g = big_g;
+  params.big_b = big_b;
+  params.local_steps = local_steps;
+  params.horizon = horizon;
+  params.init_distance_sq = 1.0;
+
+  bool monotone = true;
+  for (const double alpha : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+    params.alpha = alpha;
+    double previous = std::numeric_limits<double>::infinity();
+    for (int i = 1; i <= 20; ++i) {
+      const double p = 0.05 * i;
+      params.mobility = p;
+      const double bound = middlefl::core::theorem1_bound(params);
+      const double term = middlefl::core::theorem1_mobility_term(params);
+      const double derivative =
+          middlefl::core::theorem1_dbound_dmobility(params);
+      csv->add(alpha).add(p).add(bound).add(term).add(derivative);
+      csv->end_row();
+      monotone = monotone && bound < previous && derivative < 0.0;
+      previous = bound;
+    }
+  }
+
+  // Horizon sweep at the reference point to show the error floor.
+  std::cerr << std::scientific << std::setprecision(3);
+  params.alpha = 0.5;
+  params.mobility = 0.5;
+  for (const std::size_t t : {std::size_t{10}, std::size_t{100},
+                              std::size_t{1000}, std::size_t{10000},
+                              std::size_t{100000}}) {
+    params.horizon = t;
+    std::cerr << "T=" << std::setw(6) << t << "  bound "
+              << middlefl::core::theorem1_bound(params) << "  (floor "
+              << middlefl::core::theorem1_mobility_term(params) << ")\n";
+  }
+  std::cerr << (monotone
+                    ? "Remark 1 CONFIRMED: bound strictly decreasing in P "
+                      "with negative derivative for every alpha\n"
+                    : "Remark 1 VIOLATED: non-monotone bound detected\n");
+  return monotone ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,105 @@
+// Plugging a user-defined dataset and model into the framework.
+//
+// Shows the extension points a downstream user works with:
+//   * build a Dataset sample-by-sample from any source (here: a hand-rolled
+//     "two rings" 2-D toy problem, nothing from data/synthetic.hpp);
+//   * assemble a custom architecture directly from layers instead of the
+//     model factory;
+//   * run any algorithm / mobility combination over it.
+//
+//   ./examples/custom_task
+#include <cmath>
+#include <iostream>
+#include <memory>
+
+#include "core/simulation.hpp"
+#include "data/partition.hpp"
+#include "mobility/markov_mobility.hpp"
+#include "nn/activations.hpp"
+#include "nn/linear.hpp"
+#include "optim/adam.hpp"
+#include "parallel/rng.hpp"
+
+using namespace middlefl;
+
+namespace {
+
+/// Three concentric rings in the plane, one class per ring — a classic
+/// not-linearly-separable toy.
+data::Dataset make_rings(std::size_t per_class, std::uint64_t seed) {
+  data::Dataset dataset(tensor::Shape{2}, /*num_classes=*/3);
+  parallel::Xoshiro256 rng(seed);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    for (std::int32_t cls = 0; cls < 3; ++cls) {
+      const double radius = 1.0 + cls + 0.15 * rng.normal();
+      const double angle = rng.uniform() * 2.0 * 3.14159265358979;
+      const float features[2] = {
+          static_cast<float>(radius * std::cos(angle)),
+          static_cast<float>(radius * std::sin(angle)),
+      };
+      dataset.add(features, cls);
+    }
+  }
+  return dataset;
+}
+
+}  // namespace
+
+int main() {
+  const data::Dataset train = make_rings(200, 1);
+  const data::Dataset test = make_rings(80, 2);
+
+  // Non-IID: each device dominated by one ring.
+  const auto partition = data::partition_major_class(
+      train, /*num_devices=*/12, /*samples_per_device=*/100,
+      /*major_fraction=*/0.9, /*seed=*/3);
+  const auto edges =
+      data::assign_edges_by_major_class(partition, /*num_edges=*/3, 3);
+
+  // Custom architecture: the ModelSpec factory is bypassed entirely — any
+  // Sequential works. Simulation only needs a spec for cloning, so we wrap
+  // the handmade net in a ModelSpec-compatible description via the MLP
+  // arch... or simpler, demonstrate the Sequential API directly first:
+  nn::Sequential demo(tensor::Shape{2});
+  demo.add(std::make_unique<nn::Linear>(2, 24));
+  demo.add(std::make_unique<nn::Tanh>());
+  demo.add(std::make_unique<nn::Linear>(24, 3));
+  demo.build(/*seed=*/5);
+  std::cout << "custom architecture: " << demo.summary() << "\n";
+
+  // For the federated run itself we describe the same shape through
+  // ModelSpec (the simulator clones one model per device).
+  nn::ModelSpec spec;
+  spec.arch = nn::ModelArch::kMlp;
+  spec.input_shape = tensor::Shape{2};
+  spec.num_classes = 3;
+  spec.hidden = 24;
+
+  auto mobility = std::make_unique<mobility::MarkovMobility>(
+      edges, /*num_edges=*/3, /*move_probability=*/0.4, /*seed=*/6);
+  mobility->set_topology(mobility::MoveTopology::kHomeRing, 0.5);
+
+  // Adam on the devices, exactly as the paper does for its speech task.
+  const optim::Adam adam({.learning_rate = 0.01});
+
+  core::SimulationConfig cfg;
+  cfg.select_per_edge = 2;
+  cfg.local_steps = 5;
+  cfg.cloud_interval = 5;
+  cfg.batch_size = 16;
+  cfg.total_steps = 100;
+  cfg.eval_every = 20;
+  cfg.seed = 9;
+
+  core::Simulation sim(cfg, spec, adam, train, partition, test,
+                       std::move(mobility),
+                       core::make_algorithm(core::Algorithm::kMiddle));
+  const auto history = sim.run([](const core::EvalPoint& point) {
+    std::cout << "step " << point.step << "  accuracy " << point.accuracy
+              << "\n";
+  });
+
+  std::cout << "final accuracy on the rings task: "
+            << history.final_accuracy() << " (chance = 0.333)\n";
+  return history.final_accuracy() > 0.5 ? 0 : 1;
+}

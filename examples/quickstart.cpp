@@ -1,0 +1,78 @@
+// Quickstart: the smallest end-to-end MIDDLE run.
+//
+// Builds a synthetic 10-class image task, partitions it Non-IID over 20
+// mobile devices in 4 edge regions, and trains a small model with the full
+// MIDDLE pipeline (similarity-based in-edge device selection + on-device
+// model aggregation on every edge crossing). Prints the global model's
+// test accuracy as training progresses.
+//
+//   ./examples/quickstart
+#include <iostream>
+#include <memory>
+
+#include "core/simulation.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "mobility/markov_mobility.hpp"
+#include "nn/model_factory.hpp"
+#include "optim/sgd.hpp"
+
+using namespace middlefl;
+
+int main() {
+  // 1. Data: a procedural MNIST-like task (10 classes of 8x8 glyphs); in a
+  //    real deployment this is each device's private data.
+  auto cfg = data::task_config(data::TaskKind::kMnist, /*scale=*/0.5);
+  const data::SyntheticGenerator generator(cfg);
+  const data::Dataset train = generator.generate(/*per_class=*/60, /*salt=*/1);
+  const data::Dataset test = generator.generate(/*per_class=*/30, /*salt=*/2);
+
+  // 2. Non-IID partition: 20 devices, each with an 85% major class, grouped
+  //    onto 4 edges by class so edge data is Non-IID too.
+  const auto partition =
+      data::partition_major_class(train, /*num_devices=*/20,
+                                  /*samples_per_device=*/80,
+                                  /*major_fraction=*/0.85, /*seed=*/7);
+  const auto initial_edges =
+      data::assign_edges_by_major_class(partition, /*num_edges=*/4,
+                                        cfg.num_classes);
+
+  // 3. Mobility: devices hop between edges with probability P = 0.5 per
+  //    time step, drifting to neighbouring edges and returning home.
+  auto mobility = std::make_unique<mobility::MarkovMobility>(
+      initial_edges, /*num_edges=*/4, /*move_probability=*/0.5, /*seed=*/8);
+  mobility->set_topology(mobility::MoveTopology::kHomeRing, 0.5);
+
+  // 4. Model and local optimizer (every device gets a clone).
+  nn::ModelSpec model;
+  model.arch = nn::ModelArch::kMlp2;
+  model.input_shape = tensor::Shape{cfg.channels, cfg.height, cfg.width};
+  model.num_classes = cfg.num_classes;
+  model.hidden = 48;
+  const optim::Sgd sgd({.learning_rate = 0.01, .momentum = 0.9});
+
+  // 5. The MIDDLE training loop (paper Algorithm 1).
+  core::SimulationConfig sim_cfg;
+  sim_cfg.select_per_edge = 3;   // K devices per edge per step
+  sim_cfg.local_steps = 5;       // I local SGD steps
+  sim_cfg.cloud_interval = 10;   // T_c steps between cloud syncs
+  sim_cfg.batch_size = 8;
+  sim_cfg.total_steps = 150;
+  sim_cfg.eval_every = 10;
+  sim_cfg.seed = 42;
+
+  core::Simulation simulation(
+      sim_cfg, model, sgd, train, partition, test, std::move(mobility),
+      core::make_algorithm(core::Algorithm::kMiddle));
+
+  std::cout << "Training MIDDLE on the synthetic MNIST-like task\n";
+  const auto history = simulation.run([](const core::EvalPoint& point) {
+    std::cout << "step " << point.step << "  accuracy " << point.accuracy
+              << "  loss " << point.loss << "\n";
+  });
+
+  std::cout << "final accuracy: " << history.final_accuracy() << "\n"
+            << "on-device aggregations performed: "
+            << simulation.on_device_aggregations() << "\n";
+  return 0;
+}

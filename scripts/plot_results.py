@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Render the bench_results/ CSVs as gnuplot-ready data or quick ASCII plots.
+
+Usage:
+    scripts/plot_results.py bench_results/fig6.csv            # ASCII curves
+    scripts/plot_results.py bench_results/fig6.csv --gnuplot  # .dat files
+
+No third-party dependencies; works with the CSV schemas emitted by every
+bench binary (long format with an 'accuracy' or 'final_accuracy' column).
+"""
+import argparse
+import collections
+import csv
+import os
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return list(csv.DictReader(f))
+
+
+def series_key(row, x_key):
+    parts = []
+    for key in ("task", "algorithm", "method", "model", "variant",
+                "mobility", "tc", "compression", "alpha", "repeat"):
+        if key in row and key != x_key:
+            parts.append(f"{key}={row[key]}")
+    return " ".join(parts) or "series"
+
+
+def ascii_plot(rows, x_key, y_key, width=72, height=16):
+    groups = collections.defaultdict(list)
+    for row in rows:
+        try:
+            groups[series_key(row, x_key)].append((float(row[x_key]), float(row[y_key])))
+        except (KeyError, ValueError):
+            continue
+    for name, points in groups.items():
+        points.sort()
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        lo, hi = min(ys), max(ys)
+        span = (hi - lo) or 1.0
+        print(f"\n== {name}  ({y_key}: {lo:.3f} .. {hi:.3f})")
+        grid = [[" "] * width for _ in range(height)]
+        for x, y in points:
+            cx = int((x - xs[0]) / ((xs[-1] - xs[0]) or 1) * (width - 1))
+            cy = int((y - lo) / span * (height - 1))
+            grid[height - 1 - cy][cx] = "*"
+        for line in grid:
+            print("|" + "".join(line))
+        print("+" + "-" * width)
+
+
+def write_gnuplot(rows, x_key, y_key, out_dir):
+    groups = collections.defaultdict(list)
+    for row in rows:
+        try:
+            groups[series_key(row, x_key)].append((float(row[x_key]), float(row[y_key])))
+        except (KeyError, ValueError):
+            continue
+    os.makedirs(out_dir, exist_ok=True)
+    for name, points in groups.items():
+        safe = name.replace(" ", "_").replace("=", "-")
+        path = os.path.join(out_dir, f"{safe}.dat")
+        with open(path, "w") as f:
+            for x, y in sorted(points):
+                f.write(f"{x} {y}\n")
+        print(f"wrote {path}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv_path")
+    parser.add_argument("--gnuplot", action="store_true",
+                        help="emit per-series .dat files instead of ASCII")
+    parser.add_argument("--out-dir", default="plots")
+    args = parser.parse_args()
+
+    rows = load(args.csv_path)
+    if not rows:
+        sys.exit("empty CSV")
+    header = rows[0].keys()
+    x_key = "step" if "step" in header else (
+        "mobility" if "mobility" in header else next(iter(header)))
+    y_candidates = [k for k in ("accuracy", "final_accuracy", "gap", "bound")
+                    if k in header]
+    y_key = y_candidates[0] if y_candidates else list(header)[-1]
+    if args.gnuplot:
+        write_gnuplot(rows, x_key, y_key, args.out_dir)
+    else:
+        ascii_plot(rows, x_key, y_key)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#include "core/aggregation.hpp"
+
+#include <stdexcept>
+
+namespace middlefl::core {
+
+void weighted_average(std::span<const WeightedModel> models,
+                      std::span<float> out) {
+  if (models.empty()) {
+    throw std::invalid_argument("weighted_average: no models");
+  }
+  double total = 0.0;
+  for (const auto& m : models) {
+    if (m.params.size() != out.size()) {
+      throw std::invalid_argument("weighted_average: parameter size mismatch");
+    }
+    if (m.weight < 0.0) {
+      throw std::invalid_argument("weighted_average: negative weight");
+    }
+    total += m.weight;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("weighted_average: all weights zero");
+  }
+
+  std::vector<double> acc(out.size(), 0.0);
+  for (const auto& m : models) {
+    const double w = m.weight / total;
+    if (w == 0.0) continue;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      acc[i] += w * static_cast<double>(m.params[i]);
+    }
+  }
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<float>(acc[i]);
+  }
+}
+
+std::vector<float> weighted_average(std::span<const WeightedModel> models) {
+  if (models.empty()) {
+    throw std::invalid_argument("weighted_average: no models");
+  }
+  std::vector<float> out(models.front().params.size());
+  weighted_average(models, out);
+  return out;
+}
+
+}  // namespace middlefl::core

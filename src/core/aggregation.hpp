@@ -1,0 +1,29 @@
+// Weighted model aggregation (FedAvg), used at both the edge (Eq. 6) and
+// the cloud (Eq. 7).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace middlefl::core {
+
+/// One contribution to a weighted average: a flat model and its weight
+/// (data-sample count d_m at the edge, participating-sample count d_hat_n at
+/// the cloud).
+struct WeightedModel {
+  std::span<const float> params;
+  double weight = 0.0;
+};
+
+/// out = sum_i weight_i * params_i / sum_i weight_i.
+/// Throws if the inputs are empty, sizes differ, a weight is negative, or
+/// all weights are zero. Accumulates in double to keep aggregation exact
+/// enough to be order-independent in tests.
+void weighted_average(std::span<const WeightedModel> models,
+                      std::span<float> out);
+
+/// Convenience overload returning a fresh vector.
+std::vector<float> weighted_average(std::span<const WeightedModel> models);
+
+}  // namespace middlefl::core

@@ -1,0 +1,123 @@
+#include "core/algorithms.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "core/similarity.hpp"
+
+namespace middlefl::core {
+
+std::string to_string(OnDeviceRule rule) {
+  switch (rule) {
+    case OnDeviceRule::kDownloadEdge: return "download-edge";
+    case OnDeviceRule::kKeepLocal: return "keep-local";
+    case OnDeviceRule::kPlainAverage: return "plain-average";
+    case OnDeviceRule::kSimilarityBlend: return "similarity-blend";
+    case OnDeviceRule::kFixedAlpha: return "fixed-alpha";
+    case OnDeviceRule::kPrevEdgeAverage: return "prev-edge-average";
+    case OnDeviceRule::kSignedBlend: return "signed-blend (ablation)";
+  }
+  return "?";
+}
+
+std::string to_string(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kMiddle: return "MIDDLE";
+    case Algorithm::kOort: return "OORT";
+    case Algorithm::kFedMes: return "FedMes";
+    case Algorithm::kGreedy: return "Greedy";
+    case Algorithm::kEnsemble: return "Ensemble";
+    case Algorithm::kHierFavg: return "HierFAVG";
+  }
+  return "?";
+}
+
+Algorithm parse_algorithm(const std::string& name) {
+  std::string lower;
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "middle") return Algorithm::kMiddle;
+  if (lower == "oort") return Algorithm::kOort;
+  if (lower == "fedmes") return Algorithm::kFedMes;
+  if (lower == "greedy") return Algorithm::kGreedy;
+  if (lower == "ensemble") return Algorithm::kEnsemble;
+  if (lower == "hierfavg" || lower == "general") return Algorithm::kHierFavg;
+  throw std::invalid_argument("unknown algorithm '" + name + "'");
+}
+
+AlgorithmSpec make_algorithm(Algorithm algorithm) {
+  AlgorithmSpec spec;
+  spec.name = to_string(algorithm);
+  switch (algorithm) {
+    case Algorithm::kMiddle:
+      spec.selection = std::make_unique<SimilaritySelection>();
+      spec.on_move = OnDeviceRule::kSimilarityBlend;
+      break;
+    case Algorithm::kOort:
+      spec.selection = std::make_unique<StatUtilitySelection>();
+      spec.on_move = OnDeviceRule::kDownloadEdge;
+      break;
+    case Algorithm::kFedMes:
+      spec.selection = std::make_unique<RandomSelection>();
+      spec.on_move = OnDeviceRule::kPrevEdgeAverage;
+      break;
+    case Algorithm::kGreedy:
+      spec.selection = std::make_unique<StatUtilitySelection>();
+      spec.on_move = OnDeviceRule::kKeepLocal;
+      break;
+    case Algorithm::kEnsemble:
+      spec.selection = std::make_unique<StatUtilitySelection>();
+      spec.on_move = OnDeviceRule::kPlainAverage;
+      break;
+    case Algorithm::kHierFavg:
+      spec.selection = std::make_unique<RandomSelection>();
+      spec.on_move = OnDeviceRule::kDownloadEdge;
+      break;
+  }
+  return spec;
+}
+
+double apply_on_device_rule(OnDeviceRule rule,
+                            std::span<const float> edge_params,
+                            std::span<const float> local_params,
+                            std::span<const float> prev_edge_params,
+                            double fixed_alpha, std::span<float> out) {
+  if (edge_params.size() != out.size() ||
+      local_params.size() != out.size()) {
+    throw std::invalid_argument("apply_on_device_rule: size mismatch");
+  }
+  switch (rule) {
+    case OnDeviceRule::kDownloadEdge:
+      std::copy(edge_params.begin(), edge_params.end(), out.begin());
+      return 0.0;
+    case OnDeviceRule::kKeepLocal:
+      std::copy(local_params.begin(), local_params.end(), out.begin());
+      return 1.0;
+    case OnDeviceRule::kPlainAverage:
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = 0.5f * (edge_params[i] + local_params[i]);
+      }
+      return 0.5;
+    case OnDeviceRule::kSimilarityBlend:
+      return on_device_aggregate(edge_params, local_params, out);
+    case OnDeviceRule::kFixedAlpha:
+      on_device_aggregate_fixed(edge_params, local_params, fixed_alpha, out);
+      return 1.0 - fixed_alpha;
+    case OnDeviceRule::kSignedBlend:
+      return on_device_aggregate_signed(edge_params, local_params, out);
+    case OnDeviceRule::kPrevEdgeAverage: {
+      if (prev_edge_params.size() != out.size()) {
+        throw std::invalid_argument(
+            "apply_on_device_rule: kPrevEdgeAverage needs the previous edge "
+            "model");
+      }
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = 0.5f * (edge_params[i] + prev_edge_params[i]);
+      }
+      return 0.5;
+    }
+  }
+  throw std::logic_error("apply_on_device_rule: unhandled rule");
+}
+
+}  // namespace middlefl::core

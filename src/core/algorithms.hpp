@@ -1,0 +1,71 @@
+// Algorithm policies: the (device-selection, on-device-initialization)
+// pairs evaluated in the paper (§6.1.3).
+//
+//   MIDDLE    similarity selection (Eq. 12)  + similarity blend (Eq. 9)
+//   OORT      Oort statistical utility       + plain edge download
+//   FedMes    random selection               + average of the previous and
+//                                              current EDGE models (moved
+//                                              devices act as the "overlap")
+//   Greedy    Oort statistical utility       + keep the carried local model
+//   Ensemble  Oort statistical utility       + plain 1/2-1/2 average of the
+//                                              edge and local model
+//   HierFAVG  random selection               + plain edge download
+//                                              (the "General" baseline of §2)
+//
+// The on-device rule fires ONLY for devices that entered the edge in this
+// time step (Algorithm 1, line 4); everyone else starts local training from
+// the freshly downloaded edge model.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/selection.hpp"
+
+namespace middlefl::core {
+
+enum class OnDeviceRule {
+  kDownloadEdge,     // w_hat = w_n
+  kKeepLocal,        // w_hat = w_m                       (Greedy)
+  kPlainAverage,     // w_hat = (w_n + w_m) / 2           (Ensemble, Fig. 2)
+  kSimilarityBlend,  // Eq. 9                             (MIDDLE)
+  kFixedAlpha,       // w_hat = a*w_n + (1-a)*w_m         (Theorem 1 ablation)
+  kPrevEdgeAverage,  // w_hat = (w_n + w_prev_edge) / 2   (FedMes)
+  kSignedBlend,      // Eq. 9 without the clamp (ablation of max(.,0))
+};
+
+std::string to_string(OnDeviceRule rule);
+
+enum class Algorithm { kMiddle, kOort, kFedMes, kGreedy, kEnsemble, kHierFavg };
+
+std::string to_string(Algorithm algorithm);
+Algorithm parse_algorithm(const std::string& name);
+
+/// The standard set compared in Figs. 6-7, in the paper's plotting order.
+inline constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kMiddle, Algorithm::kOort, Algorithm::kFedMes,
+    Algorithm::kGreedy, Algorithm::kEnsemble};
+
+struct AlgorithmSpec {
+  std::string name;
+  std::unique_ptr<SelectionStrategy> selection;
+  OnDeviceRule on_move = OnDeviceRule::kDownloadEdge;
+  /// Blend coefficient for kFixedAlpha.
+  double fixed_alpha = 0.5;
+};
+
+/// Builds the named policy.
+AlgorithmSpec make_algorithm(Algorithm algorithm);
+
+/// Applies the on-device initialization rule, writing w_hat into `out`.
+/// `prev_edge_params` is only consulted by kPrevEdgeAverage and may be
+/// empty otherwise. Returns the weight effectively given to the non-edge
+/// component (0 for kDownloadEdge, 1 for kKeepLocal, U/(1+U) for the
+/// similarity blend, ...), which benches log to study the blend dynamics.
+double apply_on_device_rule(OnDeviceRule rule,
+                            std::span<const float> edge_params,
+                            std::span<const float> local_params,
+                            std::span<const float> prev_edge_params,
+                            double fixed_alpha, std::span<float> out);
+
+}  // namespace middlefl::core

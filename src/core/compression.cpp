@@ -1,0 +1,84 @@
+#include "core/compression.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace middlefl::core {
+
+CompressedUpdate compress_update(std::span<const float> update,
+                                 const CompressionConfig& config) {
+  CompressedUpdate out;
+  const std::size_t n = update.size();
+  switch (config.kind) {
+    case CompressionKind::kNone: {
+      out.reconstruction.assign(update.begin(), update.end());
+      out.bytes = n * sizeof(float);
+      return out;
+    }
+    case CompressionKind::kTopK: {
+      if (config.top_k_fraction <= 0.0 || config.top_k_fraction > 1.0) {
+        throw std::invalid_argument(
+            "compress_update: top_k_fraction must be in (0, 1]");
+      }
+      const std::size_t k = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 std::llround(config.top_k_fraction * static_cast<double>(n))));
+      std::vector<std::size_t> order(n);
+      std::iota(order.begin(), order.end(), std::size_t{0});
+      // Partial selection of the k largest magnitudes; ties broken by index
+      // for determinism.
+      std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
+                       [&update](std::size_t a, std::size_t b) {
+                         const float ma = std::fabs(update[a]);
+                         const float mb = std::fabs(update[b]);
+                         return ma != mb ? ma > mb : a < b;
+                       });
+      out.reconstruction.assign(n, 0.0f);
+      for (std::size_t i = 0; i < k && i < n; ++i) {
+        out.reconstruction[order[i]] = update[order[i]];
+      }
+      out.bytes = std::min(k, n) * (sizeof(float) + sizeof(std::uint32_t));
+      return out;
+    }
+    case CompressionKind::kQuant8: {
+      float max_mag = 0.0f;
+      for (float v : update) max_mag = std::max(max_mag, std::fabs(v));
+      out.reconstruction.resize(n);
+      if (max_mag == 0.0f) {
+        std::fill(out.reconstruction.begin(), out.reconstruction.end(), 0.0f);
+      } else {
+        const float scale = max_mag / 127.0f;
+        for (std::size_t i = 0; i < n; ++i) {
+          const auto q = static_cast<int>(std::lround(update[i] / scale));
+          out.reconstruction[i] =
+              static_cast<float>(std::clamp(q, -127, 127)) * scale;
+        }
+      }
+      out.bytes = n + sizeof(float);
+      return out;
+    }
+  }
+  throw std::logic_error("compress_update: unhandled kind");
+}
+
+CompressedUpdate compress_model(std::span<const float> model,
+                                std::span<const float> reference,
+                                const CompressionConfig& config) {
+  if (model.size() != reference.size()) {
+    throw std::invalid_argument("compress_model: size mismatch");
+  }
+  std::vector<float> delta(model.size());
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = model[i] - reference[i];
+  }
+  CompressedUpdate out = compress_update(delta, config);
+  for (std::size_t i = 0; i < out.reconstruction.size(); ++i) {
+    out.reconstruction[i] += reference[i];
+  }
+  return out;
+}
+
+}  // namespace middlefl::core

@@ -1,0 +1,77 @@
+#include "core/convergence.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace middlefl::core {
+namespace {
+
+void validate(const Theorem1Params& p) {
+  if (p.beta <= 0.0 || p.mu <= 0.0 || p.big_g <= 0.0 || p.big_b < 0.0) {
+    throw std::invalid_argument("Theorem1: beta, mu, G must be positive and B >= 0");
+  }
+  if (p.alpha <= 0.0 || p.alpha >= 1.0) {
+    throw std::invalid_argument("Theorem1: alpha must be in (0, 1)");
+  }
+  if (p.mobility <= 0.0 || p.mobility > 1.0) {
+    throw std::invalid_argument("Theorem1: P must be in (0, 1]");
+  }
+  if (p.local_steps == 0) {
+    throw std::invalid_argument("Theorem1: I must be positive");
+  }
+  if (p.init_distance_sq < 0.0) {
+    throw std::invalid_argument("Theorem1: initial distance must be >= 0");
+  }
+}
+
+}  // namespace
+
+double theorem1_gamma(const Theorem1Params& p) {
+  validate(p);
+  return std::max(8.0 * p.beta / p.mu, static_cast<double>(p.local_steps));
+}
+
+double theorem1_lr(const Theorem1Params& p, std::size_t t) {
+  const double gamma = theorem1_gamma(p);
+  return 2.0 / (p.mu * (gamma + static_cast<double>(t)));
+}
+
+double theorem1_mobility_term(const Theorem1Params& p) {
+  validate(p);
+  const double gamma = theorem1_gamma(p);
+  const double i_sq = static_cast<double>(p.local_steps) *
+                      static_cast<double>(p.local_steps);
+  return 8.0 * p.beta * i_sq * p.big_g * p.big_g /
+         (p.mu * p.mu * gamma * gamma * p.alpha * (1.0 - p.alpha) *
+          p.mobility);
+}
+
+double theorem1_bound(const Theorem1Params& p) {
+  validate(p);
+  const double gamma = theorem1_gamma(p);
+  const double optimization_term =
+      p.beta / (gamma + static_cast<double>(p.horizon) + 1.0) *
+      (2.0 * p.big_b / (p.mu * p.mu) +
+       (gamma + 1.0) / 2.0 * p.init_distance_sq);
+  return optimization_term + theorem1_mobility_term(p);
+}
+
+double theorem1_dbound_dmobility(const Theorem1Params& p) {
+  // d/dP of (c / P) = -c / P^2, with c the mobility-term numerator.
+  return -theorem1_mobility_term(p) / p.mobility;
+}
+
+double theorem1_big_b(const std::vector<double>& h,
+                      const std::vector<double>& sigma_sq, double beta,
+                      double gamma_gap) {
+  if (h.size() != sigma_sq.size()) {
+    throw std::invalid_argument("theorem1_big_b: size mismatch");
+  }
+  double b = 0.0;
+  for (std::size_t m = 0; m < h.size(); ++m) {
+    b += h[m] * h[m] * sigma_sq[m];
+  }
+  return b + 6.0 * beta * gamma_gap;
+}
+
+}  // namespace middlefl::core

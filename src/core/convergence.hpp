@@ -1,0 +1,56 @@
+// Numerical evaluation of the Theorem-1 convergence bound and the Remark-1
+// sensitivity analysis.
+//
+//   E[F(w_c^{T+1})] - F(w_c*)
+//     <= beta/(gamma + T + 1) * ( 2B/mu^2 + (gamma+1)/2 * E|w(1) - w*|^2 )
+//        + 8 beta I^2 G^2 / (mu^2 gamma^2 alpha (1 - alpha) P),
+//
+// with gamma = max(8 beta / mu, I), B = sum_m h_m^2 sigma_m^2 + 6 beta Gamma
+// and the diminishing step size eta_t = 2 / (mu (gamma + t)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace middlefl::core {
+
+struct Theorem1Params {
+  double beta = 1.0;   // Lipschitz smoothness (Assumption 1)
+  double mu = 0.1;     // strong convexity (Assumption 2)
+  double big_g = 1.0;  // gradient norm bound G (Assumption 4)
+  /// B = sum_m h_m^2 sigma_m^2 + 6 beta Gamma (variance + heterogeneity).
+  double big_b = 1.0;
+  std::size_t local_steps = 10;  // I
+  double alpha = 0.5;            // fixed on-device blend coefficient
+  double mobility = 0.5;         // global mobility P in (0, 1]
+  std::size_t horizon = 1000;    // T
+  /// E[|w(1) - w*|^2], distance of the initial model from the optimum.
+  double init_distance_sq = 1.0;
+};
+
+/// gamma = max(8 beta / mu, I).
+double theorem1_gamma(const Theorem1Params& p);
+
+/// eta_t = 2 / (mu (gamma + t)).
+double theorem1_lr(const Theorem1Params& p, std::size_t t);
+
+/// The full right-hand side of Eq. (17). Throws std::invalid_argument when
+/// a parameter leaves its admissible range (alpha in (0,1), P in (0,1],
+/// beta, mu, G, B positive).
+double theorem1_bound(const Theorem1Params& p);
+
+/// Only the mobility term 8 beta I^2 G^2 / (mu^2 gamma^2 alpha(1-alpha) P).
+double theorem1_mobility_term(const Theorem1Params& p);
+
+/// d(bound)/dP = -8 beta I^2 G^2 / (mu^2 gamma^2 alpha(1-alpha) P^2)
+/// (Eq. 20) — strictly negative on the admissible range, i.e. more mobility
+/// always tightens the bound (Remark 1).
+double theorem1_dbound_dmobility(const Theorem1Params& p);
+
+/// Helper computing B from per-device weights h_m, gradient variances
+/// sigma_m^2 and the heterogeneity gap Gamma = F* - sum h_m F_m*.
+double theorem1_big_b(const std::vector<double>& h,
+                      const std::vector<double>& sigma_sq, double beta,
+                      double gamma_gap);
+
+}  // namespace middlefl::core

@@ -1,0 +1,116 @@
+#include "core/entities.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "data/sampler.hpp"
+#include "nn/loss.hpp"
+
+namespace middlefl::core {
+
+Device::Device(std::size_t id, data::DataView data,
+               std::unique_ptr<nn::Sequential> model,
+               std::unique_ptr<optim::Optimizer> optimizer)
+    : id_(id),
+      data_(std::move(data)),
+      model_(std::move(model)),
+      optimizer_(std::move(optimizer)) {
+  if (model_ == nullptr || !model_->built()) {
+    throw std::invalid_argument("Device: model must be built");
+  }
+  if (optimizer_ == nullptr) {
+    throw std::invalid_argument("Device: null optimizer");
+  }
+  if (data_.empty()) {
+    throw std::invalid_argument("Device " + std::to_string(id) +
+                                ": empty data partition");
+  }
+}
+
+DeviceTrainStats Device::train(std::size_t local_steps,
+                               std::size_t batch_size, double learning_rate,
+                               bool reset_optimizer,
+                               parallel::Xoshiro256& rng, double prox_mu,
+                               double clip_norm) {
+  if (local_steps == 0 || batch_size == 0) {
+    throw std::invalid_argument("Device::train: steps and batch must be positive");
+  }
+  if (prox_mu < 0.0 || clip_norm < 0.0) {
+    throw std::invalid_argument(
+        "Device::train: prox_mu and clip_norm must be non-negative");
+  }
+  if (reset_optimizer) optimizer_->reset();
+  optimizer_->set_learning_rate(learning_rate);
+
+  // FedProx anchor: the round's starting parameters.
+  std::vector<float> anchor;
+  if (prox_mu > 0.0) {
+    anchor.assign(model_->parameters().begin(), model_->parameters().end());
+  }
+
+  DeviceTrainStats stats;
+  std::vector<float> sample_losses(batch_size);
+  double loss_acc = 0.0;
+  for (std::size_t step = 0; step < local_steps; ++step) {
+    const auto batch = data::sample_minibatch(data_, batch_size, rng);
+    const nn::Tensor& logits = model_->forward(batch.features, true);
+    auto result = nn::softmax_cross_entropy(logits, batch.labels);
+    loss_acc += result.loss;
+
+    if (step + 1 == local_steps) {
+      // Per-sample losses on the final batch feed the Oort utility; the
+      // logits are already computed, so this costs one softmax pass.
+      nn::per_example_cross_entropy(logits, batch.labels, sample_losses);
+      double sq = 0.0;
+      for (float l : sample_losses) sq += static_cast<double>(l) * l;
+      stats.mean_sq_loss = sq / static_cast<double>(batch_size);
+    }
+
+    model_->zero_grad();
+    model_->backward(result.grad_logits);
+    if (prox_mu > 0.0) {
+      // grad += mu (w - w_anchor): the FedProx proximal gradient.
+      auto params = model_->parameters();
+      auto grads = model_->gradients();
+      const auto mu = static_cast<float>(prox_mu);
+      for (std::size_t i = 0; i < params.size(); ++i) {
+        grads[i] += mu * (params[i] - anchor[i]);
+      }
+    }
+    if (clip_norm > 0.0) {
+      auto grads = model_->gradients();
+      double norm_sq = 0.0;
+      for (float g : grads) norm_sq += static_cast<double>(g) * g;
+      const double norm = std::sqrt(norm_sq);
+      if (norm > clip_norm) {
+        const auto scale = static_cast<float>(clip_norm / norm);
+        for (float& g : grads) g *= scale;
+      }
+    }
+    optimizer_->step(model_->parameters(), model_->gradients());
+  }
+  stats.batches = local_steps;
+  stats.mean_loss = loss_acc / static_cast<double>(local_steps);
+
+  // Oort: U_stat = |B| * sqrt( (1/|B|) sum loss^2 ), with |B| = d_m.
+  stat_utility_ = static_cast<double>(data_size()) *
+                  std::sqrt(std::max(0.0, stats.mean_sq_loss));
+  return stats;
+}
+
+void Edge::set_params(std::span<const float> params) {
+  if (params.size() != params_.size()) {
+    throw std::invalid_argument("Edge::set_params: size mismatch");
+  }
+  std::copy(params.begin(), params.end(), params_.begin());
+}
+
+void Cloud::set_params(std::span<const float> params) {
+  if (params.size() != params_.size()) {
+    throw std::invalid_argument("Cloud::set_params: size mismatch");
+  }
+  std::copy(params.begin(), params.end(), params_.begin());
+}
+
+}  // namespace middlefl::core

@@ -1,0 +1,129 @@
+// The three tiers of the hierarchy: Device, Edge, Cloud.
+//
+// A Device owns its data partition, a private model instance (the flat
+// local model w_m lives inside it) and an optimizer; its train() is the
+// I-step local SGD of Eq. (1)/(5). Edges and the cloud are parameter
+// holders with FedAvg aggregation (Eq. 6/7). Device training is the
+// simulator's unit of parallelism — all state touched by train() is private
+// to the device.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/sequential.hpp"
+#include "optim/optimizer.hpp"
+#include "parallel/rng.hpp"
+
+namespace middlefl::core {
+
+struct DeviceTrainStats {
+  /// Mean per-sample cross-entropy across all local steps.
+  double mean_loss = 0.0;
+  /// Mean squared per-sample loss on the final local batch (the Oort
+  /// statistical-utility ingredient).
+  double mean_sq_loss = 0.0;
+  std::size_t batches = 0;
+};
+
+class Device {
+ public:
+  Device(std::size_t id, data::DataView data,
+         std::unique_ptr<nn::Sequential> model,
+         std::unique_ptr<optim::Optimizer> optimizer);
+
+  Device(Device&&) = default;
+  Device& operator=(Device&&) = default;
+
+  std::size_t id() const noexcept { return id_; }
+  /// d_m: the number of local data samples (the FedAvg weight).
+  std::size_t data_size() const noexcept { return data_.size(); }
+  const data::DataView& data() const noexcept { return data_; }
+
+  std::span<const float> params() const { return model_->parameters(); }
+  void set_params(std::span<const float> params) {
+    model_->set_parameters(params);
+  }
+
+  /// Runs `local_steps` SGD iterations (Eq. 5) from the current parameters
+  /// on minibatches of `batch_size` drawn with `rng`. When
+  /// `reset_optimizer` is set, momentum/Adam state is cleared first (a
+  /// fresh round starts from a freshly downloaded model). `prox_mu` > 0
+  /// adds a FedProx proximal term mu/2 |w - w_start|^2 anchored at the
+  /// round's starting parameters, damping client drift on Non-IID data.
+  /// `clip_norm` > 0 rescales each step's gradient to at most that L2
+  /// norm before the optimizer update (global-norm clipping).
+  DeviceTrainStats train(std::size_t local_steps, std::size_t batch_size,
+                         double learning_rate, bool reset_optimizer,
+                         parallel::Xoshiro256& rng, double prox_mu = 0.0,
+                         double clip_norm = 0.0);
+
+  /// Oort statistical utility: d_m * sqrt(mean squared sample loss) from
+  /// the most recent training round; nullopt before the first round (such
+  /// devices are prioritized for exploration).
+  std::optional<double> stat_utility() const noexcept { return stat_utility_; }
+  /// Time step of the last participation (for staleness accounting).
+  std::optional<std::size_t> last_trained_step() const noexcept {
+    return last_trained_step_;
+  }
+  void mark_trained(std::size_t step) noexcept { last_trained_step_ = step; }
+  /// Clears training history (used at global synchronization barriers in
+  /// ablations; the default simulator keeps history across syncs).
+  void clear_history() noexcept {
+    stat_utility_.reset();
+    last_trained_step_.reset();
+  }
+
+  nn::Sequential& model() noexcept { return *model_; }
+
+ private:
+  std::size_t id_;
+  data::DataView data_;
+  std::unique_ptr<nn::Sequential> model_;
+  std::unique_ptr<optim::Optimizer> optimizer_;
+  std::optional<double> stat_utility_;
+  std::optional<std::size_t> last_trained_step_;
+};
+
+class Edge {
+ public:
+  Edge(std::size_t id, std::size_t param_count)
+      : id_(id), params_(param_count, 0.0f) {}
+
+  std::size_t id() const noexcept { return id_; }
+  std::span<const float> params() const noexcept { return params_; }
+  std::span<float> mutable_params() noexcept { return params_; }
+  void set_params(std::span<const float> params);
+
+  /// Accumulates participating-sample weight toward d_hat_n (Eq. 7).
+  void add_participation(double weight) noexcept {
+    participation_weight_ += weight;
+  }
+  double participation_weight() const noexcept {
+    return participation_weight_;
+  }
+  void reset_participation() noexcept { participation_weight_ = 0.0; }
+
+ private:
+  std::size_t id_;
+  std::vector<float> params_;
+  double participation_weight_ = 0.0;
+};
+
+class Cloud {
+ public:
+  explicit Cloud(std::size_t param_count) : params_(param_count, 0.0f) {}
+
+  std::span<const float> params() const noexcept { return params_; }
+  std::span<float> mutable_params() noexcept { return params_; }
+  void set_params(std::span<const float> params);
+
+ private:
+  std::vector<float> params_;
+};
+
+}  // namespace middlefl::core

@@ -1,0 +1,109 @@
+#include "core/selection.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/similarity.hpp"
+
+namespace middlefl::core {
+namespace {
+
+/// Random permutation of [0, n) used both for sampling and tie-breaking.
+std::vector<std::size_t> shuffled_positions(std::size_t n,
+                                            parallel::Xoshiro256& rng) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::shuffle(order.begin(), order.end(), rng);
+  return order;
+}
+
+/// Ranks candidates by descending score after a random shuffle (so equal
+/// scores are broken uniformly at random) and returns the top-k ids.
+std::vector<std::size_t> top_k_by_score(
+    std::span<const Candidate> candidates, const std::vector<double>& scores,
+    std::size_t k, parallel::Xoshiro256& rng) {
+  auto order = shuffled_positions(candidates.size(), rng);
+  std::stable_sort(order.begin(), order.end(),
+                   [&scores](std::size_t a, std::size_t b) {
+                     return scores[a] > scores[b];
+                   });
+  const std::size_t take = std::min(k, candidates.size());
+  std::vector<std::size_t> ids;
+  ids.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    ids.push_back(candidates[order[i]].device_id);
+  }
+  return ids;
+}
+
+}  // namespace
+
+std::vector<std::size_t> RandomSelection::select(
+    std::span<const Candidate> candidates,
+    std::span<const float> /*cloud_params*/, std::size_t k,
+    parallel::Xoshiro256& rng) const {
+  auto order = shuffled_positions(candidates.size(), rng);
+  const std::size_t take = std::min(k, candidates.size());
+  std::vector<std::size_t> ids;
+  ids.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    ids.push_back(candidates[order[i]].device_id);
+  }
+  return ids;
+}
+
+std::vector<std::size_t> StatUtilitySelection::select(
+    std::span<const Candidate> candidates,
+    std::span<const float> /*cloud_params*/, std::size_t k,
+    parallel::Xoshiro256& rng) const {
+  // Never-trained devices get a score above any finite utility so they are
+  // explored first (Oort's exploration of fresh clients).
+  double max_utility = 0.0;
+  for (const auto& c : candidates) {
+    if (c.stat_utility) max_utility = std::max(max_utility, *c.stat_utility);
+  }
+  std::vector<double> scores(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    scores[i] = candidates[i].stat_utility ? *candidates[i].stat_utility
+                                           : max_utility + 1.0;
+  }
+  return top_k_by_score(candidates, scores, k, rng);
+}
+
+std::vector<std::size_t> SimilaritySelection::select(
+    std::span<const Candidate> candidates,
+    std::span<const float> cloud_params, std::size_t k,
+    parallel::Xoshiro256& rng) const {
+  std::vector<double> scores(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const double u = selection_utility(cloud_params,
+                                       candidates[i].local_params);
+    scores[i] = invert_ ? u : -u;  // Eq. 12: TOPK of -U
+  }
+  return top_k_by_score(candidates, scores, k, rng);
+}
+
+std::vector<std::size_t> HybridSelection::select(
+    std::span<const Candidate> candidates,
+    std::span<const float> cloud_params, std::size_t k,
+    parallel::Xoshiro256& rng) const {
+  double max_utility = 0.0;
+  for (const auto& c : candidates) {
+    if (c.stat_utility) max_utility = std::max(max_utility, *c.stat_utility);
+  }
+  std::vector<double> scores(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto& c = candidates[i];
+    if (!c.stat_utility) {
+      // Unexplored devices beat every explored one.
+      scores[i] = (max_utility + 1.0) * 2.0;
+      continue;
+    }
+    const double dissimilarity =
+        1.0 - selection_utility(cloud_params, c.local_params);
+    scores[i] = *c.stat_utility * dissimilarity;
+  }
+  return top_k_by_score(candidates, scores, k, rng);
+}
+
+}  // namespace middlefl::core

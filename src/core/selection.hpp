@@ -1,0 +1,98 @@
+// In-edge device selection strategies.
+//
+// Every time step each edge picks K of its currently-connected devices.
+// MIDDLE's rule (Eq. 12) ranks candidates by -U(w_c, Delta_w_m): the devices
+// whose accumulated update direction is LEAST similar to the global model
+// hold the data the global model has learned least. Baselines use random
+// selection (FedMes, HierFAVG) or the Oort statistical utility (OORT,
+// Greedy, Ensemble).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "parallel/rng.hpp"
+
+namespace middlefl::core {
+
+/// Per-candidate snapshot handed to a strategy. `local_params` aliases the
+/// device's live parameter vector and must not be stored.
+struct Candidate {
+  std::size_t device_id = 0;
+  double data_size = 0.0;
+  /// Oort statistical utility; nullopt for never-trained devices, which
+  /// strategies should prioritize for exploration.
+  std::optional<double> stat_utility;
+  std::span<const float> local_params;
+};
+
+class SelectionStrategy {
+ public:
+  virtual ~SelectionStrategy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Returns the ids of min(k, candidates.size()) devices. `cloud_params`
+  /// is the current global model w_c (the proxy for w_c* in Eq. 11).
+  /// Implementations must be deterministic given `rng`.
+  virtual std::vector<std::size_t> select(
+      std::span<const Candidate> candidates,
+      std::span<const float> cloud_params, std::size_t k,
+      parallel::Xoshiro256& rng) const = 0;
+};
+
+/// Uniform random K-subset (FedMes, HierFAVG).
+class RandomSelection final : public SelectionStrategy {
+ public:
+  std::string name() const override { return "random"; }
+  std::vector<std::size_t> select(std::span<const Candidate> candidates,
+                                  std::span<const float> cloud_params,
+                                  std::size_t k,
+                                  parallel::Xoshiro256& rng) const override;
+};
+
+/// Top-K by Oort statistical utility; never-trained candidates rank first
+/// in random order (exploration), ties broken randomly.
+class StatUtilitySelection final : public SelectionStrategy {
+ public:
+  std::string name() const override { return "stat-utility"; }
+  std::vector<std::size_t> select(std::span<const Candidate> candidates,
+                                  std::span<const float> cloud_params,
+                                  std::size_t k,
+                                  parallel::Xoshiro256& rng) const override;
+};
+
+/// MIDDLE's Eq. 12: TOPK of -U(w_c, w_m - w_c) — least-similar first. Set
+/// `invert` for the ablation that selects the MOST similar devices instead.
+class SimilaritySelection final : public SelectionStrategy {
+ public:
+  explicit SimilaritySelection(bool invert = false) : invert_(invert) {}
+  std::string name() const override {
+    return invert_ ? "most-similar (ablation)" : "least-similar (MIDDLE)";
+  }
+  std::vector<std::size_t> select(std::span<const Candidate> candidates,
+                                  std::span<const float> cloud_params,
+                                  std::size_t k,
+                                  parallel::Xoshiro256& rng) const override;
+
+ private:
+  bool invert_;
+};
+
+/// Extension beyond the paper: ranks by the PRODUCT of Oort's loss signal
+/// and MIDDLE's dissimilarity signal — devices whose data is both
+/// high-loss and unlike what the global model has absorbed. Never-trained
+/// candidates rank first, as in StatUtilitySelection.
+class HybridSelection final : public SelectionStrategy {
+ public:
+  std::string name() const override { return "hybrid (loss x dissimilarity)"; }
+  std::vector<std::size_t> select(std::span<const Candidate> candidates,
+                                  std::span<const float> cloud_params,
+                                  std::size_t k,
+                                  parallel::Xoshiro256& rng) const override;
+};
+
+}  // namespace middlefl::core

@@ -1,0 +1,93 @@
+#include "core/similarity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/blas.hpp"
+
+namespace middlefl::core {
+
+double cosine_similarity(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("cosine_similarity: size mismatch");
+  }
+  const double na = tensor::nrm2(a);
+  const double nb = tensor::nrm2(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  // Clamp tiny numerical excursions outside [-1, 1].
+  return std::clamp(tensor::dot(a, b) / (na * nb), -1.0, 1.0);
+}
+
+double similarity_utility(std::span<const float> a, std::span<const float> b) {
+  return std::max(cosine_similarity(a, b), 0.0);
+}
+
+double on_device_aggregate(std::span<const float> edge_model,
+                           std::span<const float> local_model,
+                           std::span<float> out) {
+  if (edge_model.size() != local_model.size() ||
+      out.size() != edge_model.size()) {
+    throw std::invalid_argument("on_device_aggregate: size mismatch");
+  }
+  const double u = similarity_utility(local_model, edge_model);
+  const auto w_edge = static_cast<float>(1.0 / (1.0 + u));
+  const auto w_local = static_cast<float>(u / (1.0 + u));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = w_edge * edge_model[i] + w_local * local_model[i];
+  }
+  return u / (1.0 + u);
+}
+
+double on_device_aggregate_signed(std::span<const float> edge_model,
+                                  std::span<const float> local_model,
+                                  std::span<float> out) {
+  if (edge_model.size() != local_model.size() ||
+      out.size() != edge_model.size()) {
+    throw std::invalid_argument("on_device_aggregate_signed: size mismatch");
+  }
+  const double u =
+      std::clamp(cosine_similarity(local_model, edge_model), -0.5, 1.0);
+  const auto w_edge = static_cast<float>(1.0 / (1.0 + u));
+  const auto w_local = static_cast<float>(u / (1.0 + u));
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = w_edge * edge_model[i] + w_local * local_model[i];
+  }
+  return u / (1.0 + u);
+}
+
+void on_device_aggregate_fixed(std::span<const float> edge_model,
+                               std::span<const float> local_model,
+                               double alpha, std::span<float> out) {
+  if (alpha <= 0.0 || alpha >= 1.0) {
+    throw std::invalid_argument("on_device_aggregate_fixed: alpha must be in (0, 1)");
+  }
+  if (edge_model.size() != local_model.size() ||
+      out.size() != edge_model.size()) {
+    throw std::invalid_argument("on_device_aggregate_fixed: size mismatch");
+  }
+  const auto w_edge = static_cast<float>(alpha);
+  const auto w_local = static_cast<float>(1.0 - alpha);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = w_edge * edge_model[i] + w_local * local_model[i];
+  }
+}
+
+std::vector<float> accumulated_update(std::span<const float> local_model,
+                                      std::span<const float> cloud_model) {
+  if (local_model.size() != cloud_model.size()) {
+    throw std::invalid_argument("accumulated_update: size mismatch");
+  }
+  std::vector<float> delta(local_model.size());
+  for (std::size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = local_model[i] - cloud_model[i];
+  }
+  return delta;
+}
+
+double selection_utility(std::span<const float> cloud_model,
+                         std::span<const float> local_model) {
+  const std::vector<float> delta = accumulated_update(local_model, cloud_model);
+  return similarity_utility(cloud_model, delta);
+}
+
+}  // namespace middlefl::core

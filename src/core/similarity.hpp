@@ -1,0 +1,53 @@
+// The similarity utility (paper Eq. 8) and the model-blend / selection
+// formulas built on it (Eq. 9-12). All functions operate on flat parameter
+// vectors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace middlefl::core {
+
+/// Cosine similarity <a, b> / (|a||b|); 0 when either vector is zero.
+double cosine_similarity(std::span<const float> a, std::span<const float> b);
+
+/// Similarity utility U(a, b) = max(cos(a, b), 0)   [Eq. 8]
+/// The clamp stops "blind aggregation" of models whose gradient directions
+/// oppose each other from injecting noise.
+double similarity_utility(std::span<const float> a, std::span<const float> b);
+
+/// On-device model aggregation [Eq. 9]:
+///   w_hat = 1/(1+U) * w_edge + U/(1+U) * w_local,  U = U(w_local, w_edge).
+/// The result is dominated by the current edge model but imports the
+/// complementary knowledge carried in the local model. Returns the blend
+/// weight U/(1+U) given to the local model (useful for logging/ablation).
+double on_device_aggregate(std::span<const float> edge_model,
+                           std::span<const float> local_model,
+                           std::span<float> out);
+
+/// Ablation variant of Eq. 9 WITHOUT the max(.,0) clamp: u is the raw
+/// cosine, bounded below at -0.5 so the weights stay finite. Anti-aligned
+/// carried models then enter with NEGATIVE weight — the noise-injection
+/// failure mode the clamp exists to prevent (DESIGN.md ablation 2).
+double on_device_aggregate_signed(std::span<const float> edge_model,
+                                  std::span<const float> local_model,
+                                  std::span<float> out);
+
+/// Fixed-coefficient variant used by the Theorem-1 analysis:
+///   w_hat = (1 - alpha) * w_local + alpha * w_edge,  alpha in (0, 1).
+void on_device_aggregate_fixed(std::span<const float> edge_model,
+                               std::span<const float> local_model,
+                               double alpha, std::span<float> out);
+
+/// Accumulated update Delta_w = w_local - w_cloud   [Eq. 10]
+std::vector<float> accumulated_update(std::span<const float> local_model,
+                                      std::span<const float> cloud_model);
+
+/// Selection utility U(w_c, Delta_w_m) [Eq. 11]: similarity of the device's
+/// accumulated update direction to the (proxy of the) optimal cloud model.
+/// MIDDLE selects the K devices with the HIGHEST -U, i.e. the least similar
+/// ones — their data is least learned by the global model [Eq. 12].
+double selection_utility(std::span<const float> cloud_model,
+                         std::span<const float> local_model);
+
+}  // namespace middlefl::core

@@ -1,0 +1,373 @@
+#include "core/simulation.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+
+#include "core/aggregation.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace middlefl::core {
+namespace {
+
+// Stream tags keep the per-purpose RNG streams disjoint.
+constexpr std::uint64_t kSelectTag = 0x5E1EC7;
+constexpr std::uint64_t kTrainTag = 0x7EA1;
+constexpr std::uint64_t kUploadTag = 0xFA11;
+
+}  // namespace
+
+Simulation::Simulation(SimulationConfig cfg, const nn::ModelSpec& model_spec,
+                       const optim::Optimizer& optimizer_prototype,
+                       const data::Dataset& train,
+                       const data::Partition& partition,
+                       const data::Dataset& test,
+                       std::unique_ptr<mobility::MobilityModel> mobility,
+                       AlgorithmSpec algorithm)
+    : cfg_(std::move(cfg)),
+      algorithm_(std::move(algorithm)),
+      cloud_(0),
+      mobility_(std::move(mobility)),
+      streams_(cfg_.seed) {
+  if (mobility_ == nullptr) {
+    throw std::invalid_argument("Simulation: null mobility model");
+  }
+  if (partition.num_devices() != mobility_->num_devices()) {
+    throw std::invalid_argument(
+        "Simulation: partition has " + std::to_string(partition.num_devices()) +
+        " devices but mobility has " +
+        std::to_string(mobility_->num_devices()));
+  }
+  if (algorithm_.selection == nullptr) {
+    throw std::invalid_argument("Simulation: algorithm has no selection strategy");
+  }
+  if (!cfg_.lr_schedule) {
+    cfg_.lr_schedule = optim::constant_lr(0.01);
+  }
+  if (cfg_.select_per_edge == 0 || cfg_.local_steps == 0 ||
+      cfg_.cloud_interval == 0 || cfg_.batch_size == 0) {
+    throw std::invalid_argument("Simulation: K, I, T_c and batch must be positive");
+  }
+
+  // Common initialization: one model drawn from the seed, copied everywhere
+  // (cloud, edges, devices all start aligned, as in Algorithm 1's t = 0).
+  auto init_model = nn::build_model(model_spec, cfg_.seed);
+  const std::size_t param_count = init_model->param_count();
+
+  cloud_ = Cloud(param_count);
+  cloud_.set_params(init_model->parameters());
+
+  const std::size_t num_edges = mobility_->num_edges();
+  edges_.reserve(num_edges);
+  for (std::size_t n = 0; n < num_edges; ++n) {
+    edges_.emplace_back(n, param_count);
+    edges_.back().set_params(init_model->parameters());
+  }
+
+  devices_.reserve(partition.num_devices());
+  for (std::size_t m = 0; m < partition.num_devices(); ++m) {
+    auto model = init_model->clone();
+    devices_.emplace_back(m, partition.view(train, m), std::move(model),
+                          optimizer_prototype.clone_config());
+  }
+
+  // Per-device local-step budgets from the heterogeneity profile.
+  if (!cfg_.device_speeds.empty() &&
+      cfg_.device_speeds.size() != devices_.size()) {
+    throw std::invalid_argument(
+        "Simulation: device_speeds must be empty or one entry per device");
+  }
+  steps_budget_.assign(devices_.size(), cfg_.local_steps);
+  if (cfg_.round_deadline > 0.0) {
+    for (std::size_t m = 0; m < devices_.size(); ++m) {
+      const double speed =
+          cfg_.device_speeds.empty() ? 1.0 : cfg_.device_speeds[m];
+      if (speed <= 0.0) {
+        throw std::invalid_argument("Simulation: device speeds must be positive");
+      }
+      const auto budget = static_cast<std::size_t>(
+          std::floor(cfg_.round_deadline * speed));
+      steps_budget_[m] = std::min(cfg_.local_steps, budget);
+    }
+  }
+  dropped_this_step_.assign(devices_.size(), 0);
+
+  evaluator_ = std::make_unique<Evaluator>(
+      init_model->clone(), data::DataView::all(test));
+  history_.algorithm = algorithm_.name;
+}
+
+bool Simulation::step() {
+  ++t_;
+  const std::vector<std::size_t> prev_assignment = mobility_->assignment();
+  mobility_->advance();
+  const auto& assignment = mobility_->assignment();
+
+  // Snapshot the edge models of this step (w^t_n); training initialization
+  // and FedMes' previous-edge lookup must not observe partial aggregation.
+  edge_snapshot_.assign(edges_.size(), {});
+  for (std::size_t n = 0; n < edges_.size(); ++n) {
+    edge_snapshot_[n].assign(edges_[n].params().begin(),
+                             edges_[n].params().end());
+  }
+
+  // Group connected devices per edge (the candidate sets M_t_n).
+  std::vector<std::vector<std::size_t>> members(edges_.size());
+  for (std::size_t m = 0; m < devices_.size(); ++m) {
+    members[assignment[m]].push_back(m);
+  }
+
+  // In-edge device selection (Algorithm 1, line 2).
+  last_selection_.assign(edges_.size(), {});
+  for (std::size_t n = 0; n < edges_.size(); ++n) {
+    if (members[n].empty()) continue;
+    std::vector<Candidate> candidates;
+    candidates.reserve(members[n].size());
+    for (std::size_t m : members[n]) {
+      candidates.push_back(Candidate{
+          .device_id = m,
+          .data_size = static_cast<double>(devices_[m].data_size()),
+          .stat_utility = devices_[m].stat_utility(),
+          .local_params = devices_[m].params(),
+      });
+    }
+    auto rng = streams_.stream(kSelectTag, n, t_);
+    last_selection_[n] = algorithm_.selection->select(
+        candidates, cloud_.params(), cfg_.select_per_edge, rng);
+  }
+
+  // Local training (lines 3-8), parallel across all selected devices.
+  for (std::size_t n = 0; n < edges_.size(); ++n) {
+    train_selected(n, last_selection_[n], prev_assignment);
+  }
+
+  // Edge aggregation (line 9).
+  aggregate_edges();
+
+  // Cloud synchronization every T_c steps (lines 10-15).
+  const bool sync = (t_ % cfg_.cloud_interval) == 0;
+  if (sync) cloud_sync();
+  return sync;
+}
+
+void Simulation::train_selected(
+    std::size_t edge_id, const std::vector<std::size_t>& selected,
+    const std::vector<std::size_t>& prev_assignment) {
+  if (selected.empty()) return;
+  const std::span<const float> edge_model = edge_snapshot_[edge_id];
+
+  std::atomic<std::size_t> blend_count{0};
+  std::mutex blend_mutex;
+  double blend_sum = 0.0;
+
+  std::atomic<std::size_t> straggler_count{0};
+  const auto train_one = [&](std::size_t idx) {
+    const std::size_t m = selected[idx];
+    Device& device = devices_[m];
+    dropped_this_step_[m] = steps_budget_[m] == 0 ? 1 : 0;
+    if (dropped_this_step_[m]) {
+      // Straggler: cannot finish a single local step before the deadline.
+      straggler_count.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const bool moved = prev_assignment[m] != edge_id;
+
+    if (moved && algorithm_.on_move != OnDeviceRule::kDownloadEdge) {
+      // On-device model aggregation (line 5): blend the carried local model
+      // with the downloaded edge model.
+      std::vector<float> blended(edge_model.size());
+      const std::span<const float> prev_edge =
+          algorithm_.on_move == OnDeviceRule::kPrevEdgeAverage
+              ? std::span<const float>(edge_snapshot_[prev_assignment[m]])
+              : std::span<const float>();
+      const double weight =
+          apply_on_device_rule(algorithm_.on_move, edge_model,
+                               device.params(), prev_edge,
+                               algorithm_.fixed_alpha, blended);
+      device.set_params(blended);
+      blend_count.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard lock(blend_mutex);
+        blend_sum += weight;
+      }
+    } else {
+      // Line 7: start from the downloaded edge model.
+      device.set_params(edge_model);
+    }
+
+    auto rng = streams_.stream(kTrainTag, m, t_);
+    device.train(steps_budget_[m], cfg_.batch_size, cfg_.lr_schedule(t_),
+                 cfg_.reset_optimizer_each_round, rng, cfg_.prox_mu,
+                 cfg_.clip_norm);
+    device.mark_trained(t_);
+  };
+
+  if (cfg_.parallel_devices && selected.size() > 1) {
+    parallel::parallel_for(0, selected.size(), train_one);
+  } else {
+    for (std::size_t i = 0; i < selected.size(); ++i) train_one(i);
+  }
+
+  blends_ += blend_count.load();
+  blend_weight_sum_ += blend_sum;
+  straggler_drops_ += straggler_count.load();
+
+  // Communication: every selected device downloads the edge model;
+  // stragglers never finish, so they upload nothing. FedMes' moved devices
+  // additionally fetch their previous edge's model.
+  comm_.device_downloads += selected.size();
+  comm_.device_uploads += selected.size() - straggler_count.load();
+  if (algorithm_.on_move == OnDeviceRule::kPrevEdgeAverage) {
+    for (std::size_t m : selected) {
+      if (prev_assignment[m] != edge_id) ++comm_.device_downloads;
+    }
+  }
+}
+
+void Simulation::aggregate_edges() {
+  for (std::size_t n = 0; n < edges_.size(); ++n) {
+    const auto& selected = last_selection_[n];
+    if (selected.empty()) continue;  // idle edge keeps its model
+    std::vector<WeightedModel> models;
+    std::vector<std::vector<float>> reconstructions;  // keep spans alive
+    models.reserve(selected.size());
+    reconstructions.reserve(selected.size());
+    double participating = 0.0;
+    for (std::size_t m : selected) {
+      if (dropped_this_step_[m]) continue;  // straggler never uploaded
+      if (cfg_.upload_failure_prob > 0.0) {
+        auto rng = streams_.stream(kUploadTag, m, t_);
+        if (rng.uniform() < cfg_.upload_failure_prob) {
+          ++failed_uploads_;  // upload lost; device keeps its local update
+          continue;
+        }
+      }
+      const auto weight = static_cast<double>(devices_[m].data_size());
+      if (cfg_.upload_compression.kind != CompressionKind::kNone) {
+        // The edge receives a lossy reconstruction of the device's update
+        // against this step's edge model.
+        auto compressed = compress_model(devices_[m].params(),
+                                         edge_snapshot_[n],
+                                         cfg_.upload_compression);
+        upload_bytes_ += compressed.bytes;
+        reconstructions.push_back(std::move(compressed.reconstruction));
+        models.push_back(WeightedModel{reconstructions.back(), weight});
+      } else {
+        upload_bytes_ += devices_[m].params().size() * sizeof(float);
+        models.push_back(WeightedModel{devices_[m].params(), weight});
+      }
+      participating += weight;
+    }
+    if (models.empty()) continue;  // every upload failed: edge unchanged
+    weighted_average(models, edges_[n].mutable_params());
+    edges_[n].add_participation(participating);
+  }
+}
+
+void Simulation::cloud_sync() {
+  std::vector<WeightedModel> models;
+  models.reserve(edges_.size());
+  for (const auto& edge : edges_) {
+    const double weight = cfg_.weighted_cloud_aggregation
+                              ? edge.participation_weight()
+                              : 1.0;
+    if (weight > 0.0) {
+      models.push_back(WeightedModel{edge.params(), weight});
+    }
+  }
+  if (!models.empty()) {
+    if (cfg_.server_momentum > 0.0) {
+      // FedAvgM: treat the FedAvg aggregate as a pseudo-gradient step and
+      // smooth it with momentum on the server.
+      std::vector<float> aggregate(cloud_.params().size());
+      weighted_average(models, aggregate);
+      if (server_velocity_.size() != aggregate.size()) {
+        server_velocity_.assign(aggregate.size(), 0.0f);
+      }
+      auto cloud = cloud_.mutable_params();
+      const auto m = static_cast<float>(cfg_.server_momentum);
+      for (std::size_t i = 0; i < aggregate.size(); ++i) {
+        server_velocity_[i] =
+            m * server_velocity_[i] + (aggregate[i] - cloud[i]);
+        cloud[i] += server_velocity_[i];
+      }
+    } else {
+      weighted_average(models, cloud_.mutable_params());
+    }
+  }
+  for (auto& edge : edges_) {
+    edge.set_params(cloud_.params());
+    edge.reset_participation();
+  }
+  comm_.edge_uploads += edges_.size();
+  comm_.edge_downloads += edges_.size();
+  if (cfg_.broadcast_to_devices) {
+    for (auto& device : devices_) {
+      device.set_params(cloud_.params());
+    }
+    comm_.device_broadcasts += devices_.size();
+  }
+}
+
+void Simulation::warm_start(std::span<const float> params) {
+  cloud_.set_params(params);
+  for (auto& edge : edges_) edge.set_params(params);
+  for (auto& device : devices_) device.set_params(params);
+}
+
+double Simulation::current_edge_skew() const {
+  const std::size_t classes =
+      devices_.front().data().base().num_classes();
+  std::vector<std::vector<std::size_t>> histograms(
+      edges_.size(), std::vector<std::size_t>(classes, 0));
+  const auto& assignment = mobility_->assignment();
+  for (std::size_t m = 0; m < devices_.size(); ++m) {
+    const auto device_hist = devices_[m].data().class_histogram();
+    auto& edge_hist = histograms[assignment[m]];
+    for (std::size_t c = 0; c < classes; ++c) {
+      edge_hist[c] += device_hist[c];
+    }
+  }
+  return mean_edge_skew(histograms);
+}
+
+const EvalPoint& Simulation::evaluate_now() {
+  EvalPoint point;
+  point.step = t_;
+  const EvalResult result =
+      evaluator_->evaluate(cloud_.params(), cfg_.eval_samples);
+  point.accuracy = result.accuracy;
+  point.loss = result.loss;
+  if (cfg_.track_per_class) {
+    point.per_class_accuracy = evaluator_->per_class_accuracy(cloud_.params());
+  }
+  if (cfg_.track_edge_accuracy) {
+    point.edge_accuracy.reserve(edges_.size());
+    for (const auto& edge : edges_) {
+      point.edge_accuracy.push_back(
+          evaluator_->evaluate(edge.params(), cfg_.eval_samples).accuracy);
+    }
+  }
+  history_.points.push_back(std::move(point));
+  return history_.points.back();
+}
+
+RunHistory Simulation::run(
+    const std::function<void(const EvalPoint&)>& progress) {
+  if (t_ == 0) {
+    // Record the starting point so curves begin at the common init.
+    const auto& point = evaluate_now();
+    if (progress) progress(point);
+  }
+  while (t_ < cfg_.total_steps) {
+    step();
+    if (t_ % cfg_.eval_every == 0 || t_ == cfg_.total_steps) {
+      const auto& point = evaluate_now();
+      if (progress) progress(point);
+    }
+  }
+  return history_;
+}
+
+}  // namespace middlefl::core

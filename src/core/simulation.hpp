@@ -1,0 +1,198 @@
+// The MIDDLE training loop (paper Algorithm 1).
+//
+// Each time step: every edge selects K of its currently-connected devices
+// (in-edge device selection), each selected device initializes its local
+// model — newly-arrived devices apply the algorithm's on-device rule, all
+// others download the edge model — runs I local SGD steps and uploads; the
+// edge FedAvgs the uploads (Eq. 6); every T_c steps the cloud FedAvgs the
+// edge models with participating-sample weights d_hat_n (Eq. 7) and
+// broadcasts the global model down to every edge and device.
+//
+// Device training within a step is embarrassingly parallel and runs on the
+// thread pool; all randomness is keyed on (seed, entity, step) so results
+// are bit-identical regardless of thread count.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <memory>
+
+#include "core/algorithms.hpp"
+#include "core/comm_stats.hpp"
+#include "core/compression.hpp"
+#include "core/entities.hpp"
+#include "core/metrics.hpp"
+#include "data/partition.hpp"
+#include "mobility/mobility_model.hpp"
+#include "nn/model_factory.hpp"
+#include "optim/lr_schedule.hpp"
+#include "optim/optimizer.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace middlefl::core {
+
+struct SimulationConfig {
+  std::size_t select_per_edge = 5;   // K
+  std::size_t local_steps = 10;      // I
+  std::size_t cloud_interval = 10;   // T_c
+  std::size_t batch_size = 16;
+  std::size_t total_steps = 1000;    // T
+  /// Per-step learning rate; defaults to constant 0.01 (the paper's SGD
+  /// setting) when empty.
+  optim::LrSchedule lr_schedule;
+  /// Clear momentum/Adam state whenever a device starts a round from a
+  /// downloaded/blended model (the usual FL convention).
+  bool reset_optimizer_each_round = true;
+  /// Algorithm 1 lines 14-15: push the fresh global model to every device
+  /// at sync. Disabling is an ablation that lets local models drift longer.
+  bool broadcast_to_devices = true;
+  /// Eq. 7 participating-sample weights d_hat_n; false = uniform edge
+  /// weights (ablation 4 in DESIGN.md).
+  bool weighted_cloud_aggregation = true;
+
+  std::size_t eval_every = 10;
+  /// Subsample size for periodic evaluation; 0 = the full test set.
+  std::size_t eval_samples = 1000;
+  bool track_per_class = false;
+  /// Record each edge model's test accuracy at eval points.
+  bool track_edge_accuracy = false;
+
+  /// Probability that a selected device's upload is lost (straggler /
+  /// radio failure injection). The device still trains — its local model
+  /// keeps the update — but the edge aggregates without it that step.
+  double upload_failure_prob = 0.0;
+  /// FedProx proximal coefficient for local training (0 = plain SGD).
+  double prox_mu = 0.0;
+  /// Global-norm gradient clipping threshold for local steps (0 = off).
+  double clip_norm = 0.0;
+  /// Server momentum (FedAvgM): the cloud applies
+  /// v = m*v + (aggregate - w_c); w_c += v at each sync. 0 disables.
+  double server_momentum = 0.0;
+
+  /// System heterogeneity: relative compute speed per device (1.0 =
+  /// nominal; empty = homogeneous). With a positive `round_deadline`, a
+  /// selected device only completes min(I, floor(deadline * speed)) local
+  /// steps within the time step; devices that cannot finish even one step
+  /// are dropped from the round (counted by straggler_drops()). This
+  /// models the paper's premise that "any device can complete the entire
+  /// one-round process in a time step" breaking down on slow hardware.
+  std::vector<double> device_speeds;
+  /// Local steps a speed-1.0 device can complete per time step; 0 = no
+  /// deadline (every device always finishes all I steps).
+  double round_deadline = 0.0;
+  /// Lossy compression applied to device->edge uploads (the edge
+  /// aggregates the reconstruction; upload_bytes() tracks the wire size).
+  CompressionConfig upload_compression;
+
+  std::uint64_t seed = 42;
+  /// Train selected devices on the global thread pool.
+  bool parallel_devices = true;
+};
+
+class Simulation {
+ public:
+  /// `partition.device_indices.size()` fixes the device count and must
+  /// match `mobility->num_devices()`. All models start from one common
+  /// initialization drawn from cfg.seed.
+  Simulation(SimulationConfig cfg, const nn::ModelSpec& model_spec,
+             const optim::Optimizer& optimizer_prototype,
+             const data::Dataset& train, const data::Partition& partition,
+             const data::Dataset& test,
+             std::unique_ptr<mobility::MobilityModel> mobility,
+             AlgorithmSpec algorithm);
+
+  /// Advances one time step (t starts at 1). Returns true if a cloud
+  /// synchronization happened this step.
+  bool step();
+
+  /// Runs the remaining steps up to cfg.total_steps, evaluating on the
+  /// configured schedule. `progress` (optional) is invoked after each
+  /// evaluation with the fresh point.
+  RunHistory run(
+      const std::function<void(const EvalPoint&)>& progress = nullptr);
+
+  /// Evaluates the current global model immediately and appends the point
+  /// to the history.
+  const EvalPoint& evaluate_now();
+
+  /// Warm start: installs `params` (e.g. a loaded checkpoint) as the global
+  /// model on the cloud, every edge and every device, exactly like a cloud
+  /// synchronization broadcast. Size must equal the model's param count.
+  void warm_start(std::span<const float> params);
+
+  // --- Introspection (benches, tests) ---
+  std::size_t current_step() const noexcept { return t_; }
+  std::size_t num_devices() const noexcept { return devices_.size(); }
+  std::size_t num_edges() const noexcept { return edges_.size(); }
+  std::span<const float> cloud_params() const { return cloud_.params(); }
+  std::span<const float> edge_params(std::size_t n) const {
+    return edges_.at(n).params();
+  }
+  Device& device(std::size_t m) { return devices_.at(m); }
+  const std::vector<std::size_t>& assignment() const {
+    return mobility_->assignment();
+  }
+  /// Devices selected at the last step, grouped by edge.
+  const std::vector<std::vector<std::size_t>>& last_selection() const {
+    return last_selection_;
+  }
+  const RunHistory& history() const noexcept { return history_; }
+  Evaluator& evaluator() noexcept { return *evaluator_; }
+  const SimulationConfig& config() const noexcept { return cfg_; }
+
+  /// Model-transfer counters accumulated since construction.
+  const CommStats& comm_stats() const noexcept { return comm_; }
+  /// Uploads dropped by failure injection so far.
+  std::size_t failed_uploads() const noexcept { return failed_uploads_; }
+  /// Selected devices dropped because they could not finish one local step
+  /// before the round deadline.
+  std::size_t straggler_drops() const noexcept { return straggler_drops_; }
+  /// Simulated device->edge uplink bytes (after compression) so far.
+  std::size_t upload_bytes() const noexcept { return upload_bytes_; }
+
+  /// Mean total-variation skew of the CURRENT per-edge data mixtures
+  /// relative to the global mixture (see core::mean_edge_skew).
+  double current_edge_skew() const;
+
+  /// Count of on-device aggregations applied so far and the running mean
+  /// blend weight given to the carried local model.
+  std::size_t on_device_aggregations() const noexcept { return blends_; }
+  double mean_blend_weight() const noexcept {
+    return blends_ == 0 ? 0.0 : blend_weight_sum_ / static_cast<double>(blends_);
+  }
+
+ private:
+  void train_selected(std::size_t edge_id,
+                      const std::vector<std::size_t>& selected,
+                      const std::vector<std::size_t>& prev_assignment);
+  void aggregate_edges();
+  void cloud_sync();
+
+  SimulationConfig cfg_;
+  AlgorithmSpec algorithm_;
+  std::vector<Device> devices_;
+  std::vector<Edge> edges_;
+  Cloud cloud_;
+  std::unique_ptr<mobility::MobilityModel> mobility_;
+  std::unique_ptr<Evaluator> evaluator_;
+  parallel::StreamRng streams_;
+  std::size_t t_ = 0;
+  std::vector<std::vector<std::size_t>> last_selection_;
+  // Edge snapshot taken at the start of the step so FedMes' prev-edge rule
+  // reads w^t even while new edge models are being formed.
+  std::vector<std::vector<float>> edge_snapshot_;
+  RunHistory history_;
+  std::size_t blends_ = 0;
+  double blend_weight_sum_ = 0.0;
+  CommStats comm_;
+  std::size_t failed_uploads_ = 0;
+  std::size_t upload_bytes_ = 0;
+  std::vector<float> server_velocity_;
+  std::vector<std::size_t> steps_budget_;  // per-device local-step budget
+  // One byte per device, NOT vector<bool>: flags are written concurrently
+  // from the parallel training loop and bit-packed writes would race.
+  std::vector<std::uint8_t> dropped_this_step_;
+  std::size_t straggler_drops_ = 0;
+};
+
+}  // namespace middlefl::core

@@ -1,0 +1,129 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace middlefl::data {
+
+Dataset::Dataset(Shape sample_shape, std::size_t num_classes)
+    : sample_shape_(std::move(sample_shape)),
+      sample_numel_(sample_shape_.numel()),
+      num_classes_(num_classes) {
+  if (num_classes_ < 2) {
+    throw std::invalid_argument("Dataset: need at least 2 classes");
+  }
+}
+
+void Dataset::add(std::span<const float> features, std::int32_t label) {
+  if (features.size() != sample_numel_) {
+    throw std::invalid_argument("Dataset::add: feature size " +
+                                std::to_string(features.size()) +
+                                " != sample numel " +
+                                std::to_string(sample_numel_));
+  }
+  if (label < 0 || static_cast<std::size_t>(label) >= num_classes_) {
+    throw std::out_of_range("Dataset::add: label " + std::to_string(label) +
+                            " out of range");
+  }
+  features_.insert(features_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+}
+
+void Dataset::reserve(std::size_t n) {
+  features_.reserve(features_.size() + n * sample_numel_);
+  labels_.reserve(labels_.size() + n);
+}
+
+std::span<const float> Dataset::features(std::size_t i) const {
+  if (i >= size()) throw std::out_of_range("Dataset::features: bad index");
+  return std::span<const float>(features_).subspan(i * sample_numel_,
+                                                   sample_numel_);
+}
+
+Tensor Dataset::gather(std::span<const std::size_t> indices) const {
+  if (indices.empty()) {
+    throw std::invalid_argument("Dataset::gather: empty index list");
+  }
+  std::vector<std::size_t> dims{indices.size()};
+  for (std::size_t d : sample_shape_.dims()) dims.push_back(d);
+  Tensor batch(Shape(std::move(dims)));
+  float* out = batch.data().data();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto sample = features(indices[i]);
+    std::copy(sample.begin(), sample.end(), out + i * sample_numel_);
+  }
+  return batch;
+}
+
+std::vector<std::int32_t> Dataset::gather_labels(
+    std::span<const std::size_t> indices) const {
+  std::vector<std::int32_t> out;
+  out.reserve(indices.size());
+  for (std::size_t i : indices) out.push_back(label(i));
+  return out;
+}
+
+std::vector<std::size_t> Dataset::class_histogram() const {
+  std::vector<std::size_t> hist(num_classes_, 0);
+  for (std::int32_t l : labels_) ++hist[static_cast<std::size_t>(l)];
+  return hist;
+}
+
+std::vector<std::size_t> Dataset::indices_of_class(std::int32_t label) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] == label) out.push_back(i);
+  }
+  return out;
+}
+
+DataView::DataView(const Dataset* base, std::vector<std::size_t> indices)
+    : base_(base), indices_(std::move(indices)) {
+  if (base_ == nullptr) {
+    throw std::invalid_argument("DataView: null base dataset");
+  }
+  for (std::size_t i : indices_) {
+    if (i >= base_->size()) {
+      throw std::out_of_range("DataView: index " + std::to_string(i) +
+                              " exceeds dataset size " +
+                              std::to_string(base_->size()));
+    }
+  }
+}
+
+DataView DataView::all(const Dataset& base) {
+  std::vector<std::size_t> indices(base.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  return DataView(&base, std::move(indices));
+}
+
+Tensor DataView::gather(std::span<const std::size_t> positions) const {
+  std::vector<std::size_t> base_indices;
+  base_indices.reserve(positions.size());
+  for (std::size_t p : positions) base_indices.push_back(indices_.at(p));
+  return base_->gather(base_indices);
+}
+
+std::vector<std::int32_t> DataView::gather_labels(
+    std::span<const std::size_t> positions) const {
+  std::vector<std::int32_t> out;
+  out.reserve(positions.size());
+  for (std::size_t p : positions) out.push_back(base_->label(indices_.at(p)));
+  return out;
+}
+
+Tensor DataView::all_features() const { return base_->gather(indices_); }
+
+std::vector<std::int32_t> DataView::all_labels() const {
+  return base_->gather_labels(indices_);
+}
+
+std::vector<std::size_t> DataView::class_histogram() const {
+  std::vector<std::size_t> hist(base_->num_classes(), 0);
+  for (std::size_t i : indices_) {
+    ++hist[static_cast<std::size_t>(base_->label(i))];
+  }
+  return hist;
+}
+
+}  // namespace middlefl::data

@@ -1,0 +1,95 @@
+// In-memory labeled dataset and lightweight index views.
+//
+// A Dataset owns a contiguous feature block ([n, sample_shape] row-major)
+// plus one int32 label per sample. Federated partitions are DataViews —
+// index lists over a shared Dataset — so 100 devices share one feature
+// block instead of copying slices.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace middlefl::data {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+class Dataset {
+ public:
+  Dataset(Shape sample_shape, std::size_t num_classes);
+
+  /// Appends one sample; `features.size()` must equal sample_shape().numel()
+  /// and `label` must be in [0, num_classes).
+  void add(std::span<const float> features, std::int32_t label);
+
+  /// Pre-allocates space for `n` additional samples.
+  void reserve(std::size_t n);
+
+  std::size_t size() const noexcept { return labels_.size(); }
+  const Shape& sample_shape() const noexcept { return sample_shape_; }
+  std::size_t num_classes() const noexcept { return num_classes_; }
+
+  std::span<const float> features(std::size_t i) const;
+  std::int32_t label(std::size_t i) const { return labels_.at(i); }
+  std::span<const std::int32_t> labels() const noexcept { return labels_; }
+
+  /// Gathers the given samples into a batched tensor
+  /// [indices.size(), sample_shape...].
+  Tensor gather(std::span<const std::size_t> indices) const;
+  std::vector<std::int32_t> gather_labels(
+      std::span<const std::size_t> indices) const;
+
+  /// Per-class sample counts.
+  std::vector<std::size_t> class_histogram() const;
+  /// Indices of all samples with the given label.
+  std::vector<std::size_t> indices_of_class(std::int32_t label) const;
+
+ private:
+  Shape sample_shape_;
+  std::size_t sample_numel_;
+  std::size_t num_classes_;
+  std::vector<float> features_;
+  std::vector<std::int32_t> labels_;
+};
+
+/// Non-owning subset of a Dataset. The base must outlive the view.
+class DataView {
+ public:
+  DataView() = default;
+  DataView(const Dataset* base, std::vector<std::size_t> indices);
+
+  /// View covering the whole dataset.
+  static DataView all(const Dataset& base);
+
+  bool empty() const noexcept { return indices_.empty(); }
+  std::size_t size() const noexcept { return indices_.size(); }
+  const Dataset& base() const { return *base_; }
+  std::span<const std::size_t> indices() const noexcept { return indices_; }
+
+  std::span<const float> features(std::size_t i) const {
+    return base_->features(indices_[i]);
+  }
+  std::int32_t label(std::size_t i) const {
+    return base_->label(indices_[i]);
+  }
+
+  /// Gathers view-relative positions into a batch tensor.
+  Tensor gather(std::span<const std::size_t> positions) const;
+  std::vector<std::int32_t> gather_labels(
+      std::span<const std::size_t> positions) const;
+
+  /// Materializes the whole view as one batch (used for evaluation sets).
+  Tensor all_features() const;
+  std::vector<std::int32_t> all_labels() const;
+
+  std::vector<std::size_t> class_histogram() const;
+
+ private:
+  const Dataset* base_ = nullptr;
+  std::vector<std::size_t> indices_;
+};
+
+}  // namespace middlefl::data

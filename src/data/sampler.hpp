@@ -1,0 +1,44 @@
+// Minibatch sampling from a DataView.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "parallel/rng.hpp"
+
+namespace middlefl::data {
+
+struct Minibatch {
+  Tensor features;
+  std::vector<std::int32_t> labels;
+};
+
+/// Draws `batch_size` positions uniformly with replacement — the "randomly
+/// selected data samples xi_t_m" of Eq. (1). With-replacement keeps every
+/// device's draw identically distributed regardless of how few samples it
+/// holds.
+inline Minibatch sample_minibatch(const DataView& view, std::size_t batch_size,
+                                  parallel::Xoshiro256& rng) {
+  if (view.empty()) {
+    throw std::invalid_argument("sample_minibatch: empty view");
+  }
+  std::vector<std::size_t> positions(batch_size);
+  for (auto& p : positions) p = rng.bounded(view.size());
+  return Minibatch{view.gather(positions), view.gather_labels(positions)};
+}
+
+/// Deterministic sequential batches covering the view once (for evaluation).
+inline std::vector<std::vector<std::size_t>> sequential_batches(
+    std::size_t total, std::size_t batch_size) {
+  std::vector<std::vector<std::size_t>> out;
+  for (std::size_t start = 0; start < total; start += batch_size) {
+    const std::size_t end = std::min(total, start + batch_size);
+    std::vector<std::size_t> batch(end - start);
+    for (std::size_t i = start; i < end; ++i) batch[i - start] = i;
+    out.push_back(std::move(batch));
+  }
+  return out;
+}
+
+}  // namespace middlefl::data

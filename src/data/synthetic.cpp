@@ -1,0 +1,218 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace middlefl::data {
+
+std::string to_string(TaskKind kind) {
+  switch (kind) {
+    case TaskKind::kMnist: return "mnist";
+    case TaskKind::kEmnist: return "emnist";
+    case TaskKind::kCifar: return "cifar10";
+    case TaskKind::kSpeech: return "speech";
+  }
+  return "?";
+}
+
+TaskKind parse_task(const std::string& name) {
+  if (name == "mnist") return TaskKind::kMnist;
+  if (name == "emnist") return TaskKind::kEmnist;
+  if (name == "cifar10" || name == "cifar") return TaskKind::kCifar;
+  if (name == "speech" || name == "speechcommands") return TaskKind::kSpeech;
+  throw std::invalid_argument("unknown task '" + name + "'");
+}
+
+SyntheticConfig task_config(TaskKind kind, double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    throw std::invalid_argument("task_config: scale must be in (0, 1]");
+  }
+  const auto scaled = [scale](std::size_t full, std::size_t min_dim) {
+    return std::max(min_dim,
+                    static_cast<std::size_t>(std::lround(full * scale)));
+  };
+  SyntheticConfig cfg;
+  switch (kind) {
+    case TaskKind::kMnist:
+      cfg.num_classes = 10;
+      cfg.channels = 1;
+      cfg.height = scaled(16, 8);
+      cfg.width = scaled(16, 8);
+      cfg.prototypes_per_class = 2;
+      cfg.noise_std = 0.20f;
+      cfg.deform = 1;
+      cfg.seed = 101;
+      break;
+    case TaskKind::kEmnist:
+      cfg.num_classes = 26;
+      cfg.channels = 1;
+      cfg.height = scaled(16, 8);
+      cfg.width = scaled(16, 8);
+      cfg.prototypes_per_class = 2;
+      cfg.noise_std = 0.25f;
+      cfg.deform = 1;
+      cfg.seed = 102;
+      break;
+    case TaskKind::kCifar:
+      cfg.num_classes = 10;
+      cfg.channels = 3;
+      cfg.height = scaled(16, 8);
+      cfg.width = scaled(16, 8);
+      cfg.prototypes_per_class = 4;
+      cfg.proto_grid = 5;
+      cfg.noise_std = 0.45f;
+      cfg.deform = 2;
+      cfg.amplitude_jitter = 0.25f;
+      cfg.seed = 103;
+      break;
+    case TaskKind::kSpeech:
+      // "long sparse vectors": a 1 x 16 x 32 spectro-temporal field with a
+      // random half of the positions dropped per utterance.
+      cfg.num_classes = 10;
+      cfg.channels = 1;
+      cfg.height = scaled(16, 8);
+      cfg.width = scaled(32, 16);
+      cfg.prototypes_per_class = 3;
+      cfg.noise_std = 0.30f;
+      cfg.deform = 3;
+      cfg.sparsity = 0.5f;
+      cfg.seed = 104;
+      break;
+  }
+  return cfg;
+}
+
+namespace {
+
+/// Bilinear upsample of a gh x gw grid to h x w (grid cells cover the image
+/// uniformly, edges clamped).
+void upsample_bilinear(const float* grid, std::size_t gh, std::size_t gw,
+                       float* out, std::size_t h, std::size_t w) {
+  for (std::size_t y = 0; y < h; ++y) {
+    const float fy = h > 1 ? static_cast<float>(y) /
+                                 static_cast<float>(h - 1) *
+                                 static_cast<float>(gh - 1)
+                           : 0.0f;
+    const auto y0 = static_cast<std::size_t>(fy);
+    const std::size_t y1 = std::min(y0 + 1, gh - 1);
+    const float wy = fy - static_cast<float>(y0);
+    for (std::size_t x = 0; x < w; ++x) {
+      const float fx = w > 1 ? static_cast<float>(x) /
+                                   static_cast<float>(w - 1) *
+                                   static_cast<float>(gw - 1)
+                             : 0.0f;
+      const auto x0 = static_cast<std::size_t>(fx);
+      const std::size_t x1 = std::min(x0 + 1, gw - 1);
+      const float wx = fx - static_cast<float>(x0);
+      const float top =
+          (1.0f - wx) * grid[y0 * gw + x0] + wx * grid[y0 * gw + x1];
+      const float bottom =
+          (1.0f - wx) * grid[y1 * gw + x0] + wx * grid[y1 * gw + x1];
+      out[y * w + x] = (1.0f - wy) * top + wy * bottom;
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticGenerator::SyntheticGenerator(SyntheticConfig config)
+    : cfg_(config),
+      sample_numel_(cfg_.channels * cfg_.height * cfg_.width) {
+  if (cfg_.num_classes < 2 || cfg_.channels == 0 || cfg_.height == 0 ||
+      cfg_.width == 0 || cfg_.prototypes_per_class == 0 ||
+      cfg_.proto_grid < 2) {
+    throw std::invalid_argument("SyntheticGenerator: invalid config");
+  }
+  if (cfg_.sparsity < 0.0f || cfg_.sparsity >= 1.0f) {
+    throw std::invalid_argument("SyntheticGenerator: sparsity must be in [0,1)");
+  }
+
+  // Prototypes are fixed per (seed, class, prototype id): the "true"
+  // class-conditional distribution of the task.
+  parallel::StreamRng streams(cfg_.seed);
+  prototypes_.resize(cfg_.num_classes);
+  const std::size_t gh = cfg_.proto_grid;
+  const std::size_t gw = cfg_.proto_grid;
+  std::vector<float> grid(gh * gw);
+  for (std::size_t c = 0; c < cfg_.num_classes; ++c) {
+    prototypes_[c].resize(cfg_.prototypes_per_class);
+    for (std::size_t p = 0; p < cfg_.prototypes_per_class; ++p) {
+      auto rng = streams.stream(/*a=*/0xC0DE, c, p);
+      auto& field = prototypes_[c][p];
+      field.resize(sample_numel_);
+      for (std::size_t ch = 0; ch < cfg_.channels; ++ch) {
+        for (float& g : grid) g = static_cast<float>(rng.normal());
+        upsample_bilinear(grid.data(), gh, gw,
+                          field.data() + ch * cfg_.height * cfg_.width,
+                          cfg_.height, cfg_.width);
+      }
+    }
+  }
+}
+
+Shape SyntheticGenerator::sample_shape() const {
+  return Shape{cfg_.channels, cfg_.height, cfg_.width};
+}
+
+void SyntheticGenerator::sample_into(std::int32_t label,
+                                     parallel::Xoshiro256& rng,
+                                     std::span<float> out) const {
+  if (label < 0 || static_cast<std::size_t>(label) >= cfg_.num_classes) {
+    throw std::out_of_range("SyntheticGenerator: bad label");
+  }
+  if (out.size() != sample_numel_) {
+    throw std::invalid_argument("SyntheticGenerator: bad output span");
+  }
+  const auto& protos = prototypes_[static_cast<std::size_t>(label)];
+  const auto& proto = protos[rng.bounded(protos.size())];
+
+  // Per-sample transform: circular shift + amplitude jitter + noise.
+  const std::size_t h = cfg_.height;
+  const std::size_t w = cfg_.width;
+  const std::size_t shift_range = 2 * cfg_.deform + 1;
+  const std::size_t dy =
+      cfg_.deform > 0 ? rng.bounded(shift_range) : 0;  // in [0, 2*deform]
+  const std::size_t dx = cfg_.deform > 0 ? rng.bounded(shift_range) : 0;
+  const float amp =
+      1.0f + cfg_.amplitude_jitter * static_cast<float>(rng.normal());
+
+  for (std::size_t ch = 0; ch < cfg_.channels; ++ch) {
+    const float* plane = proto.data() + ch * h * w;
+    float* out_plane = out.data() + ch * h * w;
+    for (std::size_t y = 0; y < h; ++y) {
+      const std::size_t sy = (y + dy) % h;
+      for (std::size_t x = 0; x < w; ++x) {
+        const std::size_t sx = (x + dx) % w;
+        out_plane[y * w + x] =
+            amp * plane[sy * w + sx] +
+            cfg_.noise_std * static_cast<float>(rng.normal());
+      }
+    }
+  }
+
+  if (cfg_.sparsity > 0.0f) {
+    for (float& v : out) {
+      if (rng.uniform_float() < cfg_.sparsity) v = 0.0f;
+    }
+  }
+}
+
+Dataset SyntheticGenerator::generate(std::size_t per_class,
+                                     std::uint64_t salt) const {
+  Dataset dataset(sample_shape(), cfg_.num_classes);
+  dataset.reserve(per_class * cfg_.num_classes);
+  parallel::StreamRng streams(parallel::hash_combine(cfg_.seed, salt));
+  std::vector<float> sample(sample_numel_);
+  // Interleave classes so any prefix of the dataset is roughly balanced.
+  for (std::size_t i = 0; i < per_class; ++i) {
+    for (std::size_t c = 0; c < cfg_.num_classes; ++c) {
+      auto rng = streams.stream(c, i);
+      sample_into(static_cast<std::int32_t>(c), rng, sample);
+      dataset.add(sample, static_cast<std::int32_t>(c));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace middlefl::data

@@ -1,0 +1,78 @@
+// Procedural stand-ins for the paper's datasets.
+//
+// The evaluation uses MNIST, EMNIST-Letters, CIFAR10 and SpeechCommands;
+// none are available offline, so we synthesize class-structured data with
+// the same *shape of difficulty* (see DESIGN.md §2). Each class owns a few
+// smooth random prototype fields; a sample is a randomly chosen prototype
+// warped by a circular shift, amplitude jitter, additive Gaussian noise and
+// (for the speech task) a random sparsity mask. Knobs:
+//
+//   - more classes            -> harder (EMNIST: 26)
+//   - more prototypes/class   -> more intra-class variation (CIFAR)
+//   - higher noise/deform     -> harder (CIFAR, Speech)
+//   - sparsity                -> "long sparse vectors" (SpeechCommands §6.2.2)
+//
+// Generation is deterministic in (config.seed, salt, class, sample index),
+// so train/test splits and repeated runs are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "parallel/rng.hpp"
+
+namespace middlefl::data {
+
+struct SyntheticConfig {
+  std::size_t num_classes = 10;
+  std::size_t channels = 1;
+  std::size_t height = 16;
+  std::size_t width = 16;
+  std::size_t prototypes_per_class = 2;
+  /// Resolution of the low-frequency field the prototypes are upsampled
+  /// from; smaller = smoother, more separable classes.
+  std::size_t proto_grid = 4;
+  float noise_std = 0.25f;
+  /// Maximum circular shift, in pixels, applied per sample.
+  std::size_t deform = 1;
+  /// Amplitude jitter: sample scaled by 1 + amplitude_jitter * N(0,1).
+  float amplitude_jitter = 0.15f;
+  /// Fraction of positions zeroed per sample (0 disables).
+  float sparsity = 0.0f;
+  std::uint64_t seed = 1;
+};
+
+/// The paper's four tasks.
+enum class TaskKind { kMnist, kEmnist, kCifar, kSpeech };
+
+std::string to_string(TaskKind kind);
+TaskKind parse_task(const std::string& name);
+
+/// Preset matching the task's difficulty profile. `scale` in (0, 1] shrinks
+/// spatial extents for fast CI/bench runs (class count is never reduced).
+SyntheticConfig task_config(TaskKind kind, double scale = 1.0);
+
+class SyntheticGenerator {
+ public:
+  explicit SyntheticGenerator(SyntheticConfig config);
+
+  const SyntheticConfig& config() const noexcept { return cfg_; }
+  Shape sample_shape() const;
+
+  /// Draws one sample of class `label` using the caller's stream.
+  void sample_into(std::int32_t label, parallel::Xoshiro256& rng,
+                   std::span<float> out) const;
+
+  /// Balanced dataset with `per_class` samples per class. `salt`
+  /// distinguishes independent draws (e.g. train vs test split).
+  Dataset generate(std::size_t per_class, std::uint64_t salt) const;
+
+ private:
+  SyntheticConfig cfg_;
+  std::size_t sample_numel_;
+  // Prototypes: [class][prototype] -> field of sample_numel floats.
+  std::vector<std::vector<std::vector<float>>> prototypes_;
+};
+
+}  // namespace middlefl::data

@@ -1,0 +1,103 @@
+#include "mobility/markov_mobility.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace middlefl::mobility {
+
+MarkovMobility::MarkovMobility(std::vector<std::size_t> initial_assignment,
+                               std::size_t num_edges, double move_probability,
+                               std::uint64_t seed)
+    : MarkovMobility(std::move(initial_assignment), num_edges,
+                     std::vector<double>{}, seed) {
+  if (move_probability < 0.0 || move_probability > 1.0) {
+    throw std::invalid_argument("MarkovMobility: P must be in [0, 1]");
+  }
+  move_prob_.assign(current_.size(), move_probability);
+}
+
+MarkovMobility::MarkovMobility(std::vector<std::size_t> initial_assignment,
+                               std::size_t num_edges,
+                               std::vector<double> move_probabilities,
+                               std::uint64_t seed)
+    : initial_(std::move(initial_assignment)),
+      current_(initial_),
+      num_edges_(num_edges),
+      move_prob_(std::move(move_probabilities)),
+      streams_(seed) {
+  if (num_edges_ == 0) {
+    throw std::invalid_argument("MarkovMobility: need at least one edge");
+  }
+  for (std::size_t e : initial_) {
+    if (e >= num_edges_) {
+      throw std::out_of_range("MarkovMobility: initial edge " +
+                              std::to_string(e) + " out of range");
+    }
+  }
+  if (!move_prob_.empty() && move_prob_.size() != initial_.size()) {
+    throw std::invalid_argument(
+        "MarkovMobility: per-device probability count mismatch");
+  }
+  for (double p : move_prob_) {
+    if (p < 0.0 || p > 1.0) {
+      throw std::invalid_argument("MarkovMobility: P_m must be in [0, 1]");
+    }
+  }
+}
+
+void MarkovMobility::set_topology(MoveTopology topology, double home_bias) {
+  if (home_bias < 0.0 || home_bias > 1.0) {
+    throw std::invalid_argument("MarkovMobility: home_bias must be in [0, 1]");
+  }
+  topology_ = topology;
+  home_bias_ = home_bias;
+}
+
+void MarkovMobility::advance() {
+  ++step_;
+  if (num_edges_ == 1) return;  // nowhere to go
+  for (std::size_t m = 0; m < current_.size(); ++m) {
+    auto rng = streams_.stream(m, step_);
+    if (rng.uniform() >= move_prob_[m]) continue;
+    switch (topology_) {
+      case MoveTopology::kUniform: {
+        // Teleport to a uniformly random other edge.
+        std::size_t target = rng.bounded(num_edges_ - 1);
+        if (target >= current_[m]) ++target;
+        current_[m] = target;
+        break;
+      }
+      case MoveTopology::kRing: {
+        const bool clockwise = rng.uniform() < 0.5;
+        current_[m] = clockwise ? (current_[m] + 1) % num_edges_
+                                : (current_[m] + num_edges_ - 1) % num_edges_;
+        break;
+      }
+      case MoveTopology::kHomeRing: {
+        if (current_[m] != initial_[m] && rng.uniform() < home_bias_) {
+          current_[m] = initial_[m];  // commuter returns home
+        } else {
+          const bool clockwise = rng.uniform() < 0.5;
+          current_[m] = clockwise
+                            ? (current_[m] + 1) % num_edges_
+                            : (current_[m] + num_edges_ - 1) % num_edges_;
+        }
+        break;
+      }
+    }
+  }
+}
+
+void MarkovMobility::reset() {
+  current_ = initial_;
+  step_ = 0;
+}
+
+double MarkovMobility::global_mobility() const noexcept {
+  if (move_prob_.empty()) return 0.0;
+  const double sum =
+      std::accumulate(move_prob_.begin(), move_prob_.end(), 0.0);
+  return sum / static_cast<double>(move_prob_.size());
+}
+
+}  // namespace middlefl::mobility

@@ -1,0 +1,67 @@
+// Markov edge-transition mobility (the paper's model in §3.2).
+//
+// At each time step, device m jumps to a uniformly random *other* edge with
+// probability P_m and stays put otherwise. The global mobility P is the
+// mean of P_m over devices — exactly the quantity swept in Fig. 7. The
+// transition draw is keyed on (seed, device, step) so runs are reproducible
+// and independent of evaluation order.
+#pragma once
+
+#include "mobility/mobility_model.hpp"
+#include "parallel/rng.hpp"
+
+namespace middlefl::mobility {
+
+/// Where a moving device goes.
+///
+/// Real mobility has locality: users commute between nearby cells and keep
+/// returning to a home region, so the class/location correlation that makes
+/// edge data Non-IID persists over time. kUniform teleports movers to any
+/// other edge and therefore mixes edge populations into IID within a few
+/// steps (useful as an ablation); kRing moves to an adjacent edge on a ring
+/// of edges; kHomeRing moves to an adjacent edge but returns the device to
+/// its HOME edge with probability `home_bias` (commuter pattern, default
+/// for the paper-style experiments).
+enum class MoveTopology { kUniform, kRing, kHomeRing };
+
+class MarkovMobility final : public MobilityModel {
+ public:
+  /// Uniform move probability P for all devices.
+  MarkovMobility(std::vector<std::size_t> initial_assignment,
+                 std::size_t num_edges, double move_probability,
+                 std::uint64_t seed);
+
+  /// Heterogeneous per-device probabilities P_m (global P is their mean).
+  MarkovMobility(std::vector<std::size_t> initial_assignment,
+                 std::size_t num_edges,
+                 std::vector<double> move_probabilities, std::uint64_t seed);
+
+  /// Selects the destination distribution for moves. `home_bias` only
+  /// applies to kHomeRing; the home edge is the initial assignment.
+  void set_topology(MoveTopology topology, double home_bias = 0.5);
+  MoveTopology topology() const noexcept { return topology_; }
+
+  std::string name() const override { return "markov"; }
+  std::size_t num_devices() const override { return current_.size(); }
+  std::size_t num_edges() const override { return num_edges_; }
+  const std::vector<std::size_t>& assignment() const override {
+    return current_;
+  }
+  void advance() override;
+  void reset() override;
+  std::size_t step() const override { return step_; }
+
+  double global_mobility() const noexcept;
+
+ private:
+  std::vector<std::size_t> initial_;
+  std::vector<std::size_t> current_;
+  std::size_t num_edges_;
+  std::vector<double> move_prob_;
+  parallel::StreamRng streams_;
+  std::size_t step_ = 0;
+  MoveTopology topology_ = MoveTopology::kUniform;
+  double home_bias_ = 0.5;
+};
+
+}  // namespace middlefl::mobility

@@ -1,0 +1,36 @@
+#include "mobility/mobility_model.hpp"
+
+#include <stdexcept>
+
+namespace middlefl::mobility {
+
+std::vector<std::size_t> moved_devices(
+    const std::vector<std::size_t>& previous,
+    const std::vector<std::size_t>& current) {
+  if (previous.size() != current.size()) {
+    throw std::invalid_argument("moved_devices: assignment size mismatch");
+  }
+  std::vector<std::size_t> moved;
+  for (std::size_t m = 0; m < current.size(); ++m) {
+    if (previous[m] != current[m]) moved.push_back(m);
+  }
+  return moved;
+}
+
+double measure_mobility(MobilityModel& model, std::size_t steps) {
+  if (steps == 0 || model.num_devices() == 0) return 0.0;
+  model.reset();
+  std::size_t moves = 0;
+  std::vector<std::size_t> previous = model.assignment();
+  for (std::size_t t = 0; t < steps; ++t) {
+    model.advance();
+    const auto& current = model.assignment();
+    moves += moved_devices(previous, current).size();
+    previous = current;
+  }
+  model.reset();
+  return static_cast<double>(moves) /
+         static_cast<double>(steps * model.num_devices());
+}
+
+}  // namespace middlefl::mobility

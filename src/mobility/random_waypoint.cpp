@@ -1,0 +1,151 @@
+#include "mobility/random_waypoint.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace middlefl::mobility {
+
+RandomWaypointMobility::RandomWaypointMobility(WaypointConfig config)
+    : cfg_(config), streams_(config.seed) {
+  if (cfg_.num_devices == 0 || cfg_.num_edges == 0) {
+    throw std::invalid_argument("RandomWaypoint: devices and edges must be positive");
+  }
+  if (cfg_.width <= 0.0 || cfg_.height <= 0.0) {
+    throw std::invalid_argument("RandomWaypoint: plane must have positive area");
+  }
+  if (cfg_.speed_min < 0.0 || cfg_.speed_max < cfg_.speed_min) {
+    throw std::invalid_argument("RandomWaypoint: need 0 <= speed_min <= speed_max");
+  }
+  if (cfg_.pause_probability < 0.0 || cfg_.pause_probability > 1.0) {
+    throw std::invalid_argument("RandomWaypoint: pause probability in [0, 1]");
+  }
+
+  // Edges on a near-square grid covering the plane, centered in their cells
+  // (a Voronoi partition of the plane into rectangular regions).
+  const auto cols = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(cfg_.num_edges))));
+  const std::size_t rows = (cfg_.num_edges + cols - 1) / cols;
+  edges_.reserve(cfg_.num_edges);
+  for (std::size_t e = 0; e < cfg_.num_edges; ++e) {
+    const std::size_t r = e / cols;
+    const std::size_t c = e % cols;
+    edges_.push_back(Point{
+        (static_cast<double>(c) + 0.5) * cfg_.width / static_cast<double>(cols),
+        (static_cast<double>(r) + 0.5) * cfg_.height /
+            static_cast<double>(rows),
+    });
+  }
+
+  init_states();
+}
+
+void RandomWaypointMobility::init_states() {
+  states_.assign(cfg_.num_devices, DeviceState{});
+  positions_.assign(cfg_.num_devices, Point{});
+  for (std::size_t m = 0; m < cfg_.num_devices; ++m) {
+    auto rng = streams_.stream(/*a=*/0x1717, m);
+    DeviceState& s = states_[m];
+    s.position = Point{rng.uniform() * cfg_.width, rng.uniform() * cfg_.height};
+    s.waypoint = Point{rng.uniform() * cfg_.width, rng.uniform() * cfg_.height};
+    s.speed = cfg_.speed_min +
+              rng.uniform() * (cfg_.speed_max - cfg_.speed_min);
+    positions_[m] = s.position;
+  }
+  recompute_assignment();
+}
+
+std::size_t RandomWaypointMobility::nearest_edge(Point p) const {
+  std::size_t best = 0;
+  double best_d2 = std::numeric_limits<double>::infinity();
+  for (std::size_t e = 0; e < edges_.size(); ++e) {
+    const double dx = p.x - edges_[e].x;
+    const double dy = p.y - edges_[e].y;
+    const double d2 = dx * dx + dy * dy;
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = e;
+    }
+  }
+  return best;
+}
+
+void RandomWaypointMobility::recompute_assignment() {
+  assignment_.resize(cfg_.num_devices);
+  for (std::size_t m = 0; m < cfg_.num_devices; ++m) {
+    assignment_[m] = nearest_edge(positions_[m]);
+  }
+}
+
+void RandomWaypointMobility::advance() {
+  ++step_;
+  for (std::size_t m = 0; m < cfg_.num_devices; ++m) {
+    auto rng = streams_.stream(m, step_);
+    DeviceState& s = states_[m];
+    if (s.paused) {
+      // Pause lasts one step at a time; re-draw each step.
+      if (rng.uniform() >= cfg_.pause_probability) s.paused = false;
+      positions_[m] = s.position;
+      continue;
+    }
+    const double dx = s.waypoint.x - s.position.x;
+    const double dy = s.waypoint.y - s.position.y;
+    const double dist = std::hypot(dx, dy);
+    if (dist <= s.speed) {
+      // Arrived: land on the waypoint and pick the next leg.
+      s.position = s.waypoint;
+      s.waypoint =
+          Point{rng.uniform() * cfg_.width, rng.uniform() * cfg_.height};
+      s.speed = cfg_.speed_min +
+                rng.uniform() * (cfg_.speed_max - cfg_.speed_min);
+      s.paused = rng.uniform() < cfg_.pause_probability;
+    } else {
+      s.position.x += s.speed * dx / dist;
+      s.position.y += s.speed * dy / dist;
+    }
+    positions_[m] = s.position;
+  }
+  recompute_assignment();
+}
+
+void RandomWaypointMobility::reset() {
+  step_ = 0;
+  init_states();
+}
+
+WaypointConfig calibrate_speed(WaypointConfig config, double target_p,
+                               std::size_t probe_steps, double tolerance) {
+  if (target_p <= 0.0 || target_p > 1.0) {
+    throw std::invalid_argument("calibrate_speed: target P must be in (0, 1]");
+  }
+  // Scale both speed bounds by a common multiplier; empirical P grows
+  // monotonically with it until saturation.
+  double lo = 1e-3;
+  double hi = 1.0;
+  const double base_min = config.speed_min;
+  const double base_max = config.speed_max;
+  const auto measure = [&](double mult) {
+    WaypointConfig probe = config;
+    probe.speed_min = base_min * mult;
+    probe.speed_max = base_max * mult;
+    RandomWaypointMobility model(probe);
+    return measure_mobility(model, probe_steps);
+  };
+  // Grow hi until we bracket the target (or give up at an extreme speed).
+  while (measure(hi) < target_p && hi < 1e4) hi *= 2.0;
+  for (int iter = 0; iter < 24; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    const double p = measure(mid);
+    if (std::abs(p - target_p) <= tolerance) {
+      lo = hi = mid;
+      break;
+    }
+    (p < target_p ? lo : hi) = mid;
+  }
+  const double mult = 0.5 * (lo + hi);
+  config.speed_min = base_min * mult;
+  config.speed_max = base_max * mult;
+  return config;
+}
+
+}  // namespace middlefl::mobility

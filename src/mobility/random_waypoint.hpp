@@ -1,0 +1,87 @@
+// 2-D random-waypoint mobility with nearest-edge association.
+//
+// Replaces the ONE-simulator traces of §6.1.1: devices move on a
+// [0, width] x [0, height] plane under the classic random-waypoint model
+// (pick a uniform destination, travel at a uniform speed, optionally pause,
+// repeat), and each device associates with the geographically nearest edge
+// (paper Eq. 3, "each device always connects to the nearest edge"). Edges
+// are laid out on a regular grid covering the plane.
+//
+// The emergent cross-edge rate depends on speed; `calibrate_speed` searches
+// for the speed whose empirical rate matches a target global mobility P, so
+// waypoint runs can be compared against Markov runs at equal P.
+#pragma once
+
+#include "mobility/mobility_model.hpp"
+#include "parallel/rng.hpp"
+
+namespace middlefl::mobility {
+
+struct WaypointConfig {
+  std::size_t num_devices = 100;
+  std::size_t num_edges = 10;
+  double width = 1000.0;   // meters
+  double height = 1000.0;  // meters
+  double speed_min = 20.0;       // distance units per time step
+  double speed_max = 60.0;
+  /// Probability of pausing (staying put) after reaching a waypoint.
+  double pause_probability = 0.1;
+  std::uint64_t seed = 7;
+};
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+class RandomWaypointMobility final : public MobilityModel {
+ public:
+  explicit RandomWaypointMobility(WaypointConfig config);
+
+  std::string name() const override { return "random-waypoint"; }
+  std::size_t num_devices() const override { return cfg_.num_devices; }
+  std::size_t num_edges() const override { return cfg_.num_edges; }
+  const std::vector<std::size_t>& assignment() const override {
+    return assignment_;
+  }
+  void advance() override;
+  void reset() override;
+  std::size_t step() const override { return step_; }
+
+  const WaypointConfig& config() const noexcept { return cfg_; }
+  Point device_position(std::size_t device) const {
+    return positions_.at(device);
+  }
+  Point edge_position(std::size_t edge) const { return edges_.at(edge); }
+
+  /// Nearest edge to a point (ties broken by lower index).
+  std::size_t nearest_edge(Point p) const;
+
+ private:
+  struct DeviceState {
+    Point position;
+    Point waypoint;
+    double speed = 0.0;
+    bool paused = false;
+  };
+
+  void init_states();
+  void recompute_assignment();
+
+  WaypointConfig cfg_;
+  std::vector<Point> edges_;
+  std::vector<DeviceState> states_;
+  std::vector<Point> positions_;
+  std::vector<std::size_t> assignment_;
+  parallel::StreamRng streams_;
+  std::size_t step_ = 0;
+};
+
+/// Binary-search for the speed multiplier whose empirical global mobility
+/// over `probe_steps` steps is within `tolerance` of `target_p`; returns the
+/// calibrated config.
+WaypointConfig calibrate_speed(WaypointConfig config, double target_p,
+                               std::size_t probe_steps = 200,
+                               double tolerance = 0.02);
+
+}  // namespace middlefl::mobility

@@ -1,0 +1,135 @@
+#include "mobility/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace middlefl::mobility {
+
+Trace::Trace(std::size_t num_devices, std::size_t num_edges)
+    : num_devices_(num_devices), num_edges_(num_edges) {
+  if (num_devices_ == 0 || num_edges_ == 0) {
+    throw std::invalid_argument("Trace: devices and edges must be positive");
+  }
+}
+
+void Trace::append(const std::vector<std::size_t>& assignment) {
+  if (assignment.size() != num_devices_) {
+    throw std::invalid_argument("Trace::append: expected " +
+                                std::to_string(num_devices_) +
+                                " devices, got " +
+                                std::to_string(assignment.size()));
+  }
+  for (std::size_t e : assignment) {
+    if (e >= num_edges_) {
+      throw std::out_of_range("Trace::append: edge " + std::to_string(e) +
+                              " out of range");
+    }
+  }
+  table_.insert(table_.end(), assignment.begin(), assignment.end());
+}
+
+std::size_t Trace::edge_at(std::size_t step, std::size_t device) const {
+  if (step >= num_steps() || device >= num_devices_) {
+    throw std::out_of_range("Trace::edge_at: (step, device) out of range");
+  }
+  return table_[step * num_devices_ + device];
+}
+
+void Trace::save(std::ostream& out) const {
+  out << "# middlefl-trace v1 devices=" << num_devices_
+      << " edges=" << num_edges_ << " steps=" << num_steps() << "\n";
+  for (std::size_t t = 0; t < num_steps(); ++t) {
+    for (std::size_t m = 0; m < num_devices_; ++m) {
+      out << t << ' ' << m << ' ' << table_[t * num_devices_ + m] << "\n";
+    }
+  }
+}
+
+void Trace::save_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Trace::save_file: cannot open " + path);
+  save(out);
+}
+
+Trace Trace::load(std::istream& in) {
+  std::string header;
+  if (!std::getline(in, header)) {
+    throw std::runtime_error("Trace::load: empty input");
+  }
+  std::size_t devices = 0, edges = 0, steps = 0;
+  {
+    std::istringstream hs(header);
+    std::string token;
+    while (hs >> token) {
+      if (token.rfind("devices=", 0) == 0) devices = std::stoul(token.substr(8));
+      if (token.rfind("edges=", 0) == 0) edges = std::stoul(token.substr(6));
+      if (token.rfind("steps=", 0) == 0) steps = std::stoul(token.substr(6));
+    }
+  }
+  if (devices == 0 || edges == 0) {
+    throw std::runtime_error("Trace::load: malformed header '" + header + "'");
+  }
+  Trace trace(devices, edges);
+  trace.table_.assign(steps * devices, 0);
+  std::size_t records = 0;
+  std::size_t step = 0, device = 0, edge = 0;
+  while (in >> step >> device >> edge) {
+    if (step >= steps || device >= devices || edge >= edges) {
+      throw std::runtime_error("Trace::load: record out of range");
+    }
+    trace.table_[step * devices + device] = edge;
+    ++records;
+  }
+  if (records != steps * devices) {
+    throw std::runtime_error("Trace::load: expected " +
+                             std::to_string(steps * devices) +
+                             " records, got " + std::to_string(records));
+  }
+  return trace;
+}
+
+Trace Trace::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Trace::load_file: cannot open " + path);
+  return load(in);
+}
+
+Trace record_trace(MobilityModel& model, std::size_t steps) {
+  model.reset();
+  Trace trace(model.num_devices(), model.num_edges());
+  trace.append(model.assignment());
+  for (std::size_t t = 0; t < steps; ++t) {
+    model.advance();
+    trace.append(model.assignment());
+  }
+  model.reset();
+  return trace;
+}
+
+TraceMobility::TraceMobility(Trace trace) : trace_(std::move(trace)) {
+  if (trace_.num_steps() == 0) {
+    throw std::invalid_argument("TraceMobility: empty trace");
+  }
+  load_step(0);
+}
+
+void TraceMobility::load_step(std::size_t step) {
+  const std::size_t bounded = std::min(step, trace_.num_steps() - 1);
+  current_.resize(trace_.num_devices());
+  for (std::size_t m = 0; m < current_.size(); ++m) {
+    current_[m] = trace_.edge_at(bounded, m);
+  }
+}
+
+void TraceMobility::advance() {
+  ++step_;
+  load_step(step_);
+}
+
+void TraceMobility::reset() {
+  step_ = 0;
+  load_step(0);
+}
+
+}  // namespace middlefl::mobility

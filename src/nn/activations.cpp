@@ -1,0 +1,66 @@
+#include "nn/activations.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace middlefl::nn {
+
+void ReLU::forward(const Tensor& input, Tensor& output, bool training) {
+  output = Tensor(input.shape());
+  const auto in = input.data();
+  auto out = output.data();
+  if (training) {
+    mask_.assign(in.size(), false);
+    cached_numel_ = in.size();
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const bool positive = in[i] > 0.0f;
+      mask_[i] = positive;
+      out[i] = positive ? in[i] : 0.0f;
+    }
+  } else {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+    }
+  }
+}
+
+void ReLU::backward(const Tensor& input, const Tensor& grad_output,
+                    Tensor& grad_input) {
+  if (cached_numel_ != input.numel()) {
+    throw std::logic_error("ReLU::backward: no cached forward state");
+  }
+  grad_input = Tensor(input.shape());
+  const auto dy = grad_output.data();
+  auto dx = grad_input.data();
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    dx[i] = mask_[i] ? dy[i] : 0.0f;
+  }
+}
+
+void Tanh::forward(const Tensor& input, Tensor& output, bool training) {
+  output = Tensor(input.shape());
+  const auto in = input.data();
+  auto out = output.data();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = std::tanh(in[i]);
+  }
+  if (training) {
+    output_.assign(out.begin(), out.end());
+    cached_numel_ = out.size();
+  }
+}
+
+void Tanh::backward(const Tensor& input, const Tensor& grad_output,
+                    Tensor& grad_input) {
+  if (cached_numel_ != input.numel()) {
+    throw std::logic_error("Tanh::backward: no cached forward state");
+  }
+  grad_input = Tensor(input.shape());
+  const auto dy = grad_output.data();
+  auto dx = grad_input.data();
+  for (std::size_t i = 0; i < dx.size(); ++i) {
+    dx[i] = dy[i] * (1.0f - output_[i] * output_[i]);
+  }
+}
+
+}  // namespace middlefl::nn

@@ -1,0 +1,44 @@
+// Pointwise activation layers.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace middlefl::nn {
+
+class ReLU final : public Layer {
+ public:
+  std::string name() const override { return "ReLU"; }
+  Shape build(const Shape& input_shape) override { return input_shape; }
+  void forward(const Tensor& input, Tensor& output, bool training) override;
+  void backward(const Tensor& input, const Tensor& grad_output,
+                Tensor& grad_input) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReLU>();
+  }
+
+ private:
+  // One bit per element of the last training batch: was the input positive.
+  std::vector<bool> mask_;
+  std::size_t cached_numel_ = 0;
+};
+
+class Tanh final : public Layer {
+ public:
+  std::string name() const override { return "Tanh"; }
+  Shape build(const Shape& input_shape) override { return input_shape; }
+  void forward(const Tensor& input, Tensor& output, bool training) override;
+  void backward(const Tensor& input, const Tensor& grad_output,
+                Tensor& grad_input) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Tanh>();
+  }
+
+ private:
+  // tanh(x) of the last training batch; dtanh = 1 - tanh^2.
+  std::vector<float> output_;
+  std::size_t cached_numel_ = 0;
+};
+
+}  // namespace middlefl::nn

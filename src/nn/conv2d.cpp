@@ -1,0 +1,199 @@
+#include "nn/conv2d.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "nn/init.hpp"
+#include "tensor/blas.hpp"
+
+namespace middlefl::nn {
+
+Conv2d::Conv2d(Conv2dConfig config) : cfg_(config) {
+  if (cfg_.in_channels == 0 || cfg_.out_channels == 0 || cfg_.kernel == 0 ||
+      cfg_.stride == 0) {
+    throw std::invalid_argument("Conv2d: channels, kernel and stride must be positive");
+  }
+}
+
+std::string Conv2d::name() const {
+  return "Conv2d(" + std::to_string(cfg_.in_channels) + "->" +
+         std::to_string(cfg_.out_channels) + ", k=" +
+         std::to_string(cfg_.kernel) + ", s=" + std::to_string(cfg_.stride) +
+         ", p=" + std::to_string(cfg_.padding) + ")";
+}
+
+Shape Conv2d::build(const Shape& input_shape) {
+  if (input_shape.rank() != 3 || input_shape.dim(0) != cfg_.in_channels) {
+    throw std::invalid_argument("Conv2d: expected input [C=" +
+                                std::to_string(cfg_.in_channels) +
+                                ", H, W], got " + input_shape.to_string());
+  }
+  in_h_ = input_shape.dim(1);
+  in_w_ = input_shape.dim(2);
+  const std::size_t padded_h = in_h_ + 2 * cfg_.padding;
+  const std::size_t padded_w = in_w_ + 2 * cfg_.padding;
+  if (padded_h < cfg_.kernel || padded_w < cfg_.kernel) {
+    throw std::invalid_argument("Conv2d: kernel larger than padded input");
+  }
+  out_h_ = (padded_h - cfg_.kernel) / cfg_.stride + 1;
+  out_w_ = (padded_w - cfg_.kernel) / cfg_.stride + 1;
+  col_rows_ = cfg_.in_channels * cfg_.kernel * cfg_.kernel;
+  col_cols_ = out_h_ * out_w_;
+  return Shape{cfg_.out_channels, out_h_, out_w_};
+}
+
+std::size_t Conv2d::param_count() const {
+  return cfg_.out_channels * cfg_.in_channels * cfg_.kernel * cfg_.kernel +
+         cfg_.out_channels;
+}
+
+void Conv2d::bind(std::span<float> params, std::span<float> grads) {
+  if (params.size() != param_count() || grads.size() != param_count()) {
+    throw std::invalid_argument("Conv2d::bind: slice size mismatch");
+  }
+  const std::size_t w_count = param_count() - cfg_.out_channels;
+  weight_ = params.subspan(0, w_count);
+  bias_ = params.subspan(w_count, cfg_.out_channels);
+  grad_weight_ = grads.subspan(0, w_count);
+  grad_bias_ = grads.subspan(w_count, cfg_.out_channels);
+}
+
+void Conv2d::init_params(parallel::Xoshiro256& rng) {
+  kaiming_normal(weight_, col_rows_, rng);
+  zeros(bias_);
+}
+
+void Conv2d::im2col(const float* sample, float* col) const noexcept {
+  // col[(c*k*k + ky*k + kx), (oy*out_w + ox)] = padded_input[c, iy, ix]
+  const auto pad = static_cast<std::ptrdiff_t>(cfg_.padding);
+  for (std::size_t c = 0; c < cfg_.in_channels; ++c) {
+    const float* channel = sample + c * in_h_ * in_w_;
+    for (std::size_t ky = 0; ky < cfg_.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < cfg_.kernel; ++kx) {
+        float* row =
+            col + ((c * cfg_.kernel + ky) * cfg_.kernel + kx) * col_cols_;
+        for (std::size_t oy = 0; oy < out_h_; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * cfg_.stride + ky) - pad;
+          const bool row_in =
+              iy >= 0 && iy < static_cast<std::ptrdiff_t>(in_h_);
+          for (std::size_t ox = 0; ox < out_w_; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * cfg_.stride + kx) - pad;
+            const bool in_bounds =
+                row_in && ix >= 0 && ix < static_cast<std::ptrdiff_t>(in_w_);
+            row[oy * out_w_ + ox] =
+                in_bounds ? channel[static_cast<std::size_t>(iy) * in_w_ +
+                                    static_cast<std::size_t>(ix)]
+                          : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::col2im(const float* col, float* sample_grad) const noexcept {
+  const auto pad = static_cast<std::ptrdiff_t>(cfg_.padding);
+  for (std::size_t c = 0; c < cfg_.in_channels; ++c) {
+    float* channel = sample_grad + c * in_h_ * in_w_;
+    for (std::size_t ky = 0; ky < cfg_.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < cfg_.kernel; ++kx) {
+        const float* row =
+            col + ((c * cfg_.kernel + ky) * cfg_.kernel + kx) * col_cols_;
+        for (std::size_t oy = 0; oy < out_h_; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * cfg_.stride + ky) - pad;
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(in_h_)) continue;
+          for (std::size_t ox = 0; ox < out_w_; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * cfg_.stride + kx) - pad;
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(in_w_)) continue;
+            channel[static_cast<std::size_t>(iy) * in_w_ +
+                    static_cast<std::size_t>(ix)] += row[oy * out_w_ + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+void Conv2d::forward(const Tensor& input, Tensor& output, bool training) {
+  const std::size_t batch = input.dim(0);
+  const std::size_t sample_size = cfg_.in_channels * in_h_ * in_w_;
+  if (input.numel() != batch * sample_size) {
+    throw std::invalid_argument("Conv2d::forward: bad input " +
+                                input.shape().to_string());
+  }
+  output = Tensor(Shape{batch, cfg_.out_channels, out_h_, out_w_});
+
+  const std::size_t col_size = col_rows_ * col_cols_;
+  // Inference reuses a single panel; training caches every sample's panel
+  // for the backward weight GEMM.
+  if (training) {
+    col_cache_.resize(batch * col_size);
+    cached_batch_ = batch;
+  } else if (col_cache_.size() < col_size) {
+    col_cache_.resize(col_size);
+  }
+
+  for (std::size_t b = 0; b < batch; ++b) {
+    float* col = col_cache_.data() + (training ? b * col_size : 0);
+    im2col(input.data().data() + b * sample_size, col);
+    float* out_sample =
+        output.data().data() + b * cfg_.out_channels * col_cols_;
+    // out[oc, pos] = W[oc, :] . col[:, pos]
+    tensor::gemm(tensor::Trans::kNo, tensor::Trans::kNo, cfg_.out_channels,
+                 col_cols_, col_rows_, 1.0f, weight_,
+                 std::span<const float>(col, col_size), 0.0f,
+                 std::span<float>(out_sample, cfg_.out_channels * col_cols_));
+    for (std::size_t oc = 0; oc < cfg_.out_channels; ++oc) {
+      float* plane = out_sample + oc * col_cols_;
+      const float beta = bias_[oc];
+      for (std::size_t p = 0; p < col_cols_; ++p) plane[p] += beta;
+    }
+  }
+}
+
+void Conv2d::backward(const Tensor& input, const Tensor& grad_output,
+                      Tensor& grad_input) {
+  const std::size_t batch = input.dim(0);
+  if (cached_batch_ != batch) {
+    throw std::logic_error(
+        "Conv2d::backward: no cached forward state for this batch (forward "
+        "must run with training=true)");
+  }
+  const std::size_t sample_size = cfg_.in_channels * in_h_ * in_w_;
+  const std::size_t col_size = col_rows_ * col_cols_;
+  grad_input = Tensor(input.shape());
+
+  std::vector<float> dcol(col_size);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* col = col_cache_.data() + b * col_size;
+    const float* dy =
+        grad_output.data().data() + b * cfg_.out_channels * col_cols_;
+    const std::span<const float> dy_span(dy, cfg_.out_channels * col_cols_);
+    // dW[oc, r] += dY[oc, :] . col[r, :]^T
+    tensor::gemm(tensor::Trans::kNo, tensor::Trans::kYes, cfg_.out_channels,
+                 col_rows_, col_cols_, 1.0f, dy_span,
+                 std::span<const float>(col, col_size), 1.0f, grad_weight_);
+    // db[oc] += sum_pos dY[oc, pos]
+    for (std::size_t oc = 0; oc < cfg_.out_channels; ++oc) {
+      double acc = 0.0;
+      const float* plane = dy + oc * col_cols_;
+      for (std::size_t p = 0; p < col_cols_; ++p) acc += plane[p];
+      grad_bias_[oc] += static_cast<float>(acc);
+    }
+    // dcol[r, pos] = W[:, r]^T dY[:, pos]
+    tensor::gemm(tensor::Trans::kYes, tensor::Trans::kNo, col_rows_, col_cols_,
+                 cfg_.out_channels, 1.0f, weight_, dy_span, 0.0f,
+                 std::span<float>(dcol.data(), col_size));
+    col2im(dcol.data(), grad_input.data().data() + b * sample_size);
+  }
+}
+
+std::unique_ptr<Layer> Conv2d::clone() const {
+  return std::make_unique<Conv2d>(cfg_);
+}
+
+}  // namespace middlefl::nn

@@ -1,0 +1,58 @@
+// 2-D convolution over NCHW batches, lowered to im2col + GEMM.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace middlefl::nn {
+
+struct Conv2dConfig {
+  std::size_t in_channels = 1;
+  std::size_t out_channels = 1;
+  std::size_t kernel = 3;
+  std::size_t stride = 1;
+  std::size_t padding = 0;
+};
+
+class Conv2d final : public Layer {
+ public:
+  explicit Conv2d(Conv2dConfig config);
+
+  std::string name() const override;
+  Shape build(const Shape& input_shape) override;
+  std::size_t param_count() const override;
+  void bind(std::span<float> params, std::span<float> grads) override;
+  void init_params(parallel::Xoshiro256& rng) override;
+  void forward(const Tensor& input, Tensor& output, bool training) override;
+  void backward(const Tensor& input, const Tensor& grad_output,
+                Tensor& grad_input) override;
+  std::unique_ptr<Layer> clone() const override;
+
+  const Conv2dConfig& config() const noexcept { return cfg_; }
+
+ private:
+  /// Expands one sample (C x H x W) into the column matrix
+  /// (C*k*k) x (out_h*out_w).
+  void im2col(const float* sample, float* col) const noexcept;
+  /// Scatters a column-matrix gradient back onto one sample's input grad.
+  void col2im(const float* col, float* sample_grad) const noexcept;
+
+  Conv2dConfig cfg_;
+  std::size_t in_h_ = 0, in_w_ = 0;
+  std::size_t out_h_ = 0, out_w_ = 0;
+  std::size_t col_rows_ = 0;  // C * k * k
+  std::size_t col_cols_ = 0;  // out_h * out_w
+
+  std::span<float> weight_;  // out_channels x (C*k*k), row-major
+  std::span<float> bias_;    // out_channels
+  std::span<float> grad_weight_;
+  std::span<float> grad_bias_;
+
+  // im2col panels for the whole batch of the last training forward, laid
+  // out per sample; reused by backward for the weight-gradient GEMM.
+  std::vector<float> col_cache_;
+  std::size_t cached_batch_ = 0;
+};
+
+}  // namespace middlefl::nn

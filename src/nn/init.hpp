@@ -1,0 +1,36 @@
+// Weight initialization schemes.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+
+#include "parallel/rng.hpp"
+
+namespace middlefl::nn {
+
+/// Kaiming-He normal initialization for ReLU networks: N(0, sqrt(2/fan_in)).
+inline void kaiming_normal(std::span<float> weights, std::size_t fan_in,
+                           parallel::Xoshiro256& rng) {
+  const float stddev =
+      std::sqrt(2.0f / static_cast<float>(fan_in > 0 ? fan_in : 1));
+  for (float& w : weights) {
+    w = stddev * static_cast<float>(rng.normal());
+  }
+}
+
+/// Xavier-Glorot uniform initialization: U(-a, a), a = sqrt(6/(fan_in+fan_out)).
+inline void xavier_uniform(std::span<float> weights, std::size_t fan_in,
+                           std::size_t fan_out, parallel::Xoshiro256& rng) {
+  const float a = std::sqrt(
+      6.0f / static_cast<float>((fan_in + fan_out) > 0 ? fan_in + fan_out : 1));
+  for (float& w : weights) {
+    w = a * (2.0f * rng.uniform_float() - 1.0f);
+  }
+}
+
+inline void zeros(std::span<float> values) {
+  for (float& v : values) v = 0.0f;
+}
+
+}  // namespace middlefl::nn

@@ -1,0 +1,195 @@
+#include "nn/pooling.hpp"
+
+#include <stdexcept>
+
+namespace middlefl::nn {
+
+MaxPool2d::MaxPool2d(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
+  if (kernel_ == 0) {
+    throw std::invalid_argument("MaxPool2d: kernel must be positive");
+  }
+}
+
+std::string MaxPool2d::name() const {
+  return "MaxPool2d(k=" + std::to_string(kernel_) +
+         ", s=" + std::to_string(stride_) + ")";
+}
+
+Shape MaxPool2d::build(const Shape& input_shape) {
+  if (input_shape.rank() != 3) {
+    throw std::invalid_argument("MaxPool2d: expected [C, H, W], got " +
+                                input_shape.to_string());
+  }
+  channels_ = input_shape.dim(0);
+  in_h_ = input_shape.dim(1);
+  in_w_ = input_shape.dim(2);
+  if (in_h_ < kernel_ || in_w_ < kernel_) {
+    throw std::invalid_argument("MaxPool2d: window larger than input " +
+                                input_shape.to_string());
+  }
+  out_h_ = (in_h_ - kernel_) / stride_ + 1;
+  out_w_ = (in_w_ - kernel_) / stride_ + 1;
+  return Shape{channels_, out_h_, out_w_};
+}
+
+void MaxPool2d::forward(const Tensor& input, Tensor& output, bool training) {
+  const std::size_t batch = input.dim(0);
+  const std::size_t in_plane = in_h_ * in_w_;
+  const std::size_t out_plane = out_h_ * out_w_;
+  if (input.numel() != batch * channels_ * in_plane) {
+    throw std::invalid_argument("MaxPool2d::forward: bad input " +
+                                input.shape().to_string());
+  }
+  output = Tensor(Shape{batch, channels_, out_h_, out_w_});
+  if (training) {
+    argmax_.resize(batch * channels_ * out_plane);
+    cached_batch_ = batch;
+  }
+
+  const float* in = input.data().data();
+  float* out = output.data().data();
+  for (std::size_t bc = 0; bc < batch * channels_; ++bc) {
+    const float* plane = in + bc * in_plane;
+    float* out_row = out + bc * out_plane;
+    std::size_t* arg_row = training ? argmax_.data() + bc * out_plane : nullptr;
+    for (std::size_t oy = 0; oy < out_h_; ++oy) {
+      for (std::size_t ox = 0; ox < out_w_; ++ox) {
+        const std::size_t y0 = oy * stride_;
+        const std::size_t x0 = ox * stride_;
+        std::size_t best_idx = y0 * in_w_ + x0;
+        float best = plane[best_idx];
+        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+          const std::size_t row_base = (y0 + ky) * in_w_ + x0;
+          for (std::size_t kx = 0; kx < kernel_; ++kx) {
+            const float v = plane[row_base + kx];
+            if (v > best) {
+              best = v;
+              best_idx = row_base + kx;
+            }
+          }
+        }
+        out_row[oy * out_w_ + ox] = best;
+        if (arg_row != nullptr) arg_row[oy * out_w_ + ox] = best_idx;
+      }
+    }
+  }
+}
+
+void MaxPool2d::backward(const Tensor& input, const Tensor& grad_output,
+                         Tensor& grad_input) {
+  const std::size_t batch = input.dim(0);
+  if (cached_batch_ != batch) {
+    throw std::logic_error(
+        "MaxPool2d::backward: no cached forward state for this batch");
+  }
+  const std::size_t in_plane = in_h_ * in_w_;
+  const std::size_t out_plane = out_h_ * out_w_;
+  grad_input = Tensor(input.shape());
+  float* dx = grad_input.data().data();
+  const float* dy = grad_output.data().data();
+  for (std::size_t bc = 0; bc < batch * channels_; ++bc) {
+    float* dx_plane = dx + bc * in_plane;
+    const float* dy_row = dy + bc * out_plane;
+    const std::size_t* arg_row = argmax_.data() + bc * out_plane;
+    for (std::size_t p = 0; p < out_plane; ++p) {
+      dx_plane[arg_row[p]] += dy_row[p];
+    }
+  }
+}
+
+std::unique_ptr<Layer> MaxPool2d::clone() const {
+  return std::make_unique<MaxPool2d>(kernel_, stride_);
+}
+
+AvgPool2d::AvgPool2d(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride == 0 ? kernel : stride) {
+  if (kernel_ == 0) {
+    throw std::invalid_argument("AvgPool2d: kernel must be positive");
+  }
+}
+
+std::string AvgPool2d::name() const {
+  return "AvgPool2d(k=" + std::to_string(kernel_) +
+         ", s=" + std::to_string(stride_) + ")";
+}
+
+Shape AvgPool2d::build(const Shape& input_shape) {
+  if (input_shape.rank() != 3) {
+    throw std::invalid_argument("AvgPool2d: expected [C, H, W], got " +
+                                input_shape.to_string());
+  }
+  channels_ = input_shape.dim(0);
+  in_h_ = input_shape.dim(1);
+  in_w_ = input_shape.dim(2);
+  if (in_h_ < kernel_ || in_w_ < kernel_) {
+    throw std::invalid_argument("AvgPool2d: window larger than input " +
+                                input_shape.to_string());
+  }
+  out_h_ = (in_h_ - kernel_) / stride_ + 1;
+  out_w_ = (in_w_ - kernel_) / stride_ + 1;
+  return Shape{channels_, out_h_, out_w_};
+}
+
+void AvgPool2d::forward(const Tensor& input, Tensor& output,
+                        bool /*training*/) {
+  const std::size_t batch = input.dim(0);
+  const std::size_t in_plane = in_h_ * in_w_;
+  const std::size_t out_plane = out_h_ * out_w_;
+  if (input.numel() != batch * channels_ * in_plane) {
+    throw std::invalid_argument("AvgPool2d::forward: bad input " +
+                                input.shape().to_string());
+  }
+  output = Tensor(Shape{batch, channels_, out_h_, out_w_});
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  const float* in = input.data().data();
+  float* out = output.data().data();
+  for (std::size_t bc = 0; bc < batch * channels_; ++bc) {
+    const float* plane = in + bc * in_plane;
+    float* out_row = out + bc * out_plane;
+    for (std::size_t oy = 0; oy < out_h_; ++oy) {
+      for (std::size_t ox = 0; ox < out_w_; ++ox) {
+        double acc = 0.0;
+        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+          const std::size_t row = (oy * stride_ + ky) * in_w_ + ox * stride_;
+          for (std::size_t kx = 0; kx < kernel_; ++kx) {
+            acc += plane[row + kx];
+          }
+        }
+        out_row[oy * out_w_ + ox] = static_cast<float>(acc) * inv;
+      }
+    }
+  }
+}
+
+void AvgPool2d::backward(const Tensor& input, const Tensor& grad_output,
+                         Tensor& grad_input) {
+  const std::size_t batch = input.dim(0);
+  const std::size_t in_plane = in_h_ * in_w_;
+  const std::size_t out_plane = out_h_ * out_w_;
+  grad_input = Tensor(input.shape());
+  const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
+  float* dx = grad_input.data().data();
+  const float* dy = grad_output.data().data();
+  for (std::size_t bc = 0; bc < batch * channels_; ++bc) {
+    float* dx_plane = dx + bc * in_plane;
+    const float* dy_row = dy + bc * out_plane;
+    for (std::size_t oy = 0; oy < out_h_; ++oy) {
+      for (std::size_t ox = 0; ox < out_w_; ++ox) {
+        const float g = dy_row[oy * out_w_ + ox] * inv;
+        for (std::size_t ky = 0; ky < kernel_; ++ky) {
+          const std::size_t row = (oy * stride_ + ky) * in_w_ + ox * stride_;
+          for (std::size_t kx = 0; kx < kernel_; ++kx) {
+            dx_plane[row + kx] += g;
+          }
+        }
+      }
+    }
+  }
+}
+
+std::unique_ptr<Layer> AvgPool2d::clone() const {
+  return std::make_unique<AvgPool2d>(kernel_, stride_);
+}
+
+}  // namespace middlefl::nn

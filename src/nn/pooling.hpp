@@ -1,0 +1,51 @@
+// 2-D max pooling over NCHW batches.
+#pragma once
+
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace middlefl::nn {
+
+class MaxPool2d final : public Layer {
+ public:
+  /// Square window; `stride == 0` means stride = kernel (non-overlapping).
+  explicit MaxPool2d(std::size_t kernel, std::size_t stride = 0);
+
+  std::string name() const override;
+  Shape build(const Shape& input_shape) override;
+  void forward(const Tensor& input, Tensor& output, bool training) override;
+  void backward(const Tensor& input, const Tensor& grad_output,
+                Tensor& grad_input) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t channels_ = 0, in_h_ = 0, in_w_ = 0, out_h_ = 0, out_w_ = 0;
+  // Flat input index of each output's max, for the whole last training
+  // batch; routes gradients in backward.
+  std::vector<std::size_t> argmax_;
+  std::size_t cached_batch_ = 0;
+};
+
+/// 2-D average pooling (non-overlapping by default); no argmax state —
+/// backward distributes the gradient uniformly over each window.
+class AvgPool2d final : public Layer {
+ public:
+  explicit AvgPool2d(std::size_t kernel, std::size_t stride = 0);
+
+  std::string name() const override;
+  Shape build(const Shape& input_shape) override;
+  void forward(const Tensor& input, Tensor& output, bool training) override;
+  void backward(const Tensor& input, const Tensor& grad_output,
+                Tensor& grad_input) override;
+  std::unique_ptr<Layer> clone() const override;
+
+ private:
+  std::size_t kernel_;
+  std::size_t stride_;
+  std::size_t channels_ = 0, in_h_ = 0, in_w_ = 0, out_h_ = 0, out_w_ = 0;
+};
+
+}  // namespace middlefl::nn

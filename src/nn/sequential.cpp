@@ -1,0 +1,141 @@
+#include "nn/sequential.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/dropout.hpp"
+
+namespace middlefl::nn {
+
+Sequential::Sequential(Shape input_shape)
+    : input_shape_(std::move(input_shape)) {}
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  if (built_) {
+    throw std::logic_error("Sequential::add: model already built");
+  }
+  if (layer == nullptr) {
+    throw std::invalid_argument("Sequential::add: null layer");
+  }
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+void Sequential::build(std::uint64_t seed) {
+  if (built_) throw std::logic_error("Sequential::build: already built");
+  if (layers_.empty()) {
+    throw std::logic_error("Sequential::build: no layers");
+  }
+
+  Shape shape = input_shape_;
+  std::size_t total = 0;
+  offsets_.clear();
+  for (auto& layer : layers_) {
+    shape = layer->build(shape);
+    offsets_.push_back(total);
+    total += layer->param_count();
+  }
+  output_shape_ = shape;
+
+  params_.assign(total, 0.0f);
+  grads_.assign(total, 0.0f);
+  dropout_rng_ = parallel::Xoshiro256(parallel::splitmix64(seed ^ 0xd2'0f'1e'77));
+
+  parallel::Xoshiro256 init_rng(seed);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const std::size_t count = layers_[i]->param_count();
+    layers_[i]->bind(std::span<float>(params_).subspan(offsets_[i], count),
+                     std::span<float>(grads_).subspan(offsets_[i], count));
+    layers_[i]->init_params(init_rng);
+    if (auto* dropout = dynamic_cast<Dropout*>(layers_[i].get())) {
+      dropout->set_rng(&dropout_rng_);
+    }
+  }
+  built_ = true;
+}
+
+const Shape& Sequential::output_shape() const {
+  if (!built_) throw std::logic_error("Sequential: not built");
+  return output_shape_;
+}
+
+void Sequential::set_parameters(std::span<const float> values) {
+  if (values.size() != params_.size()) {
+    throw std::invalid_argument("Sequential::set_parameters: size mismatch");
+  }
+  std::copy(values.begin(), values.end(), params_.begin());
+}
+
+void Sequential::zero_grad() noexcept {
+  std::fill(grads_.begin(), grads_.end(), 0.0f);
+}
+
+const Tensor& Sequential::forward(const Tensor& batch, bool training) {
+  if (!built_) throw std::logic_error("Sequential::forward: not built");
+  if (batch.rank() == 0 ||
+      batch.numel() != batch.dim(0) * input_shape_.numel()) {
+    throw std::invalid_argument("Sequential::forward: batch shape " +
+                                batch.shape().to_string() +
+                                " incompatible with input shape " +
+                                input_shape_.to_string());
+  }
+  activations_.resize(layers_.size());
+  if (training) input_copy_ = batch;
+  have_training_forward_ = training;
+
+  const Tensor* current = &batch;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->forward(*current, activations_[i], training);
+    current = &activations_[i];
+  }
+  return activations_.back();
+}
+
+void Sequential::backward(const Tensor& grad_output) {
+  if (!have_training_forward_) {
+    throw std::logic_error(
+        "Sequential::backward: requires a preceding forward(training=true)");
+  }
+  if (grad_output.shape() != activations_.back().shape()) {
+    throw std::invalid_argument("Sequential::backward: grad shape " +
+                                grad_output.shape().to_string() +
+                                " does not match output " +
+                                activations_.back().shape().to_string());
+  }
+  Tensor grad = grad_output;
+  Tensor grad_prev;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const Tensor& layer_input = i == 0 ? input_copy_ : activations_[i - 1];
+    layers_[i]->backward(layer_input, grad, grad_prev);
+    grad = std::move(grad_prev);
+  }
+  have_training_forward_ = false;
+}
+
+std::unique_ptr<Sequential> Sequential::clone() const {
+  auto copy = std::make_unique<Sequential>(input_shape_);
+  for (const auto& layer : layers_) {
+    copy->add(layer->clone());
+  }
+  if (built_) {
+    copy->build(0);  // seed irrelevant: parameters are overwritten next
+    copy->set_parameters(params_);
+  }
+  return copy;
+}
+
+std::string Sequential::summary() const {
+  std::ostringstream out;
+  out << "Sequential[in=" << input_shape_.to_string();
+  for (const auto& layer : layers_) {
+    out << " -> " << layer->name();
+  }
+  if (built_) {
+    out << " | params=" << params_.size();
+  }
+  out << "]";
+  return out.str();
+}
+
+}  // namespace middlefl::nn

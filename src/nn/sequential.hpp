@@ -1,0 +1,88 @@
+// Feed-forward model container owning the flat parameter & gradient buffers.
+//
+// Usage:
+//   Sequential model(Shape{1, 16, 16});
+//   model.add(std::make_unique<Conv2d>(...)).add(std::make_unique<ReLU>());
+//   model.build(seed);
+//   const Tensor& logits = model.forward(batch, /*training=*/true);
+//   model.zero_grad();
+//   model.backward(grad_logits);
+//
+// After build(), `parameters()` exposes the model as one contiguous float
+// vector — the representation every federated-learning operation in
+// src/core works on.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.hpp"
+
+namespace middlefl::nn {
+
+class Sequential {
+ public:
+  /// `input_shape` is the per-sample shape (no batch dimension).
+  explicit Sequential(Shape input_shape);
+
+  Sequential(const Sequential&) = delete;
+  Sequential& operator=(const Sequential&) = delete;
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  /// Appends a layer; only valid before build().
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  /// Finalizes the architecture: infers shapes, allocates the parameter and
+  /// gradient buffers, binds layers and initializes weights from `seed`.
+  void build(std::uint64_t seed);
+  bool built() const noexcept { return built_; }
+
+  const Shape& input_shape() const noexcept { return input_shape_; }
+  const Shape& output_shape() const;  // per-sample; requires built()
+  std::size_t param_count() const noexcept { return params_.size(); }
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  std::span<float> parameters() noexcept { return params_; }
+  std::span<const float> parameters() const noexcept { return params_; }
+  std::span<float> gradients() noexcept { return grads_; }
+  std::span<const float> gradients() const noexcept { return grads_; }
+
+  /// Overwrites all parameters; `values.size()` must equal param_count().
+  void set_parameters(std::span<const float> values);
+
+  void zero_grad() noexcept;
+
+  /// Runs the batch through all layers and returns the final activation
+  /// (valid until the next forward). Batched input: dim 0 is the batch and
+  /// the remaining dims must match input_shape().
+  const Tensor& forward(const Tensor& batch, bool training);
+
+  /// Backpropagates from d(loss)/d(output); accumulates into gradients().
+  /// Must follow forward(batch, training=true).
+  void backward(const Tensor& grad_output);
+
+  /// Deep copy: same architecture, same parameter values, fresh buffers.
+  std::unique_ptr<Sequential> clone() const;
+
+  /// One-line architecture summary for logs.
+  std::string summary() const;
+
+ private:
+  Shape input_shape_;
+  Shape output_shape_;
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<float> params_;
+  std::vector<float> grads_;
+  std::vector<std::size_t> offsets_;  // param offset per layer
+  parallel::Xoshiro256 dropout_rng_;
+  bool built_ = false;
+
+  // Forward state for backward.
+  Tensor input_copy_;
+  std::vector<Tensor> activations_;
+  bool have_training_forward_ = false;
+};
+
+}  // namespace middlefl::nn

@@ -1,0 +1,35 @@
+// Model checkpointing.
+//
+// Format: a one-line text header followed by raw little-endian float32
+// parameters —
+//
+//   middlefl-model v1 params=<N> arch=<summary-hash>\n
+//   <N * 4 bytes>
+//
+// The header stores a hash of the architecture summary so loading into a
+// mismatched model fails loudly instead of silently scrambling weights.
+// Checkpoints are portable across runs of the same build on little-endian
+// hosts (every platform this project targets).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/sequential.hpp"
+
+namespace middlefl::nn {
+
+/// Writes the model's parameters with an architecture fingerprint.
+void save_model(const Sequential& model, std::ostream& out);
+void save_model_file(const Sequential& model, const std::string& path);
+
+/// Restores parameters into an already-built model of the SAME
+/// architecture. Throws std::runtime_error on malformed input, parameter
+/// count mismatch, or architecture fingerprint mismatch.
+void load_model(Sequential& model, std::istream& in);
+void load_model_file(Sequential& model, const std::string& path);
+
+/// FNV-1a hash of the architecture summary (exposed for tests).
+std::uint64_t architecture_fingerprint(const Sequential& model);
+
+}  // namespace middlefl::nn

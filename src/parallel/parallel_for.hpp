@@ -1,0 +1,67 @@
+// Blocking data-parallel loops over index ranges.
+//
+// parallel_for partitions [begin, end) into contiguous chunks, runs them on
+// the pool, and waits. Determinism rule: the body must write only to
+// disjoint per-index state (the FL simulator obeys this — each task owns one
+// device's model). The first exception thrown by any chunk is rethrown on
+// the calling thread after all chunks finish.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace middlefl::parallel {
+
+struct GrainSize {
+  /// Minimum indices per chunk; prevents tiny tasks from drowning the queue.
+  std::size_t value = 1;
+};
+
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  Body&& body, GrainSize grain = {}) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool.size();
+  // Aim for a few chunks per worker to absorb imbalance, bounded below by
+  // the grain size.
+  const std::size_t target_chunks = std::max<std::size_t>(1, workers * 4);
+  const std::size_t chunk =
+      std::max(grain.value, (n + target_chunks - 1) / target_chunks);
+
+  if (n <= chunk || workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  std::vector<std::future<void>> futures;
+  futures.reserve((n + chunk - 1) / chunk);
+  for (std::size_t lo = begin; lo < end; lo += chunk) {
+    const std::size_t hi = std::min(end, lo + chunk);
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Convenience overload on the global pool.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                  GrainSize grain = {}) {
+  parallel_for(ThreadPool::global(), begin, end, std::forward<Body>(body),
+               grain);
+}
+
+}  // namespace middlefl::parallel

@@ -1,0 +1,63 @@
+// Fixed-size thread pool with a shared task queue.
+//
+// The simulator's unit of parallelism is coarse (one task = one device's
+// local training for a time step, or one tile of a GEMM), so a single
+// mutex-protected queue is sufficient; there is no work stealing. Tasks must
+// not throw — exceptions escaping a task terminate, matching the simulator's
+// fail-fast policy (a corrupted training step cannot be recovered mid-round).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace middlefl::parallel {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for completion/exception propagation.
+  template <typename F>
+  std::future<void> submit(F&& task) {
+    auto packaged =
+        std::make_shared<std::packaged_task<void()>>(std::forward<F>(task));
+    std::future<void> future = packaged->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      if (stopping_) {
+        throw std::runtime_error("ThreadPool: submit after shutdown");
+      }
+      queue_.emplace_back([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Process-wide default pool, sized to hardware concurrency; created on
+  /// first use. Bench binaries and the simulator share it so thread counts
+  /// stay bounded.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace middlefl::parallel

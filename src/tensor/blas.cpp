@@ -1,0 +1,171 @@
+#include "tensor/blas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace middlefl::tensor {
+namespace {
+
+void check_size(std::span<const float> s, std::size_t expected,
+                const char* what) {
+  if (s.size() != expected) {
+    throw std::invalid_argument(std::string(what) + ": expected " +
+                                std::to_string(expected) + " elements, got " +
+                                std::to_string(s.size()));
+  }
+}
+
+/// Copies `rows x cols` row-major `src` into `dst` transposed
+/// (`cols x rows` row-major).
+void transpose_into(std::span<const float> src, std::size_t rows,
+                    std::size_t cols, std::vector<float>& dst) {
+  dst.resize(rows * cols);
+  // Block the transpose for cache friendliness on larger panels.
+  constexpr std::size_t kBlock = 32;
+  for (std::size_t i0 = 0; i0 < rows; i0 += kBlock) {
+    const std::size_t i1 = std::min(rows, i0 + kBlock);
+    for (std::size_t j0 = 0; j0 < cols; j0 += kBlock) {
+      const std::size_t j1 = std::min(cols, j0 + kBlock);
+      for (std::size_t i = i0; i < i1; ++i) {
+        for (std::size_t j = j0; j < j1; ++j) {
+          dst[j * rows + i] = src[i * cols + j];
+        }
+      }
+    }
+  }
+}
+
+/// Core kernel: C[i,:] += alpha * A[i,k] * B[k,:] for row panel [row_lo,
+/// row_hi). A row-major m x k, B row-major k x n, C row-major m x n. The
+/// i-k-j order streams B and C rows sequentially, which vectorizes well.
+void gemm_nn_panel(std::size_t row_lo, std::size_t row_hi, std::size_t n,
+                   std::size_t k, float alpha, const float* a, const float* b,
+                   float beta, float* c) {
+  for (std::size_t i = row_lo; i < row_hi; ++i) {
+    float* c_row = c + i * n;
+    if (beta == 0.0f) {
+      std::fill(c_row, c_row + n, 0.0f);
+    } else if (beta != 1.0f) {
+      for (std::size_t j = 0; j < n; ++j) c_row[j] *= beta;
+    }
+    const float* a_row = a + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float a_ip = alpha * a_row[p];
+      if (a_ip == 0.0f) continue;
+      const float* b_row = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        c_row[j] += a_ip * b_row[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  check_size(x, y.size(), "axpy");
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scal(float alpha, std::span<float> x) noexcept {
+  for (float& v : x) v *= alpha;
+}
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  check_size(x, y.size(), "dot");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += static_cast<double>(x[i]) * y[i];
+  }
+  return acc;
+}
+
+double nrm2(std::span<const float> x) noexcept {
+  double acc = 0.0;
+  for (float v : x) acc += static_cast<double>(v) * v;
+  return std::sqrt(acc);
+}
+
+void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, std::span<const float> a,
+          std::span<const float> b, float beta, std::span<float> c,
+          parallel::ThreadPool* pool) {
+  check_size(a, m * k, "gemm: A");
+  check_size(b, k * n, "gemm: B");
+  check_size(c, m * n, "gemm: C");
+
+  // Normalize to the NN kernel by materializing transposed operands. The
+  // models in this project keep k*m and k*n small (<= a few hundred KB), so
+  // packing is cheap relative to the multiply.
+  std::vector<float> a_packed;
+  std::vector<float> b_packed;
+  const float* a_ptr = a.data();
+  const float* b_ptr = b.data();
+  if (trans_a == Trans::kYes) {
+    transpose_into(a, k, m, a_packed);  // stored as k x m, want m x k
+    a_ptr = a_packed.data();
+  }
+  if (trans_b == Trans::kYes) {
+    transpose_into(b, n, k, b_packed);  // stored as n x k, want k x n
+    b_ptr = b_packed.data();
+  }
+
+  // Parallelize across row panels when there is enough arithmetic to
+  // amortize the fork/join (heuristic: >= ~1 MFLOP and >= 2 rows per
+  // worker).
+  const std::size_t flops = 2 * m * n * k;
+  if (pool != nullptr && pool->size() > 1 && flops >= (1u << 20) &&
+      m >= 2 * pool->size()) {
+    float* c_ptr = c.data();
+    parallel::parallel_for(
+        *pool, 0, m,
+        [=](std::size_t i) {
+          gemm_nn_panel(i, i + 1, n, k, alpha, a_ptr, b_ptr, beta, c_ptr);
+        },
+        parallel::GrainSize{std::max<std::size_t>(1, m / (pool->size() * 4))});
+  } else {
+    gemm_nn_panel(0, m, n, k, alpha, a_ptr, b_ptr, beta, c.data());
+  }
+}
+
+void gemv(Trans trans_a, std::size_t m, std::size_t n, float alpha,
+          std::span<const float> a, std::span<const float> x, float beta,
+          std::span<float> y) {
+  check_size(a, m * n, "gemv: A");
+  if (trans_a == Trans::kNo) {
+    check_size(x, n, "gemv: x");
+    check_size(std::span<const float>(y.data(), y.size()), m, "gemv: y");
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      const float* row = a.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        acc += static_cast<double>(row[j]) * x[j];
+      }
+      y[i] = alpha * static_cast<float>(acc) + beta * y[i];
+    }
+  } else {
+    check_size(x, m, "gemv: x");
+    check_size(std::span<const float>(y.data(), y.size()), n, "gemv: y");
+    if (beta == 0.0f) {
+      std::fill(y.begin(), y.end(), 0.0f);
+    } else if (beta != 1.0f) {
+      scal(beta, y);
+    }
+    for (std::size_t i = 0; i < m; ++i) {
+      const float xi = alpha * x[i];
+      if (xi == 0.0f) continue;
+      const float* row = a.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        y[j] += xi * row[j];
+      }
+    }
+  }
+}
+
+}  // namespace middlefl::tensor

@@ -1,0 +1,48 @@
+// Level-1/2/3 dense kernels over raw float spans.
+//
+// These are the hot loops under local SGD: Linear layers lower to sgemm,
+// Conv2d lowers to im2col + sgemm, and model aggregation / similarity
+// utilities lower to axpy/dot/nrm2 on flat parameter vectors. Kernels take
+// spans (size-checked on entry) so both Tensor storage and flat model
+// vectors reuse them. GEMM is register-blocked with an i-k-j loop order and
+// parallelized over row panels when a thread pool is provided.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace middlefl::parallel {
+class ThreadPool;
+}
+
+namespace middlefl::tensor {
+
+enum class Trans { kNo, kYes };
+
+/// y += alpha * x (sizes must match).
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha.
+void scal(float alpha, std::span<float> x) noexcept;
+
+/// Dot product accumulated in double.
+double dot(std::span<const float> x, std::span<const float> y);
+
+/// Euclidean norm accumulated in double.
+double nrm2(std::span<const float> x) noexcept;
+
+/// C = alpha * op(A) * op(B) + beta * C where op is identity or transpose.
+/// A is m x k after op, B is k x n after op, C is m x n, all row-major.
+/// When `pool` is non-null and the output is large, row panels of C are
+/// computed in parallel (deterministic: disjoint outputs).
+void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
+          std::size_t k, float alpha, std::span<const float> a,
+          std::span<const float> b, float beta, std::span<float> c,
+          parallel::ThreadPool* pool = nullptr);
+
+/// y = alpha * op(A) * x + beta * y. A is m x n row-major before op.
+void gemv(Trans trans_a, std::size_t m, std::size_t n, float alpha,
+          std::span<const float> a, std::span<const float> x, float beta,
+          std::span<float> y);
+
+}  // namespace middlefl::tensor

@@ -1,0 +1,72 @@
+// Shape arithmetic for dense row-major tensors.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace middlefl::tensor {
+
+/// Tensor extents, outermost dimension first (row-major). Rank 0 denotes a
+/// scalar with one element.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::size_t> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<std::size_t> dims) : dims_(std::move(dims)) {
+    validate();
+  }
+
+  std::size_t rank() const noexcept { return dims_.size(); }
+
+  std::size_t dim(std::size_t axis) const {
+    if (axis >= dims_.size()) {
+      throw std::out_of_range("Shape::dim: axis " + std::to_string(axis) +
+                              " out of range for rank " +
+                              std::to_string(dims_.size()));
+    }
+    return dims_[axis];
+  }
+
+  const std::vector<std::size_t>& dims() const noexcept { return dims_; }
+
+  /// Total number of elements (1 for rank-0).
+  std::size_t numel() const noexcept {
+    return std::accumulate(dims_.begin(), dims_.end(), std::size_t{1},
+                           std::multiplies<>{});
+  }
+
+  bool operator==(const Shape& other) const noexcept {
+    return dims_ == other.dims_;
+  }
+  bool operator!=(const Shape& other) const noexcept {
+    return !(*this == other);
+  }
+
+  std::string to_string() const {
+    std::string out = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(dims_[i]);
+    }
+    out += "]";
+    return out;
+  }
+
+ private:
+  void validate() const {
+    for (std::size_t d : dims_) {
+      if (d == 0) {
+        throw std::invalid_argument("Shape: zero-sized dimension in " +
+                                    to_string());
+      }
+    }
+  }
+
+  std::vector<std::size_t> dims_;
+};
+
+}  // namespace middlefl::tensor

@@ -1,0 +1,172 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace middlefl::tensor {
+namespace {
+
+void check_same_shape(const Shape& a, const Shape& b, const char* op) {
+  if (a != b) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a.to_string() + " vs " + b.to_string());
+  }
+}
+
+}  // namespace
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  if (data_.size() != shape_.numel()) {
+    throw std::invalid_argument("Tensor: data size " +
+                                std::to_string(data_.size()) +
+                                " does not match shape " + shape_.to_string());
+  }
+}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, parallel::Xoshiro256& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& x : t.data_) {
+    x = stddev * static_cast<float>(rng.normal());
+  }
+  return t;
+}
+
+Tensor Tensor::rand_uniform(Shape shape, parallel::Xoshiro256& rng, float lo,
+                            float hi) {
+  Tensor t(std::move(shape));
+  const float span = hi - lo;
+  for (float& x : t.data_) {
+    x = lo + span * rng.uniform_float();
+  }
+  return t;
+}
+
+std::size_t Tensor::flat_offset(
+    std::initializer_list<std::size_t> index) const {
+  if (index.size() != shape_.rank()) {
+    throw std::out_of_range("Tensor::at: index rank " +
+                            std::to_string(index.size()) +
+                            " does not match tensor rank " +
+                            std::to_string(shape_.rank()));
+  }
+  std::size_t offset = 0;
+  std::size_t axis = 0;
+  for (std::size_t i : index) {
+    const std::size_t extent = shape_.dim(axis);
+    if (i >= extent) {
+      throw std::out_of_range("Tensor::at: index " + std::to_string(i) +
+                              " out of range for axis " +
+                              std::to_string(axis) + " with extent " +
+                              std::to_string(extent));
+    }
+    offset = offset * extent + i;
+    ++axis;
+  }
+  return offset;
+}
+
+float& Tensor::at(std::initializer_list<std::size_t> index) {
+  return data_[flat_offset(index)];
+}
+
+float Tensor::at(std::initializer_list<std::size_t> index) const {
+  return data_[flat_offset(index)];
+}
+
+Tensor& Tensor::reshape(Shape new_shape) {
+  if (new_shape.numel() != numel()) {
+    throw std::invalid_argument("Tensor::reshape: element count mismatch " +
+                                shape_.to_string() + " -> " +
+                                new_shape.to_string());
+  }
+  shape_ = std::move(new_shape);
+  return *this;
+}
+
+void Tensor::fill(float value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  check_same_shape(shape_, other.shape_, "Tensor::operator+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  check_same_shape(shape_, other.shape_, "Tensor::operator-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(const Tensor& other) {
+  check_same_shape(shape_, other.shape_, "Tensor::operator*=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float scalar) noexcept {
+  for (float& x : data_) x *= scalar;
+  return *this;
+}
+
+Tensor& Tensor::operator+=(float scalar) noexcept {
+  for (float& x : data_) x += scalar;
+  return *this;
+}
+
+Tensor& Tensor::axpy(float alpha, const Tensor& other) {
+  check_same_shape(shape_, other.shape_, "Tensor::axpy");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+  return *this;
+}
+
+float Tensor::sum() const noexcept {
+  // Pairwise-ish accumulation in double; activation tensors are small enough
+  // that plain double accumulation keeps error << float epsilon.
+  double acc = 0.0;
+  for (float x : data_) acc += x;
+  return static_cast<float>(acc);
+}
+
+float Tensor::max() const noexcept {
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::size_t Tensor::argmax() const noexcept {
+  return static_cast<std::size_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+float Tensor::norm() const noexcept {
+  double acc = 0.0;
+  for (float x : data_) acc += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(acc));
+}
+
+Tensor operator+(Tensor lhs, const Tensor& rhs) {
+  lhs += rhs;
+  return lhs;
+}
+
+Tensor operator-(Tensor lhs, const Tensor& rhs) {
+  lhs -= rhs;
+  return lhs;
+}
+
+Tensor operator*(Tensor lhs, float scalar) {
+  lhs *= scalar;
+  return lhs;
+}
+
+}  // namespace middlefl::tensor

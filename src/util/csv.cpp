@@ -1,0 +1,78 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace middlefl::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string csv_number(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+CsvWriter::CsvWriter(const std::string& path) : owned_(path), out_(&owned_) {
+  if (!owned_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::header(std::initializer_list<std::string_view> names) {
+  header(std::vector<std::string>(names.begin(), names.end()));
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  if (header_written_ || rows_ > 0 || row_open_) {
+    throw std::logic_error("CsvWriter: header must be the first row");
+  }
+  bool first = true;
+  for (const auto& name : names) {
+    if (!first) *out_ << ',';
+    *out_ << csv_escape(name);
+    first = false;
+  }
+  *out_ << '\n';
+  header_written_ = true;
+}
+
+void CsvWriter::raw_field(std::string_view text) {
+  if (row_open_) *out_ << ',';
+  *out_ << text;
+  row_open_ = true;
+}
+
+CsvWriter& CsvWriter::add(std::string_view field) {
+  raw_field(csv_escape(field));
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(double value) {
+  raw_field(csv_number(value));
+  return *this;
+}
+
+CsvWriter& CsvWriter::add(long long value) {
+  raw_field(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  *out_ << '\n';
+  row_open_ = false;
+  ++rows_;
+}
+
+}  // namespace middlefl::util

@@ -1,0 +1,65 @@
+// CSV emission for experiment results.
+//
+// Experiment binaries stream one row per (algorithm, step) measurement; the
+// writer quotes fields only when required so output stays diff-friendly and
+// ingestible by pandas/gnuplot alike.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace middlefl::util {
+
+/// Escape a single CSV field per RFC 4180 (quote iff it contains
+/// comma/quote/newline; embedded quotes are doubled).
+std::string csv_escape(std::string_view field);
+
+/// Format a double with enough precision to round-trip plotted series while
+/// keeping files compact (up to 9 significant digits, trailing zeros
+/// trimmed).
+std::string csv_number(double value);
+
+/// Row-oriented CSV writer over any ostream. Not thread-safe; one writer per
+/// stream.
+class CsvWriter {
+ public:
+  /// Writes to an external stream; the caller keeps ownership.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Opens (and owns) a file stream. Throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Emits the header row. Call at most once, before any data row.
+  void header(std::initializer_list<std::string_view> names);
+  void header(const std::vector<std::string>& names);
+
+  /// Begins a new row; fields are appended with add().
+  CsvWriter& add(std::string_view field);
+  CsvWriter& add(double value);
+  CsvWriter& add(long long value);
+  CsvWriter& add(int value) { return add(static_cast<long long>(value)); }
+  CsvWriter& add(std::size_t value) {
+    return add(static_cast<long long>(value));
+  }
+
+  /// Terminates the current row.
+  void end_row();
+
+  /// Number of data rows fully written.
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  void raw_field(std::string_view text);
+
+  std::ofstream owned_;
+  std::ostream* out_;
+  bool row_open_ = false;
+  bool header_written_ = false;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace middlefl::util

@@ -1,0 +1,62 @@
+#include "util/logging.hpp"
+
+#include <cctype>
+#include <iostream>
+
+namespace middlefl::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex g_output_mutex;
+
+}  // namespace
+
+std::string_view to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogLevel parse_log_level(std::string_view name) noexcept {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, std::string_view file, int line)
+    : enabled_(level >= g_level.load(std::memory_order_relaxed)) {
+  if (!enabled_) return;
+  // Strip the directory part of the path; the basename is enough context.
+  const auto slash = file.find_last_of('/');
+  if (slash != std::string_view::npos) file.remove_prefix(slash + 1);
+  stream_ << '[' << to_string(level) << "] " << file << ':' << line << ": ";
+}
+
+LogLine::~LogLine() {
+  if (!enabled_) return;
+  stream_ << '\n';
+  const std::string text = stream_.str();
+  std::lock_guard lock(g_output_mutex);
+  std::cerr << text;
+}
+
+}  // namespace detail
+}  // namespace middlefl::util

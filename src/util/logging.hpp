@@ -1,0 +1,63 @@
+// Minimal leveled logger for the simulation stack.
+//
+// The simulator is deterministic and single-process, so the logger favours
+// simplicity: a global level, thread-safe line-at-a-time output to stderr,
+// and printf-free stream formatting. Use MIDDLEFL_LOG(Info) << "...";
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace middlefl::util {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Human-readable tag for a level ("TRACE", "INFO", ...).
+std::string_view to_string(LogLevel level) noexcept;
+
+/// Parse a level name (case-insensitive); returns kInfo on unknown input.
+LogLevel parse_log_level(std::string_view name) noexcept;
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+namespace detail {
+
+/// One log statement. Accumulates into a buffer, flushes on destruction so
+/// concurrent threads never interleave within a line.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view file, int line);
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace middlefl::util
+
+#define MIDDLEFL_LOG(level_name)                                     \
+  ::middlefl::util::detail::LogLine(                                 \
+      ::middlefl::util::LogLevel::k##level_name, __FILE__, __LINE__)

@@ -1,0 +1,52 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace middlefl::util {
+
+std::vector<double> moving_average(std::span<const double> series,
+                                   std::size_t radius) {
+  std::vector<double> out(series.size());
+  if (series.empty()) return out;
+  // Prefix sums make each window O(1); the series are short (thousands of
+  // steps) so double precision is ample.
+  std::vector<double> prefix(series.size() + 1, 0.0);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    prefix[i + 1] = prefix[i] + series[i];
+  }
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const std::size_t lo = i >= radius ? i - radius : 0;
+    const std::size_t hi = std::min(series.size() - 1, i + radius);
+    out[i] = (prefix[hi + 1] - prefix[lo]) / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double sample_stddev(std::span<const double> values) noexcept {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double sq = 0.0;
+  for (double v : values) sq += (v - m) * (v - m);
+  return std::sqrt(sq / static_cast<double>(values.size() - 1));
+}
+
+double quantile(std::vector<double> values, double q) {
+  if (values.empty()) throw std::invalid_argument("quantile: empty input");
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+}  // namespace middlefl::util

@@ -1,0 +1,78 @@
+// Small numerically-stable statistics helpers used by metrics and benches.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace middlefl::util {
+
+/// Welford online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  double stddev() const noexcept { return std::sqrt(variance()); }
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponential moving average, the smoothing the paper applies to its
+/// accuracy curves ("all results are smoothed and presented by their
+/// averages").
+class EmaSmoother {
+ public:
+  /// `alpha` is the weight on the newest observation, in (0, 1].
+  explicit EmaSmoother(double alpha) : alpha_(alpha) {}
+
+  double update(double x) noexcept {
+    value_ = initialized_ ? alpha_ * x + (1.0 - alpha_) * value_ : x;
+    initialized_ = true;
+    return value_;
+  }
+
+  bool initialized() const noexcept { return initialized_; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Centered moving average with window `2*radius+1`, truncated at the ends;
+/// used when smoothing a complete series after the fact.
+std::vector<double> moving_average(std::span<const double> series,
+                                   std::size_t radius);
+
+/// Arithmetic mean (0 for empty input).
+double mean(std::span<const double> values) noexcept;
+
+/// Sample standard deviation (0 for fewer than two values).
+double sample_stddev(std::span<const double> values) noexcept;
+
+/// Linear interpolated quantile in [0,1]; requires non-empty input.
+double quantile(std::vector<double> values, double q);
+
+}  // namespace middlefl::util

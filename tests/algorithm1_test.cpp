@@ -1,0 +1,192 @@
+// Pinning the exact semantics of Algorithm 1 that are easy to get subtly
+// wrong: (i) Eq. 6's d_m-weighted edge aggregation, (ii) Eq. 7's
+// participating-sample cloud weights, (iii) the on-move rule firing ONLY
+// for devices that entered the edge THIS step (line 4 reads M^{t-1}_n, the
+// connected set, not the selected set).
+#include <gtest/gtest.h>
+
+#include "mobility/trace.hpp"
+#include "sim_fixture.hpp"
+
+namespace {
+
+using middlefl::core::Algorithm;
+using middlefl::testing::SimBundle;
+
+/// Test-only strategy: returns a scripted selection per call, intersected
+/// with the actual candidate set.
+class ScriptedSelection final : public middlefl::core::SelectionStrategy {
+ public:
+  explicit ScriptedSelection(std::vector<std::size_t> allowed)
+      : allowed_(std::move(allowed)) {}
+
+  std::string name() const override { return "scripted"; }
+
+  std::vector<std::size_t> select(
+      std::span<const middlefl::core::Candidate> candidates,
+      std::span<const float> /*cloud*/, std::size_t k,
+      middlefl::parallel::Xoshiro256& /*rng*/) const override {
+    std::vector<std::size_t> picked;
+    for (const auto& c : candidates) {
+      if (std::find(allowed_.begin(), allowed_.end(), c.device_id) !=
+          allowed_.end()) {
+        picked.push_back(c.device_id);
+        if (picked.size() == k) break;
+      }
+    }
+    return picked;
+  }
+
+ private:
+  std::vector<std::size_t> allowed_;
+};
+
+/// Two devices on one edge with very different d_m; after one step the
+/// edge model must be the d_m-weighted average of the two uploads (Eq. 6).
+TEST(Algorithm1, EdgeAggregationWeightsByDataSize) {
+  SimBundle bundle;  // base datasets reused; partition rebuilt below
+  middlefl::data::Partition partition;
+  partition.device_indices.resize(2);
+  partition.major_class = {0, 1};
+  // Device 0: 9x the data of device 1.
+  for (std::size_t i = 0; i < 90; ++i) {
+    partition.device_indices[0].push_back(i % bundle.train.size());
+  }
+  for (std::size_t i = 0; i < 10; ++i) {
+    partition.device_indices[1].push_back((200 + i) % bundle.train.size());
+  }
+
+  middlefl::mobility::Trace trace(2, 1);
+  for (int t = 0; t <= 4; ++t) trace.append({0, 0});
+
+  auto cfg = bundle.cfg;
+  cfg.select_per_edge = 2;
+  cfg.cloud_interval = 100;
+  const middlefl::optim::Sgd sgd({.learning_rate = 0.05, .momentum = 0.9});
+  middlefl::core::AlgorithmSpec spec;
+  spec.name = "scripted";
+  spec.selection = std::make_unique<ScriptedSelection>(
+      std::vector<std::size_t>{0, 1});
+  spec.on_move = middlefl::core::OnDeviceRule::kDownloadEdge;
+
+  middlefl::core::Simulation sim(
+      cfg, bundle.model_spec, sgd, bundle.train, partition, bundle.test,
+      std::make_unique<middlefl::mobility::TraceMobility>(trace),
+      std::move(spec));
+  sim.step();
+
+  // Uploads == device params after the step (no broadcast happened).
+  const auto w0 = sim.device(0).params();
+  const auto w1 = sim.device(1).params();
+  const auto edge = sim.edge_params(0);
+  for (std::size_t i = 0; i < edge.size(); ++i) {
+    const double expected = (90.0 * w0[i] + 10.0 * w1[i]) / 100.0;
+    ASSERT_NEAR(edge[i], expected, 1e-5) << "param " << i;
+  }
+}
+
+/// Two edges with wildly different participating sample counts; with
+/// Eq. 7's weights the cloud lands near the heavy edge's model, with
+/// uniform weights at the midpoint.
+TEST(Algorithm1, CloudAggregationUsesParticipatingSampleWeights) {
+  SimBundle bundle;
+  middlefl::data::Partition partition;
+  partition.device_indices.resize(2);
+  partition.major_class = {0, 1};
+  for (std::size_t i = 0; i < 500; ++i) {
+    partition.device_indices[0].push_back(i % bundle.train.size());
+  }
+  partition.device_indices[1].push_back(7);  // d = 1
+
+  const auto run_with = [&](bool weighted) {
+    middlefl::mobility::Trace trace(2, 2);
+    for (int t = 0; t <= 2; ++t) trace.append({0, 1});
+    auto cfg = bundle.cfg;
+    cfg.select_per_edge = 1;
+    cfg.cloud_interval = 1;          // sync every step
+    cfg.broadcast_to_devices = false;  // keep uploads readable
+    cfg.weighted_cloud_aggregation = weighted;
+    const middlefl::optim::Sgd sgd({.learning_rate = 0.05, .momentum = 0.9});
+    middlefl::core::AlgorithmSpec spec;
+    spec.name = "scripted";
+    spec.selection = std::make_unique<ScriptedSelection>(
+        std::vector<std::size_t>{0, 1});
+    auto sim = std::make_unique<middlefl::core::Simulation>(
+        cfg, bundle.model_spec, sgd, bundle.train, partition, bundle.test,
+        std::make_unique<middlefl::mobility::TraceMobility>(trace),
+        std::move(spec));
+    sim->step();
+    return sim;
+  };
+
+  const auto weighted = run_with(true);
+  const auto w0 = weighted->device(0).params();  // edge 0's upload
+  const auto w1 = weighted->device(1).params();  // edge 1's upload
+  const auto cloud_weighted = weighted->cloud_params();
+  for (std::size_t i = 0; i < cloud_weighted.size(); ++i) {
+    const double expected = (500.0 * w0[i] + 1.0 * w1[i]) / 501.0;
+    ASSERT_NEAR(cloud_weighted[i], expected, 1e-5) << "param " << i;
+  }
+
+  const auto uniform = run_with(false);
+  const auto u0 = uniform->device(0).params();
+  const auto u1 = uniform->device(1).params();
+  const auto cloud_uniform = uniform->cloud_params();
+  for (std::size_t i = 0; i < cloud_uniform.size(); ++i) {
+    const double expected = 0.5 * (u0[i] + u1[i]);
+    ASSERT_NEAR(cloud_uniform[i], expected, 1e-5) << "param " << i;
+  }
+}
+
+/// A device that moved at step 2 but is first SELECTED at step 3 must NOT
+/// blend: by then it is already in M^{t-1}_n (Algorithm 1, line 4 checks
+/// connection, not participation).
+TEST(Algorithm1, BlendFiresOnlyOnArrivalStep) {
+  SimBundle bundle;
+  const std::size_t devices = bundle.partition.num_devices();
+
+  // Device 0 moves from edge 0 to edge 1 at step 2 and stays.
+  middlefl::mobility::Trace trace(devices, 3);
+  for (std::size_t t = 0; t <= 6; ++t) {
+    std::vector<std::size_t> assignment(devices);
+    for (std::size_t m = 0; m < devices; ++m) {
+      assignment[m] = bundle.initial_edges[m];
+    }
+    assignment[0] = t >= 2 ? 1 : 0;
+    trace.append(assignment);
+  }
+
+  const auto run_selecting_device0_at = [&](std::size_t select_step) {
+    auto cfg = bundle.cfg;
+    cfg.cloud_interval = 100;
+    const middlefl::optim::Sgd sgd({.learning_rate = 0.05, .momentum = 0.9});
+    middlefl::core::AlgorithmSpec spec;
+    spec.name = "scripted";
+    // Select ONLY device 0, and only from `select_step` on (before that,
+    // scripted selection picks nothing so nothing trains anywhere).
+    spec.selection = std::make_unique<ScriptedSelection>(
+        std::vector<std::size_t>{0});
+    spec.on_move = middlefl::core::OnDeviceRule::kSimilarityBlend;
+    middlefl::core::Simulation sim(
+        cfg, bundle.model_spec, sgd, bundle.train, bundle.partition,
+        bundle.test,
+        std::make_unique<middlefl::mobility::TraceMobility>(trace),
+        std::move(spec));
+    // Give device 0 a distinct local model so a blend would be observable.
+    std::vector<float> marked(sim.device(0).params().begin(),
+                              sim.device(0).params().end());
+    for (float& p : marked) p += 0.1f;
+    sim.device(0).set_params(marked);
+    for (std::size_t t = 1; t < select_step; ++t) sim.step();
+    sim.step();  // the step where device 0 trains
+    return sim.on_device_aggregations();
+  };
+
+  // Selected exactly at the arrival step (2): one blend.
+  EXPECT_EQ(run_selecting_device0_at(2), 1u);
+  // Device 0 is selected at every step 1..3 under this script; it arrives
+  // at step 2 (blend) and stays at step 3 (no blend): still exactly one.
+  EXPECT_EQ(run_selecting_device0_at(3), 1u);
+}
+
+}  // namespace

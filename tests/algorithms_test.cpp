@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/algorithms.hpp"
+
+namespace {
+
+using middlefl::core::Algorithm;
+using middlefl::core::apply_on_device_rule;
+using middlefl::core::make_algorithm;
+using middlefl::core::OnDeviceRule;
+using middlefl::core::parse_algorithm;
+
+TEST(Algorithms, NameRoundTrip) {
+  for (auto alg : {Algorithm::kMiddle, Algorithm::kOort, Algorithm::kFedMes,
+                   Algorithm::kGreedy, Algorithm::kEnsemble,
+                   Algorithm::kHierFavg}) {
+    EXPECT_EQ(parse_algorithm(to_string(alg)), alg);
+  }
+  EXPECT_EQ(parse_algorithm("middle"), Algorithm::kMiddle);
+  EXPECT_EQ(parse_algorithm("general"), Algorithm::kHierFavg);
+  EXPECT_THROW(parse_algorithm("fedprox"), std::invalid_argument);
+}
+
+TEST(Algorithms, PolicyTableMatchesPaper) {
+  // MIDDLE: similarity selection + similarity blend.
+  const auto middle = make_algorithm(Algorithm::kMiddle);
+  EXPECT_EQ(middle.on_move, OnDeviceRule::kSimilarityBlend);
+  EXPECT_NE(middle.selection->name().find("MIDDLE"), std::string::npos);
+
+  // OORT: stat-utility selection, no on-device aggregation.
+  const auto oort = make_algorithm(Algorithm::kOort);
+  EXPECT_EQ(oort.on_move, OnDeviceRule::kDownloadEdge);
+  EXPECT_EQ(oort.selection->name(), "stat-utility");
+
+  // FedMes: random selection, averages the two edge models.
+  const auto fedmes = make_algorithm(Algorithm::kFedMes);
+  EXPECT_EQ(fedmes.on_move, OnDeviceRule::kPrevEdgeAverage);
+  EXPECT_EQ(fedmes.selection->name(), "random");
+
+  // Greedy: keeps the carried local model.
+  const auto greedy = make_algorithm(Algorithm::kGreedy);
+  EXPECT_EQ(greedy.on_move, OnDeviceRule::kKeepLocal);
+  EXPECT_EQ(greedy.selection->name(), "stat-utility");
+
+  // Ensemble: plain average.
+  const auto ensemble = make_algorithm(Algorithm::kEnsemble);
+  EXPECT_EQ(ensemble.on_move, OnDeviceRule::kPlainAverage);
+
+  // HierFAVG: vanilla.
+  const auto hier = make_algorithm(Algorithm::kHierFavg);
+  EXPECT_EQ(hier.on_move, OnDeviceRule::kDownloadEdge);
+  EXPECT_EQ(hier.selection->name(), "random");
+}
+
+class OnDeviceRuleTest : public ::testing::Test {
+ protected:
+  const std::vector<float> edge_{4.0f, 0.0f};
+  const std::vector<float> local_{0.0f, 4.0f};
+  const std::vector<float> prev_edge_{2.0f, 2.0f};
+  std::vector<float> out_ = std::vector<float>(2);
+};
+
+TEST_F(OnDeviceRuleTest, DownloadEdgeCopiesEdgeModel) {
+  const double w = apply_on_device_rule(OnDeviceRule::kDownloadEdge, edge_,
+                                        local_, {}, 0.5, out_);
+  EXPECT_EQ(w, 0.0);
+  EXPECT_EQ(out_[0], 4.0f);
+  EXPECT_EQ(out_[1], 0.0f);
+}
+
+TEST_F(OnDeviceRuleTest, KeepLocalCopiesLocalModel) {
+  const double w = apply_on_device_rule(OnDeviceRule::kKeepLocal, edge_,
+                                        local_, {}, 0.5, out_);
+  EXPECT_EQ(w, 1.0);
+  EXPECT_EQ(out_[0], 0.0f);
+  EXPECT_EQ(out_[1], 4.0f);
+}
+
+TEST_F(OnDeviceRuleTest, PlainAverage) {
+  apply_on_device_rule(OnDeviceRule::kPlainAverage, edge_, local_, {}, 0.5,
+                       out_);
+  EXPECT_EQ(out_[0], 2.0f);
+  EXPECT_EQ(out_[1], 2.0f);
+}
+
+TEST_F(OnDeviceRuleTest, SimilarityBlendOrthogonalDropsLocal) {
+  // edge (4,0) and local (0,4) are orthogonal: U = 0, w_hat = edge.
+  const double w = apply_on_device_rule(OnDeviceRule::kSimilarityBlend, edge_,
+                                        local_, {}, 0.5, out_);
+  EXPECT_EQ(w, 0.0);
+  EXPECT_FLOAT_EQ(out_[0], 4.0f);
+  EXPECT_FLOAT_EQ(out_[1], 0.0f);
+}
+
+TEST_F(OnDeviceRuleTest, FixedAlpha) {
+  apply_on_device_rule(OnDeviceRule::kFixedAlpha, edge_, local_, {}, 0.75,
+                       out_);
+  EXPECT_FLOAT_EQ(out_[0], 3.0f);  // 0.75*4
+  EXPECT_FLOAT_EQ(out_[1], 1.0f);  // 0.25*4
+}
+
+TEST_F(OnDeviceRuleTest, PrevEdgeAverageUsesBothEdges) {
+  apply_on_device_rule(OnDeviceRule::kPrevEdgeAverage, edge_, local_,
+                       prev_edge_, 0.5, out_);
+  EXPECT_FLOAT_EQ(out_[0], 3.0f);  // (4+2)/2
+  EXPECT_FLOAT_EQ(out_[1], 1.0f);  // (0+2)/2
+}
+
+TEST_F(OnDeviceRuleTest, PrevEdgeAverageRequiresPrevModel) {
+  EXPECT_THROW(apply_on_device_rule(OnDeviceRule::kPrevEdgeAverage, edge_,
+                                    local_, {}, 0.5, out_),
+               std::invalid_argument);
+}
+
+TEST_F(OnDeviceRuleTest, SizeMismatchThrows) {
+  std::vector<float> bad(3);
+  EXPECT_THROW(apply_on_device_rule(OnDeviceRule::kDownloadEdge, edge_, local_,
+                                    {}, 0.5, bad),
+               std::invalid_argument);
+}
+
+TEST(OnDeviceRuleNames, AllDistinct) {
+  std::set<std::string> names;
+  for (auto rule : {OnDeviceRule::kDownloadEdge, OnDeviceRule::kKeepLocal,
+                    OnDeviceRule::kPlainAverage, OnDeviceRule::kSimilarityBlend,
+                    OnDeviceRule::kFixedAlpha, OnDeviceRule::kPrevEdgeAverage}) {
+    names.insert(to_string(rule));
+  }
+  EXPECT_EQ(names.size(), 6u);
+}
+
+TEST(Algorithms, AllAlgorithmsListMatchesPaperOrder) {
+  using middlefl::core::kAllAlgorithms;
+  ASSERT_EQ(std::size(kAllAlgorithms), 5u);
+  EXPECT_EQ(kAllAlgorithms[0], Algorithm::kMiddle);
+  EXPECT_EQ(kAllAlgorithms[1], Algorithm::kOort);
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "parallel/rng.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/blas.hpp"
+
+namespace {
+
+using middlefl::parallel::Xoshiro256;
+using middlefl::tensor::Trans;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  return v;
+}
+
+/// Reference O(n^3) GEMM with explicit index math for all transpose
+/// combinations.
+std::vector<float> reference_gemm(Trans ta, Trans tb, std::size_t m,
+                                  std::size_t n, std::size_t k, float alpha,
+                                  const std::vector<float>& a,
+                                  const std::vector<float>& b, float beta,
+                                  std::vector<float> c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = ta == Trans::kNo ? a[i * k + p] : a[p * m + i];
+        const float bv = tb == Trans::kNo ? b[p * n + j] : b[j * k + p];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * n + j] = alpha * static_cast<float>(acc) + beta * c[i * n + j];
+    }
+  }
+  return c;
+}
+
+TEST(Blas, AxpyAndScal) {
+  std::vector<float> x{1, 2, 3};
+  std::vector<float> y{10, 20, 30};
+  middlefl::tensor::axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+  middlefl::tensor::scal(0.5f, y);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+}
+
+TEST(Blas, AxpySizeMismatchThrows) {
+  std::vector<float> x{1, 2};
+  std::vector<float> y{1, 2, 3};
+  EXPECT_THROW(middlefl::tensor::axpy(1.0f, x, y), std::invalid_argument);
+}
+
+TEST(Blas, DotAndNorm) {
+  std::vector<float> x{1, 2, 3};
+  std::vector<float> y{4, -5, 6};
+  EXPECT_DOUBLE_EQ(middlefl::tensor::dot(x, y), 4 - 10 + 18);
+  EXPECT_NEAR(middlefl::tensor::nrm2(x), std::sqrt(14.0), 1e-9);
+}
+
+struct GemmCase {
+  Trans ta, tb;
+  std::size_t m, n, k;
+  float alpha, beta;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmTest, MatchesReference) {
+  const auto& p = GetParam();
+  const auto a = random_vec(p.m * p.k, 1);
+  const auto b = random_vec(p.k * p.n, 2);
+  auto c = random_vec(p.m * p.n, 3);
+  auto expected = reference_gemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a, b,
+                                 p.beta, c);
+  middlefl::tensor::gemm(p.ta, p.tb, p.m, p.n, p.k, p.alpha, a, b, p.beta, c);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], 1e-3f) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposesAndShapes, GemmTest,
+    ::testing::Values(
+        GemmCase{Trans::kNo, Trans::kNo, 4, 5, 6, 1.0f, 0.0f},
+        GemmCase{Trans::kNo, Trans::kYes, 4, 5, 6, 1.0f, 0.0f},
+        GemmCase{Trans::kYes, Trans::kNo, 4, 5, 6, 1.0f, 0.0f},
+        GemmCase{Trans::kYes, Trans::kYes, 4, 5, 6, 1.0f, 0.0f},
+        GemmCase{Trans::kNo, Trans::kNo, 1, 1, 1, 1.0f, 0.0f},
+        GemmCase{Trans::kNo, Trans::kNo, 7, 3, 9, 2.0f, 0.5f},
+        GemmCase{Trans::kNo, Trans::kYes, 3, 7, 2, -1.0f, 1.0f},
+        GemmCase{Trans::kYes, Trans::kNo, 5, 5, 5, 0.5f, 2.0f},
+        GemmCase{Trans::kNo, Trans::kNo, 16, 16, 16, 1.0f, 1.0f},
+        GemmCase{Trans::kNo, Trans::kNo, 33, 17, 29, 1.0f, 0.0f}));
+
+TEST(Blas, GemmParallelMatchesSerial) {
+  const std::size_t m = 64, n = 64, k = 64;
+  const auto a = random_vec(m * k, 11);
+  const auto b = random_vec(k * n, 12);
+  std::vector<float> serial(m * n, 0.0f);
+  std::vector<float> parallel_out(m * n, 0.0f);
+  middlefl::tensor::gemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a, b, 0.0f,
+                         serial);
+  middlefl::parallel::ThreadPool pool(4);
+  middlefl::tensor::gemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a, b, 0.0f,
+                         parallel_out, &pool);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel_out[i]) << "at " << i;
+  }
+}
+
+TEST(Blas, GemmSizeChecks) {
+  std::vector<float> a(6), b(6), c(4);
+  EXPECT_NO_THROW(
+      middlefl::tensor::gemm(Trans::kNo, Trans::kNo, 2, 2, 3, 1, a, b, 0, c));
+  EXPECT_THROW(
+      middlefl::tensor::gemm(Trans::kNo, Trans::kNo, 2, 2, 4, 1, a, b, 0, c),
+      std::invalid_argument);
+}
+
+TEST(Blas, GemvNoTrans) {
+  // A = [[1,2],[3,4],[5,6]] (3x2), x = [1, -1]
+  std::vector<float> a{1, 2, 3, 4, 5, 6};
+  std::vector<float> x{1, -1};
+  std::vector<float> y{100, 100, 100};
+  middlefl::tensor::gemv(Trans::kNo, 3, 2, 1.0f, a, x, 0.0f, y);
+  EXPECT_FLOAT_EQ(y[0], -1.0f);
+  EXPECT_FLOAT_EQ(y[1], -1.0f);
+  EXPECT_FLOAT_EQ(y[2], -1.0f);
+}
+
+TEST(Blas, GemvTransposed) {
+  std::vector<float> a{1, 2, 3, 4, 5, 6};  // 3x2
+  std::vector<float> x{1, 1, 1};
+  std::vector<float> y{0, 0};
+  middlefl::tensor::gemv(Trans::kYes, 3, 2, 1.0f, a, x, 0.0f, y);
+  EXPECT_FLOAT_EQ(y[0], 9.0f);   // 1+3+5
+  EXPECT_FLOAT_EQ(y[1], 12.0f);  // 2+4+6
+}
+
+TEST(Blas, GemvBetaAccumulates) {
+  std::vector<float> a{1, 0, 0, 1};  // identity 2x2
+  std::vector<float> x{3, 4};
+  std::vector<float> y{1, 1};
+  middlefl::tensor::gemv(Trans::kNo, 2, 2, 2.0f, a, x, 1.0f, y);
+  EXPECT_FLOAT_EQ(y[0], 7.0f);
+  EXPECT_FLOAT_EQ(y[1], 9.0f);
+}
+
+}  // namespace

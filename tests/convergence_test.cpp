@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/convergence.hpp"
+#include "parallel/rng.hpp"
+
+namespace {
+
+using middlefl::core::Theorem1Params;
+using middlefl::core::theorem1_big_b;
+using middlefl::core::theorem1_bound;
+using middlefl::core::theorem1_dbound_dmobility;
+using middlefl::core::theorem1_gamma;
+using middlefl::core::theorem1_lr;
+using middlefl::core::theorem1_mobility_term;
+
+Theorem1Params default_params() {
+  Theorem1Params p;
+  p.beta = 1.0;
+  p.mu = 0.1;
+  p.big_g = 1.0;
+  p.big_b = 1.0;
+  p.local_steps = 10;
+  p.alpha = 0.5;
+  p.mobility = 0.5;
+  p.horizon = 1000;
+  p.init_distance_sq = 1.0;
+  return p;
+}
+
+TEST(Theorem1, GammaIsMaxOf8BetaOverMuAndI) {
+  auto p = default_params();
+  // 8 * 1 / 0.1 = 80 > I = 10.
+  EXPECT_DOUBLE_EQ(theorem1_gamma(p), 80.0);
+  p.mu = 10.0;  // 8/10 = 0.8 < I
+  EXPECT_DOUBLE_EQ(theorem1_gamma(p), 10.0);
+}
+
+TEST(Theorem1, LrIsDiminishing) {
+  const auto p = default_params();
+  EXPECT_GT(theorem1_lr(p, 0), theorem1_lr(p, 10));
+  EXPECT_GT(theorem1_lr(p, 10), theorem1_lr(p, 1000));
+  const double gamma = theorem1_gamma(p);
+  EXPECT_NEAR(theorem1_lr(p, 0), 2.0 / (p.mu * gamma), 1e-12);
+}
+
+TEST(Theorem1, BoundIsPositiveAndFinite) {
+  const double bound = theorem1_bound(default_params());
+  EXPECT_GT(bound, 0.0);
+  EXPECT_TRUE(std::isfinite(bound));
+}
+
+TEST(Theorem1, BoundDecreasesWithMobility) {
+  // Remark 1: higher P, lower bound, monotonically.
+  auto p = default_params();
+  double prev = std::numeric_limits<double>::infinity();
+  for (double mobility : {0.1, 0.3, 0.5, 0.7, 1.0}) {
+    p.mobility = mobility;
+    const double bound = theorem1_bound(p);
+    EXPECT_LT(bound, prev) << "P = " << mobility;
+    prev = bound;
+  }
+}
+
+TEST(Theorem1, DerivativeIsNegativeEverywhere) {
+  auto p = default_params();
+  for (double mobility : {0.05, 0.25, 0.5, 0.9, 1.0}) {
+    for (double alpha : {0.1, 0.5, 0.9}) {
+      p.mobility = mobility;
+      p.alpha = alpha;
+      EXPECT_LT(theorem1_dbound_dmobility(p), 0.0);
+    }
+  }
+}
+
+TEST(Theorem1, DerivativeMatchesFiniteDifference) {
+  auto p = default_params();
+  const double eps = 1e-6;
+  auto plus = p, minus = p;
+  plus.mobility += eps;
+  minus.mobility -= eps;
+  const double numeric =
+      (theorem1_bound(plus) - theorem1_bound(minus)) / (2.0 * eps);
+  EXPECT_NEAR(theorem1_dbound_dmobility(p), numeric,
+              std::abs(numeric) * 1e-3);
+}
+
+TEST(Theorem1, MobilityTermSymmetricInAlpha) {
+  // alpha(1-alpha) is symmetric about 1/2 and maximized there, so the term
+  // is minimized at alpha = 1/2.
+  auto p = default_params();
+  p.alpha = 0.3;
+  const double at_03 = theorem1_mobility_term(p);
+  p.alpha = 0.7;
+  const double at_07 = theorem1_mobility_term(p);
+  EXPECT_NEAR(at_03, at_07, 1e-9);
+  p.alpha = 0.5;
+  EXPECT_LT(theorem1_mobility_term(p), at_03);
+}
+
+TEST(Theorem1, OptimizationTermVanishesWithHorizon) {
+  auto p = default_params();
+  p.horizon = 10;
+  const double early = theorem1_bound(p) - theorem1_mobility_term(p);
+  p.horizon = 1000000;
+  const double late = theorem1_bound(p) - theorem1_mobility_term(p);
+  EXPECT_LT(late, early / 100.0);
+}
+
+TEST(Theorem1, LargerLocalStepsLoosenBound) {
+  // The mobility term scales with I^2 (once gamma is pinned by 8beta/mu).
+  auto p = default_params();
+  p.local_steps = 5;
+  const double small_i = theorem1_mobility_term(p);
+  p.local_steps = 20;
+  const double large_i = theorem1_mobility_term(p);
+  EXPECT_GT(large_i, small_i);
+}
+
+TEST(Theorem1, ValidatesParameterRanges) {
+  auto p = default_params();
+  p.alpha = 0.0;
+  EXPECT_THROW(theorem1_bound(p), std::invalid_argument);
+  p = default_params();
+  p.alpha = 1.0;
+  EXPECT_THROW(theorem1_bound(p), std::invalid_argument);
+  p = default_params();
+  p.mobility = 0.0;
+  EXPECT_THROW(theorem1_bound(p), std::invalid_argument);
+  p = default_params();
+  p.mobility = 1.5;
+  EXPECT_THROW(theorem1_bound(p), std::invalid_argument);
+  p = default_params();
+  p.beta = -1.0;
+  EXPECT_THROW(theorem1_bound(p), std::invalid_argument);
+  p = default_params();
+  p.local_steps = 0;
+  EXPECT_THROW(theorem1_bound(p), std::invalid_argument);
+}
+
+// --- Lemma 1, verified numerically on exact quadratic instances ---
+//
+// With F_m(w) = |w - c_m|^2 (beta = mu = 2), full participation,
+// deterministic full-batch gradients (sigma = 0) and one local step per
+// round, Lemma 1 reduces to
+//   |w^{t+1} - w*|^2 <= (1 - eta mu) |w^t - w*|^2 + 6 beta eta^2 Gamma
+//                        + 2 sum_m h_m |w^t - w_m^t|^2,
+// which we can check step by step on simulated trajectories.
+class Lemma1Quadratic : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lemma1Quadratic, StepInequalityHolds) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  middlefl::parallel::Xoshiro256 rng(seed);
+  const std::size_t devices = 3 + rng.bounded(5);
+  const std::size_t dim = 2 + rng.bounded(6);
+  constexpr double beta = 2.0, mu = 2.0;
+
+  // Device optima c_m and weights h_m = 1/M.
+  std::vector<std::vector<double>> c(devices, std::vector<double>(dim));
+  for (auto& cm : c) {
+    for (double& v : cm) v = rng.normal();
+  }
+  std::vector<double> w_star(dim, 0.0);
+  for (const auto& cm : c) {
+    for (std::size_t d = 0; d < dim; ++d) w_star[d] += cm[d];
+  }
+  for (double& v : w_star) v /= static_cast<double>(devices);
+  // Gamma = F* - sum h_m F_m* = F(w*) since F_m* = 0.
+  double gamma_gap = 0.0;
+  for (const auto& cm : c) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double diff = w_star[d] - cm[d];
+      gamma_gap += diff * diff;
+    }
+  }
+  gamma_gap /= static_cast<double>(devices);
+
+  // FedAvg trajectory, eta_t <= 1/(4 beta) = 1/8 as Lemma 1 requires.
+  std::vector<double> w(dim);
+  for (double& v : w) v = rng.normal() * 3.0;
+  const auto dist_sq = [&](const std::vector<double>& a) {
+    double acc = 0.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double diff = a[d] - w_star[d];
+      acc += diff * diff;
+    }
+    return acc;
+  };
+
+  for (int t = 0; t < 50; ++t) {
+    const double eta = 1.0 / (8.0 + t);  // diminishing, <= 1/8
+    const double before = dist_sq(w);
+    // One local step per device from the shared model, then average; the
+    // divergence term sum h |w - w_m| is zero in this I=1 regime.
+    std::vector<double> next(dim, 0.0);
+    for (const auto& cm : c) {
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double grad = 2.0 * (w[d] - cm[d]);
+        next[d] += (w[d] - eta * grad) / static_cast<double>(devices);
+      }
+    }
+    w = next;
+    const double after = dist_sq(w);
+    const double bound =
+        (1.0 - eta * mu) * before + 6.0 * beta * eta * eta * gamma_gap;
+    EXPECT_LE(after, bound + 1e-9)
+        << "step " << t << " violates Lemma 1";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, Lemma1Quadratic,
+                         ::testing::Range(1, 9));
+
+TEST(Theorem1, BigBFormula) {
+  // B = sum h^2 sigma^2 + 6 beta Gamma.
+  const std::vector<double> h{0.5, 0.5};
+  const std::vector<double> sigma_sq{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(theorem1_big_b(h, sigma_sq, 2.0, 0.1),
+                   0.25 * 1.0 + 0.25 * 4.0 + 6.0 * 2.0 * 0.1);
+  EXPECT_THROW(theorem1_big_b({0.5}, sigma_sq, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace

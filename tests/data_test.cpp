@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dataset.hpp"
+#include "data/sampler.hpp"
+#include "data/synthetic.hpp"
+#include "parallel/rng.hpp"
+
+namespace {
+
+using middlefl::data::Dataset;
+using middlefl::data::DataView;
+using middlefl::data::SyntheticConfig;
+using middlefl::data::SyntheticGenerator;
+using middlefl::data::TaskKind;
+using middlefl::parallel::Xoshiro256;
+using middlefl::tensor::Shape;
+
+Dataset tiny_dataset() {
+  Dataset ds(Shape{2}, 3);
+  ds.add(std::vector<float>{0.f, 0.f}, 0);
+  ds.add(std::vector<float>{1.f, 1.f}, 1);
+  ds.add(std::vector<float>{2.f, 2.f}, 2);
+  ds.add(std::vector<float>{3.f, 3.f}, 0);
+  return ds;
+}
+
+TEST(Dataset, AddAndAccess) {
+  const Dataset ds = tiny_dataset();
+  EXPECT_EQ(ds.size(), 4u);
+  EXPECT_EQ(ds.num_classes(), 3u);
+  EXPECT_EQ(ds.label(1), 1);
+  EXPECT_FLOAT_EQ(ds.features(2)[0], 2.0f);
+}
+
+TEST(Dataset, ValidatesInput) {
+  Dataset ds(Shape{2}, 3);
+  EXPECT_THROW(ds.add(std::vector<float>{1.f}, 0), std::invalid_argument);
+  EXPECT_THROW(ds.add(std::vector<float>{1.f, 2.f}, 3), std::out_of_range);
+  EXPECT_THROW(ds.add(std::vector<float>{1.f, 2.f}, -1), std::out_of_range);
+  EXPECT_THROW(Dataset(Shape{2}, 1), std::invalid_argument);
+}
+
+TEST(Dataset, GatherBuildsBatch) {
+  const Dataset ds = tiny_dataset();
+  const std::vector<std::size_t> idx{2, 0};
+  const auto batch = ds.gather(idx);
+  EXPECT_EQ(batch.shape(), (Shape{2, 2}));
+  EXPECT_FLOAT_EQ(batch.at({0, 0}), 2.0f);
+  EXPECT_FLOAT_EQ(batch.at({1, 0}), 0.0f);
+  const auto labels = ds.gather_labels(idx);
+  EXPECT_EQ(labels[0], 2);
+  EXPECT_EQ(labels[1], 0);
+}
+
+TEST(Dataset, GatherEmptyThrows) {
+  const Dataset ds = tiny_dataset();
+  EXPECT_THROW(ds.gather({}), std::invalid_argument);
+}
+
+TEST(Dataset, ClassHistogramAndLookup) {
+  const Dataset ds = tiny_dataset();
+  const auto hist = ds.class_histogram();
+  EXPECT_EQ(hist[0], 2u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 1u);
+  const auto zeros = ds.indices_of_class(0);
+  EXPECT_EQ(zeros, (std::vector<std::size_t>{0, 3}));
+}
+
+TEST(DataView, SubsetsAndBoundsChecks) {
+  const Dataset ds = tiny_dataset();
+  const DataView view(&ds, {1, 3});
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_EQ(view.label(0), 1);
+  EXPECT_EQ(view.label(1), 0);
+  EXPECT_THROW(DataView(&ds, {4}), std::out_of_range);
+  EXPECT_THROW(DataView(nullptr, {}), std::invalid_argument);
+}
+
+TEST(DataView, AllCoversDataset) {
+  const Dataset ds = tiny_dataset();
+  const auto view = DataView::all(ds);
+  EXPECT_EQ(view.size(), ds.size());
+  const auto feats = view.all_features();
+  EXPECT_EQ(feats.dim(0), 4u);
+  const auto labels = view.all_labels();
+  EXPECT_EQ(labels.size(), 4u);
+}
+
+TEST(DataView, HistogramCountsViewOnly) {
+  const Dataset ds = tiny_dataset();
+  const DataView view(&ds, {0, 3});
+  const auto hist = view.class_histogram();
+  EXPECT_EQ(hist[0], 2u);
+  EXPECT_EQ(hist[1], 0u);
+}
+
+// --- Synthetic generators ---
+
+TEST(Synthetic, TaskRoundTrip) {
+  using middlefl::data::parse_task;
+  using middlefl::data::to_string;
+  for (auto kind : {TaskKind::kMnist, TaskKind::kEmnist, TaskKind::kCifar,
+                    TaskKind::kSpeech}) {
+    EXPECT_EQ(parse_task(to_string(kind)), kind);
+  }
+  EXPECT_THROW(parse_task("imagenet"), std::invalid_argument);
+}
+
+TEST(Synthetic, TaskPresetsMatchPaper) {
+  const auto mnist = middlefl::data::task_config(TaskKind::kMnist);
+  EXPECT_EQ(mnist.num_classes, 10u);
+  EXPECT_EQ(mnist.channels, 1u);
+  const auto emnist = middlefl::data::task_config(TaskKind::kEmnist);
+  EXPECT_EQ(emnist.num_classes, 26u);  // EMNIST "Letters"
+  const auto cifar = middlefl::data::task_config(TaskKind::kCifar);
+  EXPECT_EQ(cifar.channels, 3u);
+  const auto speech = middlefl::data::task_config(TaskKind::kSpeech);
+  EXPECT_GT(speech.sparsity, 0.0f);  // "long sparse vectors"
+  EXPECT_GT(speech.width, speech.height);
+}
+
+TEST(Synthetic, ScaleShrinksButKeepsClasses) {
+  const auto full = middlefl::data::task_config(TaskKind::kEmnist, 1.0);
+  const auto small = middlefl::data::task_config(TaskKind::kEmnist, 0.5);
+  EXPECT_LT(small.height, full.height);
+  EXPECT_EQ(small.num_classes, full.num_classes);
+  EXPECT_THROW(middlefl::data::task_config(TaskKind::kMnist, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Synthetic, GenerateBalancedDataset) {
+  SyntheticConfig cfg;
+  cfg.num_classes = 4;
+  cfg.height = 8;
+  cfg.width = 8;
+  const SyntheticGenerator gen(cfg);
+  const Dataset ds = gen.generate(25, 0);
+  EXPECT_EQ(ds.size(), 100u);
+  for (std::size_t count : ds.class_histogram()) EXPECT_EQ(count, 25u);
+}
+
+TEST(Synthetic, DeterministicInSeedAndSalt) {
+  SyntheticConfig cfg;
+  cfg.num_classes = 3;
+  cfg.height = 6;
+  cfg.width = 6;
+  const SyntheticGenerator gen1(cfg);
+  const SyntheticGenerator gen2(cfg);
+  const Dataset a = gen1.generate(5, 1);
+  const Dataset b = gen2.generate(5, 1);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.label(i), b.label(i));
+    const auto fa = a.features(i);
+    const auto fb = b.features(i);
+    for (std::size_t j = 0; j < fa.size(); ++j) EXPECT_EQ(fa[j], fb[j]);
+  }
+  // Different salt gives a different draw (train vs test split).
+  const Dataset c = gen1.generate(5, 2);
+  bool any_diff = false;
+  for (std::size_t j = 0; j < a.features(0).size(); ++j) {
+    any_diff = any_diff || a.features(0)[j] != c.features(0)[j];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Synthetic, ClassesAreSeparable) {
+  // Nearest-prototype classification must beat chance by a wide margin;
+  // otherwise the learning tasks would be vacuous.
+  SyntheticConfig cfg;
+  cfg.num_classes = 5;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.noise_std = 0.2f;
+  cfg.deform = 0;
+  const SyntheticGenerator gen(cfg);
+  const Dataset ds = gen.generate(20, 3);
+
+  // Use class means of a reference draw as prototypes.
+  const Dataset ref = gen.generate(20, 4);
+  const std::size_t dim = ref.sample_shape().numel();
+  std::vector<std::vector<double>> means(5, std::vector<double>(dim, 0.0));
+  std::vector<std::size_t> counts(5, 0);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    const auto f = ref.features(i);
+    auto& m = means[static_cast<std::size_t>(ref.label(i))];
+    for (std::size_t j = 0; j < dim; ++j) m[j] += f[j];
+    ++counts[static_cast<std::size_t>(ref.label(i))];
+  }
+  for (std::size_t c = 0; c < 5; ++c) {
+    for (double& v : means[c]) v /= static_cast<double>(counts[c]);
+  }
+
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const auto f = ds.features(i);
+    double best = 1e300;
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < 5; ++c) {
+      double d2 = 0.0;
+      for (std::size_t j = 0; j < dim; ++j) {
+        const double d = f[j] - means[c][j];
+        d2 += d * d;
+      }
+      if (d2 < best) {
+        best = d2;
+        best_c = c;
+      }
+    }
+    if (best_c == static_cast<std::size_t>(ds.label(i))) ++correct;
+  }
+  const double acc = static_cast<double>(correct) / ds.size();
+  EXPECT_GT(acc, 0.6);  // chance is 0.2
+}
+
+TEST(Synthetic, SparsityZeroesPositions) {
+  SyntheticConfig cfg;
+  cfg.num_classes = 2;
+  cfg.height = 8;
+  cfg.width = 8;
+  cfg.sparsity = 0.5f;
+  cfg.noise_std = 0.5f;
+  const SyntheticGenerator gen(cfg);
+  Xoshiro256 rng(1);
+  std::vector<float> sample(64);
+  gen.sample_into(0, rng, sample);
+  std::size_t zeros = 0;
+  for (float v : sample) {
+    if (v == 0.0f) ++zeros;
+  }
+  EXPECT_GT(zeros, 16u);  // ~32 expected
+  EXPECT_LT(zeros, 48u);
+}
+
+TEST(Synthetic, InvalidConfigThrows) {
+  SyntheticConfig cfg;
+  cfg.num_classes = 1;
+  EXPECT_THROW(SyntheticGenerator{cfg}, std::invalid_argument);
+  cfg = SyntheticConfig{};
+  cfg.sparsity = 1.0f;
+  EXPECT_THROW(SyntheticGenerator{cfg}, std::invalid_argument);
+  cfg = SyntheticConfig{};
+  cfg.proto_grid = 1;
+  EXPECT_THROW(SyntheticGenerator{cfg}, std::invalid_argument);
+}
+
+// --- Sampler ---
+
+TEST(Sampler, MinibatchShapesAndDeterminism) {
+  const Dataset ds = tiny_dataset();
+  const auto view = DataView::all(ds);
+  Xoshiro256 rng1(5), rng2(5);
+  const auto b1 = middlefl::data::sample_minibatch(view, 3, rng1);
+  const auto b2 = middlefl::data::sample_minibatch(view, 3, rng2);
+  EXPECT_EQ(b1.features.dim(0), 3u);
+  EXPECT_EQ(b1.labels.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(b1.labels[i], b2.labels[i]);
+}
+
+TEST(Sampler, EmptyViewThrows) {
+  const Dataset ds = tiny_dataset();
+  const DataView empty(&ds, {});
+  Xoshiro256 rng(5);
+  EXPECT_THROW(middlefl::data::sample_minibatch(empty, 2, rng),
+               std::invalid_argument);
+}
+
+TEST(Sampler, SequentialBatchesCoverAll) {
+  const auto batches = middlefl::data::sequential_batches(10, 4);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].size(), 4u);
+  EXPECT_EQ(batches[2].size(), 2u);
+  std::set<std::size_t> seen;
+  for (const auto& b : batches) seen.insert(b.begin(), b.end());
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+}  // namespace

@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/entities.hpp"
+#include "data/synthetic.hpp"
+#include "nn/model_factory.hpp"
+#include "optim/sgd.hpp"
+
+namespace {
+
+using middlefl::core::Cloud;
+using middlefl::core::Device;
+using middlefl::core::Edge;
+using middlefl::data::DataView;
+using middlefl::data::Dataset;
+using middlefl::nn::ModelArch;
+using middlefl::nn::ModelSpec;
+using middlefl::parallel::Xoshiro256;
+using middlefl::tensor::Shape;
+
+struct Fixture {
+  Dataset dataset;
+  ModelSpec spec;
+
+  Fixture() : dataset(make_dataset()) {
+    spec.arch = ModelArch::kMlp;
+    spec.input_shape = Shape{1, 6, 6};
+    spec.num_classes = 3;
+    spec.hidden = 8;
+  }
+
+  static Dataset make_dataset() {
+    middlefl::data::SyntheticConfig cfg;
+    cfg.num_classes = 3;
+    cfg.height = 6;
+    cfg.width = 6;
+    const middlefl::data::SyntheticGenerator gen(cfg);
+    return gen.generate(30, 0);
+  }
+
+  Device make_device(std::size_t id) const {
+    return Device(id, DataView::all(dataset),
+                  middlefl::nn::build_model(spec, 7),
+                  std::make_unique<middlefl::optim::Sgd>(
+                      middlefl::optim::SgdConfig{.learning_rate = 0.05,
+                                                 .momentum = 0.9}));
+  }
+};
+
+TEST(Device, ConstructionValidation) {
+  const Fixture fx;
+  EXPECT_THROW(
+      Device(0, DataView(&fx.dataset, {}),
+             middlefl::nn::build_model(fx.spec, 1),
+             std::make_unique<middlefl::optim::Sgd>(
+                 middlefl::optim::SgdConfig{})),
+      std::invalid_argument);
+  EXPECT_THROW(Device(0, DataView::all(fx.dataset),
+                      middlefl::nn::build_model(fx.spec, 1), nullptr),
+               std::invalid_argument);
+}
+
+TEST(Device, TrainReducesLossOnItsData) {
+  const Fixture fx;
+  Device device = fx.make_device(0);
+  Xoshiro256 rng(1);
+  const auto first = device.train(10, 16, 0.05, true, rng);
+  Xoshiro256 rng2(2);
+  // Continue training; average loss over the next round should be lower.
+  const auto second = device.train(10, 16, 0.05, true, rng2);
+  EXPECT_LT(second.mean_loss, first.mean_loss);
+}
+
+TEST(Device, TrainChangesParameters) {
+  const Fixture fx;
+  Device device = fx.make_device(0);
+  const std::vector<float> before(device.params().begin(),
+                                  device.params().end());
+  Xoshiro256 rng(3);
+  device.train(2, 8, 0.05, true, rng);
+  bool changed = false;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    changed = changed || before[i] != device.params()[i];
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Device, StatUtilityPopulatedAfterTraining) {
+  const Fixture fx;
+  Device device = fx.make_device(0);
+  EXPECT_FALSE(device.stat_utility().has_value());
+  Xoshiro256 rng(4);
+  device.train(2, 8, 0.05, true, rng);
+  ASSERT_TRUE(device.stat_utility().has_value());
+  EXPECT_GT(*device.stat_utility(), 0.0);
+  device.clear_history();
+  EXPECT_FALSE(device.stat_utility().has_value());
+}
+
+TEST(Device, SetParamsRoundTrip) {
+  const Fixture fx;
+  Device device = fx.make_device(0);
+  std::vector<float> zeros(device.params().size(), 0.0f);
+  device.set_params(zeros);
+  for (float p : device.params()) EXPECT_EQ(p, 0.0f);
+}
+
+TEST(Device, TrainValidatesArguments) {
+  const Fixture fx;
+  Device device = fx.make_device(0);
+  Xoshiro256 rng(5);
+  EXPECT_THROW(device.train(0, 8, 0.05, true, rng), std::invalid_argument);
+  EXPECT_THROW(device.train(2, 0, 0.05, true, rng), std::invalid_argument);
+}
+
+TEST(Device, TrainDeterministicGivenRngAndStart) {
+  const Fixture fx;
+  Device a = fx.make_device(0);
+  Device b = fx.make_device(1);
+  b.set_params(a.params());
+  Xoshiro256 rng_a(6), rng_b(6);
+  a.train(5, 8, 0.05, true, rng_a);
+  b.train(5, 8, 0.05, true, rng_b);
+  for (std::size_t i = 0; i < a.params().size(); ++i) {
+    EXPECT_EQ(a.params()[i], b.params()[i]);
+  }
+}
+
+TEST(Device, MarkTrainedTracksStep) {
+  const Fixture fx;
+  Device device = fx.make_device(0);
+  EXPECT_FALSE(device.last_trained_step().has_value());
+  device.mark_trained(17);
+  EXPECT_EQ(device.last_trained_step().value(), 17u);
+}
+
+TEST(Device, OortUtilityMatchesFormula) {
+  // U_stat = d_m * sqrt(mean squared per-sample loss on the final batch),
+  // with the stats the training round itself reports.
+  const Fixture fx;
+  Device device = fx.make_device(0);
+  Xoshiro256 rng(21);
+  const auto stats = device.train(3, 8, 0.05, true, rng);
+  ASSERT_TRUE(device.stat_utility().has_value());
+  const double expected = static_cast<double>(device.data_size()) *
+                          std::sqrt(stats.mean_sq_loss);
+  EXPECT_NEAR(*device.stat_utility(), expected, 1e-9);
+  EXPECT_EQ(stats.batches, 3u);
+  EXPECT_GT(stats.mean_loss, 0.0);
+}
+
+TEST(Device, GradientClippingBoundsStepSize) {
+  const Fixture fx;
+  // Unclipped vs tightly-clipped single step from the same start: the
+  // clipped parameter displacement must be <= lr * clip_norm (plain SGD).
+  Device free = fx.make_device(0);
+  Device clipped = fx.make_device(1);
+  clipped.set_params(free.params());
+  const std::vector<float> start(free.params().begin(), free.params().end());
+
+  middlefl::parallel::Xoshiro256 rng1(9), rng2(9);
+  // momentum 0.9 in the fixture; use 1 step so displacement = lr * grad.
+  free.train(1, 8, 0.1, true, rng1, 0.0, 0.0);
+  const double tiny_clip = 1e-3;
+  clipped.train(1, 8, 0.1, true, rng2, 0.0, tiny_clip);
+
+  const auto displacement = [&start](const Device& device) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < start.size(); ++i) {
+      const double d = device.params()[i] - start[i];
+      acc += d * d;
+    }
+    return std::sqrt(acc);
+  };
+  EXPECT_LE(displacement(clipped), 0.1 * tiny_clip + 1e-9);
+  EXPECT_GT(displacement(free), displacement(clipped));
+}
+
+TEST(Device, NegativeClipNormRejected) {
+  const Fixture fx;
+  Device device = fx.make_device(0);
+  middlefl::parallel::Xoshiro256 rng(5);
+  EXPECT_THROW(device.train(1, 8, 0.1, true, rng, 0.0, -1.0),
+               std::invalid_argument);
+}
+
+TEST(Edge, ParticipationAccumulates) {
+  Edge edge(0, 4);
+  EXPECT_EQ(edge.participation_weight(), 0.0);
+  edge.add_participation(30.0);
+  edge.add_participation(20.0);
+  EXPECT_EQ(edge.participation_weight(), 50.0);
+  edge.reset_participation();
+  EXPECT_EQ(edge.participation_weight(), 0.0);
+}
+
+TEST(Edge, SetParamsValidatesSize) {
+  Edge edge(0, 4);
+  EXPECT_THROW(edge.set_params(std::vector<float>(3)), std::invalid_argument);
+  const std::vector<float> good{1, 2, 3, 4};
+  edge.set_params(good);
+  EXPECT_EQ(edge.params()[2], 3.0f);
+}
+
+TEST(Cloud, SetParamsValidatesSize) {
+  Cloud cloud(2);
+  EXPECT_THROW(cloud.set_params(std::vector<float>(5)),
+               std::invalid_argument);
+  cloud.set_params(std::vector<float>{1.0f, 2.0f});
+  EXPECT_EQ(cloud.params()[1], 2.0f);
+}
+
+}  // namespace

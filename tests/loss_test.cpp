@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "nn/loss.hpp"
+
+namespace {
+
+using middlefl::nn::count_correct;
+using middlefl::nn::cross_entropy_value;
+using middlefl::nn::per_example_cross_entropy;
+using middlefl::nn::softmax;
+using middlefl::nn::softmax_cross_entropy;
+using middlefl::tensor::Shape;
+using middlefl::tensor::Tensor;
+
+TEST(Softmax, RowsSumToOne) {
+  const Tensor logits(Shape{2, 3}, {1, 2, 3, -1, 0, 5});
+  const Tensor probs = softmax(logits);
+  for (std::size_t b = 0; b < 2; ++b) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) sum += probs.at({b, c});
+    EXPECT_NEAR(sum, 1.0, 1e-6);
+  }
+}
+
+TEST(Softmax, UniformLogitsUniformProbs) {
+  const Tensor logits(Shape{1, 4}, {2, 2, 2, 2});
+  const Tensor probs = softmax(logits);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(probs.at({0, c}), 0.25, 1e-6);
+  }
+}
+
+TEST(Softmax, NumericallyStableForLargeLogits) {
+  const Tensor logits(Shape{1, 3}, {1000.0f, 999.0f, 998.0f});
+  const Tensor probs = softmax(logits);
+  EXPECT_TRUE(std::isfinite(probs.at({0, 0})));
+  EXPECT_GT(probs.at({0, 0}), probs.at({0, 1}));
+  double sum = 0.0;
+  for (std::size_t c = 0; c < 3; ++c) sum += probs.at({0, c});
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(CrossEntropy, KnownValue) {
+  // Uniform logits over C classes: loss = log(C).
+  const Tensor logits(Shape{1, 4}, {0, 0, 0, 0});
+  const std::vector<std::int32_t> labels{2};
+  EXPECT_NEAR(cross_entropy_value(logits, labels), std::log(4.0), 1e-5);
+}
+
+TEST(CrossEntropy, PerfectPredictionNearZero) {
+  const Tensor logits(Shape{1, 3}, {100.0f, 0.0f, 0.0f});
+  const std::vector<std::int32_t> labels{0};
+  EXPECT_LT(cross_entropy_value(logits, labels), 1e-4);
+}
+
+TEST(CrossEntropy, GradientMatchesSoftmaxMinusOnehot) {
+  const Tensor logits(Shape{2, 3}, {1, 2, 3, 0, 0, 0});
+  const std::vector<std::int32_t> labels{0, 2};
+  const auto result = softmax_cross_entropy(logits, labels);
+  const Tensor probs = softmax(logits);
+  for (std::size_t b = 0; b < 2; ++b) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      const double expected =
+          (probs.at({b, c}) -
+           (static_cast<std::int32_t>(c) == labels[b] ? 1.0 : 0.0)) /
+          2.0;  // mean over batch of 2
+      EXPECT_NEAR(result.grad_logits.at({b, c}), expected, 1e-5);
+    }
+  }
+}
+
+TEST(CrossEntropy, GradientRowsSumToZero) {
+  const Tensor logits(Shape{3, 4}, {1, -1, 0.5f, 2, 0, 0, 0, 0, 3, 1, 4, 1});
+  const std::vector<std::int32_t> labels{1, 0, 3};
+  const auto result = softmax_cross_entropy(logits, labels);
+  for (std::size_t b = 0; b < 3; ++b) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) sum += result.grad_logits.at({b, c});
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(CrossEntropy, MeanLossMatchesValueOnlyPath) {
+  const Tensor logits(Shape{2, 3}, {1, 2, 3, -1, 0, 5});
+  const std::vector<std::int32_t> labels{0, 2};
+  const auto result = softmax_cross_entropy(logits, labels);
+  EXPECT_NEAR(result.loss, cross_entropy_value(logits, labels), 1e-6);
+}
+
+TEST(CrossEntropy, PerExampleAveragesToMean) {
+  const Tensor logits(Shape{3, 2}, {1, 0, 0, 1, 2, 2});
+  const std::vector<std::int32_t> labels{0, 0, 1};
+  std::vector<float> per(3);
+  per_example_cross_entropy(logits, labels, per);
+  const float mean = (per[0] + per[1] + per[2]) / 3.0f;
+  EXPECT_NEAR(mean, cross_entropy_value(logits, labels), 1e-5);
+}
+
+TEST(CrossEntropy, BadLabelThrows) {
+  const Tensor logits(Shape{1, 3});
+  EXPECT_THROW(cross_entropy_value(logits, std::vector<std::int32_t>{3}),
+               std::out_of_range);
+  EXPECT_THROW(cross_entropy_value(logits, std::vector<std::int32_t>{-1}),
+               std::out_of_range);
+}
+
+TEST(CrossEntropy, BatchLabelMismatchThrows) {
+  const Tensor logits(Shape{2, 3});
+  EXPECT_THROW(cross_entropy_value(logits, std::vector<std::int32_t>{0}),
+               std::invalid_argument);
+}
+
+TEST(CountCorrect, CountsArgmaxMatches) {
+  const Tensor logits(Shape{3, 3},
+                      {5, 1, 1,    // pred 0
+                       0, 9, 2,    // pred 1
+                       1, 2, 0});  // pred 1
+  EXPECT_EQ(count_correct(logits, std::vector<std::int32_t>{0, 1, 2}), 2u);
+  EXPECT_EQ(count_correct(logits, std::vector<std::int32_t>{1, 0, 0}), 0u);
+}
+
+}  // namespace

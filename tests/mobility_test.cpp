@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mobility/markov_mobility.hpp"
+#include "mobility/mobility_model.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "mobility/trace.hpp"
+
+namespace {
+
+using middlefl::mobility::MarkovMobility;
+using middlefl::mobility::measure_mobility;
+using middlefl::mobility::moved_devices;
+using middlefl::mobility::RandomWaypointMobility;
+using middlefl::mobility::record_trace;
+using middlefl::mobility::Trace;
+using middlefl::mobility::TraceMobility;
+using middlefl::mobility::WaypointConfig;
+
+std::vector<std::size_t> initial_assignment(std::size_t devices,
+                                            std::size_t edges) {
+  std::vector<std::size_t> a(devices);
+  for (std::size_t m = 0; m < devices; ++m) a[m] = m % edges;
+  return a;
+}
+
+TEST(MovedDevices, DetectsChanges) {
+  EXPECT_EQ(moved_devices({0, 1, 2}, {0, 2, 2}), std::vector<std::size_t>{1});
+  EXPECT_TRUE(moved_devices({0, 1}, {0, 1}).empty());
+  EXPECT_THROW(moved_devices({0}, {0, 1}), std::invalid_argument);
+}
+
+TEST(Markov, ValidatesArguments) {
+  EXPECT_THROW(MarkovMobility({0, 1}, 2, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(MarkovMobility({0, 1}, 2, 1.5, 1), std::invalid_argument);
+  EXPECT_THROW(MarkovMobility({0, 5}, 2, 0.5, 1), std::out_of_range);
+  EXPECT_THROW(MarkovMobility({0, 1}, 0, 0.5, 1), std::invalid_argument);
+}
+
+TEST(Markov, ZeroMobilityNeverMoves) {
+  MarkovMobility model(initial_assignment(20, 4), 4, 0.0, 7);
+  const auto before = model.assignment();
+  for (int t = 0; t < 50; ++t) model.advance();
+  EXPECT_EQ(model.assignment(), before);
+}
+
+TEST(Markov, FullMobilityAlwaysMoves) {
+  MarkovMobility model(initial_assignment(20, 4), 4, 1.0, 7);
+  auto prev = model.assignment();
+  for (int t = 0; t < 10; ++t) {
+    model.advance();
+    EXPECT_EQ(moved_devices(prev, model.assignment()).size(), 20u);
+    prev = model.assignment();
+  }
+}
+
+TEST(Markov, EmpiricalMobilityMatchesP) {
+  for (double p : {0.1, 0.3, 0.5}) {
+    MarkovMobility model(initial_assignment(100, 10), 10, p, 11);
+    const double measured = measure_mobility(model, 500);
+    EXPECT_NEAR(measured, p, 0.03) << "P = " << p;
+  }
+}
+
+TEST(Markov, MovesGoToOtherEdges) {
+  MarkovMobility model(initial_assignment(50, 5), 5, 1.0, 3);
+  auto prev = model.assignment();
+  model.advance();
+  const auto& cur = model.assignment();
+  for (std::size_t m = 0; m < 50; ++m) EXPECT_NE(prev[m], cur[m]);
+}
+
+TEST(Markov, SingleEdgeIsStationary) {
+  MarkovMobility model(std::vector<std::size_t>(10, 0), 1, 1.0, 3);
+  model.advance();
+  for (std::size_t e : model.assignment()) EXPECT_EQ(e, 0u);
+}
+
+TEST(Markov, ResetRestoresInitialState) {
+  const auto init = initial_assignment(30, 3);
+  MarkovMobility model(init, 3, 0.5, 9);
+  for (int t = 0; t < 20; ++t) model.advance();
+  model.reset();
+  EXPECT_EQ(model.assignment(), init);
+  EXPECT_EQ(model.step(), 0u);
+}
+
+TEST(Markov, DeterministicReplay) {
+  MarkovMobility a(initial_assignment(40, 4), 4, 0.4, 13);
+  MarkovMobility b(initial_assignment(40, 4), 4, 0.4, 13);
+  for (int t = 0; t < 30; ++t) {
+    a.advance();
+    b.advance();
+    EXPECT_EQ(a.assignment(), b.assignment());
+  }
+}
+
+TEST(Markov, HeterogeneousProbabilities) {
+  std::vector<double> probs(10, 0.0);
+  probs[0] = 1.0;  // only device 0 moves
+  MarkovMobility model(initial_assignment(10, 3), 3, probs, 5);
+  EXPECT_NEAR(model.global_mobility(), 0.1, 1e-12);
+  auto prev = model.assignment();
+  model.advance();
+  const auto moved = moved_devices(prev, model.assignment());
+  ASSERT_EQ(moved.size(), 1u);
+  EXPECT_EQ(moved[0], 0u);
+}
+
+// --- Random waypoint ---
+
+TEST(Waypoint, PartitionsDevicesAmongEdges) {
+  WaypointConfig cfg;
+  cfg.num_devices = 50;
+  cfg.num_edges = 9;
+  RandomWaypointMobility model(cfg);
+  EXPECT_EQ(model.assignment().size(), 50u);
+  for (std::size_t e : model.assignment()) EXPECT_LT(e, 9u);
+}
+
+TEST(Waypoint, NearestEdgeIsActuallyNearest) {
+  WaypointConfig cfg;
+  cfg.num_devices = 20;
+  cfg.num_edges = 4;
+  RandomWaypointMobility model(cfg);
+  for (std::size_t m = 0; m < 20; ++m) {
+    const auto p = model.device_position(m);
+    const std::size_t assigned = model.assignment()[m];
+    const auto ae = model.edge_position(assigned);
+    const double assigned_d2 = (p.x - ae.x) * (p.x - ae.x) +
+                               (p.y - ae.y) * (p.y - ae.y);
+    for (std::size_t e = 0; e < 4; ++e) {
+      const auto ep = model.edge_position(e);
+      const double d2 =
+          (p.x - ep.x) * (p.x - ep.x) + (p.y - ep.y) * (p.y - ep.y);
+      EXPECT_GE(d2 + 1e-9, assigned_d2);
+    }
+  }
+}
+
+TEST(Waypoint, DevicesStayInBounds) {
+  WaypointConfig cfg;
+  cfg.num_devices = 30;
+  cfg.num_edges = 4;
+  cfg.speed_max = 200.0;
+  RandomWaypointMobility model(cfg);
+  for (int t = 0; t < 100; ++t) {
+    model.advance();
+    for (std::size_t m = 0; m < 30; ++m) {
+      const auto p = model.device_position(m);
+      EXPECT_GE(p.x, 0.0);
+      EXPECT_LE(p.x, cfg.width);
+      EXPECT_GE(p.y, 0.0);
+      EXPECT_LE(p.y, cfg.height);
+    }
+  }
+}
+
+TEST(Waypoint, FasterSpeedMeansMoreMobility) {
+  WaypointConfig slow;
+  slow.num_devices = 60;
+  slow.num_edges = 9;
+  slow.speed_min = slow.speed_max = 5.0;
+  WaypointConfig fast = slow;
+  fast.speed_min = fast.speed_max = 150.0;
+  RandomWaypointMobility slow_model(slow);
+  RandomWaypointMobility fast_model(fast);
+  EXPECT_LT(measure_mobility(slow_model, 200),
+            measure_mobility(fast_model, 200));
+}
+
+TEST(Waypoint, CalibrationHitsTarget) {
+  WaypointConfig cfg;
+  cfg.num_devices = 60;
+  cfg.num_edges = 9;
+  const auto calibrated = middlefl::mobility::calibrate_speed(cfg, 0.3, 150);
+  RandomWaypointMobility model(calibrated);
+  EXPECT_NEAR(measure_mobility(model, 300), 0.3, 0.08);
+}
+
+TEST(Waypoint, ResetIsDeterministic) {
+  WaypointConfig cfg;
+  cfg.num_devices = 25;
+  cfg.num_edges = 4;
+  RandomWaypointMobility model(cfg);
+  std::vector<std::vector<std::size_t>> first_run;
+  for (int t = 0; t < 10; ++t) {
+    model.advance();
+    first_run.push_back(model.assignment());
+  }
+  model.reset();
+  for (int t = 0; t < 10; ++t) {
+    model.advance();
+    EXPECT_EQ(model.assignment(), first_run[t]);
+  }
+}
+
+// --- Traces ---
+
+TEST(Trace, RecordAndReplayMatchesSource) {
+  MarkovMobility source(initial_assignment(15, 3), 3, 0.5, 21);
+  const Trace trace = record_trace(source, 25);
+  EXPECT_EQ(trace.num_steps(), 26u);
+
+  TraceMobility replay(trace);
+  source.reset();
+  EXPECT_EQ(replay.assignment(), source.assignment());
+  for (int t = 0; t < 25; ++t) {
+    source.advance();
+    replay.advance();
+    EXPECT_EQ(replay.assignment(), source.assignment());
+  }
+}
+
+TEST(Trace, ReplayHoldsLastAssignmentPastEnd) {
+  MarkovMobility source(initial_assignment(5, 2), 2, 0.5, 22);
+  const Trace trace = record_trace(source, 3);
+  TraceMobility replay(trace);
+  for (int t = 0; t < 10; ++t) replay.advance();
+  std::size_t last = trace.num_steps() - 1;
+  for (std::size_t m = 0; m < 5; ++m) {
+    EXPECT_EQ(replay.assignment()[m], trace.edge_at(last, m));
+  }
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+  MarkovMobility source(initial_assignment(8, 4), 4, 0.7, 23);
+  const Trace trace = record_trace(source, 12);
+  std::stringstream buffer;
+  trace.save(buffer);
+  const Trace loaded = Trace::load(buffer);
+  EXPECT_EQ(loaded.num_devices(), trace.num_devices());
+  EXPECT_EQ(loaded.num_edges(), trace.num_edges());
+  EXPECT_EQ(loaded.num_steps(), trace.num_steps());
+  for (std::size_t t = 0; t < trace.num_steps(); ++t) {
+    for (std::size_t m = 0; m < trace.num_devices(); ++m) {
+      EXPECT_EQ(loaded.edge_at(t, m), trace.edge_at(t, m));
+    }
+  }
+}
+
+TEST(Trace, LoadRejectsMalformedInput) {
+  std::stringstream empty;
+  EXPECT_THROW(Trace::load(empty), std::runtime_error);
+  std::stringstream bad_header("not a header\n");
+  EXPECT_THROW(Trace::load(bad_header), std::runtime_error);
+  std::stringstream truncated(
+      "# middlefl-trace v1 devices=2 edges=2 steps=2\n0 0 0\n");
+  EXPECT_THROW(Trace::load(truncated), std::runtime_error);
+}
+
+TEST(Trace, AppendValidates) {
+  Trace trace(3, 2);
+  EXPECT_THROW(trace.append({0, 1}), std::invalid_argument);
+  EXPECT_THROW(trace.append({0, 1, 5}), std::out_of_range);
+  EXPECT_NO_THROW(trace.append({0, 1, 1}));
+  EXPECT_THROW(trace.edge_at(1, 0), std::out_of_range);
+}
+
+TEST(MeasureMobility, ZeroStepsIsZero) {
+  MarkovMobility model(initial_assignment(5, 2), 2, 0.5, 1);
+  EXPECT_EQ(measure_mobility(model, 0), 0.0);
+}
+
+// --- Move topologies (locality) ---
+
+using middlefl::mobility::MoveTopology;
+
+TEST(MarkovTopology, DefaultIsUniform) {
+  MarkovMobility model(initial_assignment(10, 4), 4, 0.5, 31);
+  EXPECT_EQ(model.topology(), MoveTopology::kUniform);
+}
+
+TEST(MarkovTopology, SetTopologyValidatesHomeBias) {
+  MarkovMobility model(initial_assignment(10, 4), 4, 0.5, 31);
+  EXPECT_THROW(model.set_topology(MoveTopology::kHomeRing, -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(model.set_topology(MoveTopology::kHomeRing, 1.1),
+               std::invalid_argument);
+  EXPECT_NO_THROW(model.set_topology(MoveTopology::kHomeRing, 0.5));
+  EXPECT_EQ(model.topology(), MoveTopology::kHomeRing);
+}
+
+TEST(MarkovTopology, RingOnlyMovesToAdjacentEdges) {
+  constexpr std::size_t kEdges = 6;
+  MarkovMobility model(initial_assignment(60, kEdges), kEdges, 1.0, 33);
+  model.set_topology(MoveTopology::kRing);
+  auto prev = model.assignment();
+  for (int t = 0; t < 20; ++t) {
+    model.advance();
+    const auto& cur = model.assignment();
+    for (std::size_t m = 0; m < cur.size(); ++m) {
+      const std::size_t up = (prev[m] + 1) % kEdges;
+      const std::size_t down = (prev[m] + kEdges - 1) % kEdges;
+      EXPECT_TRUE(cur[m] == up || cur[m] == down)
+          << "device " << m << " jumped " << prev[m] << " -> " << cur[m];
+    }
+    prev = cur;
+  }
+}
+
+TEST(MarkovTopology, RingPreservesEmpiricalP) {
+  MarkovMobility model(initial_assignment(100, 8), 8, 0.3, 35);
+  model.set_topology(MoveTopology::kRing);
+  EXPECT_NEAR(measure_mobility(model, 400), 0.3, 0.03);
+}
+
+TEST(MarkovTopology, HomeRingPreservesEmpiricalP) {
+  MarkovMobility model(initial_assignment(100, 8), 8, 0.5, 36);
+  model.set_topology(MoveTopology::kHomeRing, 0.5);
+  EXPECT_NEAR(measure_mobility(model, 400), 0.5, 0.03);
+}
+
+TEST(MarkovTopology, HomeRingRetainsPopulationsBetterThanUniform) {
+  // The property that motivates the topology: with home bias, devices stay
+  // correlated with their home edge far longer than under uniform jumps.
+  const auto retention = [](MoveTopology topology) {
+    MarkovMobility model(initial_assignment(200, 10), 10, 0.5, 37);
+    model.set_topology(topology, 0.6);
+    const auto initial = model.assignment();
+    std::size_t at_home = 0, samples = 0;
+    for (int t = 0; t < 100; ++t) {
+      model.advance();
+      if (t < 20) continue;  // past the transient
+      for (std::size_t m = 0; m < initial.size(); ++m) {
+        if (model.assignment()[m] == initial[m]) ++at_home;
+        ++samples;
+      }
+    }
+    return static_cast<double>(at_home) / static_cast<double>(samples);
+  };
+  const double uniform = retention(MoveTopology::kUniform);
+  const double home = retention(MoveTopology::kHomeRing);
+  EXPECT_NEAR(uniform, 0.1, 0.03);  // 1/num_edges: fully mixed
+  EXPECT_GT(home, uniform + 0.15);  // strong home correlation persists
+}
+
+TEST(MarkovTopology, HomeBiasOneSnapsBackImmediately) {
+  MarkovMobility model(initial_assignment(50, 5), 5, 1.0, 38);
+  model.set_topology(MoveTopology::kHomeRing, 1.0);
+  const auto initial = model.assignment();
+  model.advance();  // everyone moves off home (they are at home: ring move)
+  model.advance();  // every away device returns home
+  // After two steps with P=1 and bias 1: devices alternate home/away; at
+  // even steps they are home again.
+  EXPECT_EQ(model.assignment(), initial);
+}
+
+}  // namespace

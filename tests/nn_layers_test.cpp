@@ -1,0 +1,358 @@
+// Behavioural tests for individual layers (shape inference, known-value
+// forward results, caching contracts). Gradient correctness is covered by
+// nn_gradcheck_test.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dropout.hpp"
+#include "nn/flatten.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+#include "nn/pooling.hpp"
+#include "parallel/rng.hpp"
+
+namespace {
+
+using middlefl::nn::Conv2d;
+using middlefl::nn::Conv2dConfig;
+using middlefl::nn::Dropout;
+using middlefl::nn::Flatten;
+using middlefl::nn::Linear;
+using middlefl::nn::MaxPool2d;
+using middlefl::nn::ReLU;
+using middlefl::nn::Shape;
+using middlefl::nn::Tanh;
+using middlefl::nn::Tensor;
+using middlefl::parallel::Xoshiro256;
+
+template <typename L>
+void bind_layer(L& layer, std::vector<float>& params,
+                std::vector<float>& grads) {
+  params.assign(layer.param_count(), 0.0f);
+  grads.assign(layer.param_count(), 0.0f);
+  layer.bind(params, grads);
+}
+
+TEST(Linear, ShapeInference) {
+  Linear layer(6, 4);
+  EXPECT_EQ(layer.build(Shape{6}), Shape{4});
+  EXPECT_EQ(layer.param_count(), 6u * 4u + 4u);
+}
+
+TEST(Linear, InferInputFromShape) {
+  Linear layer(0, 4);
+  EXPECT_EQ(layer.build(Shape{2, 3}), Shape{4});  // flattens 2*3 = 6
+  EXPECT_EQ(layer.in_features(), 6u);
+}
+
+TEST(Linear, RejectsWrongInputSize) {
+  Linear layer(6, 4);
+  EXPECT_THROW(layer.build(Shape{5}), std::invalid_argument);
+}
+
+TEST(Linear, KnownForwardValue) {
+  Linear layer(2, 2);
+  layer.build(Shape{2});
+  std::vector<float> params, grads;
+  bind_layer(layer, params, grads);
+  // W = [[1, 2], [3, 4]], b = [10, 20]
+  params = {1, 2, 3, 4, 10, 20};
+  layer.bind(params, grads);
+  const Tensor input(Shape{1, 2}, {5, 6});
+  Tensor out;
+  layer.forward(input, out, false);
+  EXPECT_FLOAT_EQ(out.at({0, 0}), 1 * 5 + 2 * 6 + 10);
+  EXPECT_FLOAT_EQ(out.at({0, 1}), 3 * 5 + 4 * 6 + 20);
+}
+
+TEST(Linear, BatchIndependence) {
+  Linear layer(3, 2);
+  layer.build(Shape{3});
+  std::vector<float> params, grads;
+  bind_layer(layer, params, grads);
+  Xoshiro256 rng(9);
+  layer.init_params(rng);
+
+  const Tensor one(Shape{1, 3}, {1, 2, 3});
+  Tensor out_single;
+  layer.forward(one, out_single, false);
+
+  const Tensor batch(Shape{2, 3}, {0, 0, 0, 1, 2, 3});
+  Tensor out_batch;
+  layer.forward(batch, out_batch, false);
+  EXPECT_FLOAT_EQ(out_batch.at({1, 0}), out_single.at({0, 0}));
+  EXPECT_FLOAT_EQ(out_batch.at({1, 1}), out_single.at({0, 1}));
+}
+
+TEST(Conv2d, OutputShape) {
+  Conv2d same(Conv2dConfig{3, 8, 3, 1, 1});
+  EXPECT_EQ(same.build(Shape{3, 16, 16}), (Shape{8, 16, 16}));
+
+  Conv2d strided(Conv2dConfig{1, 4, 3, 2, 1});
+  EXPECT_EQ(strided.build(Shape{1, 8, 8}), (Shape{4, 4, 4}));
+
+  Conv2d valid(Conv2dConfig{1, 2, 3, 1, 0});
+  EXPECT_EQ(valid.build(Shape{1, 5, 5}), (Shape{2, 3, 3}));
+}
+
+TEST(Conv2d, RejectsBadInput) {
+  Conv2d layer(Conv2dConfig{3, 8, 3, 1, 1});
+  EXPECT_THROW(layer.build(Shape{1, 16, 16}), std::invalid_argument);
+  EXPECT_THROW(layer.build(Shape{16, 16}), std::invalid_argument);
+  Conv2d huge(Conv2dConfig{1, 1, 9, 1, 0});
+  EXPECT_THROW(huge.build(Shape{1, 4, 4}), std::invalid_argument);
+}
+
+TEST(Conv2d, IdentityKernelReproducesInput) {
+  // 1x1 kernel with weight 1, bias 0 == identity.
+  Conv2d layer(Conv2dConfig{1, 1, 1, 1, 0});
+  layer.build(Shape{1, 3, 3});
+  std::vector<float> params, grads;
+  bind_layer(layer, params, grads);
+  params = {1.0f, 0.0f};  // weight, bias
+  layer.bind(params, grads);
+  Xoshiro256 rng(10);
+  const Tensor input = Tensor::randn(Shape{2, 1, 3, 3}, rng);
+  Tensor out;
+  layer.forward(input, out, false);
+  for (std::size_t i = 0; i < input.numel(); ++i) {
+    EXPECT_FLOAT_EQ(out[i], input[i]);
+  }
+}
+
+TEST(Conv2d, KnownSum3x3) {
+  // All-ones 3x3 kernel with padding 1 computes the 8-neighbour+self sum.
+  Conv2d layer(Conv2dConfig{1, 1, 3, 1, 1});
+  layer.build(Shape{1, 3, 3});
+  std::vector<float> params, grads;
+  bind_layer(layer, params, grads);
+  std::fill(params.begin(), params.end() - 1, 1.0f);
+  params.back() = 0.0f;
+  layer.bind(params, grads);
+  Tensor input(Shape{1, 1, 3, 3});
+  input.fill(1.0f);
+  Tensor out;
+  layer.forward(input, out, false);
+  EXPECT_FLOAT_EQ(out.at({0, 0, 1, 1}), 9.0f);  // full window
+  EXPECT_FLOAT_EQ(out.at({0, 0, 0, 0}), 4.0f);  // corner
+  EXPECT_FLOAT_EQ(out.at({0, 0, 0, 1}), 6.0f);  // border
+}
+
+TEST(Conv2d, BackwardRequiresTrainingForward) {
+  Conv2d layer(Conv2dConfig{1, 1, 3, 1, 1});
+  layer.build(Shape{1, 4, 4});
+  std::vector<float> params, grads;
+  bind_layer(layer, params, grads);
+  const Tensor input(Shape{1, 1, 4, 4});
+  Tensor out;
+  layer.forward(input, out, false);  // eval mode: no cache
+  Tensor grad_in;
+  EXPECT_THROW(layer.backward(input, out, grad_in), std::logic_error);
+}
+
+TEST(MaxPool2d, ForwardKnownValues) {
+  MaxPool2d layer(2);
+  EXPECT_EQ(layer.build(Shape{1, 4, 4}), (Shape{1, 2, 2}));
+  const Tensor input(Shape{1, 1, 4, 4},
+                     {1, 2, 3, 4,
+                      5, 6, 7, 8,
+                      9, 10, 11, 12,
+                      13, 14, 15, 16});
+  Tensor out;
+  layer.forward(input, out, false);
+  EXPECT_FLOAT_EQ(out.at({0, 0, 0, 0}), 6.0f);
+  EXPECT_FLOAT_EQ(out.at({0, 0, 0, 1}), 8.0f);
+  EXPECT_FLOAT_EQ(out.at({0, 0, 1, 0}), 14.0f);
+  EXPECT_FLOAT_EQ(out.at({0, 0, 1, 1}), 16.0f);
+}
+
+TEST(MaxPool2d, BackwardRoutesToArgmax) {
+  MaxPool2d layer(2);
+  layer.build(Shape{1, 2, 2});
+  const Tensor input(Shape{1, 1, 2, 2}, {1, 9, 2, 3});
+  Tensor out;
+  layer.forward(input, out, true);
+  const Tensor grad_out(Shape{1, 1, 1, 1}, {5.0f});
+  Tensor grad_in;
+  layer.backward(input, grad_out, grad_in);
+  EXPECT_FLOAT_EQ(grad_in[0], 0.0f);
+  EXPECT_FLOAT_EQ(grad_in[1], 5.0f);  // max was at index 1
+  EXPECT_FLOAT_EQ(grad_in[2], 0.0f);
+  EXPECT_FLOAT_EQ(grad_in[3], 0.0f);
+}
+
+TEST(MaxPool2d, OverlappingStride) {
+  MaxPool2d layer(2, 1);
+  EXPECT_EQ(layer.build(Shape{1, 3, 3}), (Shape{1, 2, 2}));
+}
+
+TEST(AvgPool2d, ForwardIsWindowMean) {
+  middlefl::nn::AvgPool2d layer(2);
+  EXPECT_EQ(layer.build(Shape{1, 4, 4}), (Shape{1, 2, 2}));
+  const Tensor input(Shape{1, 1, 4, 4},
+                     {1, 2, 3, 4,
+                      5, 6, 7, 8,
+                      9, 10, 11, 12,
+                      13, 14, 15, 16});
+  Tensor out;
+  layer.forward(input, out, false);
+  EXPECT_FLOAT_EQ(out.at({0, 0, 0, 0}), 3.5f);   // mean(1,2,5,6)
+  EXPECT_FLOAT_EQ(out.at({0, 0, 1, 1}), 13.5f);  // mean(11,12,15,16)
+}
+
+TEST(AvgPool2d, BackwardSpreadsUniformly) {
+  middlefl::nn::AvgPool2d layer(2);
+  layer.build(Shape{1, 2, 2});
+  const Tensor input(Shape{1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor out;
+  layer.forward(input, out, true);
+  const Tensor grad_out(Shape{1, 1, 1, 1}, {8.0f});
+  Tensor grad_in;
+  layer.backward(input, grad_out, grad_in);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(grad_in[i], 2.0f);  // 8 / 4 per input
+  }
+}
+
+TEST(AvgPool2d, Validation) {
+  EXPECT_THROW(middlefl::nn::AvgPool2d(0), std::invalid_argument);
+  middlefl::nn::AvgPool2d layer(5);
+  EXPECT_THROW(layer.build(Shape{1, 4, 4}), std::invalid_argument);
+  EXPECT_THROW(layer.build(Shape{4, 4}), std::invalid_argument);
+}
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU layer;
+  layer.build(Shape{4});
+  const Tensor input(Shape{1, 4}, {-1, 0, 2, -3});
+  Tensor out;
+  layer.forward(input, out, false);
+  EXPECT_FLOAT_EQ(out[0], 0.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+  EXPECT_FLOAT_EQ(out[2], 2.0f);
+  EXPECT_FLOAT_EQ(out[3], 0.0f);
+}
+
+TEST(ReLU, BackwardMasksGradient) {
+  ReLU layer;
+  layer.build(Shape{3});
+  const Tensor input(Shape{1, 3}, {-1, 1, 2});
+  Tensor out;
+  layer.forward(input, out, true);
+  const Tensor grad_out(Shape{1, 3}, {10, 20, 30});
+  Tensor grad_in;
+  layer.backward(input, grad_out, grad_in);
+  EXPECT_FLOAT_EQ(grad_in[0], 0.0f);
+  EXPECT_FLOAT_EQ(grad_in[1], 20.0f);
+  EXPECT_FLOAT_EQ(grad_in[2], 30.0f);
+}
+
+TEST(Tanh, ForwardSaturates) {
+  Tanh layer;
+  layer.build(Shape{2});
+  const Tensor input(Shape{1, 2}, {100.0f, -100.0f});
+  Tensor out;
+  layer.forward(input, out, false);
+  EXPECT_NEAR(out[0], 1.0f, 1e-6);
+  EXPECT_NEAR(out[1], -1.0f, 1e-6);
+}
+
+TEST(Flatten, CollapsesSampleDims) {
+  Flatten layer;
+  EXPECT_EQ(layer.build(Shape{2, 3, 4}), Shape{24});
+  const Tensor input(Shape{5, 2, 3, 4});
+  Tensor out;
+  layer.forward(input, out, false);
+  EXPECT_EQ(out.shape(), (Shape{5, 24}));
+}
+
+TEST(Flatten, BackwardRestoresShape) {
+  Flatten layer;
+  layer.build(Shape{2, 2});
+  const Tensor input(Shape{3, 2, 2});
+  Tensor out;
+  layer.forward(input, out, true);
+  Tensor grad_in;
+  layer.backward(input, out, grad_in);
+  EXPECT_EQ(grad_in.shape(), (Shape{3, 2, 2}));
+}
+
+TEST(Dropout, RejectsBadProbability) {
+  EXPECT_THROW(Dropout(-0.1f), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0f), std::invalid_argument);
+  EXPECT_NO_THROW(Dropout(0.0f));
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  Dropout layer(0.5f);
+  layer.build(Shape{8});
+  const Tensor input(Shape{2, 8}, std::vector<float>(16, 3.0f));
+  Tensor out;
+  layer.forward(input, out, false);
+  for (std::size_t i = 0; i < out.numel(); ++i) EXPECT_FLOAT_EQ(out[i], 3.0f);
+}
+
+TEST(Dropout, TrainModePreservesExpectation) {
+  Dropout layer(0.3f);
+  layer.build(Shape{1});
+  Xoshiro256 rng(77);
+  layer.set_rng(&rng);
+  const Tensor input(Shape{1, 1}, {1.0f});
+  double sum = 0.0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    Tensor out;
+    layer.forward(input, out, true);
+    sum += out[0];
+  }
+  EXPECT_NEAR(sum / trials, 1.0, 0.05);  // inverted dropout keeps E[x]
+}
+
+TEST(Dropout, TrainWithoutRngThrows) {
+  Dropout layer(0.5f);
+  layer.build(Shape{2});
+  const Tensor input(Shape{1, 2});
+  Tensor out;
+  EXPECT_THROW(layer.forward(input, out, true), std::logic_error);
+}
+
+TEST(Init, KaimingVarianceMatchesFanIn) {
+  std::vector<float> weights(20000);
+  Xoshiro256 rng(99);
+  const std::size_t fan_in = 50;
+  middlefl::nn::kaiming_normal(weights, fan_in, rng);
+  double mean = 0.0;
+  for (float w : weights) mean += w;
+  mean /= static_cast<double>(weights.size());
+  double var = 0.0;
+  for (float w : weights) var += (w - mean) * (w - mean);
+  var /= static_cast<double>(weights.size());
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(var, 2.0 / fan_in, 0.004);  // He init: Var = 2/fan_in
+}
+
+TEST(Init, XavierUniformBounds) {
+  std::vector<float> weights(10000);
+  Xoshiro256 rng(100);
+  middlefl::nn::xavier_uniform(weights, 30, 70, rng);
+  const float bound = std::sqrt(6.0f / 100.0f);
+  for (float w : weights) {
+    EXPECT_GE(w, -bound);
+    EXPECT_LE(w, bound);
+  }
+}
+
+TEST(Layers, CloneProducesIndependentLayer) {
+  Linear layer(3, 2);
+  layer.build(Shape{3});
+  auto copy = layer.clone();
+  EXPECT_EQ(copy->build(Shape{3}), Shape{2});
+  EXPECT_EQ(copy->param_count(), layer.param_count());
+}
+
+}  // namespace

@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/flatten.hpp"
+#include "nn/linear.hpp"
+#include "nn/loss.hpp"
+#include "nn/model_factory.hpp"
+#include "nn/sequential.hpp"
+#include "parallel/rng.hpp"
+
+namespace {
+
+using middlefl::nn::build_model;
+using middlefl::nn::Linear;
+using middlefl::nn::ModelArch;
+using middlefl::nn::ModelSpec;
+using middlefl::nn::ReLU;
+using middlefl::nn::Sequential;
+using middlefl::nn::Shape;
+using middlefl::nn::Tensor;
+using middlefl::parallel::Xoshiro256;
+
+std::unique_ptr<Sequential> small_mlp(std::uint64_t seed) {
+  auto model = std::make_unique<Sequential>(Shape{4});
+  model->add(std::make_unique<Linear>(4, 8));
+  model->add(std::make_unique<ReLU>());
+  model->add(std::make_unique<Linear>(8, 3));
+  model->build(seed);
+  return model;
+}
+
+TEST(Sequential, BuildComputesShapesAndParams) {
+  auto model = small_mlp(1);
+  EXPECT_TRUE(model->built());
+  EXPECT_EQ(model->output_shape(), Shape{3});
+  EXPECT_EQ(model->param_count(), 4u * 8 + 8 + 8 * 3 + 3);
+  EXPECT_EQ(model->layer_count(), 3u);
+}
+
+TEST(Sequential, AddAfterBuildThrows) {
+  auto model = small_mlp(1);
+  EXPECT_THROW(model->add(std::make_unique<ReLU>()), std::logic_error);
+}
+
+TEST(Sequential, BuildTwiceThrows) {
+  auto model = small_mlp(1);
+  EXPECT_THROW(model->build(2), std::logic_error);
+}
+
+TEST(Sequential, EmptyModelThrows) {
+  Sequential model(Shape{4});
+  EXPECT_THROW(model.build(1), std::logic_error);
+}
+
+TEST(Sequential, ForwardShape) {
+  auto model = small_mlp(3);
+  Xoshiro256 rng(5);
+  const Tensor batch = Tensor::randn(Shape{7, 4}, rng);
+  const Tensor& out = model->forward(batch, false);
+  EXPECT_EQ(out.shape(), (Shape{7, 3}));
+}
+
+TEST(Sequential, ForwardRejectsWrongShape) {
+  auto model = small_mlp(3);
+  const Tensor bad(Shape{2, 5});
+  EXPECT_THROW(model->forward(bad, false), std::invalid_argument);
+}
+
+TEST(Sequential, DeterministicInitialization) {
+  auto a = small_mlp(42);
+  auto b = small_mlp(42);
+  ASSERT_EQ(a->param_count(), b->param_count());
+  for (std::size_t i = 0; i < a->param_count(); ++i) {
+    EXPECT_EQ(a->parameters()[i], b->parameters()[i]);
+  }
+  auto c = small_mlp(43);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a->param_count(); ++i) {
+    any_diff = any_diff || a->parameters()[i] != c->parameters()[i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Sequential, SetParametersRoundTrip) {
+  auto model = small_mlp(4);
+  std::vector<float> values(model->param_count(), 0.5f);
+  model->set_parameters(values);
+  for (float p : model->parameters()) EXPECT_EQ(p, 0.5f);
+  std::vector<float> wrong(model->param_count() + 1);
+  EXPECT_THROW(model->set_parameters(wrong), std::invalid_argument);
+}
+
+TEST(Sequential, CloneCopiesParametersButNotState) {
+  auto model = small_mlp(5);
+  auto copy = model->clone();
+  ASSERT_EQ(copy->param_count(), model->param_count());
+  for (std::size_t i = 0; i < model->param_count(); ++i) {
+    EXPECT_EQ(copy->parameters()[i], model->parameters()[i]);
+  }
+  // Mutating the clone leaves the original untouched.
+  copy->parameters()[0] += 1.0f;
+  EXPECT_NE(copy->parameters()[0], model->parameters()[0]);
+}
+
+TEST(Sequential, BackwardWithoutTrainingForwardThrows) {
+  auto model = small_mlp(6);
+  Xoshiro256 rng(6);
+  const Tensor batch = Tensor::randn(Shape{2, 4}, rng);
+  const Tensor& out = model->forward(batch, false);
+  EXPECT_THROW(model->backward(out), std::logic_error);
+}
+
+TEST(Sequential, ZeroGradClears) {
+  auto model = small_mlp(7);
+  Xoshiro256 rng(7);
+  const Tensor batch = Tensor::randn(Shape{3, 4}, rng);
+  const Tensor& logits = model->forward(batch, true);
+  auto loss = middlefl::nn::softmax_cross_entropy(
+      logits, std::vector<std::int32_t>{0, 1, 2});
+  model->backward(loss.grad_logits);
+  bool any_nonzero = false;
+  for (float g : model->gradients()) any_nonzero = any_nonzero || g != 0.0f;
+  EXPECT_TRUE(any_nonzero);
+  model->zero_grad();
+  for (float g : model->gradients()) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(Sequential, SummaryMentionsLayersAndParams) {
+  auto model = small_mlp(8);
+  const std::string s = model->summary();
+  EXPECT_NE(s.find("Linear"), std::string::npos);
+  EXPECT_NE(s.find("ReLU"), std::string::npos);
+  EXPECT_NE(s.find("params="), std::string::npos);
+}
+
+// --- Model factory ---
+
+TEST(ModelFactory, ArchRoundTrip) {
+  using middlefl::nn::parse_model_arch;
+  using middlefl::nn::to_string;
+  for (auto arch : {ModelArch::kLogistic, ModelArch::kMlp, ModelArch::kCnn2,
+                    ModelArch::kCnn3}) {
+    EXPECT_EQ(parse_model_arch(to_string(arch)), arch);
+  }
+  EXPECT_THROW(parse_model_arch("resnet"), std::invalid_argument);
+}
+
+TEST(ModelFactory, Cnn2MatchesPaperStructure) {
+  // 2 conv + 2 fc, as used for MNIST/EMNIST (§6.1.2).
+  ModelSpec spec;
+  spec.arch = ModelArch::kCnn2;
+  spec.input_shape = Shape{1, 16, 16};
+  spec.num_classes = 10;
+  auto model = build_model(spec, 1);
+  EXPECT_EQ(model->output_shape(), Shape{10});
+  const std::string s = model->summary();
+  // Two Conv2d occurrences.
+  std::size_t convs = 0;
+  for (std::size_t pos = s.find("Conv2d"); pos != std::string::npos;
+       pos = s.find("Conv2d", pos + 1)) {
+    ++convs;
+  }
+  EXPECT_EQ(convs, 2u);
+}
+
+TEST(ModelFactory, Cnn3HasThreeConvs) {
+  ModelSpec spec;
+  spec.arch = ModelArch::kCnn3;
+  spec.input_shape = Shape{3, 16, 16};
+  spec.num_classes = 10;
+  auto model = build_model(spec, 1);
+  const std::string s = model->summary();
+  std::size_t convs = 0;
+  for (std::size_t pos = s.find("Conv2d"); pos != std::string::npos;
+       pos = s.find("Conv2d", pos + 1)) {
+    ++convs;
+  }
+  EXPECT_EQ(convs, 3u);
+}
+
+TEST(ModelFactory, MlpAndLogisticWork) {
+  ModelSpec mlp;
+  mlp.arch = ModelArch::kMlp;
+  mlp.input_shape = Shape{1, 8, 8};
+  mlp.num_classes = 26;
+  mlp.hidden = 32;
+  auto mlp_model = build_model(mlp, 2);
+  EXPECT_EQ(mlp_model->output_shape(), Shape{26});
+
+  ModelSpec logistic;
+  logistic.arch = ModelArch::kLogistic;
+  logistic.input_shape = Shape{5};
+  logistic.num_classes = 3;
+  auto log_model = build_model(logistic, 2);
+  EXPECT_EQ(log_model->param_count(), 5u * 3 + 3);
+}
+
+TEST(ModelFactory, Mlp2HasTwoHiddenLayers) {
+  ModelSpec spec;
+  spec.arch = ModelArch::kMlp2;
+  spec.input_shape = Shape{1, 8, 8};
+  spec.num_classes = 10;
+  spec.hidden = 48;
+  auto model = build_model(spec, 4);
+  const std::string s = model->summary();
+  std::size_t linears = 0;
+  for (std::size_t pos = s.find("Linear"); pos != std::string::npos;
+       pos = s.find("Linear", pos + 1)) {
+    ++linears;
+  }
+  EXPECT_EQ(linears, 3u);  // 48 -> 24 -> classes
+  EXPECT_NE(s.find("->24)"), std::string::npos);
+}
+
+TEST(ModelFactory, ConvArchRejectsFlatInput) {
+  ModelSpec spec;
+  spec.arch = ModelArch::kCnn2;
+  spec.input_shape = Shape{64};
+  EXPECT_THROW(build_model(spec, 1), std::invalid_argument);
+}
+
+TEST(ModelFactory, DropoutVariantTrains) {
+  ModelSpec spec;
+  spec.arch = ModelArch::kMlp;
+  spec.input_shape = Shape{8};
+  spec.num_classes = 4;
+  spec.dropout = 0.25f;
+  auto model = build_model(spec, 3);
+  Xoshiro256 rng(3);
+  const Tensor batch = Tensor::randn(Shape{4, 8}, rng);
+  const Tensor& logits = model->forward(batch, true);
+  auto loss = middlefl::nn::softmax_cross_entropy(
+      logits, std::vector<std::int32_t>{0, 1, 2, 3});
+  model->zero_grad();
+  EXPECT_NO_THROW(model->backward(loss.grad_logits));
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using middlefl::parallel::GrainSize;
+using middlefl::parallel::parallel_for;
+using middlefl::parallel::ThreadPool;
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&ThreadPool::global(), &ThreadPool::global());
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(pool, 0, kN, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, [&calls](std::size_t) { ++calls; });
+  parallel_for(pool, 7, 3, [&calls](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, NonZeroBegin) {
+  ThreadPool pool(2);
+  std::vector<int> hits(10, 0);
+  parallel_for(pool, 3, 8, [&hits](std::size_t i) { hits[i] = 1; });
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(hits[i], (i >= 3 && i < 8) ? 1 : 0);
+  }
+}
+
+TEST(ParallelFor, MatchesSerialSum) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<long long> out(kN);
+  parallel_for(pool, 0, kN, [&out](std::size_t i) {
+    out[i] = static_cast<long long>(i) * i;
+  });
+  long long sum = std::accumulate(out.begin(), out.end(), 0LL);
+  long long expected = 0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    expected += static_cast<long long>(i) * i;
+  }
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(ParallelFor, RethrowsBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 0, 100,
+                            [](std::size_t i) {
+                              if (i == 57) throw std::runtime_error("body");
+                            }),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, GrainSizeRespected) {
+  ThreadPool pool(4);
+  // With grain = n the loop must run inline (single chunk).
+  constexpr std::size_t kN = 64;
+  std::vector<int> order;
+  parallel_for(
+      pool, 0, kN,
+      [&order](std::size_t i) { order.push_back(static_cast<int>(i)); },
+      GrainSize{kN});
+  ASSERT_EQ(order.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(order[i], static_cast<int>(i));  // sequential => in order
+  }
+}
+
+TEST(ParallelFor, GlobalPoolOverloadWorks) {
+  std::atomic<int> counter{0};
+  parallel_for(0, 100, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+}  // namespace

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/selection.hpp"
+
+namespace {
+
+using middlefl::core::Candidate;
+using middlefl::core::RandomSelection;
+using middlefl::core::SimilaritySelection;
+using middlefl::core::StatUtilitySelection;
+using middlefl::parallel::Xoshiro256;
+
+struct Pool {
+  // Owns candidate parameter storage so spans stay valid.
+  std::vector<std::vector<float>> params;
+  std::vector<Candidate> candidates;
+
+  void add(std::size_t id, std::vector<float> p,
+           std::optional<double> utility = std::nullopt,
+           double data_size = 10.0) {
+    params.push_back(std::move(p));
+    candidates.push_back(Candidate{id, data_size, utility, params.back()});
+  }
+};
+
+TEST(RandomSelection, ReturnsKDistinctIds) {
+  Pool pool;
+  for (std::size_t i = 0; i < 10; ++i) pool.add(i, {1.0f});
+  RandomSelection strategy;
+  Xoshiro256 rng(1);
+  const auto selected =
+      strategy.select(pool.candidates, std::vector<float>{1.0f}, 4, rng);
+  EXPECT_EQ(selected.size(), 4u);
+  EXPECT_EQ(std::set<std::size_t>(selected.begin(), selected.end()).size(), 4u);
+}
+
+TEST(RandomSelection, FewerCandidatesThanK) {
+  Pool pool;
+  pool.add(7, {1.0f});
+  pool.add(9, {1.0f});
+  RandomSelection strategy;
+  Xoshiro256 rng(2);
+  const auto selected =
+      strategy.select(pool.candidates, std::vector<float>{1.0f}, 5, rng);
+  EXPECT_EQ(selected.size(), 2u);
+}
+
+TEST(RandomSelection, UniformOverCandidates) {
+  Pool pool;
+  for (std::size_t i = 0; i < 5; ++i) pool.add(i, {1.0f});
+  RandomSelection strategy;
+  std::vector<std::size_t> counts(5, 0);
+  for (std::uint64_t trial = 0; trial < 5000; ++trial) {
+    Xoshiro256 rng(trial);
+    const auto sel =
+        strategy.select(pool.candidates, std::vector<float>{1.0f}, 1, rng);
+    ++counts[sel[0]];
+  }
+  for (std::size_t c : counts) EXPECT_NEAR(c, 1000.0, 150.0);
+}
+
+TEST(StatUtility, PicksHighestUtility) {
+  Pool pool;
+  pool.add(0, {1.0f}, 1.0);
+  pool.add(1, {1.0f}, 5.0);
+  pool.add(2, {1.0f}, 3.0);
+  StatUtilitySelection strategy;
+  Xoshiro256 rng(3);
+  const auto selected =
+      strategy.select(pool.candidates, std::vector<float>{1.0f}, 2, rng);
+  EXPECT_EQ(std::set<std::size_t>(selected.begin(), selected.end()),
+            (std::set<std::size_t>{1, 2}));
+}
+
+TEST(StatUtility, UnexploredDevicesRankFirst) {
+  Pool pool;
+  pool.add(0, {1.0f}, 100.0);
+  pool.add(1, {1.0f}, std::nullopt);  // never trained
+  StatUtilitySelection strategy;
+  Xoshiro256 rng(4);
+  const auto selected =
+      strategy.select(pool.candidates, std::vector<float>{1.0f}, 1, rng);
+  EXPECT_EQ(selected[0], 1u);
+}
+
+TEST(Similarity, LeastSimilarFirst) {
+  // Cloud = (1, 0). Delta of device 0 is aligned (high U), device 1 is
+  // orthogonal (U = 0). MIDDLE must pick the orthogonal one.
+  const std::vector<float> cloud{1.0f, 0.0f};
+  Pool pool;
+  pool.add(0, {2.0f, 0.0f});  // delta (1, 0): U = 1
+  pool.add(1, {1.0f, 1.0f});  // delta (0, 1): U = 0
+  SimilaritySelection strategy;
+  Xoshiro256 rng(5);
+  const auto selected = strategy.select(pool.candidates, cloud, 1, rng);
+  EXPECT_EQ(selected[0], 1u);
+}
+
+TEST(Similarity, InvertedAblationPicksMostSimilar) {
+  const std::vector<float> cloud{1.0f, 0.0f};
+  Pool pool;
+  pool.add(0, {2.0f, 0.0f});
+  pool.add(1, {1.0f, 1.0f});
+  SimilaritySelection inverted(/*invert=*/true);
+  Xoshiro256 rng(6);
+  const auto selected = inverted.select(pool.candidates, cloud, 1, rng);
+  EXPECT_EQ(selected[0], 0u);
+}
+
+TEST(Similarity, TiesBrokenRandomly) {
+  // All candidates have delta = 0 (just synced): U = 0 for everyone, so
+  // selection must not systematically favour low ids.
+  const std::vector<float> cloud{1.0f, 1.0f};
+  Pool pool;
+  for (std::size_t i = 0; i < 6; ++i) pool.add(i, {1.0f, 1.0f});
+  SimilaritySelection strategy;
+  std::vector<std::size_t> counts(6, 0);
+  for (std::uint64_t trial = 0; trial < 3000; ++trial) {
+    Xoshiro256 rng(trial);
+    const auto sel = strategy.select(pool.candidates, cloud, 1, rng);
+    ++counts[sel[0]];
+  }
+  for (std::size_t c : counts) EXPECT_GT(c, 300u);
+}
+
+TEST(Similarity, RanksByUtilityOrder) {
+  // Three candidates with distinct utilities; k = 2 must take the two
+  // LOWEST-U ones.
+  const std::vector<float> cloud{1.0f, 0.0f};
+  Pool pool;
+  pool.add(0, {3.0f, 0.0f});     // delta (2,0): U = 1      (most similar)
+  pool.add(1, {1.5f, 1.0f});     // delta (.5,1): U ~ 0.45
+  pool.add(2, {0.0f, 2.0f});     // delta (-1,2): U = 0 (clamped)
+  SimilaritySelection strategy;
+  Xoshiro256 rng(8);
+  const auto selected = strategy.select(pool.candidates, cloud, 2, rng);
+  EXPECT_EQ(std::set<std::size_t>(selected.begin(), selected.end()),
+            (std::set<std::size_t>{1, 2}));
+}
+
+TEST(Selection, NamesAreInformative) {
+  EXPECT_EQ(RandomSelection().name(), "random");
+  EXPECT_EQ(StatUtilitySelection().name(), "stat-utility");
+  EXPECT_NE(SimilaritySelection().name().find("MIDDLE"), std::string::npos);
+}
+
+TEST(Selection, EmptyCandidatesGiveEmptySelection) {
+  RandomSelection random;
+  StatUtilitySelection stat;
+  SimilaritySelection sim;
+  Xoshiro256 rng(9);
+  const std::vector<Candidate> none;
+  const std::vector<float> cloud{1.0f};
+  EXPECT_TRUE(random.select(none, cloud, 3, rng).empty());
+  EXPECT_TRUE(stat.select(none, cloud, 3, rng).empty());
+  EXPECT_TRUE(sim.select(none, cloud, 3, rng).empty());
+}
+
+TEST(Selection, DeterministicGivenRng) {
+  Pool pool;
+  for (std::size_t i = 0; i < 8; ++i) pool.add(i, {1.0f, float(i)});
+  const std::vector<float> cloud{1.0f, 0.5f};
+  SimilaritySelection strategy;
+  Xoshiro256 rng1(10), rng2(10);
+  EXPECT_EQ(strategy.select(pool.candidates, cloud, 3, rng1),
+            strategy.select(pool.candidates, cloud, 3, rng2));
+}
+
+}  // namespace

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/similarity.hpp"
+
+namespace {
+
+using middlefl::core::accumulated_update;
+using middlefl::core::cosine_similarity;
+using middlefl::core::on_device_aggregate;
+using middlefl::core::on_device_aggregate_fixed;
+using middlefl::core::selection_utility;
+using middlefl::core::similarity_utility;
+
+TEST(Cosine, IdenticalVectorsGiveOne) {
+  const std::vector<float> v{1, 2, 3};
+  EXPECT_NEAR(cosine_similarity(v, v), 1.0, 1e-9);
+}
+
+TEST(Cosine, OppositeVectorsGiveMinusOne) {
+  const std::vector<float> a{1, 2, 3};
+  const std::vector<float> b{-1, -2, -3};
+  EXPECT_NEAR(cosine_similarity(a, b), -1.0, 1e-9);
+}
+
+TEST(Cosine, OrthogonalVectorsGiveZero) {
+  const std::vector<float> a{1, 0};
+  const std::vector<float> b{0, 1};
+  EXPECT_NEAR(cosine_similarity(a, b), 0.0, 1e-9);
+}
+
+TEST(Cosine, ScaleInvariant) {
+  const std::vector<float> a{1, 2, 3};
+  const std::vector<float> b{0.5f, -1, 2};
+  std::vector<float> b_scaled(b);
+  for (float& x : b_scaled) x *= 7.0f;
+  EXPECT_NEAR(cosine_similarity(a, b), cosine_similarity(a, b_scaled), 1e-6);
+}
+
+TEST(Cosine, ZeroVectorGivesZero) {
+  const std::vector<float> z{0, 0, 0};
+  const std::vector<float> v{1, 2, 3};
+  EXPECT_EQ(cosine_similarity(z, v), 0.0);
+  EXPECT_EQ(cosine_similarity(v, z), 0.0);
+}
+
+TEST(Cosine, SizeMismatchThrows) {
+  const std::vector<float> a{1, 2};
+  const std::vector<float> b{1, 2, 3};
+  EXPECT_THROW(cosine_similarity(a, b), std::invalid_argument);
+}
+
+TEST(SimilarityUtility, ClampsNegativeToZero) {
+  // Eq. 8: U = max(cos, 0) — anti-aligned models contribute nothing.
+  const std::vector<float> a{1, 0};
+  const std::vector<float> b{-1, 0};
+  EXPECT_EQ(similarity_utility(a, b), 0.0);
+  const std::vector<float> c{1, 1};
+  EXPECT_NEAR(similarity_utility(a, c), 1.0 / std::sqrt(2.0), 1e-6);
+}
+
+TEST(OnDeviceAggregate, WeightsFollowEq9) {
+  // With U = 1 (identical direction): w_hat = 1/2 w_n + 1/2 w_m.
+  const std::vector<float> edge{2, 2};
+  const std::vector<float> local{4, 4};
+  std::vector<float> out(2);
+  const double local_weight = on_device_aggregate(edge, local, out);
+  EXPECT_NEAR(local_weight, 0.5, 1e-9);
+  EXPECT_NEAR(out[0], 3.0f, 1e-5);
+}
+
+TEST(OnDeviceAggregate, AntiAlignedLocalIsIgnored) {
+  // U = 0 -> w_hat = w_n exactly: the noisy carried model is dropped.
+  const std::vector<float> edge{1, 0};
+  const std::vector<float> local{-5, 0};
+  std::vector<float> out(2);
+  const double local_weight = on_device_aggregate(edge, local, out);
+  EXPECT_EQ(local_weight, 0.0);
+  EXPECT_FLOAT_EQ(out[0], 1.0f);
+  EXPECT_FLOAT_EQ(out[1], 0.0f);
+}
+
+TEST(OnDeviceAggregate, EdgeModelAlwaysDominates) {
+  // 1/(1+U) >= U/(1+U) for U in [0, 1]: the edge weight never drops below
+  // one half (the paper: "still dominated by the current edge model").
+  const std::vector<float> edge{1, 2, 3, 4};
+  const std::vector<float> local{1.5f, 2.5f, 2.5f, 4.5f};
+  std::vector<float> out(4);
+  const double local_weight = on_device_aggregate(edge, local, out);
+  EXPECT_LE(local_weight, 0.5 + 1e-12);
+  EXPECT_GE(local_weight, 0.0);
+}
+
+TEST(OnDeviceAggregate, OutputBetweenInputs) {
+  const std::vector<float> edge{0, 0};
+  const std::vector<float> local{2, 2};
+  std::vector<float> out(2);
+  on_device_aggregate(edge, local, out);
+  EXPECT_GE(out[0], 0.0f);
+  EXPECT_LE(out[0], 2.0f);
+}
+
+TEST(OnDeviceAggregate, SizeMismatchThrows) {
+  const std::vector<float> a{1, 2};
+  const std::vector<float> b{1, 2, 3};
+  std::vector<float> out(2);
+  EXPECT_THROW(on_device_aggregate(a, b, out), std::invalid_argument);
+}
+
+TEST(FixedAlphaAggregate, ExactConvexCombination) {
+  const std::vector<float> edge{10, 0};
+  const std::vector<float> local{0, 10};
+  std::vector<float> out(2);
+  on_device_aggregate_fixed(edge, local, 0.25, out);
+  EXPECT_FLOAT_EQ(out[0], 2.5f);
+  EXPECT_FLOAT_EQ(out[1], 7.5f);
+}
+
+TEST(FixedAlphaAggregate, RejectsBoundaryAlpha) {
+  const std::vector<float> v{1};
+  std::vector<float> out(1);
+  EXPECT_THROW(on_device_aggregate_fixed(v, v, 0.0, out),
+               std::invalid_argument);
+  EXPECT_THROW(on_device_aggregate_fixed(v, v, 1.0, out),
+               std::invalid_argument);
+}
+
+TEST(AccumulatedUpdate, ComputesDelta) {
+  const std::vector<float> local{3, 5};
+  const std::vector<float> cloud{1, 2};
+  const auto delta = accumulated_update(local, cloud);
+  EXPECT_FLOAT_EQ(delta[0], 2.0f);
+  EXPECT_FLOAT_EQ(delta[1], 3.0f);
+}
+
+TEST(SelectionUtility, ZeroForUntrainedDevice) {
+  // local == cloud -> delta == 0 -> U = 0.
+  const std::vector<float> cloud{1, 2, 3};
+  EXPECT_EQ(selection_utility(cloud, cloud), 0.0);
+}
+
+TEST(SelectionUtility, HigherForAlignedUpdates) {
+  const std::vector<float> cloud{1, 0};
+  const std::vector<float> aligned{2, 0};     // delta = (1, 0), cos = 1
+  const std::vector<float> orthogonal{1, 1};  // delta = (0, 1), cos = 0
+  EXPECT_GT(selection_utility(cloud, aligned),
+            selection_utility(cloud, orthogonal));
+}
+
+TEST(SelectionUtility, NegativeSimilarityClamped) {
+  const std::vector<float> cloud{1, 0};
+  const std::vector<float> opposed{0, 0};  // delta = (-1, 0), cos = -1
+  EXPECT_EQ(selection_utility(cloud, opposed), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "parallel/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using middlefl::parallel::Xoshiro256;
+using middlefl::tensor::Shape;
+using middlefl::tensor::Tensor;
+
+TEST(Shape, RankAndNumel) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24u);
+  EXPECT_EQ(s.dim(0), 2u);
+  EXPECT_EQ(s.dim(2), 4u);
+}
+
+TEST(Shape, ScalarRankZero) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1u);
+}
+
+TEST(Shape, EqualityAndToString) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_EQ(Shape({2, 3}).to_string(), "[2, 3]");
+}
+
+TEST(Shape, RejectsZeroDimension) {
+  EXPECT_THROW(Shape({2, 0, 3}), std::invalid_argument);
+}
+
+TEST(Shape, DimOutOfRangeThrows) {
+  const Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), std::out_of_range);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  const Tensor t(Shape{3, 3});
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FullFill) {
+  Tensor t = Tensor::full(Shape{4}, 2.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+  t.fill(-1.0f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], -1.0f);
+}
+
+TEST(Tensor, ConstructFromDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor(Shape{2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(Shape{2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, AtRowMajorIndexing) {
+  Tensor t(Shape{2, 3}, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at({0, 0}), 0.0f);
+  EXPECT_EQ(t.at({0, 2}), 2.0f);
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+  EXPECT_EQ(t.at({1, 2}), 5.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t(Shape{2, 3});
+  EXPECT_THROW(t.at({2, 0}), std::out_of_range);
+  EXPECT_THROW(t.at({0, 3}), std::out_of_range);
+  EXPECT_THROW(t.at({0}), std::out_of_range);  // wrong rank
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 3}, {0, 1, 2, 3, 4, 5});
+  t.reshape(Shape{3, 2});
+  EXPECT_EQ(t.at({0, 1}), 1.0f);
+  EXPECT_EQ(t.at({2, 1}), 5.0f);
+  EXPECT_THROW(t.reshape(Shape{4}), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseArithmetic) {
+  Tensor a(Shape{3}, {1, 2, 3});
+  const Tensor b(Shape{3}, {10, 20, 30});
+  a += b;
+  EXPECT_EQ(a[1], 22.0f);
+  a -= b;
+  EXPECT_EQ(a[1], 2.0f);
+  a *= b;  // Hadamard
+  EXPECT_EQ(a[2], 90.0f);
+  a *= 0.5f;
+  EXPECT_EQ(a[2], 45.0f);
+  a += 1.0f;
+  EXPECT_EQ(a[0], 6.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a(Shape{3});
+  const Tensor b(Shape{4});
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(a.axpy(1.0f, b), std::invalid_argument);
+}
+
+TEST(Tensor, Axpy) {
+  Tensor a(Shape{3}, {1, 1, 1});
+  const Tensor b(Shape{3}, {1, 2, 3});
+  a.axpy(2.0f, b);
+  EXPECT_EQ(a[0], 3.0f);
+  EXPECT_EQ(a[2], 7.0f);
+}
+
+TEST(Tensor, Reductions) {
+  const Tensor t(Shape{4}, {1, -2, 3, 0.5f});
+  EXPECT_FLOAT_EQ(t.sum(), 2.5f);
+  EXPECT_FLOAT_EQ(t.max(), 3.0f);
+  EXPECT_EQ(t.argmax(), 2u);
+  EXPECT_NEAR(t.norm(), std::sqrt(1 + 4 + 9 + 0.25), 1e-6);
+}
+
+TEST(Tensor, ArgmaxFirstOnTies) {
+  const Tensor t(Shape{4}, {1, 3, 3, 2});
+  EXPECT_EQ(t.argmax(), 1u);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Xoshiro256 rng(5);
+  const Tensor t = Tensor::randn(Shape{10000}, rng, 2.0f);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) mean += t[i];
+  mean /= static_cast<double>(t.numel());
+  double var = 0.0;
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    var += (t[i] - mean) * (t[i] - mean);
+  }
+  var /= static_cast<double>(t.numel());
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(Tensor, RandUniformRange) {
+  Xoshiro256 rng(6);
+  const Tensor t = Tensor::rand_uniform(Shape{1000}, rng, -1.0f, 3.0f);
+  for (std::size_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], -1.0f);
+    EXPECT_LT(t[i], 3.0f);
+  }
+}
+
+TEST(Tensor, OutOfPlaceOperators) {
+  const Tensor a(Shape{2}, {1, 2});
+  const Tensor b(Shape{2}, {3, 4});
+  const Tensor sum = a + b;
+  EXPECT_EQ(sum[0], 4.0f);
+  const Tensor diff = b - a;
+  EXPECT_EQ(diff[1], 2.0f);
+  const Tensor scaled = a * 3.0f;
+  EXPECT_EQ(scaled[1], 6.0f);
+}
+
+}  // namespace
