@@ -45,6 +45,50 @@ void BM_GemmSquare(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmSquare)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
+/// Textbook triple loop — the before-kernel baseline the vectorized GEMM
+/// path is measured against.
+void naive_gemm_nn(std::size_t m, std::size_t n, std::size_t k, const float* a,
+                   const float* b, float* c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += a[i * k + p] * b[p * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void BM_GemmNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_vec(n * n, 1);
+  const auto b = random_vec(n * n, 2);
+  std::vector<float> c(n * n, 0.0f);
+  for (auto _ : state) {
+    naive_gemm_nn(n, n, n, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          n * n * n);
+}
+BENCHMARK(BM_GemmNaive)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+/// The Linear::forward shape of the Fig-6 MLP (batch 8, 784 -> 48): NT with
+/// a wide reduction, served by the pack-B + streaming-NN path.
+void BM_GemmLinearForward(benchmark::State& state) {
+  const std::size_t m = 8, n = 48, k = 784;
+  const auto a = random_vec(m * k, 3);
+  const auto b = random_vec(n * k, 4);
+  std::vector<float> c(m * n, 0.0f);
+  for (auto _ : state) {
+    tensor::gemm(tensor::Trans::kNo, tensor::Trans::kYes, m, n, k, 1.0f, a, b,
+                 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          m * n * k);
+}
+BENCHMARK(BM_GemmLinearForward);
+
 void BM_GemmTransB(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto a = random_vec(n * n, 3);
@@ -81,6 +125,60 @@ void BM_CosineSimilarity(benchmark::State& state) {
 }
 BENCHMARK(BM_CosineSimilarity)->Arg(1 << 12)->Arg(1 << 16);
 
+/// Eq. 11 selection utility, fused one-pass kernel (the production path).
+void BM_SelectionUtilityFused(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto cloud = random_vec(n, 11);
+  const auto local = random_vec(n, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::selection_utility(cloud, local));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          sizeof(float) * 2);
+}
+BENCHMARK(BM_SelectionUtilityFused)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+/// The before-kernel: materialize Delta = w_m - w_c, then separate
+/// dot/nrm2 sweeps (three passes plus a temporary vector).
+void BM_SelectionUtilityMaterialized(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto cloud = random_vec(n, 11);
+  const auto local = random_vec(n, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::selection_utility_reference(cloud, local));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          sizeof(float) * 2);
+}
+BENCHMARK(BM_SelectionUtilityMaterialized)
+    ->Arg(1 << 12)
+    ->Arg(1 << 16)
+    ->Arg(1 << 20);
+
+/// Chunk-deterministic pool reductions vs their serial forms.
+void BM_DotParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_vec(n, 13);
+  const auto y = random_vec(n, 14);
+  parallel::ThreadPool pool(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::dot(x, y, &pool));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          sizeof(float) * 2);
+}
+BENCHMARK(BM_DotParallel)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Nrm2Parallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_vec(n, 15);
+  parallel::ThreadPool pool(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::nrm2(x, &pool));
+  }
+}
+BENCHMARK(BM_Nrm2Parallel)->Arg(1 << 16)->Arg(1 << 20);
+
 void BM_OnDeviceAggregate(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const auto edge = random_vec(n, 9);
@@ -109,6 +207,25 @@ void BM_WeightedAverage(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WeightedAverage)->Arg(5)->Arg(10)->Arg(50);
+
+void BM_WeightedAverageParallel(benchmark::State& state) {
+  const auto models = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 1 << 18;
+  parallel::ThreadPool pool(4);
+  std::vector<std::vector<float>> storage;
+  storage.reserve(models);
+  std::vector<core::WeightedModel> weighted;
+  for (std::size_t i = 0; i < models; ++i) {
+    storage.push_back(random_vec(n, 40 + i));
+    weighted.push_back(core::WeightedModel{storage.back(), 1.0 + i});
+  }
+  std::vector<float> out(n);
+  for (auto _ : state) {
+    core::weighted_average(weighted, out, &pool);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_WeightedAverageParallel)->Arg(5)->Arg(10)->Arg(50);
 
 void BM_ModelForward(benchmark::State& state) {
   nn::ModelSpec spec;

@@ -1,0 +1,93 @@
+// End-to-end step-loop throughput: steps/sec of Simulation::step() on the
+// Fig-6 fast-scale configuration (no evaluations, pure training loop).
+//
+// This is the number the hot-path work optimizes — selection scoring, local
+// SGD, edge aggregation and snapshot upkeep all sit inside one step. The
+// result is emitted as JSON (default BENCH_step_throughput.json) so the
+// perf trajectory is tracked across PRs.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <thread>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace middlefl;
+using bench::BenchOptions;
+
+int run(int argc, const char* const* argv) {
+  BenchOptions options;
+  std::string task_flag = "mnist";
+  std::string algorithm_flag = "middle";
+  std::string json_path = "BENCH_step_throughput.json";
+  std::size_t timed_steps = 300;
+  std::size_t warmup_steps = 20;
+  bool serial = false;
+  util::CliParser cli(
+      "step_throughput: steps/sec of the simulation step loop");
+  options.register_flags(cli);
+  cli.add_flag("task", "learning task", &task_flag);
+  cli.add_flag("algorithm", "algorithm policy", &algorithm_flag);
+  cli.add_flag("json", "JSON output path", &json_path);
+  cli.add_flag("steps", "timed steps", &timed_steps);
+  cli.add_flag("warmup", "untimed warmup steps", &warmup_steps);
+  cli.add_flag("serial", "disable device-parallel training", &serial);
+  if (!cli.parse(argc, argv)) return 0;
+
+  bench::print_banner("Step-loop throughput", options);
+  const auto kind = data::parse_task(task_flag);
+  const auto algorithm = core::parse_algorithm(algorithm_flag);
+
+  auto setup = bench::make_task_setup(kind, options);
+  // The step budget must cover warmup + timed steps; evals are skipped by
+  // calling step() directly.
+  setup.sim_cfg.total_steps = warmup_steps + timed_steps;
+  setup.sim_cfg.parallel_devices = !serial;
+  auto sim = bench::make_simulation(setup, algorithm, options);
+
+  for (std::size_t s = 0; s < warmup_steps; ++s) sim->step();
+
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < timed_steps; ++s) sim->step();
+  const auto stop = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration<double>(stop - start).count();
+  const double steps_per_sec = static_cast<double>(timed_steps) / seconds;
+
+  std::cerr << "   " << timed_steps << " steps in " << seconds << " s  ->  "
+            << steps_per_sec << " steps/sec\n";
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << json_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"step_throughput\",\n"
+      << "  \"task\": \"" << data::to_string(kind) << "\",\n"
+      << "  \"scale\": \"" << (options.paper ? "paper" : "fast") << "\",\n"
+      << "  \"algorithm\": \"" << core::to_string(algorithm) << "\",\n"
+      << "  \"warmup_steps\": " << warmup_steps << ",\n"
+      << "  \"timed_steps\": " << timed_steps << ",\n"
+      << "  \"seconds\": " << seconds << ",\n"
+      << "  \"steps_per_sec\": " << steps_per_sec << ",\n"
+      << "  \"parallel_devices\": " << (serial ? "false" : "true") << ",\n"
+      << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << "\n"
+      << "}\n";
+  std::cerr << "   wrote " << json_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -6,6 +6,10 @@
 #include <span>
 #include <vector>
 
+namespace middlefl::parallel {
+class ThreadPool;
+}
+
 namespace middlefl::core {
 
 /// One contribution to a weighted average: a flat model and its weight
@@ -19,9 +23,14 @@ struct WeightedModel {
 /// out = sum_i weight_i * params_i / sum_i weight_i.
 /// Throws if the inputs are empty, sizes differ, a weight is negative, or
 /// all weights are zero. Accumulates in double to keep aggregation exact
-/// enough to be order-independent in tests.
+/// enough to be order-independent in tests. With a non-null `pool`, element
+/// ranges are averaged in parallel; every element's sum runs in model order
+/// regardless of how the range splits, so the result is bitwise identical
+/// to the serial path. The double accumulator comes from the thread-local
+/// Workspace, so steady-state calls allocate nothing.
 void weighted_average(std::span<const WeightedModel> models,
-                      std::span<float> out);
+                      std::span<float> out,
+                      parallel::ThreadPool* pool = nullptr);
 
 /// Convenience overload returning a fresh vector.
 std::vector<float> weighted_average(std::span<const WeightedModel> models);

@@ -96,6 +96,7 @@ DeviceTrainStats Device::train(std::size_t local_steps,
   // Oort: U_stat = |B| * sqrt( (1/|B|) sum loss^2 ), with |B| = d_m.
   stat_utility_ = static_cast<double>(data_size()) *
                   std::sqrt(std::max(0.0, stats.mean_sq_loss));
+  ++params_version_;  // local SGD moved w_m: cached selection scores stale
   return stats;
 }
 
@@ -111,6 +112,7 @@ void Cloud::set_params(std::span<const float> params) {
     throw std::invalid_argument("Cloud::set_params: size mismatch");
   }
   std::copy(params.begin(), params.end(), params_.begin());
+  ++params_version_;
 }
 
 }  // namespace middlefl::core

@@ -47,7 +47,13 @@ class Device {
   std::span<const float> params() const { return model_->parameters(); }
   void set_params(std::span<const float> params) {
     model_->set_parameters(params);
+    ++params_version_;
   }
+
+  /// Monotonic counter bumped on every parameter mutation (set_params and
+  /// train). The SimilarityCache keys on it: an unchanged version
+  /// guarantees an unchanged selection score.
+  std::uint64_t params_version() const noexcept { return params_version_; }
 
   /// Runs `local_steps` SGD iterations (Eq. 5) from the current parameters
   /// on minibatches of `batch_size` drawn with `rng`. When
@@ -87,6 +93,7 @@ class Device {
   std::unique_ptr<optim::Optimizer> optimizer_;
   std::optional<double> stat_utility_;
   std::optional<std::size_t> last_trained_step_;
+  std::uint64_t params_version_ = 0;
 };
 
 class Edge {
@@ -122,8 +129,15 @@ class Cloud {
   std::span<float> mutable_params() noexcept { return params_; }
   void set_params(std::span<const float> params);
 
+  /// Monotonic counter for the SimilarityCache. set_params bumps it;
+  /// callers that write through mutable_params() must call bump_version()
+  /// afterwards.
+  std::uint64_t params_version() const noexcept { return params_version_; }
+  void bump_version() noexcept { ++params_version_; }
+
  private:
   std::vector<float> params_;
+  std::uint64_t params_version_ = 0;
 };
 
 }  // namespace middlefl::core

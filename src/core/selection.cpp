@@ -4,6 +4,9 @@
 #include <numeric>
 
 #include "core/similarity.hpp"
+#include "core/similarity_cache.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace middlefl::core {
 namespace {
@@ -36,12 +39,63 @@ std::vector<std::size_t> top_k_by_score(
   return ids;
 }
 
+/// Work threshold (candidates x parameters) below which parallel scoring
+/// costs more in dispatch than it saves.
+constexpr std::size_t kParallelScoreWork = std::size_t{1} << 17;
+
 }  // namespace
+
+std::vector<double> score_selection_utilities(
+    std::span<const Candidate> candidates, std::span<const float> cloud_params,
+    const SelectionContext& context) {
+  std::vector<double> scores(candidates.size(), 0.0);
+  // Cache pass: collect the indices whose (device, cloud) version pair
+  // missed; only those pay the fused sweep over the parameter vector.
+  std::vector<std::size_t> misses;
+  if (context.cache != nullptr) {
+    misses.reserve(candidates.size());
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Candidate& c = candidates[i];
+      if (const auto cached = context.cache->lookup(
+              c.device_id, c.params_version, context.cloud_version)) {
+        scores[i] = *cached;
+      } else {
+        misses.push_back(i);
+      }
+    }
+  } else {
+    misses.resize(candidates.size());
+    std::iota(misses.begin(), misses.end(), std::size_t{0});
+  }
+
+  const auto score_one = [&](std::size_t mi) {
+    const std::size_t i = misses[mi];
+    scores[i] = selection_utility(cloud_params, candidates[i].local_params);
+  };
+  const std::size_t work = misses.size() * cloud_params.size();
+  if (context.pool != nullptr && context.pool->size() > 1 &&
+      misses.size() > 1 && work >= kParallelScoreWork) {
+    // Each miss writes only its own slot; values are identical to the
+    // serial path, so parallel scoring cannot perturb selection.
+    parallel::parallel_for(*context.pool, 0, misses.size(), score_one);
+  } else {
+    for (std::size_t mi = 0; mi < misses.size(); ++mi) score_one(mi);
+  }
+
+  if (context.cache != nullptr) {
+    for (const std::size_t i : misses) {
+      const Candidate& c = candidates[i];
+      context.cache->store(c.device_id, c.params_version,
+                           context.cloud_version, scores[i]);
+    }
+  }
+  return scores;
+}
 
 std::vector<std::size_t> RandomSelection::select(
     std::span<const Candidate> candidates,
     std::span<const float> /*cloud_params*/, std::size_t k,
-    parallel::Xoshiro256& rng) const {
+    parallel::Xoshiro256& rng, const SelectionContext& /*context*/) const {
   auto order = shuffled_positions(candidates.size(), rng);
   const std::size_t take = std::min(k, candidates.size());
   std::vector<std::size_t> ids;
@@ -55,7 +109,7 @@ std::vector<std::size_t> RandomSelection::select(
 std::vector<std::size_t> StatUtilitySelection::select(
     std::span<const Candidate> candidates,
     std::span<const float> /*cloud_params*/, std::size_t k,
-    parallel::Xoshiro256& rng) const {
+    parallel::Xoshiro256& rng, const SelectionContext& /*context*/) const {
   // Never-trained devices get a score above any finite utility so they are
   // explored first (Oort's exploration of fresh clients).
   double max_utility = 0.0;
@@ -73,12 +127,11 @@ std::vector<std::size_t> StatUtilitySelection::select(
 std::vector<std::size_t> SimilaritySelection::select(
     std::span<const Candidate> candidates,
     std::span<const float> cloud_params, std::size_t k,
-    parallel::Xoshiro256& rng) const {
-  std::vector<double> scores(candidates.size());
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    const double u = selection_utility(cloud_params,
-                                       candidates[i].local_params);
-    scores[i] = invert_ ? u : -u;  // Eq. 12: TOPK of -U
+    parallel::Xoshiro256& rng, const SelectionContext& context) const {
+  std::vector<double> scores =
+      score_selection_utilities(candidates, cloud_params, context);
+  for (double& score : scores) {
+    score = invert_ ? score : -score;  // Eq. 12: TOPK of -U
   }
   return top_k_by_score(candidates, scores, k, rng);
 }
@@ -86,11 +139,13 @@ std::vector<std::size_t> SimilaritySelection::select(
 std::vector<std::size_t> HybridSelection::select(
     std::span<const Candidate> candidates,
     std::span<const float> cloud_params, std::size_t k,
-    parallel::Xoshiro256& rng) const {
+    parallel::Xoshiro256& rng, const SelectionContext& context) const {
   double max_utility = 0.0;
   for (const auto& c : candidates) {
     if (c.stat_utility) max_utility = std::max(max_utility, *c.stat_utility);
   }
+  const std::vector<double> utilities =
+      score_selection_utilities(candidates, cloud_params, context);
   std::vector<double> scores(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     const auto& c = candidates[i];
@@ -99,9 +154,7 @@ std::vector<std::size_t> HybridSelection::select(
       scores[i] = (max_utility + 1.0) * 2.0;
       continue;
     }
-    const double dissimilarity =
-        1.0 - selection_utility(cloud_params, c.local_params);
-    scores[i] = *c.stat_utility * dissimilarity;
+    scores[i] = *c.stat_utility * (1.0 - utilities[i]);
   }
   return top_k_by_score(candidates, scores, k, rng);
 }

@@ -6,6 +6,14 @@
 // hold the data the global model has learned least. Baselines use random
 // selection (FedMes, HierFAVG) or the Oort statistical utility (OORT,
 // Greedy, Ensemble).
+//
+// Similarity-based strategies score through a SelectionContext: scores hit
+// the version-keyed SimilarityCache when neither the device nor the cloud
+// moved since the last step, misses are computed with the fused one-pass
+// Eq. 11 kernel (no Delta materialization, no allocation per candidate),
+// and large miss batches fan out over the thread pool. Scoring stays
+// bitwise deterministic: every candidate's value is identical whether it
+// came from the cache, a serial recompute or a parallel recompute.
 #pragma once
 
 #include <memory>
@@ -16,7 +24,13 @@
 
 #include "parallel/rng.hpp"
 
+namespace middlefl::parallel {
+class ThreadPool;
+}
+
 namespace middlefl::core {
+
+class SimilarityCache;
 
 /// Per-candidate snapshot handed to a strategy. `local_params` aliases the
 /// device's live parameter vector and must not be stored.
@@ -27,7 +41,27 @@ struct Candidate {
   /// strategies should prioritize for exploration.
   std::optional<double> stat_utility;
   std::span<const float> local_params;
+  /// Device parameter version for the SimilarityCache key (0 when the
+  /// caller does not track versions; harmless without a cache).
+  std::uint64_t params_version = 0;
 };
+
+/// Optional acceleration state for select(). Default-constructed context =
+/// no caching, serial scoring — the behavior tests exercise directly.
+struct SelectionContext {
+  /// Cloud parameter version paired with Candidate::params_version.
+  std::uint64_t cloud_version = 0;
+  /// Cache of Eq. 11 utilities; nullptr disables caching.
+  SimilarityCache* cache = nullptr;
+  /// Pool for parallel candidate scoring; nullptr scores serially.
+  parallel::ThreadPool* pool = nullptr;
+};
+
+/// Eq. 11 utilities for all candidates, cache-aware and (for large miss
+/// batches) pool-parallel. Exposed for reuse by strategies and tests.
+std::vector<double> score_selection_utilities(
+    std::span<const Candidate> candidates, std::span<const float> cloud_params,
+    const SelectionContext& context);
 
 class SelectionStrategy {
  public:
@@ -37,21 +71,24 @@ class SelectionStrategy {
 
   /// Returns the ids of min(k, candidates.size()) devices. `cloud_params`
   /// is the current global model w_c (the proxy for w_c* in Eq. 11).
-  /// Implementations must be deterministic given `rng`.
+  /// Implementations must be deterministic given `rng` (the context only
+  /// accelerates scoring, it never changes the result).
   virtual std::vector<std::size_t> select(
       std::span<const Candidate> candidates,
       std::span<const float> cloud_params, std::size_t k,
-      parallel::Xoshiro256& rng) const = 0;
+      parallel::Xoshiro256& rng,
+      const SelectionContext& context = SelectionContext{}) const = 0;
 };
 
 /// Uniform random K-subset (FedMes, HierFAVG).
 class RandomSelection final : public SelectionStrategy {
  public:
   std::string name() const override { return "random"; }
-  std::vector<std::size_t> select(std::span<const Candidate> candidates,
-                                  std::span<const float> cloud_params,
-                                  std::size_t k,
-                                  parallel::Xoshiro256& rng) const override;
+  std::vector<std::size_t> select(
+      std::span<const Candidate> candidates,
+      std::span<const float> cloud_params, std::size_t k,
+      parallel::Xoshiro256& rng,
+      const SelectionContext& context = SelectionContext{}) const override;
 };
 
 /// Top-K by Oort statistical utility; never-trained candidates rank first
@@ -59,10 +96,11 @@ class RandomSelection final : public SelectionStrategy {
 class StatUtilitySelection final : public SelectionStrategy {
  public:
   std::string name() const override { return "stat-utility"; }
-  std::vector<std::size_t> select(std::span<const Candidate> candidates,
-                                  std::span<const float> cloud_params,
-                                  std::size_t k,
-                                  parallel::Xoshiro256& rng) const override;
+  std::vector<std::size_t> select(
+      std::span<const Candidate> candidates,
+      std::span<const float> cloud_params, std::size_t k,
+      parallel::Xoshiro256& rng,
+      const SelectionContext& context = SelectionContext{}) const override;
 };
 
 /// MIDDLE's Eq. 12: TOPK of -U(w_c, w_m - w_c) — least-similar first. Set
@@ -73,10 +111,11 @@ class SimilaritySelection final : public SelectionStrategy {
   std::string name() const override {
     return invert_ ? "most-similar (ablation)" : "least-similar (MIDDLE)";
   }
-  std::vector<std::size_t> select(std::span<const Candidate> candidates,
-                                  std::span<const float> cloud_params,
-                                  std::size_t k,
-                                  parallel::Xoshiro256& rng) const override;
+  std::vector<std::size_t> select(
+      std::span<const Candidate> candidates,
+      std::span<const float> cloud_params, std::size_t k,
+      parallel::Xoshiro256& rng,
+      const SelectionContext& context = SelectionContext{}) const override;
 
  private:
   bool invert_;
@@ -89,10 +128,11 @@ class SimilaritySelection final : public SelectionStrategy {
 class HybridSelection final : public SelectionStrategy {
  public:
   std::string name() const override { return "hybrid (loss x dissimilarity)"; }
-  std::vector<std::size_t> select(std::span<const Candidate> candidates,
-                                  std::span<const float> cloud_params,
-                                  std::size_t k,
-                                  parallel::Xoshiro256& rng) const override;
+  std::vector<std::size_t> select(
+      std::span<const Candidate> candidates,
+      std::span<const float> cloud_params, std::size_t k,
+      parallel::Xoshiro256& rng,
+      const SelectionContext& context = SelectionContext{}) const override;
 };
 
 }  // namespace middlefl::core

@@ -1,21 +1,68 @@
 #include "core/similarity.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "tensor/blas.hpp"
 
 namespace middlefl::core {
+namespace {
+
+/// One sweep computing <a, b>, |a|^2 and |b|^2 — the shared core of cosine
+/// similarity. A single pass touches each parameter once instead of the
+/// three passes of dot + nrm2 + nrm2. Four independent double lanes per
+/// sum: the explicit lanes map directly to SIMD vectors (the compiler may
+/// not reassociate FP sums on its own), matching blas.cpp's dot kernels.
+struct CosineStats {
+  double dot_ab = 0.0;
+  double a_sq = 0.0;
+  double b_sq = 0.0;
+};
+
+CosineStats cosine_stats(const float* a, const float* b,
+                         std::size_t n) noexcept {
+  double d0 = 0.0, d1 = 0.0, d2 = 0.0, d3 = 0.0;
+  double p0 = 0.0, p1 = 0.0, p2 = 0.0, p3 = 0.0;
+  double q0 = 0.0, q1 = 0.0, q2 = 0.0, q3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const double a0 = a[i], a1 = a[i + 1], a2 = a[i + 2], a3 = a[i + 3];
+    const double b0 = b[i], b1 = b[i + 1], b2 = b[i + 2], b3 = b[i + 3];
+    d0 += a0 * b0;
+    d1 += a1 * b1;
+    d2 += a2 * b2;
+    d3 += a3 * b3;
+    p0 += a0 * a0;
+    p1 += a1 * a1;
+    p2 += a2 * a2;
+    p3 += a3 * a3;
+    q0 += b0 * b0;
+    q1 += b1 * b1;
+    q2 += b2 * b2;
+    q3 += b3 * b3;
+  }
+  for (; i < n; ++i) {
+    const double av = a[i], bv = b[i];
+    d0 += av * bv;
+    p0 += av * av;
+    q0 += bv * bv;
+  }
+  return CosineStats{(d0 + d1) + (d2 + d3), (p0 + p1) + (p2 + p3),
+                     (q0 + q1) + (q2 + q3)};
+}
+
+}  // namespace
 
 double cosine_similarity(std::span<const float> a, std::span<const float> b) {
   if (a.size() != b.size()) {
     throw std::invalid_argument("cosine_similarity: size mismatch");
   }
-  const double na = tensor::nrm2(a);
-  const double nb = tensor::nrm2(b);
-  if (na == 0.0 || nb == 0.0) return 0.0;
+  const CosineStats stats = cosine_stats(a.data(), b.data(), a.size());
+  if (stats.a_sq == 0.0 || stats.b_sq == 0.0) return 0.0;
   // Clamp tiny numerical excursions outside [-1, 1].
-  return std::clamp(tensor::dot(a, b) / (na * nb), -1.0, 1.0);
+  return std::clamp(stats.dot_ab / std::sqrt(stats.a_sq * stats.b_sq), -1.0,
+                    1.0);
 }
 
 double similarity_utility(std::span<const float> a, std::span<const float> b) {
@@ -84,10 +131,74 @@ std::vector<float> accumulated_update(std::span<const float> local_model,
   return delta;
 }
 
+DeltaSimilarityStats delta_similarity_stats(
+    std::span<const float> cloud_model, std::span<const float> local_model) {
+  if (local_model.size() != cloud_model.size()) {
+    throw std::invalid_argument("delta_similarity_stats: size mismatch");
+  }
+  const float* c = cloud_model.data();
+  const float* w = local_model.data();
+  const std::size_t n = cloud_model.size();
+  // The delta element is formed in FLOAT (matching the materialized
+  // reference, which stores Delta_w as float) before the double reductions.
+  // Four independent lanes per sum, same SIMD-friendly shape as blas.cpp.
+  double d0 = 0.0, d1 = 0.0, d2 = 0.0, d3 = 0.0;
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double q0 = 0.0, q1 = 0.0, q2 = 0.0, q3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const float delta0 = w[i] - c[i];
+    const float delta1 = w[i + 1] - c[i + 1];
+    const float delta2 = w[i + 2] - c[i + 2];
+    const float delta3 = w[i + 3] - c[i + 3];
+    const double c0 = c[i], c1 = c[i + 1], c2 = c[i + 2], c3 = c[i + 3];
+    d0 += c0 * delta0;
+    d1 += c1 * delta1;
+    d2 += c2 * delta2;
+    d3 += c3 * delta3;
+    s0 += static_cast<double>(delta0) * delta0;
+    s1 += static_cast<double>(delta1) * delta1;
+    s2 += static_cast<double>(delta2) * delta2;
+    s3 += static_cast<double>(delta3) * delta3;
+    q0 += c0 * c0;
+    q1 += c1 * c1;
+    q2 += c2 * c2;
+    q3 += c3 * c3;
+  }
+  for (; i < n; ++i) {
+    const float delta = w[i] - c[i];
+    const double cv = c[i];
+    d0 += cv * delta;
+    s0 += static_cast<double>(delta) * delta;
+    q0 += cv * cv;
+  }
+  return DeltaSimilarityStats{(d0 + d1) + (d2 + d3), (s0 + s1) + (s2 + s3),
+                              (q0 + q1) + (q2 + q3)};
+}
+
+double selection_utility_from_stats(const DeltaSimilarityStats& stats) {
+  if (stats.cloud_norm_sq == 0.0 || stats.delta_norm_sq == 0.0) return 0.0;
+  const double cosine =
+      std::clamp(stats.dot_cloud_delta /
+                     std::sqrt(stats.cloud_norm_sq * stats.delta_norm_sq),
+                 -1.0, 1.0);
+  return std::max(cosine, 0.0);
+}
+
 double selection_utility(std::span<const float> cloud_model,
                          std::span<const float> local_model) {
+  return selection_utility_from_stats(
+      delta_similarity_stats(cloud_model, local_model));
+}
+
+double selection_utility_reference(std::span<const float> cloud_model,
+                                   std::span<const float> local_model) {
   const std::vector<float> delta = accumulated_update(local_model, cloud_model);
-  return similarity_utility(cloud_model, delta);
+  const double na = tensor::nrm2(cloud_model);
+  const double nb = tensor::nrm2(delta);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return std::max(
+      std::clamp(tensor::dot(cloud_model, delta) / (na * nb), -1.0, 1.0), 0.0);
 }
 
 }  // namespace middlefl::core

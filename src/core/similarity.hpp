@@ -43,11 +43,34 @@ void on_device_aggregate_fixed(std::span<const float> edge_model,
 std::vector<float> accumulated_update(std::span<const float> local_model,
                                       std::span<const float> cloud_model);
 
+/// The three reductions Eq. 11 needs, computed in ONE sweep over the two
+/// parameter vectors without materializing Delta_w: <w_c, w_m - w_c>,
+/// |w_m - w_c|^2 and |w_c|^2. This is the allocation-free fast path under
+/// selection scoring (every candidate device, every edge, every step).
+struct DeltaSimilarityStats {
+  double dot_cloud_delta = 0.0;  // <w_c, Delta_w>
+  double delta_norm_sq = 0.0;    // |Delta_w|^2
+  double cloud_norm_sq = 0.0;    // |w_c|^2
+};
+DeltaSimilarityStats delta_similarity_stats(std::span<const float> cloud_model,
+                                            std::span<const float> local_model);
+
+/// Eq. 11 utility from precomputed fused stats: max(cos(w_c, Delta_w), 0),
+/// 0 when either vector is zero.
+double selection_utility_from_stats(const DeltaSimilarityStats& stats);
+
 /// Selection utility U(w_c, Delta_w_m) [Eq. 11]: similarity of the device's
 /// accumulated update direction to the (proxy of the) optimal cloud model.
 /// MIDDLE selects the K devices with the HIGHEST -U, i.e. the least similar
 /// ones — their data is least learned by the global model [Eq. 12].
+/// Computed via the fused one-pass kernel (no Delta_w materialization).
 double selection_utility(std::span<const float> cloud_model,
                          std::span<const float> local_model);
+
+/// Reference implementation of Eq. 11 that materializes Delta_w and runs
+/// the separate dot/nrm2 reductions. Kept for regression tests and the
+/// micro-benchmark that tracks the fused kernel's advantage.
+double selection_utility_reference(std::span<const float> cloud_model,
+                                   std::span<const float> local_model);
 
 }  // namespace middlefl::core

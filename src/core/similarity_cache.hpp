@@ -1,0 +1,76 @@
+// Version-keyed cache of Eq. 11 selection utilities.
+//
+// A device's selection score U(w_c, w_m - w_c) only changes when the device
+// itself trains (w_m moves) or the cloud synchronizes (w_c moves). The
+// simulator previously recomputed the score from scratch for EVERY
+// connected candidate at EVERY edge on EVERY step — with ~100 devices and K
+// selected per edge, roughly half those sweeps over the full parameter
+// vector were redundant. The cache keys each entry on the pair
+// (device parameter version, cloud parameter version); versions are bumped
+// by Device/Cloud on every mutation, so staleness is impossible by
+// construction and no explicit invalidation hooks are needed.
+//
+// Not thread-safe: lookups and stores happen on the selection thread (the
+// parallel scoring path computes misses concurrently into a scratch array
+// and commits them serially).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace middlefl::core {
+
+class SimilarityCache {
+ public:
+  /// Prepares entries for device ids [0, num_devices); existing entries
+  /// are preserved when growing.
+  void resize(std::size_t num_devices) { entries_.resize(num_devices); }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Returns the cached utility when the entry matches both versions.
+  std::optional<double> lookup(std::size_t device_id,
+                               std::uint64_t device_version,
+                               std::uint64_t cloud_version) const noexcept {
+    if (device_id >= entries_.size()) return std::nullopt;
+    const Entry& entry = entries_[device_id];
+    if (entry.valid && entry.device_version == device_version &&
+        entry.cloud_version == cloud_version) {
+      ++hits_;
+      return entry.value;
+    }
+    ++misses_;
+    return std::nullopt;
+  }
+
+  void store(std::size_t device_id, std::uint64_t device_version,
+             std::uint64_t cloud_version, double value) {
+    if (device_id >= entries_.size()) entries_.resize(device_id + 1);
+    entries_[device_id] =
+        Entry{device_version, cloud_version, value, /*valid=*/true};
+  }
+
+  /// Drops every entry (e.g. when the model is swapped wholesale).
+  void clear() noexcept {
+    for (Entry& entry : entries_) entry.valid = false;
+  }
+
+  // Hit/miss counters since construction (throughput introspection).
+  std::size_t hits() const noexcept { return hits_; }
+  std::size_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Entry {
+    std::uint64_t device_version = 0;
+    std::uint64_t cloud_version = 0;
+    double value = 0.0;
+    bool valid = false;
+  };
+  std::vector<Entry> entries_;
+  mutable std::size_t hits_ = 0;
+  mutable std::size_t misses_ = 0;
+};
+
+}  // namespace middlefl::core

@@ -1,12 +1,12 @@
 #include "core/simulation.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <mutex>
+#include <cmath>
 #include <stdexcept>
 
 #include "core/aggregation.hpp"
 #include "parallel/parallel_for.hpp"
+#include "tensor/workspace.hpp"
 
 namespace middlefl::core {
 namespace {
@@ -71,6 +71,7 @@ Simulation::Simulation(SimulationConfig cfg, const nn::ModelSpec& model_spec,
     devices_.emplace_back(m, partition.view(train, m), std::move(model),
                           optimizer_prototype.clone_config());
   }
+  similarity_cache_.resize(devices_.size());
 
   // Per-device local-step budgets from the heterogeneity profile.
   if (!cfg_.device_speeds.empty() &&
@@ -106,41 +107,59 @@ bool Simulation::step() {
 
   // Snapshot the edge models of this step (w^t_n); training initialization
   // and FedMes' previous-edge lookup must not observe partial aggregation.
-  edge_snapshot_.assign(edges_.size(), {});
+  // Buffers are refilled in place: after the first step no allocation
+  // happens here.
+  if (edge_snapshot_.size() != edges_.size()) {
+    edge_snapshot_.resize(edges_.size());
+  }
   for (std::size_t n = 0; n < edges_.size(); ++n) {
     edge_snapshot_[n].assign(edges_[n].params().begin(),
                              edges_[n].params().end());
   }
 
   // Group connected devices per edge (the candidate sets M_t_n).
-  std::vector<std::vector<std::size_t>> members(edges_.size());
+  if (members_.size() != edges_.size()) members_.resize(edges_.size());
+  for (auto& members : members_) members.clear();
   for (std::size_t m = 0; m < devices_.size(); ++m) {
-    members[assignment[m]].push_back(m);
+    members_[assignment[m]].push_back(m);
   }
 
-  // In-edge device selection (Algorithm 1, line 2).
-  last_selection_.assign(edges_.size(), {});
+  // In-edge device selection (Algorithm 1, line 2). The context lets
+  // similarity strategies reuse cached Eq. 11 scores and fan large miss
+  // batches out over the pool; it never changes the selected set.
+  parallel::ThreadPool* pool =
+      cfg_.parallel_devices ? &parallel::ThreadPool::global() : nullptr;
+  const SelectionContext context{
+      .cloud_version = cloud_.params_version(),
+      .cache = cfg_.use_similarity_cache ? &similarity_cache_ : nullptr,
+      .pool = pool,
+  };
+  if (last_selection_.size() != edges_.size()) {
+    last_selection_.resize(edges_.size());
+  }
+  std::vector<Candidate> candidates;
   for (std::size_t n = 0; n < edges_.size(); ++n) {
-    if (members[n].empty()) continue;
-    std::vector<Candidate> candidates;
-    candidates.reserve(members[n].size());
-    for (std::size_t m : members[n]) {
+    last_selection_[n].clear();
+    if (members_[n].empty()) continue;
+    candidates.clear();
+    candidates.reserve(members_[n].size());
+    for (std::size_t m : members_[n]) {
       candidates.push_back(Candidate{
           .device_id = m,
           .data_size = static_cast<double>(devices_[m].data_size()),
           .stat_utility = devices_[m].stat_utility(),
           .local_params = devices_[m].params(),
+          .params_version = devices_[m].params_version(),
       });
     }
     auto rng = streams_.stream(kSelectTag, n, t_);
     last_selection_[n] = algorithm_.selection->select(
-        candidates, cloud_.params(), cfg_.select_per_edge, rng);
+        candidates, cloud_.params(), cfg_.select_per_edge, rng, context);
   }
 
-  // Local training (lines 3-8), parallel across all selected devices.
-  for (std::size_t n = 0; n < edges_.size(); ++n) {
-    train_selected(n, last_selection_[n], prev_assignment);
-  }
+  // Local training (lines 3-8), parallel across all selected devices of
+  // all edges at once.
+  train_all_selected(prev_assignment);
 
   // Edge aggregation (line 9).
   aggregate_edges();
@@ -151,32 +170,44 @@ bool Simulation::step() {
   return sync;
 }
 
-void Simulation::train_selected(
-    std::size_t edge_id, const std::vector<std::size_t>& selected,
+void Simulation::train_all_selected(
     const std::vector<std::size_t>& prev_assignment) {
-  if (selected.empty()) return;
-  const std::span<const float> edge_model = edge_snapshot_[edge_id];
+  // Flatten every edge's selection into one task list so the pool sees all
+  // the step's work at once instead of K-sized bursts per edge. Each device
+  // is connected to exactly one edge, so tasks touch disjoint devices.
+  train_tasks_.clear();
+  for (std::size_t n = 0; n < edges_.size(); ++n) {
+    for (std::size_t m : last_selection_[n]) {
+      train_tasks_.push_back(TrainTask{n, m});
+    }
+  }
+  if (train_tasks_.empty()) return;
 
-  std::atomic<std::size_t> blend_count{0};
-  std::mutex blend_mutex;
-  double blend_sum = 0.0;
+  // Per-task result slots: each task writes only its own entry, and step()
+  // reduces them serially in task order below — bitwise deterministic with
+  // any thread count (this replaced a mutex-guarded running sum whose
+  // accumulation order depended on scheduling).
+  task_blend_weight_.assign(train_tasks_.size(), 0.0);
+  task_blended_.assign(train_tasks_.size(), 0);
 
-  std::atomic<std::size_t> straggler_count{0};
   const auto train_one = [&](std::size_t idx) {
-    const std::size_t m = selected[idx];
+    const TrainTask task = train_tasks_[idx];
+    const std::size_t m = task.device;
     Device& device = devices_[m];
     dropped_this_step_[m] = steps_budget_[m] == 0 ? 1 : 0;
     if (dropped_this_step_[m]) {
       // Straggler: cannot finish a single local step before the deadline.
-      straggler_count.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    const bool moved = prev_assignment[m] != edge_id;
+    const std::span<const float> edge_model = edge_snapshot_[task.edge];
+    const bool moved = prev_assignment[m] != task.edge;
 
     if (moved && algorithm_.on_move != OnDeviceRule::kDownloadEdge) {
       // On-device model aggregation (line 5): blend the carried local model
-      // with the downloaded edge model.
-      std::vector<float> blended(edge_model.size());
+      // with the downloaded edge model. The output borrows the worker's
+      // workspace slot; set_params copies it out before the next borrow.
+      std::span<float> blended = tensor::Workspace::tls().floats(
+          tensor::WsSlot::kBlend, edge_model.size());
       const std::span<const float> prev_edge =
           algorithm_.on_move == OnDeviceRule::kPrevEdgeAverage
               ? std::span<const float>(edge_snapshot_[prev_assignment[m]])
@@ -186,11 +217,8 @@ void Simulation::train_selected(
                                device.params(), prev_edge,
                                algorithm_.fixed_alpha, blended);
       device.set_params(blended);
-      blend_count.fetch_add(1, std::memory_order_relaxed);
-      {
-        std::lock_guard lock(blend_mutex);
-        blend_sum += weight;
-      }
+      task_blended_[idx] = 1;
+      task_blend_weight_[idx] = weight;
     } else {
       // Line 7: start from the downloaded edge model.
       device.set_params(edge_model);
@@ -203,43 +231,58 @@ void Simulation::train_selected(
     device.mark_trained(t_);
   };
 
-  if (cfg_.parallel_devices && selected.size() > 1) {
-    parallel::parallel_for(0, selected.size(), train_one);
+  if (cfg_.parallel_devices && train_tasks_.size() > 1) {
+    parallel::parallel_for(0, train_tasks_.size(), train_one);
   } else {
-    for (std::size_t i = 0; i < selected.size(); ++i) train_one(i);
+    for (std::size_t i = 0; i < train_tasks_.size(); ++i) train_one(i);
   }
 
-  blends_ += blend_count.load();
-  blend_weight_sum_ += blend_sum;
-  straggler_drops_ += straggler_count.load();
+  // Serial reduction in fixed task order.
+  std::size_t stragglers = 0;
+  for (std::size_t idx = 0; idx < train_tasks_.size(); ++idx) {
+    if (dropped_this_step_[train_tasks_[idx].device]) {
+      ++stragglers;
+      continue;
+    }
+    if (task_blended_[idx]) {
+      ++blends_;
+      blend_weight_sum_ += task_blend_weight_[idx];
+    }
+  }
+  straggler_drops_ += stragglers;
 
   // Communication: every selected device downloads the edge model;
   // stragglers never finish, so they upload nothing. FedMes' moved devices
   // additionally fetch their previous edge's model.
-  comm_.device_downloads += selected.size();
-  comm_.device_uploads += selected.size() - straggler_count.load();
+  comm_.device_downloads += train_tasks_.size();
+  comm_.device_uploads += train_tasks_.size() - stragglers;
   if (algorithm_.on_move == OnDeviceRule::kPrevEdgeAverage) {
-    for (std::size_t m : selected) {
-      if (prev_assignment[m] != edge_id) ++comm_.device_downloads;
+    for (const TrainTask& task : train_tasks_) {
+      if (prev_assignment[task.device] != task.edge) ++comm_.device_downloads;
     }
   }
 }
 
 void Simulation::aggregate_edges() {
-  for (std::size_t n = 0; n < edges_.size(); ++n) {
+  // Edges aggregate independently: each body writes only its own edge's
+  // parameters and result slot. Counters are reduced serially in edge
+  // order afterwards, and weighted_average sums every element in model
+  // order, so the parallel path is bitwise identical to the serial one.
+  edge_agg_results_.assign(edges_.size(), EdgeAggResult{});
+  const auto aggregate_one = [&](std::size_t n) {
     const auto& selected = last_selection_[n];
-    if (selected.empty()) continue;  // idle edge keeps its model
+    if (selected.empty()) return;  // idle edge keeps its model
+    EdgeAggResult& result = edge_agg_results_[n];
     std::vector<WeightedModel> models;
     std::vector<std::vector<float>> reconstructions;  // keep spans alive
     models.reserve(selected.size());
     reconstructions.reserve(selected.size());
-    double participating = 0.0;
     for (std::size_t m : selected) {
       if (dropped_this_step_[m]) continue;  // straggler never uploaded
       if (cfg_.upload_failure_prob > 0.0) {
         auto rng = streams_.stream(kUploadTag, m, t_);
         if (rng.uniform() < cfg_.upload_failure_prob) {
-          ++failed_uploads_;  // upload lost; device keeps its local update
+          ++result.failed_uploads;  // upload lost; device keeps its update
           continue;
         }
       }
@@ -250,22 +293,34 @@ void Simulation::aggregate_edges() {
         auto compressed = compress_model(devices_[m].params(),
                                          edge_snapshot_[n],
                                          cfg_.upload_compression);
-        upload_bytes_ += compressed.bytes;
+        result.upload_bytes += compressed.bytes;
         reconstructions.push_back(std::move(compressed.reconstruction));
         models.push_back(WeightedModel{reconstructions.back(), weight});
       } else {
-        upload_bytes_ += devices_[m].params().size() * sizeof(float);
+        result.upload_bytes += devices_[m].params().size() * sizeof(float);
         models.push_back(WeightedModel{devices_[m].params(), weight});
       }
-      participating += weight;
+      result.participating += weight;
     }
-    if (models.empty()) continue;  // every upload failed: edge unchanged
+    if (models.empty()) return;  // every upload failed: edge unchanged
     weighted_average(models, edges_[n].mutable_params());
-    edges_[n].add_participation(participating);
+    edges_[n].add_participation(result.participating);
+  };
+
+  if (cfg_.parallel_devices && edges_.size() > 1) {
+    parallel::parallel_for(0, edges_.size(), aggregate_one);
+  } else {
+    for (std::size_t n = 0; n < edges_.size(); ++n) aggregate_one(n);
+  }
+  for (const EdgeAggResult& result : edge_agg_results_) {
+    failed_uploads_ += result.failed_uploads;
+    upload_bytes_ += result.upload_bytes;
   }
 }
 
 void Simulation::cloud_sync() {
+  parallel::ThreadPool* pool =
+      cfg_.parallel_devices ? &parallel::ThreadPool::global() : nullptr;
   std::vector<WeightedModel> models;
   models.reserve(edges_.size());
   for (const auto& edge : edges_) {
@@ -280,8 +335,9 @@ void Simulation::cloud_sync() {
     if (cfg_.server_momentum > 0.0) {
       // FedAvgM: treat the FedAvg aggregate as a pseudo-gradient step and
       // smooth it with momentum on the server.
-      std::vector<float> aggregate(cloud_.params().size());
-      weighted_average(models, aggregate);
+      std::span<float> aggregate = tensor::Workspace::tls().floats(
+          tensor::WsSlot::kScratch, cloud_.params().size());
+      weighted_average(models, aggregate, pool);
       if (server_velocity_.size() != aggregate.size()) {
         server_velocity_.assign(aggregate.size(), 0.0f);
       }
@@ -293,8 +349,10 @@ void Simulation::cloud_sync() {
         cloud[i] += server_velocity_[i];
       }
     } else {
-      weighted_average(models, cloud_.mutable_params());
+      weighted_average(models, cloud_.mutable_params(), pool);
     }
+    // w_c moved through mutable_params: invalidate cached Eq. 11 scores.
+    cloud_.bump_version();
   }
   for (auto& edge : edges_) {
     edge.set_params(cloud_.params());

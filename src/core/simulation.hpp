@@ -8,9 +8,13 @@
 // edge models with participating-sample weights d_hat_n (Eq. 7) and
 // broadcasts the global model down to every edge and device.
 //
-// Device training within a step is embarrassingly parallel and runs on the
-// thread pool; all randomness is keyed on (seed, entity, step) so results
-// are bit-identical regardless of thread count.
+// Device training within a step is embarrassingly parallel: all selected
+// (edge, device) pairs across ALL edges form one flat task list that runs
+// on the thread pool in a single parallel_for, so a K-device edge never
+// serializes behind its neighbours. Edge aggregation fans out per edge the
+// same way. All randomness is keyed on (seed, entity, step) and all
+// parallel reductions commit serially in fixed task order, so results are
+// bit-identical regardless of thread count.
 #pragma once
 
 #include <functional>
@@ -22,6 +26,7 @@
 #include "core/compression.hpp"
 #include "core/entities.hpp"
 #include "core/metrics.hpp"
+#include "core/similarity_cache.hpp"
 #include "data/partition.hpp"
 #include "mobility/mobility_model.hpp"
 #include "nn/model_factory.hpp"
@@ -87,6 +92,10 @@ struct SimulationConfig {
   std::uint64_t seed = 42;
   /// Train selected devices on the global thread pool.
   bool parallel_devices = true;
+  /// Reuse Eq. 11 selection scores across steps for (device, cloud)
+  /// version pairs that have not changed. Pure acceleration: scores are
+  /// bitwise identical with the cache on or off.
+  bool use_similarity_cache = true;
 };
 
 class Simulation {
@@ -160,11 +169,13 @@ class Simulation {
   double mean_blend_weight() const noexcept {
     return blends_ == 0 ? 0.0 : blend_weight_sum_ / static_cast<double>(blends_);
   }
+  /// Selection-score cache hit/miss counters (throughput introspection).
+  const SimilarityCache& similarity_cache() const noexcept {
+    return similarity_cache_;
+  }
 
  private:
-  void train_selected(std::size_t edge_id,
-                      const std::vector<std::size_t>& selected,
-                      const std::vector<std::size_t>& prev_assignment);
+  void train_all_selected(const std::vector<std::size_t>& prev_assignment);
   void aggregate_edges();
   void cloud_sync();
 
@@ -179,8 +190,30 @@ class Simulation {
   std::size_t t_ = 0;
   std::vector<std::vector<std::size_t>> last_selection_;
   // Edge snapshot taken at the start of the step so FedMes' prev-edge rule
-  // reads w^t even while new edge models are being formed.
+  // reads w^t even while new edge models are being formed. The outer vector
+  // and per-edge buffers are sized once and refilled in place each step.
   std::vector<std::vector<float>> edge_snapshot_;
+  SimilarityCache similarity_cache_;
+  // Step-scratch buffers, reused across steps to keep the hot loop
+  // allocation-free: per-edge candidate membership, the flattened
+  // (edge, device) training task list, and per-task result slots that the
+  // parallel loop writes disjointly and step() reduces serially in task
+  // order (the deterministic replacement for a mutex-guarded sum).
+  std::vector<std::vector<std::size_t>> members_;
+  struct TrainTask {
+    std::size_t edge = 0;
+    std::size_t device = 0;
+  };
+  std::vector<TrainTask> train_tasks_;
+  std::vector<double> task_blend_weight_;
+  std::vector<std::uint8_t> task_blended_;
+  // Per-edge aggregation results, written in parallel and reduced serially.
+  struct EdgeAggResult {
+    std::size_t failed_uploads = 0;
+    std::size_t upload_bytes = 0;
+    double participating = 0.0;
+  };
+  std::vector<EdgeAggResult> edge_agg_results_;
   RunHistory history_;
   std::size_t blends_ = 0;
   double blend_weight_sum_ = 0.0;

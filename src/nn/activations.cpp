@@ -6,15 +6,15 @@
 namespace middlefl::nn {
 
 void ReLU::forward(const Tensor& input, Tensor& output, bool training) {
-  output = Tensor(input.shape());
+  output.reset(input.shape());
   const auto in = input.data();
   auto out = output.data();
   if (training) {
-    mask_.assign(in.size(), false);
+    if (mask_.size() < in.size()) mask_.resize(in.size());
     cached_numel_ = in.size();
     for (std::size_t i = 0; i < in.size(); ++i) {
       const bool positive = in[i] > 0.0f;
-      mask_[i] = positive;
+      mask_[i] = positive ? 1 : 0;
       out[i] = positive ? in[i] : 0.0f;
     }
   } else {
@@ -29,16 +29,16 @@ void ReLU::backward(const Tensor& input, const Tensor& grad_output,
   if (cached_numel_ != input.numel()) {
     throw std::logic_error("ReLU::backward: no cached forward state");
   }
-  grad_input = Tensor(input.shape());
+  grad_input.reset(input.shape());
   const auto dy = grad_output.data();
   auto dx = grad_input.data();
   for (std::size_t i = 0; i < dx.size(); ++i) {
-    dx[i] = mask_[i] ? dy[i] : 0.0f;
+    dx[i] = mask_[i] != 0 ? dy[i] : 0.0f;
   }
 }
 
 void Tanh::forward(const Tensor& input, Tensor& output, bool training) {
-  output = Tensor(input.shape());
+  output.reset(input.shape());
   const auto in = input.data();
   auto out = output.data();
   for (std::size_t i = 0; i < in.size(); ++i) {
@@ -55,7 +55,7 @@ void Tanh::backward(const Tensor& input, const Tensor& grad_output,
   if (cached_numel_ != input.numel()) {
     throw std::logic_error("Tanh::backward: no cached forward state");
   }
-  grad_input = Tensor(input.shape());
+  grad_input.reset(input.shape());
   const auto dy = grad_output.data();
   auto dx = grad_input.data();
   for (std::size_t i = 0; i < dx.size(); ++i) {

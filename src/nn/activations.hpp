@@ -1,6 +1,7 @@
 // Pointwise activation layers.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "nn/module.hpp"
@@ -19,8 +20,10 @@ class ReLU final : public Layer {
   }
 
  private:
-  // One bit per element of the last training batch: was the input positive.
-  std::vector<bool> mask_;
+  // One byte per element of the last training batch: was the input
+  // positive. Bytes, not vector<bool> — bit addressing serializes the
+  // forward/backward loops that otherwise vectorize.
+  std::vector<std::uint8_t> mask_;
   std::size_t cached_numel_ = 0;
 };
 

@@ -5,6 +5,7 @@
 
 #include "nn/init.hpp"
 #include "tensor/blas.hpp"
+#include "tensor/workspace.hpp"
 
 namespace middlefl::nn {
 
@@ -125,7 +126,7 @@ void Conv2d::forward(const Tensor& input, Tensor& output, bool training) {
     throw std::invalid_argument("Conv2d::forward: bad input " +
                                 input.shape().to_string());
   }
-  output = Tensor(Shape{batch, cfg_.out_channels, out_h_, out_w_});
+  output.reset({batch, cfg_.out_channels, out_h_, out_w_});
 
   const std::size_t col_size = col_rows_ * col_cols_;
   // Inference reuses a single panel; training caches every sample's panel
@@ -165,9 +166,12 @@ void Conv2d::backward(const Tensor& input, const Tensor& grad_output,
   }
   const std::size_t sample_size = cfg_.in_channels * in_h_ * in_w_;
   const std::size_t col_size = col_rows_ * col_cols_;
-  grad_input = Tensor(input.shape());
+  grad_input.reset(input.shape());
 
-  std::vector<float> dcol(col_size);
+  // d(col) panel from the workspace: backward runs once per sample per
+  // batch, and gemm only borrows the pack slots, so kConvColGrad is free.
+  std::span<float> dcol = tensor::Workspace::tls().floats(
+      tensor::WsSlot::kConvColGrad, col_size);
   for (std::size_t b = 0; b < batch; ++b) {
     const float* col = col_cache_.data() + b * col_size;
     const float* dy =

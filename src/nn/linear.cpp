@@ -54,7 +54,7 @@ void Linear::forward(const Tensor& input, Tensor& output, bool /*training*/) {
     throw std::invalid_argument("Linear::forward: bad input " +
                                 input.shape().to_string());
   }
-  output = Tensor(Shape{batch, out_});
+  output.reset({batch, out_});
   // Y[b, o] = sum_i X[b, i] * W[o, i] + bias[o]
   tensor::gemm(tensor::Trans::kNo, tensor::Trans::kYes, batch, out_, in_, 1.0f,
                input.data(), weight_, 0.0f, output.data());
@@ -80,7 +80,7 @@ void Linear::backward(const Tensor& input, const Tensor& grad_output,
     for (std::size_t o = 0; o < out_; ++o) grad_bias_[o] += row[o];
   }
   // dX[b, i] = sum_o dY[b, o] * W[o, i]
-  grad_input = Tensor(input.shape());
+  grad_input.reset(input.shape());
   tensor::gemm(tensor::Trans::kNo, tensor::Trans::kNo, batch, in_, out_, 1.0f,
                grad_output.data(), weight_, 0.0f, grad_input.data());
 }

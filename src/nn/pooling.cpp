@@ -41,7 +41,7 @@ void MaxPool2d::forward(const Tensor& input, Tensor& output, bool training) {
     throw std::invalid_argument("MaxPool2d::forward: bad input " +
                                 input.shape().to_string());
   }
-  output = Tensor(Shape{batch, channels_, out_h_, out_w_});
+  output.reset({batch, channels_, out_h_, out_w_});
   if (training) {
     argmax_.resize(batch * channels_ * out_plane);
     cached_batch_ = batch;
@@ -85,7 +85,7 @@ void MaxPool2d::backward(const Tensor& input, const Tensor& grad_output,
   }
   const std::size_t in_plane = in_h_ * in_w_;
   const std::size_t out_plane = out_h_ * out_w_;
-  grad_input = Tensor(input.shape());
+  grad_input.reset(input.shape());
   float* dx = grad_input.data().data();
   const float* dy = grad_output.data().data();
   for (std::size_t bc = 0; bc < batch * channels_; ++bc) {
@@ -140,7 +140,7 @@ void AvgPool2d::forward(const Tensor& input, Tensor& output,
     throw std::invalid_argument("AvgPool2d::forward: bad input " +
                                 input.shape().to_string());
   }
-  output = Tensor(Shape{batch, channels_, out_h_, out_w_});
+  output.reset({batch, channels_, out_h_, out_w_});
   const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
   const float* in = input.data().data();
   float* out = output.data().data();
@@ -167,7 +167,7 @@ void AvgPool2d::backward(const Tensor& input, const Tensor& grad_output,
   const std::size_t batch = input.dim(0);
   const std::size_t in_plane = in_h_ * in_w_;
   const std::size_t out_plane = out_h_ * out_w_;
-  grad_input = Tensor(input.shape());
+  grad_input.reset(input.shape());
   const float inv = 1.0f / static_cast<float>(kernel_ * kernel_);
   float* dx = grad_input.data().data();
   const float* dy = grad_output.data().data();

@@ -103,12 +103,17 @@ void Sequential::backward(const Tensor& grad_output) {
                                 " does not match output " +
                                 activations_.back().shape().to_string());
   }
-  Tensor grad = grad_output;
-  Tensor grad_prev;
+  // Ping-pong between two persistent scratch tensors: each layer reads the
+  // incoming gradient from one and writes its grad_input into the other.
+  // The first layer reads grad_output directly, so no copy is made.
+  const Tensor* grad = &grad_output;
+  std::size_t parity = 0;
   for (std::size_t i = layers_.size(); i-- > 0;) {
     const Tensor& layer_input = i == 0 ? input_copy_ : activations_[i - 1];
-    layers_[i]->backward(layer_input, grad, grad_prev);
-    grad = std::move(grad_prev);
+    Tensor& grad_prev = grad_scratch_[parity];
+    layers_[i]->backward(layer_input, *grad, grad_prev);
+    grad = &grad_prev;
+    parity ^= 1;
   }
   have_training_forward_ = false;
 }

@@ -83,6 +83,10 @@ class Sequential {
   Tensor input_copy_;
   std::vector<Tensor> activations_;
   bool have_training_forward_ = false;
+  // Ping-pong gradient buffers for the backward sweep. Persistent members
+  // (instead of locals moved layer-to-layer) keep their high-water
+  // allocation, so steady-state backward passes never touch the heap.
+  Tensor grad_scratch_[2];
 };
 
 }  // namespace middlefl::nn

@@ -32,7 +32,10 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
   const std::size_t chunk =
       std::max(grain.value, (n + target_chunks - 1) / target_chunks);
 
-  if (n <= chunk || workers <= 1) {
+  // Nested invocations (a body that itself calls parallel_for) run inline:
+  // blocking a worker on sub-tasks that sit behind other blocked workers in
+  // the queue would deadlock the pool.
+  if (n <= chunk || workers <= 1 || ThreadPool::in_worker()) {
     for (std::size_t i = begin; i < end; ++i) body(i);
     return;
   }

@@ -1,6 +1,13 @@
 #include "parallel/thread_pool.hpp"
 
 namespace middlefl::parallel {
+namespace {
+
+thread_local bool tls_in_worker = false;
+
+}  // namespace
+
+bool ThreadPool::in_worker() noexcept { return tls_in_worker; }
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -22,6 +29,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  tls_in_worker = true;
   for (;;) {
     std::function<void()> task;
     {

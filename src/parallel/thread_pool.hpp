@@ -50,6 +50,11 @@ class ThreadPool {
   /// stay bounded.
   static ThreadPool& global();
 
+  /// True when the calling thread is a pool worker. parallel_for uses this
+  /// to run nested loops inline: a worker that blocked on sub-tasks queued
+  /// behind other blocked workers would deadlock the pool.
+  static bool in_worker() noexcept;
+
  private:
   void worker_loop();
 

@@ -4,10 +4,10 @@
 #include <cmath>
 #include <stdexcept>
 #include <string>
-#include <vector>
 
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "tensor/workspace.hpp"
 
 namespace middlefl::tensor {
 namespace {
@@ -21,12 +21,233 @@ void check_size(std::span<const float> s, std::size_t expected,
   }
 }
 
-/// Copies `rows x cols` row-major `src` into `dst` transposed
-/// (`cols x rows` row-major).
-void transpose_into(std::span<const float> src, std::size_t rows,
-                    std::size_t cols, std::vector<float>& dst) {
-  dst.resize(rows * cols);
-  // Block the transpose for cache friendliness on larger panels.
+/// Applies the beta prologue to one C row: zero, keep, or scale.
+inline void scale_row(float* c, std::size_t n, float beta) noexcept {
+  if (beta == 0.0f) {
+    std::fill(c, c + n, 0.0f);
+  } else if (beta != 1.0f) {
+    for (std::size_t j = 0; j < n; ++j) c[j] *= beta;
+  }
+}
+
+/// Core 4-lane dot kernel; the lane structure fixes the summation order so
+/// every caller (serial, chunked, row-split gemm) gets identical floats.
+inline double dot_kernel(const float* x, const float* y,
+                         std::size_t n) noexcept {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += static_cast<double>(x[i]) * y[i];
+    acc1 += static_cast<double>(x[i + 1]) * y[i + 1];
+    acc2 += static_cast<double>(x[i + 2]) * y[i + 2];
+    acc3 += static_cast<double>(x[i + 3]) * y[i + 3];
+  }
+  for (; i < n; ++i) acc0 += static_cast<double>(x[i]) * y[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+inline double sumsq_kernel(const float* x, std::size_t n) noexcept {
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += static_cast<double>(x[i]) * x[i];
+    acc1 += static_cast<double>(x[i + 1]) * x[i + 1];
+    acc2 += static_cast<double>(x[i + 2]) * x[i + 2];
+    acc3 += static_cast<double>(x[i + 3]) * x[i + 3];
+  }
+  for (; i < n; ++i) acc0 += static_cast<double>(x[i]) * x[i];
+  return (acc0 + acc1) + (acc2 + acc3);
+}
+
+/// Fixed chunk size for the deterministic parallel reductions. Partial
+/// sums are combined in chunk order, so the result does not depend on
+/// whether (or how) the chunks were distributed over threads.
+constexpr std::size_t kReduceChunk = std::size_t{1} << 15;
+
+template <typename ChunkFn>
+double chunked_reduce(std::size_t n, parallel::ThreadPool* pool,
+                      ChunkFn&& chunk_fn) {
+  if (n <= kReduceChunk) return chunk_fn(0, n);
+  const std::size_t num_chunks = (n + kReduceChunk - 1) / kReduceChunk;
+  auto partials =
+      Workspace::tls().doubles(WsDoubleSlot::kPartials, num_chunks);
+  const auto compute = [&](std::size_t chunk) {
+    const std::size_t lo = chunk * kReduceChunk;
+    const std::size_t hi = std::min(n, lo + kReduceChunk);
+    partials[chunk] = chunk_fn(lo, hi);
+  };
+  if (pool != nullptr && pool->size() > 1 && num_chunks > 1) {
+    parallel::parallel_for(*pool, 0, num_chunks, compute);
+  } else {
+    for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) compute(chunk);
+  }
+  double total = 0.0;
+  for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    total += partials[chunk];
+  }
+  return total;
+}
+
+// --- GEMM kernels -----------------------------------------------------------
+//
+// Every kernel computes rows [row_lo, row_hi) of C. Within a kernel each C
+// row's arithmetic order depends only on the row itself (4-row blocks share
+// loads, never partial sums), so any row split yields identical results —
+// the property the parallel path and the determinism pin rely on.
+
+/// NN: C[i,:] += alpha * A[i,p] * B[p,:]. A m x k, B k x n. Four C rows per
+/// pass reuse each streamed B row; the j loop vectorizes (no reduction).
+void gemm_nn_rows(std::size_t row_lo, std::size_t row_hi, std::size_t n,
+                  std::size_t k, float alpha, const float* a, const float* b,
+                  float beta, float* c) noexcept {
+  std::size_t i = row_lo;
+  for (; i + 4 <= row_hi; i += 4) {
+    float* c0 = c + i * n;
+    float* c1 = c0 + n;
+    float* c2 = c1 + n;
+    float* c3 = c2 + n;
+    scale_row(c0, n, beta);
+    scale_row(c1, n, beta);
+    scale_row(c2, n, beta);
+    scale_row(c3, n, beta);
+    const float* a0 = a + i * k;
+    const float* a1 = a0 + k;
+    const float* a2 = a1 + k;
+    const float* a3 = a2 + k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float v0 = alpha * a0[p];
+      const float v1 = alpha * a1[p];
+      const float v2 = alpha * a2[p];
+      const float v3 = alpha * a3[p];
+      const float* br = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float bj = br[j];
+        c0[j] += v0 * bj;
+        c1[j] += v1 * bj;
+        c2[j] += v2 * bj;
+        c3[j] += v3 * bj;
+      }
+    }
+  }
+  for (; i < row_hi; ++i) {
+    float* ci = c + i * n;
+    scale_row(ci, n, beta);
+    const float* ai = a + i * k;
+    for (std::size_t p = 0; p < k; ++p) {
+      const float v = alpha * ai[p];
+      const float* br = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += v * br[j];
+    }
+  }
+}
+
+/// TN: C[i,:] += alpha * A[p,i] * B[p,:]. A k x m (transposed use), B k x n.
+/// Same streaming structure as NN with a strided A access.
+void gemm_tn_rows(std::size_t row_lo, std::size_t row_hi, std::size_t m,
+                  std::size_t n, std::size_t k, float alpha, const float* a,
+                  const float* b, float beta, float* c) noexcept {
+  std::size_t i = row_lo;
+  for (; i + 4 <= row_hi; i += 4) {
+    float* c0 = c + i * n;
+    float* c1 = c0 + n;
+    float* c2 = c1 + n;
+    float* c3 = c2 + n;
+    scale_row(c0, n, beta);
+    scale_row(c1, n, beta);
+    scale_row(c2, n, beta);
+    scale_row(c3, n, beta);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float* ap = a + p * m + i;
+      const float v0 = alpha * ap[0];
+      const float v1 = alpha * ap[1];
+      const float v2 = alpha * ap[2];
+      const float v3 = alpha * ap[3];
+      const float* br = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        const float bj = br[j];
+        c0[j] += v0 * bj;
+        c1[j] += v1 * bj;
+        c2[j] += v2 * bj;
+        c3[j] += v3 * bj;
+      }
+    }
+  }
+  for (; i < row_hi; ++i) {
+    float* ci = c + i * n;
+    scale_row(ci, n, beta);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float v = alpha * a[p * m + i];
+      const float* br = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += v * br[j];
+    }
+  }
+}
+
+/// NT: C[i,j] = alpha * <A[i,:], B[j,:]> + beta * C[i,j]. A m x k, B n x k.
+/// Both operands are walked contiguously; two output columns per pass with
+/// four independent float lanes each keep the FP order fixed per (i, j)
+/// and give the vectorizer reduction-free lanes.
+void gemm_nt_rows(std::size_t row_lo, std::size_t row_hi, std::size_t n,
+                  std::size_t k, float alpha, const float* a, const float* b,
+                  float beta, float* c) noexcept {
+  for (std::size_t i = row_lo; i < row_hi; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    std::size_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const float* b0 = b + j * k;
+      const float* b1 = b0 + k;
+      float s00 = 0.0f, s01 = 0.0f, s02 = 0.0f, s03 = 0.0f;
+      float s10 = 0.0f, s11 = 0.0f, s12 = 0.0f, s13 = 0.0f;
+      std::size_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        const float a0 = ai[p];
+        const float a1 = ai[p + 1];
+        const float a2 = ai[p + 2];
+        const float a3 = ai[p + 3];
+        s00 += a0 * b0[p];
+        s01 += a1 * b0[p + 1];
+        s02 += a2 * b0[p + 2];
+        s03 += a3 * b0[p + 3];
+        s10 += a0 * b1[p];
+        s11 += a1 * b1[p + 1];
+        s12 += a2 * b1[p + 2];
+        s13 += a3 * b1[p + 3];
+      }
+      for (; p < k; ++p) {
+        s00 += ai[p] * b0[p];
+        s10 += ai[p] * b1[p];
+      }
+      const float d0 = alpha * ((s00 + s01) + (s02 + s03));
+      const float d1 = alpha * ((s10 + s11) + (s12 + s13));
+      if (beta == 0.0f) {
+        ci[j] = d0;
+        ci[j + 1] = d1;
+      } else {
+        ci[j] = d0 + beta * ci[j];
+        ci[j + 1] = d1 + beta * ci[j + 1];
+      }
+    }
+    for (; j < n; ++j) {
+      const float* bj = b + j * k;
+      float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+      std::size_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        s0 += ai[p] * bj[p];
+        s1 += ai[p + 1] * bj[p + 1];
+        s2 += ai[p + 2] * bj[p + 2];
+        s3 += ai[p + 3] * bj[p + 3];
+      }
+      for (; p < k; ++p) s0 += ai[p] * bj[p];
+      const float d = alpha * ((s0 + s1) + (s2 + s3));
+      ci[j] = beta == 0.0f ? d : d + beta * ci[j];
+    }
+  }
+}
+
+/// Blocked transpose of row-major `rows x cols` into `dst` (cols x rows).
+void transpose_pack(const float* src, std::size_t rows, std::size_t cols,
+                    float* dst) noexcept {
   constexpr std::size_t kBlock = 32;
   for (std::size_t i0 = 0; i0 < rows; i0 += kBlock) {
     const std::size_t i1 = std::min(rows, i0 + kBlock);
@@ -41,36 +262,14 @@ void transpose_into(std::span<const float> src, std::size_t rows,
   }
 }
 
-/// Core kernel: C[i,:] += alpha * A[i,k] * B[k,:] for row panel [row_lo,
-/// row_hi). A row-major m x k, B row-major k x n, C row-major m x n. The
-/// i-k-j order streams B and C rows sequentially, which vectorizes well.
-void gemm_nn_panel(std::size_t row_lo, std::size_t row_hi, std::size_t n,
-                   std::size_t k, float alpha, const float* a, const float* b,
-                   float beta, float* c) {
-  for (std::size_t i = row_lo; i < row_hi; ++i) {
-    float* c_row = c + i * n;
-    if (beta == 0.0f) {
-      std::fill(c_row, c_row + n, 0.0f);
-    } else if (beta != 1.0f) {
-      for (std::size_t j = 0; j < n; ++j) c_row[j] *= beta;
-    }
-    const float* a_row = a + i * k;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float a_ip = alpha * a_row[p];
-      if (a_ip == 0.0f) continue;
-      const float* b_row = b + p * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        c_row[j] += a_ip * b_row[j];
-      }
-    }
-  }
-}
-
 }  // namespace
 
 void axpy(float alpha, std::span<const float> x, std::span<float> y) {
   check_size(x, y.size(), "axpy");
-  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+  const float* xp = x.data();
+  float* yp = y.data();
+  const std::size_t n = y.size();
+  for (std::size_t i = 0; i < n; ++i) yp[i] += alpha * xp[i];
 }
 
 void scal(float alpha, std::span<float> x) noexcept {
@@ -79,17 +278,29 @@ void scal(float alpha, std::span<float> x) noexcept {
 
 double dot(std::span<const float> x, std::span<const float> y) {
   check_size(x, y.size(), "dot");
-  double acc = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    acc += static_cast<double>(x[i]) * y[i];
-  }
-  return acc;
+  return dot_kernel(x.data(), y.data(), x.size());
+}
+
+double dot(std::span<const float> x, std::span<const float> y,
+           parallel::ThreadPool* pool) {
+  check_size(x, y.size(), "dot");
+  const float* xp = x.data();
+  const float* yp = y.data();
+  return chunked_reduce(x.size(), pool, [=](std::size_t lo, std::size_t hi) {
+    return dot_kernel(xp + lo, yp + lo, hi - lo);
+  });
 }
 
 double nrm2(std::span<const float> x) noexcept {
-  double acc = 0.0;
-  for (float v : x) acc += static_cast<double>(v) * v;
-  return std::sqrt(acc);
+  return std::sqrt(sumsq_kernel(x.data(), x.size()));
+}
+
+double nrm2(std::span<const float> x, parallel::ThreadPool* pool) {
+  const float* xp = x.data();
+  return std::sqrt(
+      chunked_reduce(x.size(), pool, [=](std::size_t lo, std::size_t hi) {
+        return sumsq_kernel(xp + lo, hi - lo);
+      }));
 }
 
 void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
@@ -99,38 +310,61 @@ void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
   check_size(a, m * k, "gemm: A");
   check_size(b, k * n, "gemm: B");
   check_size(c, m * n, "gemm: C");
+  if (m == 0 || n == 0) return;
 
-  // Normalize to the NN kernel by materializing transposed operands. The
-  // models in this project keep k*m and k*n small (<= a few hundred KB), so
-  // packing is cheap relative to the multiply.
-  std::vector<float> a_packed;
-  std::vector<float> b_packed;
+  // TT is the one case without a direct kernel: pack op(A) once into the
+  // thread-local workspace (amortized: no allocation after warm-up) and
+  // fall through to the NT kernel.
   const float* a_ptr = a.data();
+  Trans eff_a = trans_a;
+  if (trans_a == Trans::kYes && trans_b == Trans::kYes) {
+    auto packed = Workspace::tls().floats(WsSlot::kGemmPackA, m * k);
+    transpose_pack(a.data(), k, m, packed.data());
+    a_ptr = packed.data();
+    eff_a = Trans::kNo;
+  }
   const float* b_ptr = b.data();
-  if (trans_a == Trans::kYes) {
-    transpose_into(a, k, m, a_packed);  // stored as k x m, want m x k
-    a_ptr = a_packed.data();
+  Trans eff_b = trans_b;
+  // NT with a big enough B: pack B^T once into the workspace and stream
+  // with the NN kernel. The dot-form NT kernel pays a horizontal reduction
+  // per output element and runs far below the FMA peak; the streaming
+  // kernel's pure accumulate-into-C-rows form more than buys back the
+  // packing pass. Small B keeps the direct dot path (packing would
+  // dominate). The choice is shape-based, so results stay deterministic.
+  if (eff_a == Trans::kNo && eff_b == Trans::kYes && n >= 16 && k >= 16) {
+    auto packed = Workspace::tls().floats(WsSlot::kGemmPackB, k * n);
+    transpose_pack(b.data(), n, k, packed.data());
+    b_ptr = packed.data();
+    eff_b = Trans::kNo;
   }
-  if (trans_b == Trans::kYes) {
-    transpose_into(b, n, k, b_packed);  // stored as n x k, want k x n
-    b_ptr = b_packed.data();
-  }
+  float* c_ptr = c.data();
+
+  const auto run_rows = [&](std::size_t lo, std::size_t hi) {
+    if (eff_a == Trans::kNo && eff_b == Trans::kNo) {
+      gemm_nn_rows(lo, hi, n, k, alpha, a_ptr, b_ptr, beta, c_ptr);
+    } else if (eff_a == Trans::kNo) {
+      gemm_nt_rows(lo, hi, n, k, alpha, a_ptr, b_ptr, beta, c_ptr);
+    } else {
+      gemm_tn_rows(lo, hi, m, n, k, alpha, a_ptr, b_ptr, beta, c_ptr);
+    }
+  };
 
   // Parallelize across row panels when there is enough arithmetic to
   // amortize the fork/join (heuristic: >= ~1 MFLOP and >= 2 rows per
-  // worker).
+  // worker). Row splits do not change any row's arithmetic order, so the
+  // parallel result is bitwise-identical to the serial one.
   const std::size_t flops = 2 * m * n * k;
   if (pool != nullptr && pool->size() > 1 && flops >= (1u << 20) &&
       m >= 2 * pool->size()) {
-    float* c_ptr = c.data();
-    parallel::parallel_for(
-        *pool, 0, m,
-        [=](std::size_t i) {
-          gemm_nn_panel(i, i + 1, n, k, alpha, a_ptr, b_ptr, beta, c_ptr);
-        },
-        parallel::GrainSize{std::max<std::size_t>(1, m / (pool->size() * 4))});
+    const std::size_t grain = std::max<std::size_t>(
+        4, ((m / (pool->size() * 4)) + 3) & ~std::size_t{3});
+    const std::size_t num_blocks = (m + grain - 1) / grain;
+    parallel::parallel_for(*pool, 0, num_blocks, [&](std::size_t block) {
+      const std::size_t lo = block * grain;
+      run_rows(lo, std::min(m, lo + grain));
+    });
   } else {
-    gemm_nn_panel(0, m, n, k, alpha, a_ptr, b_ptr, beta, c.data());
+    run_rows(0, m);
   }
 }
 
@@ -142,28 +376,32 @@ void gemv(Trans trans_a, std::size_t m, std::size_t n, float alpha,
     check_size(x, n, "gemv: x");
     check_size(std::span<const float>(y.data(), y.size()), m, "gemv: y");
     for (std::size_t i = 0; i < m; ++i) {
-      double acc = 0.0;
-      const float* row = a.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        acc += static_cast<double>(row[j]) * x[j];
-      }
+      const double acc = dot_kernel(a.data() + i * n, x.data(), n);
       y[i] = alpha * static_cast<float>(acc) + beta * y[i];
     }
   } else {
     check_size(x, m, "gemv: x");
     check_size(std::span<const float>(y.data(), y.size()), n, "gemv: y");
-    if (beta == 0.0f) {
-      std::fill(y.begin(), y.end(), 0.0f);
-    } else if (beta != 1.0f) {
-      scal(beta, y);
-    }
-    for (std::size_t i = 0; i < m; ++i) {
-      const float xi = alpha * x[i];
-      if (xi == 0.0f) continue;
-      const float* row = a.data() + i * n;
+    scale_row(y.data(), n, beta);
+    std::size_t i = 0;
+    for (; i + 4 <= m; i += 4) {
+      const float v0 = alpha * x[i];
+      const float v1 = alpha * x[i + 1];
+      const float v2 = alpha * x[i + 2];
+      const float v3 = alpha * x[i + 3];
+      const float* r0 = a.data() + i * n;
+      const float* r1 = r0 + n;
+      const float* r2 = r1 + n;
+      const float* r3 = r2 + n;
+      float* yp = y.data();
       for (std::size_t j = 0; j < n; ++j) {
-        y[j] += xi * row[j];
+        yp[j] += v0 * r0[j] + v1 * r1[j] + v2 * r2[j] + v3 * r3[j];
       }
+    }
+    for (; i < m; ++i) {
+      const float v = alpha * x[i];
+      const float* row = a.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) y[j] += v * row[j];
     }
   }
 }

@@ -4,8 +4,20 @@
 // Conv2d lowers to im2col + sgemm, and model aggregation / similarity
 // utilities lower to axpy/dot/nrm2 on flat parameter vectors. Kernels take
 // spans (size-checked on entry) so both Tensor storage and flat model
-// vectors reuse them. GEMM is register-blocked with an i-k-j loop order and
-// parallelized over row panels when a thread pool is provided.
+// vectors reuse them.
+//
+// GEMM dispatches to a dedicated kernel per transpose combination — NN and
+// TN stream B rows against 4-row register blocks of C, NT computes
+// register-tiled dot products with 4-way unrolled lanes — so no operand is
+// materialized/transposed except in the rare TT case, which packs into the
+// thread-local Workspace (no per-call allocation). Row panels parallelize
+// when a thread pool is provided; every row's arithmetic order is
+// independent of the panel split, so parallel and serial runs produce
+// bitwise-identical results.
+//
+// dot/nrm2 overloads taking a pool use a FIXED chunk decomposition (chunk
+// partials summed in chunk order) so the result is identical whether the
+// chunks run serially or in parallel.
 #pragma once
 
 #include <cstddef>
@@ -25,16 +37,26 @@ void axpy(float alpha, std::span<const float> x, std::span<float> y);
 /// x *= alpha.
 void scal(float alpha, std::span<float> x) noexcept;
 
-/// Dot product accumulated in double.
+/// Dot product accumulated in double (4-way unrolled lanes).
 double dot(std::span<const float> x, std::span<const float> y);
 
-/// Euclidean norm accumulated in double.
+/// Chunk-deterministic dot: fixed-size chunks are reduced independently
+/// and their partials summed in order. With a multi-thread pool the chunks
+/// run in parallel; the result is bitwise-identical either way.
+double dot(std::span<const float> x, std::span<const float> y,
+           parallel::ThreadPool* pool);
+
+/// Euclidean norm accumulated in double (4-way unrolled lanes).
 double nrm2(std::span<const float> x) noexcept;
+
+/// Chunk-deterministic nrm2 (see the dot overload).
+double nrm2(std::span<const float> x, parallel::ThreadPool* pool);
 
 /// C = alpha * op(A) * op(B) + beta * C where op is identity or transpose.
 /// A is m x k after op, B is k x n after op, C is m x n, all row-major.
 /// When `pool` is non-null and the output is large, row panels of C are
-/// computed in parallel (deterministic: disjoint outputs).
+/// computed in parallel (deterministic: each row's arithmetic order does
+/// not depend on the split).
 void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
           std::size_t k, float alpha, std::span<const float> a,
           std::span<const float> b, float beta, std::span<float> c,

@@ -8,6 +8,7 @@
 // use spans.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <span>
 #include <vector>
@@ -53,6 +54,30 @@ class Tensor {
 
   /// O(1); `new_shape.numel()` must equal numel().
   Tensor& reshape(Shape new_shape);
+
+  /// Reshapes to `shape` and zero-fills, reusing the existing allocation
+  /// when capacity allows. Layers call this every forward/backward, so the
+  /// activation buffers of a model reach a high-water mark once and stop
+  /// heap-allocating. The shape is only copied when it actually changed —
+  /// Shape owns a dims vector, so an unconditional assignment would be a
+  /// heap allocation per layer call in the training loop.
+  Tensor& reset(const Shape& shape) {
+    if (shape_ != shape) shape_ = shape;
+    data_.assign(shape_.numel(), 0.0f);
+    return *this;
+  }
+
+  /// reset() without constructing a temporary Shape: compares the dims
+  /// in place, so the steady-state case (same extents every step) touches
+  /// no shape storage at all.
+  Tensor& reset(std::initializer_list<std::size_t> dims) {
+    if (!std::equal(dims.begin(), dims.end(), shape_.dims().begin(),
+                    shape_.dims().end())) {
+      shape_ = Shape(dims);
+    }
+    data_.assign(shape_.numel(), 0.0f);
+    return *this;
+  }
 
   void fill(float value) noexcept;
 

@@ -1,0 +1,10 @@
+#include "tensor/workspace.hpp"
+
+namespace middlefl::tensor {
+
+Workspace& Workspace::tls() {
+  thread_local Workspace instance;
+  return instance;
+}
+
+}  // namespace middlefl::tensor

@@ -1,0 +1,84 @@
+// Thread-local scratch-buffer arena for hot-path kernels.
+//
+// The step loop used to heap-allocate on every call in several places:
+// gemm transpose-packing, Conv2d's im2col gradient panel, the on-device
+// blend output, and weighted_average's double accumulator. Each of those
+// sites now borrows a slot from the calling thread's Workspace instead —
+// buffers grow to a high-water mark on first use and are reused for the
+// rest of the thread's life, so steady-state step execution performs no
+// allocations in these kernels.
+//
+// Rules:
+//  - A slot is NOT re-entrant: a kernel must finish with its slot before
+//    any function it calls borrows the same slot. Slots are assigned so the
+//    call graph never nests a slot inside itself (gemm packing never calls
+//    gemm, the blend buffer is consumed before training runs, ...).
+//  - Spans returned by floats()/doubles() are invalidated by the next
+//    borrow of the SAME slot on the same thread; borrowing other slots is
+//    safe.
+//  - Everything is thread-local: parallel workers each get their own
+//    arena, so borrowing needs no synchronization.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace middlefl::tensor {
+
+/// Float scratch slots, one per non-overlapping hot-path use.
+enum class WsSlot : std::size_t {
+  kGemmPackA = 0,  // gemm: packed/transposed A operand
+  kGemmPackB,      // gemm: packed/transposed B operand
+  kConvColGrad,    // Conv2d::backward: d(col) panel before col2im
+  kBlend,          // Simulation: on-device blended model w_hat
+  kScratch,        // generic caller-owned scratch (benches, cloud sync)
+  kCount,
+};
+
+/// Double scratch slots (reduction accumulators).
+enum class WsDoubleSlot : std::size_t {
+  kAccumulate = 0,  // weighted_average: per-chunk accumulator
+  kPartials,        // chunked dot/nrm2: per-chunk partial sums
+  kCount,
+};
+
+class Workspace {
+ public:
+  /// The calling thread's arena (created on first use).
+  static Workspace& tls();
+
+  /// Borrows the first `n` floats of `slot`, growing it if needed. The
+  /// contents are unspecified (callers overwrite or zero as needed).
+  std::span<float> floats(WsSlot slot, std::size_t n) {
+    auto& buf = float_slots_[static_cast<std::size_t>(slot)];
+    if (buf.size() < n) buf.resize(n);
+    return {buf.data(), n};
+  }
+
+  std::span<double> doubles(WsDoubleSlot slot, std::size_t n) {
+    auto& buf = double_slots_[static_cast<std::size_t>(slot)];
+    if (buf.size() < n) buf.resize(n);
+    return {buf.data(), n};
+  }
+
+  /// Total bytes currently retained across all slots (introspection).
+  std::size_t retained_bytes() const noexcept {
+    std::size_t total = 0;
+    for (const auto& buf : float_slots_) total += buf.capacity() * sizeof(float);
+    for (const auto& buf : double_slots_) {
+      total += buf.capacity() * sizeof(double);
+    }
+    return total;
+  }
+
+ private:
+  std::array<std::vector<float>, static_cast<std::size_t>(WsSlot::kCount)>
+      float_slots_;
+  std::array<std::vector<double>,
+             static_cast<std::size_t>(WsDoubleSlot::kCount)>
+      double_slots_;
+};
+
+}  // namespace middlefl::tensor

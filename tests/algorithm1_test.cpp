@@ -25,7 +25,8 @@ class ScriptedSelection final : public middlefl::core::SelectionStrategy {
   std::vector<std::size_t> select(
       std::span<const middlefl::core::Candidate> candidates,
       std::span<const float> /*cloud*/, std::size_t k,
-      middlefl::parallel::Xoshiro256& /*rng*/) const override {
+      middlefl::parallel::Xoshiro256& /*rng*/,
+      const middlefl::core::SelectionContext& /*context*/) const override {
     std::vector<std::size_t> picked;
     for (const auto& c : candidates) {
       if (std::find(allowed_.begin(), allowed_.end(), c.device_id) !=

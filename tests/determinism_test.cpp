@@ -1,0 +1,99 @@
+// Determinism pin: a simulation run must be bitwise identical whether
+// device training / edge aggregation run on the thread pool or serially.
+// This guards the whole deterministic-parallelism design — per-row gemm
+// independence, fixed-chunk reductions, per-task result slots reduced in
+// task order — against regressions that would make results depend on
+// thread count or scheduling.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "sim_fixture.hpp"
+
+namespace {
+
+using middlefl::core::Algorithm;
+using middlefl::core::RunHistory;
+using middlefl::core::Simulation;
+using middlefl::testing::SimBundle;
+
+void expect_spans_equal(std::span<const float> a, std::span<const float> b,
+                        const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << what << " element " << i;
+  }
+}
+
+void expect_identical_runs(Algorithm algorithm) {
+  SimBundle bundle;
+  bundle.cfg.total_steps = 8;
+  bundle.cfg.cloud_interval = 4;
+  bundle.cfg.eval_every = 4;
+  bundle.cfg.upload_failure_prob = 0.1;  // exercise the failure RNG path
+
+  bundle.cfg.parallel_devices = false;
+  auto serial = bundle.make(algorithm);
+  bundle.cfg.parallel_devices = true;
+  auto parallel = bundle.make(algorithm);
+
+  const RunHistory history_serial = serial->run();
+  const RunHistory history_parallel = parallel->run();
+
+  ASSERT_EQ(history_serial.points.size(), history_parallel.points.size());
+  for (std::size_t i = 0; i < history_serial.points.size(); ++i) {
+    EXPECT_EQ(history_serial.points[i].accuracy,
+              history_parallel.points[i].accuracy)
+        << "eval point " << i;
+    EXPECT_EQ(history_serial.points[i].loss, history_parallel.points[i].loss)
+        << "eval point " << i;
+  }
+
+  expect_spans_equal(serial->cloud_params(), parallel->cloud_params(),
+                     "cloud params");
+  for (std::size_t n = 0; n < serial->num_edges(); ++n) {
+    expect_spans_equal(serial->edge_params(n), parallel->edge_params(n),
+                       "edge params");
+  }
+  for (std::size_t m = 0; m < serial->num_devices(); ++m) {
+    expect_spans_equal(serial->device(m).params(),
+                       parallel->device(m).params(), "device params");
+  }
+
+  // Serially-reduced counters from the parallel loops must agree too.
+  EXPECT_EQ(serial->on_device_aggregations(),
+            parallel->on_device_aggregations());
+  EXPECT_EQ(serial->mean_blend_weight(), parallel->mean_blend_weight());
+  EXPECT_EQ(serial->failed_uploads(), parallel->failed_uploads());
+  EXPECT_EQ(serial->straggler_drops(), parallel->straggler_drops());
+  EXPECT_EQ(serial->upload_bytes(), parallel->upload_bytes());
+}
+
+TEST(Determinism, MiddleParallelMatchesSerialBitwise) {
+  expect_identical_runs(Algorithm::kMiddle);
+}
+
+TEST(Determinism, HierFavgParallelMatchesSerialBitwise) {
+  expect_identical_runs(Algorithm::kHierFavg);
+}
+
+TEST(Determinism, RepeatedRunsAreBitwiseIdentical) {
+  // Same config, same seed, two fresh simulations: identical histories.
+  SimBundle bundle;
+  bundle.cfg.total_steps = 6;
+  bundle.cfg.eval_every = 3;
+  auto first = bundle.make(Algorithm::kMiddle);
+  auto second = bundle.make(Algorithm::kMiddle);
+  const RunHistory h1 = first->run();
+  const RunHistory h2 = second->run();
+  ASSERT_EQ(h1.points.size(), h2.points.size());
+  for (std::size_t i = 0; i < h1.points.size(); ++i) {
+    EXPECT_EQ(h1.points[i].accuracy, h2.points[i].accuracy);
+    EXPECT_EQ(h1.points[i].loss, h2.points[i].loss);
+  }
+  expect_spans_equal(first->cloud_params(), second->cloud_params(),
+                     "cloud params");
+}
+
+}  // namespace

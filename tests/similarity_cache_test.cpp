@@ -1,0 +1,134 @@
+// Fused Eq. 11 kernel vs the materialize-Delta reference, and the
+// version-keyed SimilarityCache: hit/miss semantics, invalidation on
+// device/cloud mutation, and end-to-end equivalence of cache on vs off.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <random>
+#include <vector>
+
+#include "core/similarity.hpp"
+#include "core/similarity_cache.hpp"
+#include "sim_fixture.hpp"
+
+namespace {
+
+using middlefl::core::Algorithm;
+using middlefl::core::SimilarityCache;
+using middlefl::testing::SimBundle;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+TEST(FusedSelectionUtility, MatchesMaterializedReference) {
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{5}, std::size_t{1023},
+        std::size_t{4099}, std::size_t{65536}}) {
+    const auto cloud = random_vec(n, 100 + n);
+    auto local = random_vec(n, 200 + n);
+    // Bias local toward cloud so the delta has a nonzero cosine.
+    for (std::size_t i = 0; i < n; ++i) local[i] += 0.3f * cloud[i];
+    const double fused = middlefl::core::selection_utility(cloud, local);
+    const double ref =
+        middlefl::core::selection_utility_reference(cloud, local);
+    EXPECT_NEAR(fused, ref, 1e-9) << "n=" << n;
+    EXPECT_GE(fused, 0.0);
+    EXPECT_LE(fused, 1.0);
+  }
+}
+
+TEST(FusedSelectionUtility, DegenerateInputsReturnZero) {
+  const std::vector<float> zeros(64, 0.0f);
+  const auto v = random_vec(64, 1);
+  // Zero cloud model and zero delta (local == cloud) are both defined as 0.
+  EXPECT_EQ(middlefl::core::selection_utility(zeros, v), 0.0);
+  EXPECT_EQ(middlefl::core::selection_utility(v, v), 0.0);
+}
+
+TEST(SimilarityCache, MissThenHitThenInvalidate) {
+  SimilarityCache cache;
+  cache.resize(4);
+  EXPECT_FALSE(cache.lookup(2, 5, 9).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.store(2, 5, 9, 0.75);
+  const auto hit = cache.lookup(2, 5, 9);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0.75);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Device trained (version 5 -> 6): the entry no longer applies.
+  EXPECT_FALSE(cache.lookup(2, 6, 9).has_value());
+  // Cloud synchronized (version 9 -> 10): likewise.
+  EXPECT_FALSE(cache.lookup(2, 5, 10).has_value());
+  // The original pair still hits — entries are keyed, not timestamped.
+  EXPECT_TRUE(cache.lookup(2, 5, 9).has_value());
+}
+
+TEST(SimilarityCache, ClearAndOutOfRange) {
+  SimilarityCache cache;
+  cache.resize(2);
+  cache.store(1, 1, 1, 0.5);
+  EXPECT_TRUE(cache.lookup(1, 1, 1).has_value());
+  cache.clear();
+  EXPECT_FALSE(cache.lookup(1, 1, 1).has_value());
+  // Lookups past the sized range are misses, not UB.
+  EXPECT_FALSE(cache.lookup(99, 0, 0).has_value());
+}
+
+TEST(SimilarityCache, DeviceMutationsBumpVersion) {
+  SimBundle bundle;
+  auto sim = bundle.make(Algorithm::kMiddle);
+  auto& dev = sim->device(0);
+  const auto v0 = dev.params_version();
+  const std::vector<float> params(dev.params().begin(), dev.params().end());
+  dev.set_params(params);
+  EXPECT_GT(dev.params_version(), v0);
+}
+
+TEST(SimilarityCache, SimulationHitsAfterWarmup) {
+  SimBundle bundle;
+  bundle.cfg.cloud_interval = 10;  // no sync within the window
+  auto sim = bundle.make(Algorithm::kMiddle);
+  for (int i = 0; i < 4; ++i) sim->step();
+  // Unselected devices keep their parameter version across steps, so their
+  // scores must start hitting the cache from the second step on.
+  EXPECT_GT(sim->similarity_cache().hits(), 0u);
+  EXPECT_GT(sim->similarity_cache().misses(), 0u);
+}
+
+TEST(SimilarityCache, CacheOnOffRunsAreBitwiseIdentical) {
+  SimBundle bundle;
+  bundle.cfg.total_steps = 8;
+  bundle.cfg.cloud_interval = 4;
+  bundle.cfg.eval_every = 4;
+
+  bundle.cfg.use_similarity_cache = true;
+  auto sim_on = bundle.make(Algorithm::kMiddle);
+  bundle.cfg.use_similarity_cache = false;
+  auto sim_off = bundle.make(Algorithm::kMiddle);
+
+  const auto history_on = sim_on->run();
+  const auto history_off = sim_off->run();
+
+  ASSERT_EQ(history_on.points.size(), history_off.points.size());
+  for (std::size_t i = 0; i < history_on.points.size(); ++i) {
+    EXPECT_EQ(history_on.points[i].accuracy, history_off.points[i].accuracy);
+    EXPECT_EQ(history_on.points[i].loss, history_off.points[i].loss);
+  }
+  const auto cloud_on = sim_on->cloud_params();
+  const auto cloud_off = sim_off->cloud_params();
+  ASSERT_EQ(cloud_on.size(), cloud_off.size());
+  for (std::size_t i = 0; i < cloud_on.size(); ++i) {
+    ASSERT_EQ(cloud_on[i], cloud_off[i]) << "param " << i;
+  }
+  EXPECT_GT(sim_on->similarity_cache().hits(), 0u);
+  EXPECT_EQ(sim_off->similarity_cache().hits(), 0u);
+}
+
+}  // namespace
