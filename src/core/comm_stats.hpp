@@ -2,10 +2,16 @@
 //
 // HFL exists to trade wide-area (cloud) traffic for cheap edge-local
 // traffic; the counters below let benches report that trade-off per
-// algorithm. One "model transfer" = param_count floats; byte totals assume
-// float32 without compression. MIDDLE's on-device aggregation is free: the
-// carried local model is already on the device — only FedMes pays an extra
-// edge download for its overlap trick.
+// algorithm. One "model transfer" = one model crossing a link — attempts,
+// including transfers later dropped by a loss policy. MIDDLE's on-device
+// aggregation is free: the carried local model is already on the device
+// (the transport layer's carry link counts it separately and charges zero
+// bytes) — only FedMes pays an extra edge download for its overlap trick.
+//
+// Since the transport refactor this struct is derived state: Simulation
+// rebuilds it from pipeline transfer events (CommStatsObserver in
+// step_observer.hpp). Real wire-byte accounting — per link, loss- and
+// compression-aware — lives in transport::Transport::bytes_by_link().
 #pragma once
 
 #include <cstddef>
@@ -41,7 +47,12 @@ struct CommStats {
     return edge_uploads + edge_downloads;
   }
 
-  /// Bytes for a model of `param_count` float32 parameters.
+  /// Nominal bytes for a model of `param_count` float32 parameters,
+  /// assuming every counted transfer carried the full uncompressed model.
+  /// This is the algorithm-comparison figure of merit (all baselines pay
+  /// the same per-transfer cost); for actual wire bytes under loss,
+  /// compression or latency policies, read
+  /// Simulation::transport().bytes_by_link() instead.
   std::size_t total_bytes(std::size_t param_count) const noexcept {
     return total_transfers() * param_count * sizeof(float);
   }

@@ -1,48 +1,17 @@
-// Lossy compression of model UPDATES for the device->edge uplink.
-//
-// The simulator models compression as reconstruct(compress(delta)): the
-// edge aggregates the lossy reconstruction, and the byte counters record
-// what the radio would have carried. Deltas (w_new - w_ref against the
-// downloaded edge model) compress far better than raw weights, which is
-// why the API takes the reference explicitly.
+// Compatibility alias: compression moved to the transport layer (it is a
+// link property, not a training-loop concern). Existing code that used
+// core::CompressionConfig and friends keeps compiling; new code should
+// include transport/compression.hpp directly.
 #pragma once
 
-#include <cstddef>
-#include <span>
-#include <vector>
+#include "transport/compression.hpp"
 
 namespace middlefl::core {
 
-enum class CompressionKind {
-  kNone,   // full float32 payload
-  kTopK,   // keep the k = fraction*n largest-magnitude entries
-  kQuant8, // uniform symmetric 8-bit quantization
-};
-
-struct CompressionConfig {
-  CompressionKind kind = CompressionKind::kNone;
-  /// Fraction of coordinates kept by kTopK, in (0, 1].
-  double top_k_fraction = 0.1;
-};
-
-struct CompressedUpdate {
-  /// Lossy reconstruction of the update (same length as the input).
-  std::vector<float> reconstruction;
-  /// Simulated wire size of the compressed payload.
-  std::size_t bytes = 0;
-};
-
-/// Compresses and immediately reconstructs `update`; see CompressedUpdate.
-/// Wire-size model: kNone = 4n; kTopK = 8k (float value + uint32 index per
-/// kept coordinate, k >= 1); kQuant8 = n + 4 (one byte per coordinate plus
-/// the scale).
-CompressedUpdate compress_update(std::span<const float> update,
-                                 const CompressionConfig& config);
-
-/// Convenience: applies update compression to a full model given its
-/// reference: returns ref + reconstruct(compress(model - ref)).
-CompressedUpdate compress_model(std::span<const float> model,
-                                std::span<const float> reference,
-                                const CompressionConfig& config);
+using transport::CompressedUpdate;
+using transport::CompressionConfig;
+using transport::CompressionKind;
+using transport::compress_model;
+using transport::compress_update;
 
 }  // namespace middlefl::core

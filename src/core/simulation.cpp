@@ -11,12 +11,36 @@
 namespace middlefl::core {
 namespace {
 
-// Stream tags keep the per-purpose RNG streams disjoint.
+// Stream tags keep the per-purpose RNG streams disjoint. Loss draws only
+// happen on links with a nonzero loss policy, so tags added for the
+// transport layer never perturb default-policy runs.
 constexpr std::uint64_t kSelectTag = 0x5E1EC7;
 constexpr std::uint64_t kTrainTag = 0x7EA1;
-constexpr std::uint64_t kUploadTag = 0xFA11;
+constexpr std::uint64_t kUploadTag = 0xFA11;     // wireless uplink loss
+constexpr std::uint64_t kDownlinkTag = 0xD07;    // wireless downlink loss
+constexpr std::uint64_t kWanUpTag = 0x3A9C10;    // WAN uplink loss
+constexpr std::uint64_t kWanDownTag = 0x3A9C11;  // WAN downlink loss
+constexpr std::uint64_t kBroadcastTag = 0xB9CA;  // broadcast loss
 
 }  // namespace
+
+std::string to_string(StepPhase phase) {
+  switch (phase) {
+    case StepPhase::kSelect:
+      return "select";
+    case StepPhase::kDistribute:
+      return "distribute";
+    case StepPhase::kLocalTrain:
+      return "local_train";
+    case StepPhase::kUpload:
+      return "upload";
+    case StepPhase::kEdgeAggregate:
+      return "edge_aggregate";
+    case StepPhase::kCloudSync:
+      return "cloud_sync";
+  }
+  return "unknown";
+}
 
 Simulation::Simulation(SimulationConfig cfg, const nn::ModelSpec& model_spec,
                        const optim::Optimizer& optimizer_prototype,
@@ -50,6 +74,18 @@ Simulation::Simulation(SimulationConfig cfg, const nn::ModelSpec& model_spec,
     throw std::invalid_argument("Simulation: K, I, T_c and batch must be positive");
   }
 
+  // Legacy uplink knobs alias into the transport policy; after this, the
+  // per-link config is the single source of truth and the legacy fields
+  // mirror its effective values.
+  if (cfg_.upload_failure_prob != 0.0) {
+    cfg_.transport.wireless_up.loss_prob = cfg_.upload_failure_prob;
+  }
+  if (cfg_.upload_compression.kind != CompressionKind::kNone) {
+    cfg_.transport.wireless_up.compression = cfg_.upload_compression;
+  }
+  cfg_.upload_failure_prob = cfg_.transport.wireless_up.loss_prob;
+  cfg_.upload_compression = cfg_.transport.wireless_up.compression;
+
   // Common initialization: one model drawn from the seed, copied everywhere
   // (cloud, edges, devices all start aligned, as in Algorithm 1's t = 0).
   auto init_model = nn::build_model(model_spec, cfg_.seed);
@@ -64,6 +100,11 @@ Simulation::Simulation(SimulationConfig cfg, const nn::ModelSpec& model_spec,
     edges_.emplace_back(n, param_count);
     edges_.back().set_params(init_model->parameters());
   }
+
+  // One uplink delay-queue shard per edge: the parallel Upload stage
+  // enqueues from per-edge tasks without locks.
+  transport_ = std::make_unique<transport::Transport>(cfg_.transport, num_edges);
+  observers_.push_back(&comm_observer_);
 
   devices_.reserve(partition.num_devices());
   for (std::size_t m = 0; m < partition.num_devices(); ++m) {
@@ -93,15 +134,49 @@ Simulation::Simulation(SimulationConfig cfg, const nn::ModelSpec& model_spec,
     }
   }
   dropped_this_step_.assign(devices_.size(), 0);
+  download_lost_.assign(devices_.size(), 0);
 
   evaluator_ = std::make_unique<Evaluator>(
       init_model->clone(), data::DataView::all(test));
   history_.algorithm = algorithm_.name;
 }
 
+void Simulation::add_observer(StepObserver* observer) {
+  if (observer == nullptr) {
+    throw std::invalid_argument("Simulation::add_observer: null observer");
+  }
+  observers_.push_back(observer);
+}
+
+void Simulation::notify_phase(StepPhase phase) {
+  for (StepObserver* obs : observers_) obs->on_phase(phase, t_);
+}
+
+void Simulation::notify_transfers(StepPhase phase, transport::LinkKind kind,
+                                  const transport::LinkStats& before) {
+  const transport::LinkStats delta = transport_->stats(kind) - before;
+  if (delta.transfers == 0) return;
+  for (StepObserver* obs : observers_) {
+    obs->on_transfers(phase, kind, delta, t_);
+  }
+}
+
 bool Simulation::step() {
   ++t_;
-  const std::vector<std::size_t> prev_assignment = mobility_->assignment();
+  begin_step();
+  stage_select();
+  stage_distribute();
+  stage_local_train();
+  stage_upload();
+  stage_edge_aggregate();
+  const bool sync = (t_ % cfg_.cloud_interval) == 0;
+  if (sync) stage_cloud_sync();
+  for (StepObserver* obs : observers_) obs->on_step_end(t_, sync);
+  return sync;
+}
+
+void Simulation::begin_step() {
+  prev_assignment_ = mobility_->assignment();
   mobility_->advance();
   const auto& assignment = mobility_->assignment();
 
@@ -124,6 +199,10 @@ bool Simulation::step() {
     members_[assignment[m]].push_back(m);
   }
 
+  for (StepObserver* obs : observers_) obs->on_step_begin(t_);
+}
+
+void Simulation::stage_select() {
   // In-edge device selection (Algorithm 1, line 2). The context lets
   // similarity strategies reuse cached Eq. 11 scores and fan large miss
   // batches out over the pool; it never changes the selected set.
@@ -157,21 +236,15 @@ bool Simulation::step() {
         candidates, cloud_.params(), cfg_.select_per_edge, rng, context);
   }
 
-  // Local training (lines 3-8), parallel across all selected devices of
-  // all edges at once.
-  train_all_selected(prev_assignment);
-
-  // Edge aggregation (line 9).
-  aggregate_edges();
-
-  // Cloud synchronization every T_c steps (lines 10-15).
-  const bool sync = (t_ % cfg_.cloud_interval) == 0;
-  if (sync) cloud_sync();
-  return sync;
+  for (StepObserver* obs : observers_) obs->on_selection(t_, last_selection_);
+  notify_phase(StepPhase::kSelect);
 }
 
-void Simulation::train_all_selected(
-    const std::vector<std::size_t>& prev_assignment) {
+void Simulation::stage_distribute() {
+  const transport::LinkStats before_down =
+      transport_->wireless_down().stats();
+  const transport::LinkStats before_carry = transport_->carry().stats();
+
   // Flatten every edge's selection into one task list so the pool sees all
   // the step's work at once instead of K-sized bursts per edge. Each device
   // is connected to exactly one edge, so tasks touch disjoint devices.
@@ -181,49 +254,152 @@ void Simulation::train_all_selected(
       train_tasks_.push_back(TrainTask{n, m});
     }
   }
-  if (train_tasks_.empty()) return;
+  if (train_tasks_.empty()) {
+    notify_phase(StepPhase::kDistribute);
+    return;
+  }
 
-  // Per-task result slots: each task writes only its own entry, and step()
-  // reduces them serially in task order below — bitwise deterministic with
-  // any thread count (this replaced a mutex-guarded running sum whose
+  // Per-task result slots: each task writes only its own entry, and the
+  // stage reduces them serially in task order below — bitwise deterministic
+  // with any thread count (this replaced a mutex-guarded running sum whose
   // accumulation order depended on scheduling).
   task_blend_weight_.assign(train_tasks_.size(), 0.0);
   task_blended_.assign(train_tasks_.size(), 0);
 
-  const auto train_one = [&](std::size_t idx) {
+  transport::Link& downlink = transport_->wireless_down();
+  transport::Link& carry = transport_->carry();
+  const bool down_lossy = downlink.policy().loss_prob > 0.0;
+  const bool down_compressed =
+      downlink.policy().compression.kind != CompressionKind::kNone;
+
+  const auto distribute_one = [&](std::size_t idx) {
     const TrainTask task = train_tasks_[idx];
     const std::size_t m = task.device;
     Device& device = devices_[m];
     dropped_this_step_[m] = steps_budget_[m] == 0 ? 1 : 0;
+    download_lost_[m] = 0;
+    const std::span<const float> edge_model = edge_snapshot_[task.edge];
+    const bool moved = prev_assignment_[m] != task.edge;
+
+    parallel::Xoshiro256 rng;  // consulted only on a lossy downlink
+    std::vector<std::vector<float>> local_arena;  // downlink reconstructions
+    transport::SendContext ctx;
+    ctx.step = t_;
+    if (down_lossy) {
+      rng = streams_.stream(kDownlinkTag, m, t_);
+      ctx.rng = &rng;
+    }
+    if (down_compressed) ctx.arena = &local_arena;
+
+    // Every selected device downloads its edge's model; FedMes' moved
+    // devices additionally fetch their previous edge's model. Stragglers
+    // are charged for the download too — they receive it, then fail to
+    // finish a single local step before the deadline.
+    const transport::Delivery dl = downlink.send(edge_model, ctx);
+    transport::Delivery prev_dl{};
+    const bool wants_prev =
+        moved && algorithm_.on_move == OnDeviceRule::kPrevEdgeAverage;
+    if (wants_prev) {
+      prev_dl = downlink.send(edge_snapshot_[prev_assignment_[m]], ctx);
+    }
     if (dropped_this_step_[m]) {
       // Straggler: cannot finish a single local step before the deadline.
       return;
     }
-    const std::span<const float> edge_model = edge_snapshot_[task.edge];
-    const bool moved = prev_assignment[m] != task.edge;
+    if (!dl.delivered) {
+      // Download lost in transit: the device sits the round out.
+      download_lost_[m] = 1;
+      return;
+    }
 
     if (moved && algorithm_.on_move != OnDeviceRule::kDownloadEdge) {
       // On-device model aggregation (line 5): blend the carried local model
       // with the downloaded edge model. The output borrows the worker's
       // workspace slot; set_params copies it out before the next borrow.
+      std::span<const float> prev_edge{};
+      if (wants_prev) {
+        if (!prev_dl.delivered) {
+          // The extra FedMes download was lost: fall back to the plain
+          // edge download (the rule has nothing to average with).
+          device.set_params(dl.payload);
+          return;
+        }
+        prev_edge = prev_dl.payload;
+      }
+      std::span<const float> local = device.params();
+      if (algorithm_.on_move != OnDeviceRule::kPrevEdgeAverage) {
+        // The carried local model enters the blend: route it through the
+        // carry link (free — zero bytes — but counted).
+        transport::SendContext carry_ctx;
+        carry_ctx.step = t_;
+        local = carry.send(local, carry_ctx).payload;
+      }
       std::span<float> blended = tensor::Workspace::tls().floats(
           tensor::WsSlot::kBlend, edge_model.size());
-      const std::span<const float> prev_edge =
-          algorithm_.on_move == OnDeviceRule::kPrevEdgeAverage
-              ? std::span<const float>(edge_snapshot_[prev_assignment[m]])
-              : std::span<const float>();
       const double weight =
-          apply_on_device_rule(algorithm_.on_move, edge_model,
-                               device.params(), prev_edge,
-                               algorithm_.fixed_alpha, blended);
+          apply_on_device_rule(algorithm_.on_move, dl.payload, local,
+                               prev_edge, algorithm_.fixed_alpha, blended);
       device.set_params(blended);
       task_blended_[idx] = 1;
       task_blend_weight_[idx] = weight;
     } else {
       // Line 7: start from the downloaded edge model.
-      device.set_params(edge_model);
+      device.set_params(dl.payload);
     }
+  };
 
+  if (cfg_.parallel_devices && train_tasks_.size() > 1) {
+    parallel::parallel_for(0, train_tasks_.size(), distribute_one);
+  } else {
+    for (std::size_t i = 0; i < train_tasks_.size(); ++i) distribute_one(i);
+  }
+
+  // Serial reduction in fixed task order.
+  std::size_t stragglers = 0;
+  std::size_t lost = 0;
+  std::size_t new_blends = 0;
+  double event_weight = 0.0;
+  for (std::size_t idx = 0; idx < train_tasks_.size(); ++idx) {
+    if (dropped_this_step_[train_tasks_[idx].device]) {
+      ++stragglers;
+      continue;
+    }
+    if (download_lost_[train_tasks_[idx].device]) {
+      ++lost;
+      continue;
+    }
+    if (task_blended_[idx]) {
+      ++blends_;
+      // Accumulate term by term, exactly as the running counter always
+      // did, so mean_blend_weight() stays bitwise stable.
+      blend_weight_sum_ += task_blend_weight_[idx];
+      ++new_blends;
+      event_weight += task_blend_weight_[idx];
+    }
+  }
+  straggler_drops_ += stragglers;
+
+  notify_transfers(StepPhase::kDistribute, transport::LinkKind::kWirelessDown,
+                   before_down);
+  notify_transfers(StepPhase::kDistribute, transport::LinkKind::kCarry,
+                   before_carry);
+  if (stragglers > 0 || lost > 0) {
+    for (StepObserver* obs : observers_) obs->on_dropouts(t_, stragglers, lost);
+  }
+  if (new_blends > 0) {
+    for (StepObserver* obs : observers_) {
+      obs->on_blends(t_, new_blends, event_weight);
+    }
+  }
+  notify_phase(StepPhase::kDistribute);
+}
+
+void Simulation::stage_local_train() {
+  const auto train_one = [&](std::size_t idx) {
+    const TrainTask task = train_tasks_[idx];
+    const std::size_t m = task.device;
+    if (dropped_this_step_[m] || download_lost_[m]) return;
+    Device& device = devices_[m];
     auto rng = streams_.stream(kTrainTag, m, t_);
     device.train(steps_budget_[m], cfg_.batch_size, cfg_.lr_schedule(t_),
                  cfg_.reset_optimizer_each_round, rng, cfg_.prox_mu,
@@ -236,75 +412,90 @@ void Simulation::train_all_selected(
   } else {
     for (std::size_t i = 0; i < train_tasks_.size(); ++i) train_one(i);
   }
-
-  // Serial reduction in fixed task order.
-  std::size_t stragglers = 0;
-  for (std::size_t idx = 0; idx < train_tasks_.size(); ++idx) {
-    if (dropped_this_step_[train_tasks_[idx].device]) {
-      ++stragglers;
-      continue;
-    }
-    if (task_blended_[idx]) {
-      ++blends_;
-      blend_weight_sum_ += task_blend_weight_[idx];
-    }
-  }
-  straggler_drops_ += stragglers;
-
-  // Communication: every selected device downloads the edge model;
-  // stragglers never finish, so they upload nothing. FedMes' moved devices
-  // additionally fetch their previous edge's model.
-  comm_.device_downloads += train_tasks_.size();
-  comm_.device_uploads += train_tasks_.size() - stragglers;
-  if (algorithm_.on_move == OnDeviceRule::kPrevEdgeAverage) {
-    for (const TrainTask& task : train_tasks_) {
-      if (prev_assignment[task.device] != task.edge) ++comm_.device_downloads;
-    }
-  }
+  notify_phase(StepPhase::kLocalTrain);
 }
 
-void Simulation::aggregate_edges() {
-  // Edges aggregate independently: each body writes only its own edge's
-  // parameters and result slot. Counters are reduced serially in edge
-  // order afterwards, and weighted_average sums every element in model
-  // order, so the parallel path is bitwise identical to the serial one.
-  edge_agg_results_.assign(edges_.size(), EdgeAggResult{});
-  const auto aggregate_one = [&](std::size_t n) {
-    const auto& selected = last_selection_[n];
-    if (selected.empty()) return;  // idle edge keeps its model
-    EdgeAggResult& result = edge_agg_results_[n];
-    std::vector<WeightedModel> models;
-    std::vector<std::vector<float>> reconstructions;  // keep spans alive
-    models.reserve(selected.size());
-    reconstructions.reserve(selected.size());
-    for (std::size_t m : selected) {
-      if (dropped_this_step_[m]) continue;  // straggler never uploaded
-      if (cfg_.upload_failure_prob > 0.0) {
-        auto rng = streams_.stream(kUploadTag, m, t_);
-        if (rng.uniform() < cfg_.upload_failure_prob) {
-          ++result.failed_uploads;  // upload lost; device keeps its update
-          continue;
-        }
+void Simulation::stage_upload() {
+  const transport::LinkStats before = transport_->wireless_up().stats();
+  if (arrivals_.size() != edges_.size()) {
+    arrivals_.resize(edges_.size());
+    recon_arena_.resize(edges_.size());
+    stale_uploads_.resize(edges_.size());
+  }
+
+  transport::Link& uplink = transport_->wireless_up();
+  const bool lossy = uplink.policy().loss_prob > 0.0;
+  const bool compressed =
+      uplink.policy().compression.kind != CompressionKind::kNone;
+  const bool delayed = uplink.policy().latency_steps > 0;
+
+  // Edges process their uploads independently: each body writes only its
+  // own edge's arrival list and delay-queue shard; link counters are
+  // commutative atomics, so totals are scheduling-independent.
+  const auto upload_one = [&](std::size_t n) {
+    arrivals_[n].clear();
+    recon_arena_[n].clear();
+    stale_uploads_[n].clear();
+    if (delayed) {
+      // Uploads sent latency_steps ago arrive now and join this edge's
+      // aggregation, oldest first.
+      stale_uploads_[n] = uplink.drain(t_, n);
+      for (const transport::Arrival& a : stale_uploads_[n]) {
+        arrivals_[n].push_back(UploadArrival{a.payload, a.weight});
       }
-      const auto weight = static_cast<double>(devices_[m].data_size());
-      if (cfg_.upload_compression.kind != CompressionKind::kNone) {
-        // The edge receives a lossy reconstruction of the device's update
-        // against this step's edge model.
-        auto compressed = compress_model(devices_[m].params(),
-                                         edge_snapshot_[n],
-                                         cfg_.upload_compression);
-        result.upload_bytes += compressed.bytes;
-        reconstructions.push_back(std::move(compressed.reconstruction));
-        models.push_back(WeightedModel{reconstructions.back(), weight});
-      } else {
-        result.upload_bytes += devices_[m].params().size() * sizeof(float);
-        models.push_back(WeightedModel{devices_[m].params(), weight});
-      }
-      result.participating += weight;
     }
-    if (models.empty()) return;  // every upload failed: edge unchanged
+    for (std::size_t m : last_selection_[n]) {
+      if (dropped_this_step_[m] || download_lost_[m]) continue;
+      const auto weight = static_cast<double>(devices_[m].data_size());
+      parallel::Xoshiro256 rng;
+      transport::SendContext ctx;
+      ctx.step = t_;
+      ctx.shard = n;
+      ctx.weight = weight;
+      // The edge receives a lossy reconstruction of the device's update
+      // against this step's edge model.
+      ctx.reference = edge_snapshot_[n];
+      if (lossy) {
+        rng = streams_.stream(kUploadTag, m, t_);
+        ctx.rng = &rng;
+      }
+      if (compressed) ctx.arena = &recon_arena_[n];
+      const transport::Delivery up = uplink.send(devices_[m].params(), ctx);
+      if (up.delivered) {
+        arrivals_[n].push_back(UploadArrival{up.payload, weight});
+      }
+      // Lost uploads vanish (the device keeps its local update); queued
+      // uploads surface through drain() in a later step.
+    }
+  };
+
+  if (cfg_.parallel_devices && edges_.size() > 1) {
+    parallel::parallel_for(0, edges_.size(), upload_one);
+  } else {
+    for (std::size_t n = 0; n < edges_.size(); ++n) upload_one(n);
+  }
+
+  notify_transfers(StepPhase::kUpload, transport::LinkKind::kWirelessUp,
+                   before);
+  notify_phase(StepPhase::kUpload);
+}
+
+void Simulation::stage_edge_aggregate() {
+  // Edges aggregate independently: each body writes only its own edge's
+  // parameters. weighted_average sums every element in model order, so the
+  // parallel path is bitwise identical to the serial one.
+  const auto aggregate_one = [&](std::size_t n) {
+    if (arrivals_[n].empty()) return;  // idle edge (or every upload lost /
+                                       // still in flight) keeps its model
+    std::vector<WeightedModel> models;
+    models.reserve(arrivals_[n].size());
+    double participating = 0.0;
+    for (const UploadArrival& arrival : arrivals_[n]) {
+      models.push_back(WeightedModel{arrival.payload, arrival.weight});
+      participating += arrival.weight;
+    }
     weighted_average(models, edges_[n].mutable_params());
-    edges_[n].add_participation(result.participating);
+    edges_[n].add_participation(participating);
   };
 
   if (cfg_.parallel_devices && edges_.size() > 1) {
@@ -312,25 +503,61 @@ void Simulation::aggregate_edges() {
   } else {
     for (std::size_t n = 0; n < edges_.size(); ++n) aggregate_one(n);
   }
-  for (const EdgeAggResult& result : edge_agg_results_) {
-    failed_uploads_ += result.failed_uploads;
-    upload_bytes_ += result.upload_bytes;
-  }
+  notify_phase(StepPhase::kEdgeAggregate);
 }
 
-void Simulation::cloud_sync() {
+void Simulation::stage_cloud_sync() {
+  const transport::LinkStats before_up = transport_->wan_up().stats();
+  const transport::LinkStats before_down = transport_->wan_down().stats();
+  const transport::LinkStats before_bcast = transport_->broadcast().stats();
+
   parallel::ThreadPool* pool =
       cfg_.parallel_devices ? &parallel::ThreadPool::global() : nullptr;
+  transport::Link& wan_up = transport_->wan_up();
+  transport::Link& wan_down = transport_->wan_down();
+  transport::Link& broadcast = transport_->broadcast();
+  const bool up_lossy = wan_up.policy().loss_prob > 0.0;
+  const bool up_compressed =
+      wan_up.policy().compression.kind != CompressionKind::kNone;
+
+  wan_arena_.clear();
+  wan_stale_.clear();
   std::vector<WeightedModel> models;
   models.reserve(edges_.size());
-  for (const auto& edge : edges_) {
-    const double weight = cfg_.weighted_cloud_aggregation
-                              ? edge.participation_weight()
-                              : 1.0;
-    if (weight > 0.0) {
-      models.push_back(WeightedModel{edge.params(), weight});
+
+  // Stale WAN uploads from earlier syncs arrive first (async staleness).
+  if (wan_up.policy().latency_steps > 0) {
+    wan_stale_ = wan_up.drain(t_);
+    for (const transport::Arrival& a : wan_stale_) {
+      if (a.weight > 0.0) models.push_back(WeightedModel{a.payload, a.weight});
     }
   }
+
+  // Every edge uploads its model over the WAN at sync; edges that saw no
+  // participants since the last sync are excluded from the aggregate (but
+  // still charged for the upload, as always).
+  for (std::size_t n = 0; n < edges_.size(); ++n) {
+    const double weight = cfg_.weighted_cloud_aggregation
+                              ? edges_[n].participation_weight()
+                              : 1.0;
+    parallel::Xoshiro256 rng;
+    transport::SendContext ctx;
+    ctx.step = t_;
+    ctx.weight = weight;
+    // Delta-code against the global model both endpoints hold from the
+    // previous sync's broadcast.
+    ctx.reference = cloud_.params();
+    if (up_lossy) {
+      rng = streams_.stream(kWanUpTag, n, t_);
+      ctx.rng = &rng;
+    }
+    if (up_compressed) ctx.arena = &wan_arena_;
+    const transport::Delivery up = wan_up.send(edges_[n].params(), ctx);
+    if (up.delivered && weight > 0.0) {
+      models.push_back(WeightedModel{up.payload, weight});
+    }
+  }
+
   if (!models.empty()) {
     if (cfg_.server_momentum > 0.0) {
       // FedAvgM: treat the FedAvg aggregate as a pseudo-gradient step and
@@ -354,18 +581,53 @@ void Simulation::cloud_sync() {
     // w_c moved through mutable_params: invalidate cached Eq. 11 scores.
     cloud_.bump_version();
   }
-  for (auto& edge : edges_) {
-    edge.set_params(cloud_.params());
-    edge.reset_participation();
-  }
-  comm_.edge_uploads += edges_.size();
-  comm_.edge_downloads += edges_.size();
-  if (cfg_.broadcast_to_devices) {
-    for (auto& device : devices_) {
-      device.set_params(cloud_.params());
+  const std::size_t contributing = models.size();
+
+  // Push the global model back down: cloud -> edge over the WAN, then the
+  // broadcast to every device. A lost push leaves the receiver on its old
+  // model until the next sync.
+  const bool down_lossy = wan_down.policy().loss_prob > 0.0;
+  const bool down_compressed =
+      wan_down.policy().compression.kind != CompressionKind::kNone;
+  for (std::size_t n = 0; n < edges_.size(); ++n) {
+    parallel::Xoshiro256 rng;
+    transport::SendContext ctx;
+    ctx.step = t_;
+    if (down_lossy) {
+      rng = streams_.stream(kWanDownTag, n, t_);
+      ctx.rng = &rng;
     }
-    comm_.device_broadcasts += devices_.size();
+    if (down_compressed) ctx.arena = &wan_arena_;
+    const transport::Delivery down = wan_down.send(cloud_.params(), ctx);
+    if (down.delivered) edges_[n].set_params(down.payload);
+    edges_[n].reset_participation();
   }
+  if (cfg_.broadcast_to_devices) {
+    const bool bcast_lossy = broadcast.policy().loss_prob > 0.0;
+    const bool bcast_compressed =
+        broadcast.policy().compression.kind != CompressionKind::kNone;
+    for (std::size_t m = 0; m < devices_.size(); ++m) {
+      parallel::Xoshiro256 rng;
+      transport::SendContext ctx;
+      ctx.step = t_;
+      if (bcast_lossy) {
+        rng = streams_.stream(kBroadcastTag, m, t_);
+        ctx.rng = &rng;
+      }
+      if (bcast_compressed) ctx.arena = &wan_arena_;
+      const transport::Delivery push = broadcast.send(cloud_.params(), ctx);
+      if (push.delivered) devices_[m].set_params(push.payload);
+    }
+  }
+
+  notify_transfers(StepPhase::kCloudSync, transport::LinkKind::kWanUp,
+                   before_up);
+  notify_transfers(StepPhase::kCloudSync, transport::LinkKind::kWanDown,
+                   before_down);
+  notify_transfers(StepPhase::kCloudSync, transport::LinkKind::kBroadcast,
+                   before_bcast);
+  for (StepObserver* obs : observers_) obs->on_cloud_sync(t_, contributing);
+  notify_phase(StepPhase::kCloudSync);
 }
 
 void Simulation::warm_start(std::span<const float> params) {
@@ -408,7 +670,9 @@ const EvalPoint& Simulation::evaluate_now() {
     }
   }
   history_.points.push_back(std::move(point));
-  return history_.points.back();
+  const EvalPoint& recorded = history_.points.back();
+  for (StepObserver* obs : observers_) obs->on_evaluation(recorded);
+  return recorded;
 }
 
 RunHistory Simulation::run(

@@ -1,20 +1,37 @@
-// The MIDDLE training loop (paper Algorithm 1).
+// The MIDDLE training loop (paper Algorithm 1), as a staged step pipeline.
 //
-// Each time step: every edge selects K of its currently-connected devices
-// (in-edge device selection), each selected device initializes its local
-// model — newly-arrived devices apply the algorithm's on-device rule, all
-// others download the edge model — runs I local SGD steps and uploads; the
-// edge FedAvgs the uploads (Eq. 6); every T_c steps the cloud FedAvgs the
-// edge models with participating-sample weights d_hat_n (Eq. 7) and
-// broadcasts the global model down to every edge and device.
+// Each time step advances through six named phases:
+//
+//   Select        every edge picks K of its connected devices (Eq. 12)
+//   Distribute    selected devices download the edge model; devices that
+//                 just moved blend it with the model they carried
+//                 (on-device aggregation, Eq. 9)
+//   LocalTrain    I local SGD steps per participating device
+//   Upload        trained models go back over the wireless uplink
+//   EdgeAggregate each edge FedAvgs the uploads that arrived (Eq. 6)
+//   CloudSync     every T_c steps the cloud FedAvgs the edge models with
+//                 participating-sample weights (Eq. 7) and broadcasts the
+//                 global model down to every edge and device
+//
+// Every inter-tier model transfer flows through a typed transport::Link
+// (wireless device<->edge, WAN edge<->cloud, the intra-device carry), each
+// carrying its own policy: loss probability, lossy compression, byte
+// accounting, and — on uplinks — a deterministic latency-in-steps delay
+// queue whose stale arrivals join a later aggregation. Registered
+// StepObservers receive phase/transfer/sync events at serial stage
+// boundaries; communication accounting is one such observer, not state
+// threaded through the training code.
 //
 // Device training within a step is embarrassingly parallel: all selected
 // (edge, device) pairs across ALL edges form one flat task list that runs
 // on the thread pool in a single parallel_for, so a K-device edge never
-// serializes behind its neighbours. Edge aggregation fans out per edge the
-// same way. All randomness is keyed on (seed, entity, step) and all
-// parallel reductions commit serially in fixed task order, so results are
-// bit-identical regardless of thread count.
+// serializes behind its neighbours. Upload processing and edge aggregation
+// fan out per edge the same way. All randomness is keyed on (seed, entity,
+// step), link counters are commutative atomics, and all other parallel
+// reductions commit serially in fixed task order, so results are
+// bit-identical regardless of thread count — and, under default link
+// policies, bit-identical to the pre-transport monolithic loop (pinned by
+// pipeline_test).
 #pragma once
 
 #include <functional>
@@ -27,12 +44,14 @@
 #include "core/entities.hpp"
 #include "core/metrics.hpp"
 #include "core/similarity_cache.hpp"
+#include "core/step_observer.hpp"
 #include "data/partition.hpp"
 #include "mobility/mobility_model.hpp"
 #include "nn/model_factory.hpp"
 #include "optim/lr_schedule.hpp"
 #include "optim/optimizer.hpp"
 #include "parallel/thread_pool.hpp"
+#include "transport/transport.hpp"
 
 namespace middlefl::core {
 
@@ -62,9 +81,13 @@ struct SimulationConfig {
   /// Record each edge model's test accuracy at eval points.
   bool track_edge_accuracy = false;
 
-  /// Probability that a selected device's upload is lost (straggler /
-  /// radio failure injection). The device still trains — its local model
-  /// keeps the update — but the edge aggregates without it that step.
+  /// Per-link transport policies (loss, compression, latency) for the
+  /// whole hierarchy. Defaults are perfect links.
+  transport::TransportConfig transport;
+  /// Legacy alias: populates transport.wireless_up.loss_prob when nonzero
+  /// (straggler / radio failure injection on the uplink). The device still
+  /// trains — its local model keeps the update — but the edge aggregates
+  /// without it that step. After construction both views agree.
   double upload_failure_prob = 0.0;
   /// FedProx proximal coefficient for local training (0 = plain SGD).
   double prox_mu = 0.0;
@@ -85,6 +108,7 @@ struct SimulationConfig {
   /// Local steps a speed-1.0 device can complete per time step; 0 = no
   /// deadline (every device always finishes all I steps).
   double round_deadline = 0.0;
+  /// Legacy alias: populates transport.wireless_up.compression when set.
   /// Lossy compression applied to device->edge uploads (the edge
   /// aggregates the reconstruction; upload_bytes() tracks the wire size).
   CompressionConfig upload_compression;
@@ -110,8 +134,8 @@ class Simulation {
              std::unique_ptr<mobility::MobilityModel> mobility,
              AlgorithmSpec algorithm);
 
-  /// Advances one time step (t starts at 1). Returns true if a cloud
-  /// synchronization happened this step.
+  /// Advances one time step (t starts at 1) through the staged pipeline.
+  /// Returns true if a cloud synchronization happened this step.
   bool step();
 
   /// Runs the remaining steps up to cfg.total_steps, evaluating on the
@@ -127,7 +151,14 @@ class Simulation {
   /// Warm start: installs `params` (e.g. a loaded checkpoint) as the global
   /// model on the cloud, every edge and every device, exactly like a cloud
   /// synchronization broadcast. Size must equal the model's param count.
+  /// An out-of-band operator action, not network traffic: no link is
+  /// charged.
   void warm_start(std::span<const float> params);
+
+  /// Registers an observer (non-owning; must outlive the simulation).
+  /// Events fire on the simulation thread in registration order, after the
+  /// built-in communication accounting.
+  void add_observer(StepObserver* observer);
 
   // --- Introspection (benches, tests) ---
   std::size_t current_step() const noexcept { return t_; }
@@ -149,15 +180,34 @@ class Simulation {
   Evaluator& evaluator() noexcept { return *evaluator_; }
   const SimulationConfig& config() const noexcept { return cfg_; }
 
-  /// Model-transfer counters accumulated since construction.
-  const CommStats& comm_stats() const noexcept { return comm_; }
-  /// Uploads dropped by failure injection so far.
-  std::size_t failed_uploads() const noexcept { return failed_uploads_; }
+  /// The typed links every model transfer flows through; per-link traffic
+  /// reports live here (transport().bytes_by_link()).
+  transport::Transport& transport() noexcept { return *transport_; }
+  const transport::Transport& transport() const noexcept {
+    return *transport_;
+  }
+
+  /// Model-transfer counters accumulated since construction (rebuilt from
+  /// pipeline events by the built-in CommStatsObserver).
+  const CommStats& comm_stats() const noexcept {
+    return comm_observer_.stats();
+  }
+  /// Uploads dropped by the wireless uplink's loss policy so far.
+  std::size_t failed_uploads() const noexcept {
+    return transport_->stats(transport::LinkKind::kWirelessUp).dropped;
+  }
+  /// Edge-model downloads lost to the wireless downlink's loss policy so
+  /// far; the affected device sits the round out.
+  std::size_t lost_downloads() const noexcept {
+    return transport_->stats(transport::LinkKind::kWirelessDown).dropped;
+  }
   /// Selected devices dropped because they could not finish one local step
   /// before the round deadline.
   std::size_t straggler_drops() const noexcept { return straggler_drops_; }
   /// Simulated device->edge uplink bytes (after compression) so far.
-  std::size_t upload_bytes() const noexcept { return upload_bytes_; }
+  std::size_t upload_bytes() const noexcept {
+    return transport_->stats(transport::LinkKind::kWirelessUp).bytes;
+  }
 
   /// Mean total-variation skew of the CURRENT per-edge data mixtures
   /// relative to the global mixture (see core::mean_edge_skew).
@@ -175,9 +225,22 @@ class Simulation {
   }
 
  private:
-  void train_all_selected(const std::vector<std::size_t>& prev_assignment);
-  void aggregate_edges();
-  void cloud_sync();
+  // The staged pipeline. Each stage reads the step-scratch state the
+  // previous stages produced; step() calls them in order and emits phase
+  // events at each boundary.
+  void begin_step();
+  void stage_select();
+  void stage_distribute();
+  void stage_local_train();
+  void stage_upload();
+  void stage_edge_aggregate();
+  void stage_cloud_sync();
+
+  void notify_phase(StepPhase phase);
+  /// Emits on_transfers for the delta a stage put on `kind` since
+  /// `before`.
+  void notify_transfers(StepPhase phase, transport::LinkKind kind,
+                        const transport::LinkStats& before);
 
   SimulationConfig cfg_;
   AlgorithmSpec algorithm_;
@@ -186,9 +249,11 @@ class Simulation {
   Cloud cloud_;
   std::unique_ptr<mobility::MobilityModel> mobility_;
   std::unique_ptr<Evaluator> evaluator_;
+  std::unique_ptr<transport::Transport> transport_;
   parallel::StreamRng streams_;
   std::size_t t_ = 0;
   std::vector<std::vector<std::size_t>> last_selection_;
+  std::vector<std::size_t> prev_assignment_;
   // Edge snapshot taken at the start of the step so FedMes' prev-edge rule
   // reads w^t even while new edge models are being formed. The outer vector
   // and per-edge buffers are sized once and refilled in place each step.
@@ -197,8 +262,9 @@ class Simulation {
   // Step-scratch buffers, reused across steps to keep the hot loop
   // allocation-free: per-edge candidate membership, the flattened
   // (edge, device) training task list, and per-task result slots that the
-  // parallel loop writes disjointly and step() reduces serially in task
-  // order (the deterministic replacement for a mutex-guarded sum).
+  // parallel loops write disjointly and the stage boundaries reduce
+  // serially in task order (the deterministic replacement for a
+  // mutex-guarded sum).
   std::vector<std::vector<std::size_t>> members_;
   struct TrainTask {
     std::size_t edge = 0;
@@ -207,24 +273,32 @@ class Simulation {
   std::vector<TrainTask> train_tasks_;
   std::vector<double> task_blend_weight_;
   std::vector<std::uint8_t> task_blended_;
-  // Per-edge aggregation results, written in parallel and reduced serially.
-  struct EdgeAggResult {
-    std::size_t failed_uploads = 0;
-    std::size_t upload_bytes = 0;
-    double participating = 0.0;
+  // Per-edge upload arrivals feeding EdgeAggregate: payload views into
+  // device params, per-edge reconstruction arenas (compressed uploads), or
+  // stale uplink arrivals drained from the delay queue. All per-edge, so
+  // the parallel Upload stage writes them without synchronization.
+  struct UploadArrival {
+    std::span<const float> payload;
+    double weight = 0.0;
   };
-  std::vector<EdgeAggResult> edge_agg_results_;
+  std::vector<std::vector<UploadArrival>> arrivals_;
+  std::vector<std::vector<std::vector<float>>> recon_arena_;
+  std::vector<std::vector<transport::Arrival>> stale_uploads_;
+  // CloudSync scratch: stale WAN arrivals and compressed-reconstruction
+  // storage (serial stage, one of each).
+  std::vector<transport::Arrival> wan_stale_;
+  std::vector<std::vector<float>> wan_arena_;
   RunHistory history_;
   std::size_t blends_ = 0;
   double blend_weight_sum_ = 0.0;
-  CommStats comm_;
-  std::size_t failed_uploads_ = 0;
-  std::size_t upload_bytes_ = 0;
+  CommStatsObserver comm_observer_;
+  std::vector<StepObserver*> observers_;
   std::vector<float> server_velocity_;
   std::vector<std::size_t> steps_budget_;  // per-device local-step budget
   // One byte per device, NOT vector<bool>: flags are written concurrently
   // from the parallel training loop and bit-packed writes would race.
   std::vector<std::uint8_t> dropped_this_step_;
+  std::vector<std::uint8_t> download_lost_;
   std::size_t straggler_drops_ = 0;
 };
 

@@ -46,6 +46,10 @@
 #include "mobility/random_waypoint.hpp"
 #include "mobility/trace.hpp"
 
+#include "transport/compression.hpp"
+#include "transport/link.hpp"
+#include "transport/transport.hpp"
+
 // The paper's contribution.
 #include "core/aggregation.hpp"
 #include "core/algorithms.hpp"
@@ -57,3 +61,4 @@
 #include "core/selection.hpp"
 #include "core/similarity.hpp"
 #include "core/simulation.hpp"
+#include "core/step_observer.hpp"

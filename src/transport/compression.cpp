@@ -1,4 +1,4 @@
-#include "core/compression.hpp"
+#include "transport/compression.hpp"
 
 #include <algorithm>
 #include <cstdint>
@@ -6,7 +6,7 @@
 #include <numeric>
 #include <stdexcept>
 
-namespace middlefl::core {
+namespace middlefl::transport {
 
 CompressedUpdate compress_update(std::span<const float> update,
                                  const CompressionConfig& config) {
@@ -81,4 +81,46 @@ CompressedUpdate compress_model(std::span<const float> model,
   return out;
 }
 
-}  // namespace middlefl::core
+CompressionConfig parse_compression(const std::string& spec) {
+  CompressionConfig config;
+  if (spec.empty() || spec == "none") {
+    config.kind = CompressionKind::kNone;
+    return config;
+  }
+  if (spec == "q8" || spec == "quant8") {
+    config.kind = CompressionKind::kQuant8;
+    return config;
+  }
+  if (spec.rfind("topk", 0) == 0) {
+    config.kind = CompressionKind::kTopK;
+    if (spec.size() > 4) {
+      if (spec[4] != ':') {
+        throw std::invalid_argument("parse_compression: expected topk:<fraction>, got '" +
+                                    spec + "'");
+      }
+      config.top_k_fraction = std::stod(spec.substr(5));
+    }
+    if (config.top_k_fraction <= 0.0 || config.top_k_fraction > 1.0) {
+      throw std::invalid_argument(
+          "parse_compression: top-k fraction must be in (0, 1]");
+    }
+    return config;
+  }
+  throw std::invalid_argument(
+      "parse_compression: unknown spec '" + spec +
+      "' (expected none, topk:<fraction> or q8)");
+}
+
+std::string to_string(const CompressionConfig& config) {
+  switch (config.kind) {
+    case CompressionKind::kNone:
+      return "none";
+    case CompressionKind::kTopK:
+      return "topk:" + std::to_string(config.top_k_fraction);
+    case CompressionKind::kQuant8:
+      return "q8";
+  }
+  return "unknown";
+}
+
+}  // namespace middlefl::transport

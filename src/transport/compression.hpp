@@ -1,0 +1,59 @@
+// Lossy compression of model payloads for simulated links.
+//
+// The simulator models compression as reconstruct(compress(delta)): the
+// receiver aggregates the lossy reconstruction, and the byte counters
+// record what the wire would have carried. Deltas (w_new - w_ref against a
+// reference both endpoints know, e.g. the downloaded edge model) compress
+// far better than raw weights, which is why the API takes the reference
+// explicitly. Historically this lived in core/; it moved here because
+// compression is a property of a link, not of the training loop —
+// core/compression.hpp remains as a compatibility alias.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace middlefl::transport {
+
+enum class CompressionKind {
+  kNone,   // full float32 payload
+  kTopK,   // keep the k = fraction*n largest-magnitude entries
+  kQuant8, // uniform symmetric 8-bit quantization
+};
+
+struct CompressionConfig {
+  CompressionKind kind = CompressionKind::kNone;
+  /// Fraction of coordinates kept by kTopK, in (0, 1].
+  double top_k_fraction = 0.1;
+};
+
+struct CompressedUpdate {
+  /// Lossy reconstruction of the update (same length as the input).
+  std::vector<float> reconstruction;
+  /// Simulated wire size of the compressed payload.
+  std::size_t bytes = 0;
+};
+
+/// Compresses and immediately reconstructs `update`; see CompressedUpdate.
+/// Wire-size model: kNone = 4n; kTopK = 8k (float value + uint32 index per
+/// kept coordinate, k >= 1); kQuant8 = n + 4 (one byte per coordinate plus
+/// the scale).
+CompressedUpdate compress_update(std::span<const float> update,
+                                 const CompressionConfig& config);
+
+/// Convenience: applies update compression to a full model given its
+/// reference: returns ref + reconstruct(compress(model - ref)).
+CompressedUpdate compress_model(std::span<const float> model,
+                                std::span<const float> reference,
+                                const CompressionConfig& config);
+
+/// Parses a CLI compression spec: "none", "topk:<fraction>" (e.g.
+/// "topk:0.1") or "q8". Throws std::invalid_argument on anything else.
+CompressionConfig parse_compression(const std::string& spec);
+
+/// Inverse of parse_compression, for reports.
+std::string to_string(const CompressionConfig& config);
+
+}  // namespace middlefl::transport

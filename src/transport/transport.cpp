@@ -1,0 +1,43 @@
+#include "transport/transport.hpp"
+
+namespace middlefl::transport {
+
+Transport::Transport(const TransportConfig& config,
+                     std::size_t uplink_shards) {
+  links_[index(LinkKind::kWirelessDown)] = std::make_unique<WirelessLink>(
+      LinkKind::kWirelessDown, config.wireless_down);
+  links_[index(LinkKind::kWirelessUp)] = std::make_unique<WirelessLink>(
+      LinkKind::kWirelessUp, config.wireless_up,
+      uplink_shards == 0 ? 1 : uplink_shards);
+  links_[index(LinkKind::kWanUp)] =
+      std::make_unique<WanLink>(LinkKind::kWanUp, config.wan_up);
+  links_[index(LinkKind::kWanDown)] =
+      std::make_unique<WanLink>(LinkKind::kWanDown, config.wan_down);
+  links_[index(LinkKind::kBroadcast)] = std::make_unique<WirelessLink>(
+      LinkKind::kBroadcast, config.broadcast);
+  links_[index(LinkKind::kCarry)] = std::make_unique<CarryLink>(config.carry);
+}
+
+std::vector<Transport::LinkReport> Transport::bytes_by_link() const {
+  std::vector<LinkReport> report;
+  report.reserve(std::size(kAllLinkKinds));
+  for (LinkKind kind : kAllLinkKinds) {
+    report.push_back(
+        LinkReport{kind, link(kind).stats(), link(kind).in_flight()});
+  }
+  return report;
+}
+
+std::size_t Transport::total_bytes() const {
+  std::size_t total = 0;
+  for (LinkKind kind : kAllLinkKinds) total += link(kind).stats().bytes;
+  return total;
+}
+
+std::size_t Transport::total_in_flight() const {
+  std::size_t total = 0;
+  for (LinkKind kind : kAllLinkKinds) total += link(kind).in_flight();
+  return total;
+}
+
+}  // namespace middlefl::transport

@@ -1,0 +1,136 @@
+// Checkpoint round-trip through a full simulation: a trained global model
+// saved with nn::save_model, restored with nn::load_model and installed
+// via Simulation::warm_start must continue training bitwise identically to
+// warm-starting from the in-memory parameters directly — pinning that the
+// checkpoint format is lossless end to end, not just span-equal.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "nn/serialize.hpp"
+#include "sim_fixture.hpp"
+
+namespace {
+
+using middlefl::core::Algorithm;
+using middlefl::core::RunHistory;
+using middlefl::core::Simulation;
+using middlefl::testing::SimBundle;
+
+std::vector<float> checkpoint_after_training(const SimBundle& bundle,
+                                             std::size_t steps) {
+  auto sim = bundle.make(Algorithm::kMiddle);
+  for (std::size_t i = 0; i < steps; ++i) sim->step();
+  const auto params = sim->cloud_params();
+  return std::vector<float>(params.begin(), params.end());
+}
+
+void expect_identical(const RunHistory& a, const RunHistory& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].accuracy, b.points[i].accuracy) << "point " << i;
+    EXPECT_EQ(a.points[i].loss, b.points[i].loss) << "point " << i;
+  }
+}
+
+TEST(Checkpoint, SaveLoadWarmStartResumesBitwise) {
+  SimBundle bundle;
+  bundle.cfg.total_steps = 10;
+  const std::vector<float> trained = checkpoint_after_training(bundle, 10);
+
+  // Round-trip the trained global model through the checkpoint format.
+  auto model = middlefl::nn::build_model(bundle.model_spec, bundle.seed);
+  model->set_parameters(trained);
+  std::stringstream stream;
+  middlefl::nn::save_model(*model, stream);
+  auto restored = middlefl::nn::build_model(bundle.model_spec, bundle.seed + 99);
+  middlefl::nn::load_model(*restored, stream);
+
+  // The restored parameters are bit-identical...
+  const auto loaded = restored->parameters();
+  ASSERT_EQ(loaded.size(), trained.size());
+  for (std::size_t i = 0; i < trained.size(); ++i) {
+    ASSERT_EQ(loaded[i], trained[i]) << "param " << i;
+  }
+
+  // ...and a simulation resumed from them behaves bit-identically to one
+  // resumed from the in-memory weights.
+  SimBundle resume_bundle;
+  resume_bundle.cfg.total_steps = 10;
+  auto direct = resume_bundle.make(Algorithm::kMiddle);
+  auto via_checkpoint = resume_bundle.make(Algorithm::kMiddle);
+  direct->warm_start(trained);
+  via_checkpoint->warm_start(restored->parameters());
+
+  expect_identical(direct->run(), via_checkpoint->run());
+  const auto cloud_a = direct->cloud_params();
+  const auto cloud_b = via_checkpoint->cloud_params();
+  for (std::size_t i = 0; i < cloud_a.size(); ++i) {
+    ASSERT_EQ(cloud_a[i], cloud_b[i]) << "cloud param " << i;
+  }
+  for (std::size_t m = 0; m < direct->num_devices(); ++m) {
+    const auto da = direct->device(m).params();
+    const auto db = via_checkpoint->device(m).params();
+    for (std::size_t i = 0; i < da.size(); ++i) {
+      ASSERT_EQ(da[i], db[i]) << "device " << m << " param " << i;
+    }
+  }
+}
+
+TEST(Checkpoint, FileRoundTripMatchesStreamRoundTrip) {
+  SimBundle bundle;
+  const std::vector<float> trained = checkpoint_after_training(bundle, 5);
+  auto model = middlefl::nn::build_model(bundle.model_spec, bundle.seed);
+  model->set_parameters(trained);
+
+  const std::string path = ::testing::TempDir() + "middlefl_ckpt_test.bin";
+  middlefl::nn::save_model_file(*model, path);
+  auto restored = middlefl::nn::build_model(bundle.model_spec, 7);
+  middlefl::nn::load_model_file(*restored, path);
+  std::remove(path.c_str());
+
+  const auto loaded = restored->parameters();
+  ASSERT_EQ(loaded.size(), trained.size());
+  for (std::size_t i = 0; i < trained.size(); ++i) {
+    ASSERT_EQ(loaded[i], trained[i]) << "param " << i;
+  }
+}
+
+TEST(Checkpoint, ArchitectureMismatchThrows) {
+  SimBundle bundle;
+  auto model = middlefl::nn::build_model(bundle.model_spec, bundle.seed);
+  std::stringstream stream;
+  middlefl::nn::save_model(*model, stream);
+
+  auto wider = bundle.model_spec;
+  wider.hidden = bundle.model_spec.hidden * 2;
+  auto mismatched = middlefl::nn::build_model(wider, bundle.seed);
+  EXPECT_THROW(middlefl::nn::load_model(*mismatched, stream),
+               std::runtime_error);
+}
+
+TEST(Checkpoint, WarmStartIsNotNetworkTraffic) {
+  // warm_start is an out-of-band operator action: installing a checkpoint
+  // must not charge any transport link or communication counter.
+  SimBundle bundle;
+  const std::vector<float> trained = checkpoint_after_training(bundle, 3);
+  auto sim = bundle.make(Algorithm::kMiddle);
+  sim->warm_start(trained);
+  EXPECT_EQ(sim->comm_stats().total_transfers(), 0u);
+  EXPECT_EQ(sim->transport().total_bytes(), 0u);
+  for (const auto kind : middlefl::transport::kAllLinkKinds) {
+    EXPECT_EQ(sim->transport().stats(kind).transfers, 0u)
+        << to_string(kind);
+  }
+}
+
+TEST(Checkpoint, WarmStartRejectsWrongSize) {
+  SimBundle bundle;
+  auto sim = bundle.make(Algorithm::kMiddle);
+  const std::vector<float> wrong(sim->cloud_params().size() + 1, 0.0f);
+  EXPECT_THROW(sim->warm_start(wrong), std::invalid_argument);
+}
+
+}  // namespace

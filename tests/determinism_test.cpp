@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "sim_fixture.hpp"
@@ -26,12 +27,15 @@ void expect_spans_equal(std::span<const float> a, std::span<const float> b,
   }
 }
 
-void expect_identical_runs(Algorithm algorithm) {
+void expect_identical_runs(
+    Algorithm algorithm,
+    const std::function<void(middlefl::core::SimulationConfig&)>& tweak = {}) {
   SimBundle bundle;
   bundle.cfg.total_steps = 8;
   bundle.cfg.cloud_interval = 4;
   bundle.cfg.eval_every = 4;
   bundle.cfg.upload_failure_prob = 0.1;  // exercise the failure RNG path
+  if (tweak) tweak(bundle.cfg);
 
   bundle.cfg.parallel_devices = false;
   auto serial = bundle.make(algorithm);
@@ -68,6 +72,16 @@ void expect_identical_runs(Algorithm algorithm) {
   EXPECT_EQ(serial->failed_uploads(), parallel->failed_uploads());
   EXPECT_EQ(serial->straggler_drops(), parallel->straggler_drops());
   EXPECT_EQ(serial->upload_bytes(), parallel->upload_bytes());
+
+  // Per-link transport accounting (relaxed atomic counters in the parallel
+  // stages) must also be scheduling-independent.
+  for (const auto kind : middlefl::transport::kAllLinkKinds) {
+    const auto s = serial->transport().stats(kind);
+    const auto p = parallel->transport().stats(kind);
+    EXPECT_EQ(s.transfers, p.transfers) << to_string(kind);
+    EXPECT_EQ(s.dropped, p.dropped) << to_string(kind);
+    EXPECT_EQ(s.bytes, p.bytes) << to_string(kind);
+  }
 }
 
 TEST(Determinism, MiddleParallelMatchesSerialBitwise) {
@@ -76,6 +90,34 @@ TEST(Determinism, MiddleParallelMatchesSerialBitwise) {
 
 TEST(Determinism, HierFavgParallelMatchesSerialBitwise) {
   expect_identical_runs(Algorithm::kHierFavg);
+}
+
+TEST(Determinism, LossyTransportPoliciesParallelMatchesSerialBitwise) {
+  // Loss on every link plus uplink compression: loss draws pull from
+  // (seed, entity, step)-keyed streams inside parallel stage bodies, so
+  // outcomes must not depend on scheduling.
+  expect_identical_runs(Algorithm::kMiddle,
+                        [](middlefl::core::SimulationConfig& cfg) {
+                          auto& tp = cfg.transport;
+                          tp.wireless_down.loss_prob = 0.2;
+                          tp.wireless_up.loss_prob = 0.15;
+                          tp.wireless_up.compression = {
+                              middlefl::transport::CompressionKind::kTopK,
+                              0.25};
+                          tp.wan_up.loss_prob = 0.1;
+                          tp.wan_down.loss_prob = 0.1;
+                          tp.broadcast.loss_prob = 0.1;
+                        });
+}
+
+TEST(Determinism, UplinkLatencyParallelMatchesSerialBitwise) {
+  // Delayed uploads enqueue into per-edge delay-queue shards from the
+  // parallel Upload stage and drain FIFO; arrival order must be fixed.
+  expect_identical_runs(Algorithm::kMiddle,
+                        [](middlefl::core::SimulationConfig& cfg) {
+                          cfg.transport.wireless_up.latency_steps = 2;
+                          cfg.transport.wan_up.latency_steps = 4;
+                        });
 }
 
 TEST(Determinism, RepeatedRunsAreBitwiseIdentical) {

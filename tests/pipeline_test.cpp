@@ -1,0 +1,552 @@
+// Staged step-pipeline tests.
+//
+// 1. Golden seed-parity pins: under default (lossless, zero-latency) link
+//    policies the transport-layer pipeline must reproduce the pre-refactor
+//    monolithic loop bit for bit — accuracies, parameter hashes, and every
+//    communication counter. The fingerprints below were captured from the
+//    last pre-transport commit on two codegen targets (-march=native with
+//    FMA contraction, and portable x86-64): integer counters and accuracy
+//    bits are ISA-invariant and pinned exactly; float-valued hashes accept
+//    either recorded variant.
+// 2. Observer events: phase ordering, transfer accounting, and the
+//    guarantee that observing a run cannot perturb it.
+// 3. Per-link policies: legacy-alias equivalence, downlink/broadcast loss
+//    semantics, uplink latency (stale aggregation).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "sim_fixture.hpp"
+
+namespace {
+
+using middlefl::core::Algorithm;
+using middlefl::core::RunHistory;
+using middlefl::core::Simulation;
+using middlefl::core::StepObserver;
+using middlefl::core::StepPhase;
+using middlefl::testing::SimBundle;
+using middlefl::transport::LinkKind;
+using middlefl::transport::LinkStats;
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t bits(double v) {
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  return u;
+}
+
+std::uint64_t cloud_hash(Simulation& sim) {
+  const auto cloud = sim.cloud_params();
+  return fnv1a(cloud.data(), cloud.size() * sizeof(float));
+}
+
+std::uint64_t edge_hash(Simulation& sim) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t n = 0; n < sim.num_edges(); ++n) {
+    const auto e = sim.edge_params(n);
+    h = fnv1a(e.data(), e.size() * sizeof(float)) ^ (h * 3);
+  }
+  return h;
+}
+
+std::uint64_t device_hash(Simulation& sim) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t m = 0; m < sim.num_devices(); ++m) {
+    const auto d = sim.device(m).params();
+    h = fnv1a(d.data(), d.size() * sizeof(float)) ^ (h * 3);
+  }
+  return h;
+}
+
+// Pre-refactor fingerprints of one SimBundle run (20 steps, 5 eval
+// points). `native` / `generic` are the two recorded codegen variants.
+struct GoldenRun {
+  const char* name;
+  std::uint64_t acc_bits[5];  // ISA-invariant
+  std::uint64_t cloud_hash[2], edge_hash[2], device_hash[2];
+  std::size_t dd, du, eu, ed, db;
+  std::size_t failed, stragglers, upload_bytes, blends;
+  std::uint64_t blend_w[2];
+};
+
+void expect_matches_golden(Simulation& sim, const RunHistory& history,
+                           const GoldenRun& g) {
+  SCOPED_TRACE(g.name);
+  ASSERT_EQ(history.points.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(bits(history.points[i].accuracy), g.acc_bits[i])
+        << "eval point " << i;
+  }
+  const std::uint64_t ch = cloud_hash(sim);
+  const std::uint64_t eh = edge_hash(sim);
+  const std::uint64_t dh = device_hash(sim);
+  EXPECT_TRUE(ch == g.cloud_hash[0] || ch == g.cloud_hash[1])
+      << "cloud hash 0x" << std::hex << ch;
+  EXPECT_TRUE(eh == g.edge_hash[0] || eh == g.edge_hash[1])
+      << "edge hash 0x" << std::hex << eh;
+  EXPECT_TRUE(dh == g.device_hash[0] || dh == g.device_hash[1])
+      << "device hash 0x" << std::hex << dh;
+
+  const auto& comm = sim.comm_stats();
+  EXPECT_EQ(comm.device_downloads, g.dd);
+  EXPECT_EQ(comm.device_uploads, g.du);
+  EXPECT_EQ(comm.edge_uploads, g.eu);
+  EXPECT_EQ(comm.edge_downloads, g.ed);
+  EXPECT_EQ(comm.device_broadcasts, g.db);
+  EXPECT_EQ(sim.failed_uploads(), g.failed);
+  EXPECT_EQ(sim.straggler_drops(), g.stragglers);
+  EXPECT_EQ(sim.upload_bytes(), g.upload_bytes);
+  EXPECT_EQ(sim.on_device_aggregations(), g.blends);
+  const std::uint64_t bw = bits(sim.mean_blend_weight());
+  EXPECT_TRUE(bw == g.blend_w[0] || bw == g.blend_w[1])
+      << "blend weight bits 0x" << std::hex << bw;
+}
+
+TEST(GoldenParity, MiddleDefault) {
+  const GoldenRun golden{
+      "middle_default",
+      {0x3fcc28f5c28f5c29, 0x3fceb851eb851eb8, 0x3fd0000000000000,
+       0x3fd3d70a3d70a3d7, 0x3fd3d70a3d70a3d7},
+      {0xa6e48d10ecf20269, 0x159bb9b71d73fa40},
+      {0xc677cc5187254832, 0x5b08d7667fa48211},
+      {0xed80f5423a901f27, 0x07ff30c38db5f7d3},
+      117, 117, 12, 12, 48,
+      0, 0, 308880, 61,
+      {0x3fdfffa9a58325ac, 0x3fdfffa9a582ae6b}};
+  SimBundle bundle;
+  auto sim = bundle.make(Algorithm::kMiddle);
+  const RunHistory history = sim->run();
+  expect_matches_golden(*sim, history, golden);
+}
+
+TEST(GoldenParity, MiddleDefaultParallel) {
+  // Same fingerprints with the thread pool on: parity AND determinism.
+  const GoldenRun golden{
+      "middle_parallel",
+      {0x3fcc28f5c28f5c29, 0x3fceb851eb851eb8, 0x3fd0000000000000,
+       0x3fd3d70a3d70a3d7, 0x3fd3d70a3d70a3d7},
+      {0xa6e48d10ecf20269, 0x159bb9b71d73fa40},
+      {0xc677cc5187254832, 0x5b08d7667fa48211},
+      {0xed80f5423a901f27, 0x07ff30c38db5f7d3},
+      117, 117, 12, 12, 48,
+      0, 0, 308880, 61,
+      {0x3fdfffa9a58325ac, 0x3fdfffa9a582ae6b}};
+  SimBundle bundle;
+  bundle.cfg.parallel_devices = true;
+  auto sim = bundle.make(Algorithm::kMiddle);
+  const RunHistory history = sim->run();
+  expect_matches_golden(*sim, history, golden);
+}
+
+TEST(GoldenParity, MiddleUploadFailures) {
+  // The legacy upload_failure_prob alias must drive the uplink loss policy
+  // through the exact same RNG stream as the pre-refactor failure draw.
+  const GoldenRun golden{
+      "middle_failures",
+      {0x3fcc28f5c28f5c29, 0x3fd0000000000000, 0x3fd0a3d70a3d70a4,
+       0x3fd1eb851eb851ec, 0x3fd5c28f5c28f5c3},
+      {0x9ce4853f26efeb88, 0x9c3e7c355f7b457b},
+      {0xf077f623d0203229, 0xe116ec3eb404457c},
+      {0xdef31f491db3dfd3, 0xb749a55846a39b57},
+      117, 117, 12, 12, 48,
+      27, 0, 237600, 60,
+      {0x3fdfff99a8d61897, 0x3fdfff99a8d59276}};
+  SimBundle bundle;
+  bundle.cfg.upload_failure_prob = 0.25;
+  auto sim = bundle.make(Algorithm::kMiddle);
+  const RunHistory history = sim->run();
+  expect_matches_golden(*sim, history, golden);
+}
+
+TEST(GoldenParity, MiddleTopKCompression) {
+  const GoldenRun golden{
+      "middle_topk",
+      {0x3fcc28f5c28f5c29, 0x3fcd70a3d70a3d71, 0x3fd0000000000000,
+       0x3fd3333333333333, 0x3fd3333333333333},
+      {0xc9632228bb922210, 0xa7aba8e75bcc999a},
+      {0x89f632a7f28a3181, 0x9fd915f75216f873},
+      {0x58fc2ed312b62773, 0x895938b32e461f43},
+      117, 117, 12, 12, 48,
+      0, 0, 154440, 61,
+      {0x3fdfffaccfb76416, 0x3fdfffaccfb76817}};
+  SimBundle bundle;
+  bundle.cfg.upload_compression.kind =
+      middlefl::core::CompressionKind::kTopK;
+  bundle.cfg.upload_compression.top_k_fraction = 0.25;
+  auto sim = bundle.make(Algorithm::kMiddle);
+  const RunHistory history = sim->run();
+  expect_matches_golden(*sim, history, golden);
+}
+
+TEST(GoldenParity, FedMesMobile) {
+  // FedMes pins the extra previous-edge download accounting (dd > du).
+  const GoldenRun golden{
+      "fedmes_mobile",
+      {0x3fcc28f5c28f5c29, 0x3fd0000000000000, 0x3fd1eb851eb851ec,
+       0x3fd3d70a3d70a3d7, 0x3fd6666666666666},
+      {0x74d5fb910676bd55, 0x82ba6637fadaf8d0},
+      {0x8fa569a13ccc6d16, 0xb6ab51fbaa037741},
+      {0x81b15e4f7c1dd26f, 0x5dd8815c8b7451f3},
+      201, 116, 12, 12, 48,
+      0, 0, 306240, 85,
+      {0x3fe0000000000000, 0x3fe0000000000000}};
+  SimBundle bundle;
+  bundle.mobility_p = 0.8;
+  auto sim = bundle.make(Algorithm::kFedMes);
+  const RunHistory history = sim->run();
+  expect_matches_golden(*sim, history, golden);
+}
+
+TEST(GoldenParity, MiddleHeterogeneousStragglers) {
+  // Stragglers pay the download but never train or upload.
+  const GoldenRun golden{
+      "middle_hetero",
+      {0x3fcc28f5c28f5c29, 0x3fceb851eb851eb8, 0x3fd0a3d70a3d70a4,
+       0x3fd147ae147ae148, 0x3fd51eb851eb851f},
+      {0xe8dd24b476f77b9f, 0xcff7be885e9e9e18},
+      {0xd3fc37a7a1350108, 0x898da041a858f519},
+      {0xb99e916635c4eb8f, 0xba03489419661533},
+      117, 107, 12, 12, 48,
+      21, 10, 227040, 54,
+      {0x3fdfff854d65ebdc, 0x3fdfff854d65ab85}};
+  SimBundle bundle;
+  bundle.cfg.device_speeds.assign(12, 1.0);
+  bundle.cfg.device_speeds[0] = 0.05;
+  bundle.cfg.device_speeds[1] = 0.4;
+  bundle.cfg.round_deadline = 5.0;
+  bundle.cfg.upload_failure_prob = 0.2;
+  auto sim = bundle.make(Algorithm::kMiddle);
+  const RunHistory history = sim->run();
+  expect_matches_golden(*sim, history, golden);
+}
+
+// ---------------------------------------------------------------------------
+// Observer events
+
+struct RecordingObserver final : StepObserver {
+  struct TransferEvent {
+    StepPhase phase;
+    LinkKind kind;
+    LinkStats delta;
+    std::size_t step;
+  };
+  std::vector<std::size_t> begun;
+  std::vector<std::pair<StepPhase, std::size_t>> phases;
+  std::vector<TransferEvent> transfers;
+  std::vector<std::pair<std::size_t, bool>> ended;
+  std::vector<std::size_t> sync_contributions;
+  std::size_t selections = 0;
+  std::size_t evaluations = 0;
+  std::size_t dropout_events = 0;
+  std::size_t blend_events = 0;
+
+  void on_step_begin(std::size_t step) override { begun.push_back(step); }
+  void on_phase(StepPhase phase, std::size_t step) override {
+    phases.emplace_back(phase, step);
+  }
+  void on_transfers(StepPhase phase, LinkKind kind, const LinkStats& delta,
+                    std::size_t step) override {
+    transfers.push_back(TransferEvent{phase, kind, delta, step});
+  }
+  void on_selection(std::size_t,
+                    const std::vector<std::vector<std::size_t>>&) override {
+    ++selections;
+  }
+  void on_dropouts(std::size_t, std::size_t, std::size_t) override {
+    ++dropout_events;
+  }
+  void on_blends(std::size_t, std::size_t, double) override {
+    ++blend_events;
+  }
+  void on_cloud_sync(std::size_t, std::size_t contributing) override {
+    sync_contributions.push_back(contributing);
+  }
+  void on_step_end(std::size_t step, bool synced) override {
+    ended.emplace_back(step, synced);
+  }
+  void on_evaluation(const middlefl::core::EvalPoint&) override {
+    ++evaluations;
+  }
+};
+
+TEST(StepObserverTest, PhaseSequenceAndStepEvents) {
+  SimBundle bundle;
+  bundle.cfg.total_steps = 6;
+  bundle.cfg.cloud_interval = 3;
+  bundle.cfg.eval_every = 3;
+  auto sim = bundle.make(Algorithm::kMiddle);
+  RecordingObserver rec;
+  sim->add_observer(&rec);
+  sim->run();
+
+  ASSERT_EQ(rec.begun.size(), 6u);
+  ASSERT_EQ(rec.ended.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    const std::size_t step = i + 1;
+    EXPECT_EQ(rec.begun[i], step);
+    EXPECT_EQ(rec.ended[i].first, step);
+    EXPECT_EQ(rec.ended[i].second, step % 3 == 0);  // T_c = 3
+  }
+
+  // Per step: the five always-on phases in pipeline order, plus CloudSync
+  // on sync steps.
+  const StepPhase base[] = {StepPhase::kSelect, StepPhase::kDistribute,
+                            StepPhase::kLocalTrain, StepPhase::kUpload,
+                            StepPhase::kEdgeAggregate};
+  std::size_t i = 0;
+  for (std::size_t step = 1; step <= 6; ++step) {
+    for (const StepPhase expected : base) {
+      ASSERT_LT(i, rec.phases.size());
+      EXPECT_EQ(rec.phases[i].first, expected) << to_string(expected);
+      EXPECT_EQ(rec.phases[i].second, step);
+      ++i;
+    }
+    if (step % 3 == 0) {
+      ASSERT_LT(i, rec.phases.size());
+      EXPECT_EQ(rec.phases[i].first, StepPhase::kCloudSync);
+      ++i;
+    }
+  }
+  EXPECT_EQ(i, rec.phases.size());
+
+  EXPECT_EQ(rec.selections, 6u);
+  EXPECT_EQ(rec.sync_contributions.size(), 2u);
+  for (const std::size_t contributing : rec.sync_contributions) {
+    EXPECT_GT(contributing, 0u);
+    EXPECT_LE(contributing, sim->num_edges());
+  }
+  // run() evaluates at t=0, t=3 and t=6.
+  EXPECT_EQ(rec.evaluations, 3u);
+
+  // Transfer events carry phase-consistent link kinds, and their deltas
+  // must reassemble the built-in counters exactly.
+  middlefl::core::CommStats rebuilt;
+  for (const auto& event : rec.transfers) {
+    EXPECT_GT(event.delta.transfers, 0u);
+    switch (event.kind) {
+      case LinkKind::kWirelessDown:
+        EXPECT_EQ(event.phase, StepPhase::kDistribute);
+        rebuilt.device_downloads += event.delta.transfers;
+        break;
+      case LinkKind::kCarry:
+        EXPECT_EQ(event.phase, StepPhase::kDistribute);
+        break;
+      case LinkKind::kWirelessUp:
+        EXPECT_EQ(event.phase, StepPhase::kUpload);
+        rebuilt.device_uploads += event.delta.transfers;
+        break;
+      case LinkKind::kWanUp:
+        EXPECT_EQ(event.phase, StepPhase::kCloudSync);
+        rebuilt.edge_uploads += event.delta.transfers;
+        break;
+      case LinkKind::kWanDown:
+        EXPECT_EQ(event.phase, StepPhase::kCloudSync);
+        rebuilt.edge_downloads += event.delta.transfers;
+        break;
+      case LinkKind::kBroadcast:
+        EXPECT_EQ(event.phase, StepPhase::kCloudSync);
+        rebuilt.device_broadcasts += event.delta.transfers;
+        break;
+    }
+  }
+  const auto& comm = sim->comm_stats();
+  EXPECT_EQ(rebuilt.device_downloads, comm.device_downloads);
+  EXPECT_EQ(rebuilt.device_uploads, comm.device_uploads);
+  EXPECT_EQ(rebuilt.edge_uploads, comm.edge_uploads);
+  EXPECT_EQ(rebuilt.edge_downloads, comm.edge_downloads);
+  EXPECT_EQ(rebuilt.device_broadcasts, comm.device_broadcasts);
+}
+
+TEST(StepObserverTest, ExternalCommStatsObserverMatchesBuiltIn) {
+  SimBundle bundle;
+  bundle.cfg.upload_failure_prob = 0.2;
+  auto sim = bundle.make(Algorithm::kFedMes);
+  middlefl::core::CommStatsObserver external;
+  sim->add_observer(&external);
+  sim->run();
+  const auto& a = sim->comm_stats();
+  const auto& b = external.stats();
+  EXPECT_EQ(a.device_downloads, b.device_downloads);
+  EXPECT_EQ(a.device_uploads, b.device_uploads);
+  EXPECT_EQ(a.edge_uploads, b.edge_uploads);
+  EXPECT_EQ(a.edge_downloads, b.edge_downloads);
+  EXPECT_EQ(a.device_broadcasts, b.device_broadcasts);
+  EXPECT_EQ(a.total_transfers(), b.total_transfers());
+}
+
+TEST(StepObserverTest, ObservingDoesNotPerturbTheRun) {
+  SimBundle bundle;
+  bundle.cfg.total_steps = 10;
+  auto plain = bundle.make(Algorithm::kMiddle);
+  auto observed = bundle.make(Algorithm::kMiddle);
+  RecordingObserver rec;
+  observed->add_observer(&rec);
+
+  const RunHistory h1 = plain->run();
+  const RunHistory h2 = observed->run();
+  ASSERT_EQ(h1.points.size(), h2.points.size());
+  for (std::size_t i = 0; i < h1.points.size(); ++i) {
+    EXPECT_EQ(h1.points[i].accuracy, h2.points[i].accuracy);
+    EXPECT_EQ(h1.points[i].loss, h2.points[i].loss);
+  }
+  EXPECT_EQ(cloud_hash(*plain), cloud_hash(*observed));
+  EXPECT_EQ(device_hash(*plain), device_hash(*observed));
+}
+
+TEST(StepObserverTest, RejectsNullObserver) {
+  SimBundle bundle;
+  auto sim = bundle.make(Algorithm::kMiddle);
+  EXPECT_THROW(sim->add_observer(nullptr), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Per-link policies
+
+TEST(TransportPolicy, LegacyAliasMatchesExplicitUplinkPolicy) {
+  SimBundle bundle;
+  bundle.cfg.upload_failure_prob = 0.3;
+  auto legacy = bundle.make(Algorithm::kMiddle);
+
+  SimBundle explicit_bundle;
+  explicit_bundle.cfg.transport.wireless_up.loss_prob = 0.3;
+  auto modern = explicit_bundle.make(Algorithm::kMiddle);
+
+  // Both views of the config agree after construction.
+  EXPECT_EQ(legacy->config().transport.wireless_up.loss_prob, 0.3);
+  EXPECT_EQ(modern->config().upload_failure_prob, 0.3);
+
+  const RunHistory h1 = legacy->run();
+  const RunHistory h2 = modern->run();
+  ASSERT_EQ(h1.points.size(), h2.points.size());
+  for (std::size_t i = 0; i < h1.points.size(); ++i) {
+    EXPECT_EQ(h1.points[i].accuracy, h2.points[i].accuracy);
+    EXPECT_EQ(h1.points[i].loss, h2.points[i].loss);
+  }
+  EXPECT_EQ(cloud_hash(*legacy), cloud_hash(*modern));
+  EXPECT_EQ(legacy->failed_uploads(), modern->failed_uploads());
+  EXPECT_EQ(legacy->upload_bytes(), modern->upload_bytes());
+}
+
+TEST(TransportPolicy, TotalDownlinkLossFreezesTraining) {
+  // Every download lost: no device trains, no upload happens, and the
+  // global model never moves off its initialization.
+  SimBundle bundle;
+  bundle.cfg.transport.wireless_down.loss_prob = 1.0;
+  auto sim = bundle.make(Algorithm::kMiddle);
+  const RunHistory history = sim->run();
+
+  const auto& comm = sim->comm_stats();
+  EXPECT_GT(comm.device_downloads, 0u);
+  EXPECT_EQ(sim->lost_downloads(), comm.device_downloads);
+  EXPECT_EQ(comm.device_uploads, 0u);
+  EXPECT_EQ(sim->upload_bytes(), 0u);
+  for (const auto& point : history.points) {
+    EXPECT_EQ(point.accuracy, history.points.front().accuracy);
+  }
+  // Lost sends never touch the wire.
+  EXPECT_EQ(sim->transport().stats(LinkKind::kWirelessDown).bytes, 0u);
+}
+
+TEST(TransportPolicy, TotalBroadcastLossKeepsLocalModels) {
+  SimBundle bundle;
+  bundle.cfg.total_steps = 5;  // exactly one cloud sync
+  auto lossless = bundle.make(Algorithm::kMiddle);
+
+  SimBundle lossy_bundle;
+  lossy_bundle.cfg.total_steps = 5;
+  lossy_bundle.cfg.transport.broadcast.loss_prob = 1.0;
+  auto lossy = lossy_bundle.make(Algorithm::kMiddle);
+
+  lossless->run();
+  lossy->run();
+
+  // Broadcast attempts are still counted (and still charged zero bytes
+  // since every one was dropped), but no device received the global model.
+  const auto stats = lossy->transport().stats(LinkKind::kBroadcast);
+  EXPECT_EQ(stats.transfers, lossy->num_devices());
+  EXPECT_EQ(stats.dropped, stats.transfers);
+  EXPECT_EQ(stats.bytes, 0u);
+  EXPECT_EQ(lossy->comm_stats().device_broadcasts,
+            lossless->comm_stats().device_broadcasts);
+  // The cloud agrees (uplink path identical), but devices diverge: the
+  // lossless run overwrote them with the broadcast.
+  EXPECT_EQ(cloud_hash(*lossless), cloud_hash(*lossy));
+  EXPECT_NE(device_hash(*lossless), device_hash(*lossy));
+}
+
+TEST(TransportPolicy, UplinkLatencyAggregatesStaleUploads) {
+  SimBundle bundle;
+  bundle.cfg.total_steps = 6;
+  bundle.cfg.cloud_interval = 100;  // isolate the wireless path
+  bundle.cfg.transport.wireless_up.latency_steps = 1;
+  auto sim = bundle.make(Algorithm::kMiddle);
+
+  // Step 1: uploads enter the delay queue; no edge aggregates anything.
+  const auto init = std::vector<float>(sim->edge_params(0).begin(),
+                                       sim->edge_params(0).end());
+  sim->step();
+  EXPECT_GT(sim->transport().total_in_flight(), 0u);
+  std::span<const float> after1 = sim->edge_params(0);
+  EXPECT_TRUE(std::equal(after1.begin(), after1.end(), init.begin()));
+
+  // Step 2: step-1 uploads arrive and move the edge models.
+  sim->step();
+  bool any_edge_moved = false;
+  for (std::size_t n = 0; n < sim->num_edges() && !any_edge_moved; ++n) {
+    const auto params = sim->edge_params(n);
+    any_edge_moved = !std::equal(params.begin(), params.end(), init.begin());
+  }
+  EXPECT_TRUE(any_edge_moved);
+
+  while (sim->current_step() < 6) sim->step();
+  // Conservation: every attempted upload was either delivered into an
+  // aggregation or is still in flight; none were lost.
+  const auto up = sim->transport().stats(LinkKind::kWirelessUp);
+  EXPECT_EQ(up.dropped, 0u);
+  EXPECT_EQ(sim->transport().total_in_flight(),
+            sim->transport().wireless_up().in_flight());
+  EXPECT_GT(up.transfers, 0u);
+  // Queued sends were charged at send time.
+  EXPECT_EQ(up.bytes, up.transfers * init.size() * sizeof(float));
+}
+
+TEST(TransportPolicy, BytesByLinkReportIsCoherent) {
+  SimBundle bundle;
+  bundle.cfg.transport.wireless_up.compression = {
+      middlefl::transport::CompressionKind::kQuant8, 0.1};
+  auto sim = bundle.make(Algorithm::kMiddle);
+  sim->run();
+
+  const auto report = sim->transport().bytes_by_link();
+  std::size_t total = 0;
+  for (const auto& entry : report) {
+    total += entry.stats.bytes;
+    if (entry.kind == LinkKind::kCarry) {
+      // On-device aggregations ride the carry link for free.
+      EXPECT_EQ(entry.stats.transfers, sim->on_device_aggregations());
+      EXPECT_EQ(entry.stats.bytes, 0u);
+    }
+    if (entry.kind == LinkKind::kWirelessUp) {
+      EXPECT_EQ(entry.stats.bytes, sim->upload_bytes());
+      // q8 wire model: n + 4 bytes per delivered upload.
+      const std::size_t n = sim->cloud_params().size();
+      EXPECT_EQ(entry.stats.bytes, entry.stats.delivered() * (n + 4));
+    }
+  }
+  EXPECT_EQ(total, sim->transport().total_bytes());
+}
+
+}  // namespace

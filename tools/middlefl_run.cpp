@@ -7,10 +7,20 @@
 //                --k 3 --local-steps 10 --tc 10 --mobility 0.5
 //                --steps 800 --out history.csv      (one command line)
 //
+// Per-link transport policies (loss probability, lossy compression,
+// latency in steps) are set with the --uplink-*, --downlink-*, --wan-* and
+// --broadcast-loss flags; --upload-failure remains as the legacy alias for
+// --uplink-loss. `--json-summary <path>` dumps the final accuracy,
+// communication/transport statistics and dropout counters as JSON for
+// sweep tooling.
+//
 // Defaults mirror the fast-scale benchmark configuration. `--list` prints
 // the available tasks/algorithms/architectures/topologies.
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 
 #include "middlefl.hpp"
 
@@ -25,6 +35,10 @@ struct Options {
   std::string optimizer = "sgd";
   std::string topology = "home-ring";
   std::string out;
+  std::string json_summary;
+  std::string uplink_compression = "none";
+  std::string downlink_compression = "none";
+  std::string wan_compression = "none";
 
   std::size_t edges = 10;
   std::size_t devices = 50;
@@ -51,11 +65,79 @@ struct Options {
   double clip_norm = 0.0;
   double server_momentum = 0.0;
   double upload_failure = 0.0;
+  double uplink_loss = 0.0;
+  double downlink_loss = 0.0;
+  double wan_loss = 0.0;
+  double broadcast_loss = 0.0;
+  std::size_t uplink_latency = 0;
+  std::size_t wan_latency = 0;
   double target = 0.0;  // optional time-to-accuracy report
 
   bool quiet = false;
   bool list = false;
 };
+
+/// Machine-readable run summary for sweep tooling. Hand-rolled emitter:
+/// flat structure, known keys, no external JSON dependency.
+void write_json_summary(const std::string& path, const Options& opt,
+                        const core::Simulation& sim,
+                        const core::RunHistory& history) {
+  std::ofstream file(path);
+  if (!file) {
+    throw std::runtime_error("cannot write JSON summary to '" + path + "'");
+  }
+  file << std::setprecision(17);
+  file << "{\n";
+  file << "  \"task\": \"" << opt.task << "\",\n";
+  file << "  \"algorithm\": \"" << opt.algorithm << "\",\n";
+  file << "  \"seed\": " << opt.seed << ",\n";
+  file << "  \"steps\": " << sim.current_step() << ",\n";
+  file << "  \"final_accuracy\": " << history.final_accuracy() << ",\n";
+  file << "  \"best_accuracy\": " << history.best_accuracy() << ",\n";
+  file << "  \"final_loss\": "
+       << (history.points.empty() ? 0.0 : history.points.back().loss)
+       << ",\n";
+  if (opt.target > 0.0) {
+    const auto tta = history.time_to_accuracy(opt.target);
+    file << "  \"target_accuracy\": " << opt.target << ",\n";
+    file << "  \"time_to_target\": "
+         << (tta ? std::to_string(*tta) : std::string("null")) << ",\n";
+  }
+
+  const core::CommStats& comm = sim.comm_stats();
+  file << "  \"comm\": {\n";
+  file << "    \"device_downloads\": " << comm.device_downloads << ",\n";
+  file << "    \"device_uploads\": " << comm.device_uploads << ",\n";
+  file << "    \"edge_uploads\": " << comm.edge_uploads << ",\n";
+  file << "    \"edge_downloads\": " << comm.edge_downloads << ",\n";
+  file << "    \"device_broadcasts\": " << comm.device_broadcasts << ",\n";
+  file << "    \"total_transfers\": " << comm.total_transfers() << ",\n";
+  file << "    \"wan_transfers\": " << comm.wan_transfers() << "\n";
+  file << "  },\n";
+
+  file << "  \"transport\": {\n";
+  const auto report = sim.transport().bytes_by_link();
+  for (std::size_t i = 0; i < report.size(); ++i) {
+    const auto& link = report[i];
+    file << "    \"" << transport::to_string(link.kind) << "\": {"
+         << "\"transfers\": " << link.stats.transfers
+         << ", \"dropped\": " << link.stats.dropped
+         << ", \"bytes\": " << link.stats.bytes
+         << ", \"in_flight\": " << link.in_flight << "}"
+         << (i + 1 < report.size() ? "," : "") << "\n";
+  }
+  file << "  },\n";
+  file << "  \"total_wire_bytes\": " << sim.transport().total_bytes()
+       << ",\n";
+
+  file << "  \"failed_uploads\": " << sim.failed_uploads() << ",\n";
+  file << "  \"lost_downloads\": " << sim.lost_downloads() << ",\n";
+  file << "  \"straggler_drops\": " << sim.straggler_drops() << ",\n";
+  file << "  \"on_device_aggregations\": " << sim.on_device_aggregations()
+       << ",\n";
+  file << "  \"mean_blend_weight\": " << sim.mean_blend_weight() << "\n";
+  file << "}\n";
+}
 
 mobility::MoveTopology parse_topology(const std::string& name) {
   if (name == "uniform") return mobility::MoveTopology::kUniform;
@@ -110,8 +192,33 @@ int run(int argc, const char* const* argv) {
                &opt.clip_norm);
   cli.add_flag("server-momentum", "FedAvgM momentum at the cloud",
                &opt.server_momentum);
-  cli.add_flag("upload-failure", "probability an upload is lost",
+  cli.add_flag("upload-failure", "legacy alias for --uplink-loss",
                &opt.upload_failure);
+  cli.add_flag("uplink-loss", "device->edge upload loss probability",
+               &opt.uplink_loss);
+  cli.add_flag("uplink-compression",
+               "device->edge compression (none|q8|topk:<frac>)",
+               &opt.uplink_compression);
+  cli.add_flag("uplink-latency",
+               "device->edge delivery delay in steps (stale aggregation)",
+               &opt.uplink_latency);
+  cli.add_flag("downlink-loss", "edge->device download loss probability",
+               &opt.downlink_loss);
+  cli.add_flag("downlink-compression",
+               "edge->device compression (none|q8|topk:<frac>)",
+               &opt.downlink_compression);
+  cli.add_flag("wan-loss", "edge<->cloud sync loss probability",
+               &opt.wan_loss);
+  cli.add_flag("wan-compression",
+               "edge->cloud compression (none|q8|topk:<frac>)",
+               &opt.wan_compression);
+  cli.add_flag("wan-latency",
+               "edge->cloud delivery delay in steps (stale cloud sync)",
+               &opt.wan_latency);
+  cli.add_flag("broadcast-loss", "cloud->device broadcast loss probability",
+               &opt.broadcast_loss);
+  cli.add_flag("json-summary", "write a JSON run summary here",
+               &opt.json_summary);
   cli.add_flag("target", "report time-to-accuracy for this target (0 = off)",
                &opt.target);
   cli.add_flag("quiet", "suppress per-eval progress lines", &opt.quiet);
@@ -175,6 +282,26 @@ int run(int argc, const char* const* argv) {
   cfg.server_momentum = opt.server_momentum;
   cfg.upload_failure_prob = opt.upload_failure;
 
+  // Per-link transport policies. --upload-failure stays as the legacy
+  // alias for the uplink loss (the Simulation reconciles the two views).
+  if (opt.uplink_loss > 0.0) {
+    cfg.transport.wireless_up.loss_prob = opt.uplink_loss;
+  }
+  cfg.transport.wireless_up.compression =
+      transport::parse_compression(opt.uplink_compression);
+  cfg.transport.wireless_up.latency_steps = opt.uplink_latency;
+  cfg.transport.wireless_down.loss_prob = opt.downlink_loss;
+  cfg.transport.wireless_down.compression =
+      transport::parse_compression(opt.downlink_compression);
+  cfg.transport.wan_up.loss_prob = opt.wan_loss;
+  cfg.transport.wan_down.loss_prob = opt.wan_loss;
+  const auto wan_compression =
+      transport::parse_compression(opt.wan_compression);
+  cfg.transport.wan_up.compression = wan_compression;
+  cfg.transport.wan_down.compression = wan_compression;
+  cfg.transport.wan_up.latency_steps = opt.wan_latency;
+  cfg.transport.broadcast.loss_prob = opt.broadcast_loss;
+
   core::Simulation sim(cfg, spec, *optimizer, train, partition, test,
                        std::move(mobility_model),
                        core::make_algorithm(core::parse_algorithm(opt.algorithm)));
@@ -189,6 +316,10 @@ int run(int argc, const char* const* argv) {
   if (!opt.out.empty()) {
     core::save_history_csv(history, opt.out);
     std::cerr << "history written to " << opt.out << "\n";
+  }
+  if (!opt.json_summary.empty()) {
+    write_json_summary(opt.json_summary, opt, sim, history);
+    std::cerr << "summary written to " << opt.json_summary << "\n";
   }
   std::cerr << "final accuracy " << history.final_accuracy() << "  best "
             << history.best_accuracy() << "  on-device aggregations "
