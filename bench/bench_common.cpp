@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "parallel/thread_pool.hpp"
 #include "util/stats.hpp"
 
 namespace middlefl::bench {
@@ -15,6 +16,9 @@ void BenchOptions::register_flags(util::CliParser& cli) {
   cli.add_flag("steps-scale", "multiply every step budget", &steps_scale);
   cli.add_flag("repeats", "independent repetitions per configuration",
                &repeats);
+  cli.add_flag("threads",
+               "worker threads (0 = MIDDLEFL_THREADS env or hardware)",
+               &threads);
 }
 
 namespace {
@@ -259,10 +263,14 @@ std::unique_ptr<util::CsvWriter> open_csv(const BenchOptions& options) {
 }
 
 void print_banner(const std::string& title, const BenchOptions& options) {
+  // Benches call this right after CLI parsing and before any simulation is
+  // built, so the --threads override lands before the first global() use.
+  parallel::ThreadPool::set_default_size(options.threads);
   std::cerr << "== " << title << " ==\n"
             << "   scale=" << (options.paper ? "paper" : "fast")
             << " P=" << options.mobility << " Tc=" << options.cloud_interval
-            << " seed=" << options.seed << "\n";
+            << " seed=" << options.seed
+            << " threads=" << parallel::ThreadPool::default_size() << "\n";
 }
 
 }  // namespace middlefl::bench

@@ -38,6 +38,10 @@ struct BenchOptions {
   /// Independent repetitions per configuration (different simulation and
   /// mobility seeds over the same datasets); benches report mean +- std.
   std::size_t repeats = 1;
+  /// Worker threads for the shared pool (0 = MIDDLEFL_THREADS env or
+  /// hardware concurrency). Applied via ThreadPool::set_default_size by
+  /// print_banner, before any bench touches the global pool.
+  std::size_t threads = 0;
 
   /// Registers the shared flags on a parser.
   void register_flags(util::CliParser& cli);

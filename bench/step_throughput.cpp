@@ -4,18 +4,62 @@
 // This is the number the hot-path work optimizes — selection scoring, local
 // SGD, edge aggregation and snapshot upkeep all sit inside one step. The
 // result is emitted as JSON (default BENCH_step_throughput.json) so the
-// perf trajectory is tracked across PRs.
+// perf trajectory is tracked across PRs. Besides the main measurement on
+// the configured pool, a thread-scaling sweep (1/2/4/8 workers, even past
+// the hardware concurrency recorded next to it) records how the per-edge
+// task-graph scheduler scales; --no-sweep skips it.
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 #include <thread>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace {
 
 using namespace middlefl;
 using bench::BenchOptions;
+
+struct Measurement {
+  std::size_t pool_threads = 0;
+  double seconds = 0.0;
+  double steps_per_sec = 0.0;
+};
+
+/// Runs warmup + timed steps of a fresh simulation on `pool` (nullptr =
+/// fully serial) and returns the timing.
+Measurement measure(const bench::TaskSetup& setup, core::Algorithm algorithm,
+                    const BenchOptions& options, std::size_t warmup_steps,
+                    std::size_t timed_steps, parallel::ThreadPool* pool) {
+  bench::TaskSetup run_setup{setup.kind,
+                             setup.train,
+                             setup.test,
+                             setup.partition,
+                             setup.initial_edges,
+                             setup.model_spec,
+                             setup.optimizer->clone_config(),
+                             setup.sim_cfg,
+                             setup.num_edges,
+                             setup.target_accuracy};
+  run_setup.sim_cfg.parallel_devices = pool != nullptr;
+  run_setup.sim_cfg.pool = pool;
+  auto sim = bench::make_simulation(run_setup, algorithm, options);
+
+  for (std::size_t s = 0; s < warmup_steps; ++s) sim->step();
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < timed_steps; ++s) sim->step();
+  const auto stop = std::chrono::steady_clock::now();
+
+  Measurement m;
+  m.pool_threads = pool == nullptr ? 1 : pool->size();
+  m.seconds = std::chrono::duration<double>(stop - start).count();
+  m.steps_per_sec = static_cast<double>(timed_steps) / m.seconds;
+  return m;
+}
 
 int run(int argc, const char* const* argv) {
   BenchOptions options;
@@ -25,6 +69,7 @@ int run(int argc, const char* const* argv) {
   std::size_t timed_steps = 300;
   std::size_t warmup_steps = 20;
   bool serial = false;
+  bool no_sweep = false;
   util::CliParser cli(
       "step_throughput: steps/sec of the simulation step loop");
   options.register_flags(cli);
@@ -34,6 +79,7 @@ int run(int argc, const char* const* argv) {
   cli.add_flag("steps", "timed steps", &timed_steps);
   cli.add_flag("warmup", "untimed warmup steps", &warmup_steps);
   cli.add_flag("serial", "disable device-parallel training", &serial);
+  cli.add_flag("no-sweep", "skip the thread-scaling sweep", &no_sweep);
   if (!cli.parse(argc, argv)) return 0;
 
   bench::print_banner("Step-loop throughput", options);
@@ -42,22 +88,34 @@ int run(int argc, const char* const* argv) {
 
   auto setup = bench::make_task_setup(kind, options);
   // The step budget must cover warmup + timed steps; evals are skipped by
-  // calling step() directly.
+  // calling step() directly, and the per-edge evaluation sweep is off —
+  // this bench never reads the edge-accuracy curve.
   setup.sim_cfg.total_steps = warmup_steps + timed_steps;
-  setup.sim_cfg.parallel_devices = !serial;
-  auto sim = bench::make_simulation(setup, algorithm, options);
+  setup.sim_cfg.eval_edges = false;
 
-  for (std::size_t s = 0; s < warmup_steps; ++s) sim->step();
+  // Main measurement on the configured pool (--threads / MIDDLEFL_THREADS).
+  parallel::ThreadPool* main_pool =
+      serial ? nullptr : &parallel::ThreadPool::global();
+  const Measurement main =
+      measure(setup, algorithm, options, warmup_steps, timed_steps, main_pool);
+  std::cerr << "   " << timed_steps << " steps in " << main.seconds
+            << " s  ->  " << main.steps_per_sec << " steps/sec  ("
+            << main.pool_threads << " pool thread"
+            << (main.pool_threads == 1 ? "" : "s") << ")\n";
 
-  const auto start = std::chrono::steady_clock::now();
-  for (std::size_t s = 0; s < timed_steps; ++s) sim->step();
-  const auto stop = std::chrono::steady_clock::now();
-  const double seconds =
-      std::chrono::duration<double>(stop - start).count();
-  const double steps_per_sec = static_cast<double>(timed_steps) / seconds;
-
-  std::cerr << "   " << timed_steps << " steps in " << seconds << " s  ->  "
-            << steps_per_sec << " steps/sec\n";
+  // Thread-scaling sweep on private pools so the pinned sizes do not
+  // disturb the shared pool.
+  std::vector<Measurement> sweep;
+  if (!no_sweep) {
+    for (const std::size_t n : {1u, 2u, 4u, 8u}) {
+      std::unique_ptr<parallel::ThreadPool> pool;
+      if (n > 1) pool = std::make_unique<parallel::ThreadPool>(n);
+      sweep.push_back(measure(setup, algorithm, options, warmup_steps,
+                              timed_steps, pool.get()));
+      std::cerr << "   sweep " << n << " thread" << (n == 1 ? " " : "s")
+                << ": " << sweep.back().steps_per_sec << " steps/sec\n";
+    }
+  }
 
   std::ofstream out(json_path);
   if (!out) {
@@ -71,12 +129,20 @@ int run(int argc, const char* const* argv) {
       << "  \"algorithm\": \"" << core::to_string(algorithm) << "\",\n"
       << "  \"warmup_steps\": " << warmup_steps << ",\n"
       << "  \"timed_steps\": " << timed_steps << ",\n"
-      << "  \"seconds\": " << seconds << ",\n"
-      << "  \"steps_per_sec\": " << steps_per_sec << ",\n"
+      << "  \"seconds\": " << main.seconds << ",\n"
+      << "  \"steps_per_sec\": " << main.steps_per_sec << ",\n"
       << "  \"parallel_devices\": " << (serial ? "false" : "true") << ",\n"
+      << "  \"pool_threads\": " << main.pool_threads << ",\n"
       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
-      << "\n"
-      << "}\n";
+      << ",\n"
+      << "  \"thread_sweep\": [";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n")
+        << "    {\"threads\": " << sweep[i].pool_threads
+        << ", \"seconds\": " << sweep[i].seconds
+        << ", \"steps_per_sec\": " << sweep[i].steps_per_sec << "}";
+  }
+  out << (sweep.empty() ? "]\n" : "\n  ]\n") << "}\n";
   std::cerr << "   wrote " << json_path << "\n";
   return 0;
 }

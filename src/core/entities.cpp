@@ -28,6 +28,17 @@ Device::Device(std::size_t id, data::DataView data,
   }
 }
 
+void Device::adopt(Snapshot snapshot) {
+  if (snapshot == nullptr) {
+    throw std::invalid_argument("Device::adopt: null snapshot");
+  }
+  if (snapshot->size() != model_->param_count()) {
+    throw std::invalid_argument("Device::adopt: size mismatch");
+  }
+  shared_ = std::move(snapshot);
+  params_version_ = shared_->version();
+}
+
 DeviceTrainStats Device::train(std::size_t local_steps,
                                std::size_t batch_size, double learning_rate,
                                bool reset_optimizer,
@@ -42,6 +53,9 @@ DeviceTrainStats Device::train(std::size_t local_steps,
   }
   if (reset_optimizer) optimizer_->reset();
   optimizer_->set_learning_rate(learning_rate);
+  // Copy-on-write: local SGD is the first write after an adopted download,
+  // so the private model buffer materializes here.
+  materialize();
 
   // FedProx anchor: the round's starting parameters.
   std::vector<float> anchor;
@@ -96,23 +110,53 @@ DeviceTrainStats Device::train(std::size_t local_steps,
   // Oort: U_stat = |B| * sqrt( (1/|B|) sum loss^2 ), with |B| = d_m.
   stat_utility_ = static_cast<double>(data_size()) *
                   std::sqrt(std::max(0.0, stats.mean_sq_loss));
-  ++params_version_;  // local SGD moved w_m: cached selection scores stale
+  // Local SGD moved w_m: cached selection scores are stale.
+  params_version_ = SnapshotStore::global().next_version();
   return stats;
 }
 
+Edge::Edge(std::size_t id, std::size_t param_count) : id_(id) {
+  const std::vector<float> zeros(param_count, 0.0f);
+  snapshot_ = SnapshotStore::global().publish(zeros);
+}
+
 void Edge::set_params(std::span<const float> params) {
-  if (params.size() != params_.size()) {
+  if (params.size() != snapshot_->size()) {
     throw std::invalid_argument("Edge::set_params: size mismatch");
   }
-  std::copy(params.begin(), params.end(), params_.begin());
+  snapshot_ = SnapshotStore::global().publish(params);
+}
+
+void Edge::adopt(Snapshot snapshot) {
+  if (snapshot == nullptr) {
+    throw std::invalid_argument("Edge::adopt: null snapshot");
+  }
+  if (snapshot->size() != snapshot_->size()) {
+    throw std::invalid_argument("Edge::adopt: size mismatch");
+  }
+  snapshot_ = std::move(snapshot);
+}
+
+Cloud::Cloud(std::size_t param_count) {
+  const std::vector<float> zeros(param_count, 0.0f);
+  snapshot_ = SnapshotStore::global().publish(zeros);
 }
 
 void Cloud::set_params(std::span<const float> params) {
-  if (params.size() != params_.size()) {
+  if (params.size() != snapshot_->size()) {
     throw std::invalid_argument("Cloud::set_params: size mismatch");
   }
-  std::copy(params.begin(), params.end(), params_.begin());
-  ++params_version_;
+  snapshot_ = SnapshotStore::global().publish(params);
+}
+
+void Cloud::adopt(Snapshot snapshot) {
+  if (snapshot == nullptr) {
+    throw std::invalid_argument("Cloud::adopt: null snapshot");
+  }
+  if (snapshot->size() != snapshot_->size()) {
+    throw std::invalid_argument("Cloud::adopt: size mismatch");
+  }
+  snapshot_ = std::move(snapshot);
 }
 
 }  // namespace middlefl::core

@@ -6,6 +6,13 @@
 // holders with FedAvg aggregation (Eq. 6/7). Device training is the
 // simulator's unit of parallelism — all state touched by train() is private
 // to the device.
+//
+// Parameters are held copy-on-write through core::Snapshot: adopt() shares
+// an immutable published block (a broadcast or an edge download is a
+// refcount bump), and the private model buffer materializes only when the
+// device first writes — set_params (a blend) or train (local SGD). Version
+// stamps come from the process-global SnapshotStore, so an unchanged
+// version still guarantees unchanged content for the SimilarityCache.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +21,7 @@
 #include <span>
 #include <vector>
 
+#include "core/snapshot.hpp"
 #include "data/dataset.hpp"
 #include "nn/sequential.hpp"
 #include "optim/optimizer.hpp"
@@ -44,15 +52,28 @@ class Device {
   std::size_t data_size() const noexcept { return data_.size(); }
   const data::DataView& data() const noexcept { return data_; }
 
-  std::span<const float> params() const { return model_->parameters(); }
+  /// The current local model w_m: the shared snapshot when one is adopted,
+  /// the private model buffer otherwise.
+  std::span<const float> params() const {
+    return shared_ ? shared_->span()
+                   : std::span<const float>(model_->parameters());
+  }
+  /// Installs a private copy of `params` (the copy-on-write write path).
   void set_params(std::span<const float> params) {
     model_->set_parameters(params);
-    ++params_version_;
+    shared_.reset();
+    params_version_ = SnapshotStore::global().next_version();
   }
+  /// Shares `snapshot` without copying; the device's version becomes the
+  /// snapshot's. The private buffer is left stale until the next write.
+  void adopt(Snapshot snapshot);
+  /// True while the device reads a shared snapshot (no private copy yet).
+  bool shares_snapshot() const noexcept { return shared_ != nullptr; }
 
-  /// Monotonic counter bumped on every parameter mutation (set_params and
-  /// train). The SimilarityCache keys on it: an unchanged version
-  /// guarantees an unchanged selection score.
+  /// Version stamp of the current parameters, changed on every mutation
+  /// (set_params, adopt of a different snapshot, train). The
+  /// SimilarityCache keys on it: an unchanged version guarantees an
+  /// unchanged selection score.
   std::uint64_t params_version() const noexcept { return params_version_; }
 
   /// Runs `local_steps` SGD iterations (Eq. 5) from the current parameters
@@ -84,27 +105,45 @@ class Device {
     last_trained_step_.reset();
   }
 
-  nn::Sequential& model() noexcept { return *model_; }
+  /// The private model, with any shared snapshot materialized into it
+  /// first so its parameters are current.
+  nn::Sequential& model() {
+    materialize();
+    return *model_;
+  }
 
  private:
+  /// Copies an adopted snapshot into the private buffer and drops the
+  /// share. Content (and version) are unchanged.
+  void materialize() {
+    if (shared_) {
+      model_->set_parameters(shared_->span());
+      shared_.reset();
+    }
+  }
+
   std::size_t id_;
   data::DataView data_;
   std::unique_ptr<nn::Sequential> model_;
   std::unique_ptr<optim::Optimizer> optimizer_;
   std::optional<double> stat_utility_;
   std::optional<std::size_t> last_trained_step_;
+  Snapshot shared_;
   std::uint64_t params_version_ = 0;
 };
 
 class Edge {
  public:
-  Edge(std::size_t id, std::size_t param_count)
-      : id_(id), params_(param_count, 0.0f) {}
+  Edge(std::size_t id, std::size_t param_count);
 
   std::size_t id() const noexcept { return id_; }
-  std::span<const float> params() const noexcept { return params_; }
-  std::span<float> mutable_params() noexcept { return params_; }
+  std::span<const float> params() const noexcept { return snapshot_->span(); }
+  /// Publishes an immutable copy of `params` as this edge's model.
   void set_params(std::span<const float> params);
+  /// Shares an already-published block (e.g. the cloud's broadcast).
+  void adopt(Snapshot snapshot);
+  /// The current model as a shareable snapshot (O(1)).
+  const Snapshot& snapshot() const noexcept { return snapshot_; }
 
   /// Accumulates participating-sample weight toward d_hat_n (Eq. 7).
   void add_participation(double weight) noexcept {
@@ -117,27 +156,31 @@ class Edge {
 
  private:
   std::size_t id_;
-  std::vector<float> params_;
+  Snapshot snapshot_;
   double participation_weight_ = 0.0;
 };
 
 class Cloud {
  public:
-  explicit Cloud(std::size_t param_count) : params_(param_count, 0.0f) {}
+  explicit Cloud(std::size_t param_count);
 
-  std::span<const float> params() const noexcept { return params_; }
-  std::span<float> mutable_params() noexcept { return params_; }
+  std::span<const float> params() const noexcept { return snapshot_->span(); }
+  /// Publishes an immutable copy of `params` as the global model.
   void set_params(std::span<const float> params);
+  /// Installs an already-published block as the global model.
+  void adopt(Snapshot snapshot);
+  /// The global model as a shareable snapshot: the broadcast after a cloud
+  /// sync hands this one block to every edge and device.
+  const Snapshot& snapshot() const noexcept { return snapshot_; }
 
-  /// Monotonic counter for the SimilarityCache. set_params bumps it;
-  /// callers that write through mutable_params() must call bump_version()
-  /// afterwards.
-  std::uint64_t params_version() const noexcept { return params_version_; }
-  void bump_version() noexcept { ++params_version_; }
+  /// Version stamp of the current global model for the SimilarityCache;
+  /// changes exactly when the parameters do (a new block is installed).
+  std::uint64_t params_version() const noexcept {
+    return snapshot_->version();
+  }
 
  private:
-  std::vector<float> params_;
-  std::uint64_t params_version_ = 0;
+  Snapshot snapshot_;
 };
 
 }  // namespace middlefl::core

@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "data/sampler.hpp"
+#include "parallel/parallel_for.hpp"
 #include "util/csv.hpp"
 #include "nn/loss.hpp"
 
@@ -30,6 +31,12 @@ Evaluator::Evaluator(std::unique_ptr<nn::Sequential> model,
 
 EvalResult Evaluator::evaluate_view(std::span<const float> params,
                                     const data::DataView& view) {
+  const std::size_t num_batches =
+      (view.size() + batch_size_ - 1) / batch_size_;
+  if (pool_ != nullptr && pool_->size() > 1 && num_batches >= 2 &&
+      !parallel::ThreadPool::in_worker()) {
+    return evaluate_view_sharded(params, view, num_batches);
+  }
   model_->set_parameters(params);
   EvalResult result;
   result.samples = view.size();
@@ -42,6 +49,68 @@ EvalResult Evaluator::evaluate_view(std::span<const float> params,
     loss_acc += static_cast<double>(nn::cross_entropy_value(logits, labels)) *
                 static_cast<double>(labels.size());
     correct += nn::count_correct(logits, labels);
+  }
+  result.loss = loss_acc / static_cast<double>(view.size());
+  result.accuracy =
+      static_cast<double>(correct) / static_cast<double>(view.size());
+  return result;
+}
+
+std::unique_ptr<nn::Sequential> Evaluator::acquire_worker_model() {
+  {
+    std::lock_guard lock(spares_mutex_);
+    if (!spares_.empty()) {
+      auto model = std::move(spares_.back());
+      spares_.pop_back();
+      return model;
+    }
+  }
+  return model_->clone();  // clone() copies the architecture; cheap vs a batch
+}
+
+void Evaluator::release_worker_model(std::unique_ptr<nn::Sequential> model) {
+  std::lock_guard lock(spares_mutex_);
+  spares_.push_back(std::move(model));
+}
+
+EvalResult Evaluator::evaluate_view_sharded(std::span<const float> params,
+                                            const data::DataView& view,
+                                            std::size_t num_batches) {
+  // Fixed-size batch shards, one stat slot per batch. Each slot holds the
+  // exact terms the serial loop would add for that batch, and the reduction
+  // below walks the slots in batch order — so the summed loss is the same
+  // sequence of double additions as the serial sweep, i.e. bitwise equal.
+  struct BatchStats {
+    double loss_term = 0.0;
+    std::size_t correct = 0;
+  };
+  std::vector<BatchStats> stats(num_batches);
+  parallel::parallel_for(
+      *pool_, 0, num_batches,
+      [&](std::size_t b) {
+        const std::size_t start = b * batch_size_;
+        const std::size_t end = std::min(view.size(), start + batch_size_);
+        std::vector<std::size_t> positions(end - start);
+        for (std::size_t i = start; i < end; ++i) positions[i - start] = i;
+        const auto features = view.gather(positions);
+        const auto labels = view.gather_labels(positions);
+        auto model = acquire_worker_model();
+        model->set_parameters(params);
+        const nn::Tensor& logits = model->forward(features, false);
+        stats[b].loss_term =
+            static_cast<double>(nn::cross_entropy_value(logits, labels)) *
+            static_cast<double>(labels.size());
+        stats[b].correct = nn::count_correct(logits, labels);
+        release_worker_model(std::move(model));
+      });
+
+  EvalResult result;
+  result.samples = view.size();
+  double loss_acc = 0.0;
+  std::size_t correct = 0;
+  for (const BatchStats& s : stats) {
+    loss_acc += s.loss_term;
+    correct += s.correct;
   }
   result.loss = loss_acc / static_cast<double>(view.size());
   result.accuracy =

@@ -3,6 +3,7 @@
 
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "data/dataset.hpp"
 #include "nn/sequential.hpp"
 #include "parallel/rng.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace middlefl::core {
 
@@ -22,12 +24,20 @@ struct EvalResult {
 /// Evaluates flat parameter vectors on a test set using one shared model
 /// instance (evaluation never mutates parameters of the entities under
 /// test). Not thread-safe; benches hold one Evaluator per thread if needed.
+/// With set_pool(), evaluate() shards the test batches across the pool —
+/// per-batch statistics are reduced in batch order, so the result stays
+/// bitwise identical to the serial sweep.
 class Evaluator {
  public:
   /// `model` provides the architecture; its current parameters are
   /// irrelevant (overwritten per call). The evaluator takes ownership.
   Evaluator(std::unique_ptr<nn::Sequential> model, data::DataView test_data,
             std::size_t batch_size = 256);
+
+  /// Shards evaluate() batches across `pool` (nullptr restores the serial
+  /// sweep). Worker models are lazily cloned from the architecture and
+  /// recycled across calls.
+  void set_pool(parallel::ThreadPool* pool) noexcept { pool_ = pool; }
 
   /// Overall accuracy/loss of `params`. When `max_samples` > 0 and smaller
   /// than the test set, evaluates on a fixed deterministic subsample (same
@@ -54,12 +64,24 @@ class Evaluator {
  private:
   EvalResult evaluate_view(std::span<const float> params,
                            const data::DataView& view);
+  EvalResult evaluate_view_sharded(std::span<const float> params,
+                                   const data::DataView& view,
+                                   std::size_t num_batches);
+
+  // Worker-model recycling for the sharded path: a worker pops a spare
+  // clone (or clones the architecture on a dry stack) and pushes it back
+  // when its batch is done, so steady-state evaluation allocates nothing.
+  std::unique_ptr<nn::Sequential> acquire_worker_model();
+  void release_worker_model(std::unique_ptr<nn::Sequential> model);
 
   std::unique_ptr<nn::Sequential> model_;
   data::DataView test_;
   data::DataView subsample_;  // lazily built deterministic subsample
   std::size_t subsample_size_ = 0;
   std::size_t batch_size_;
+  parallel::ThreadPool* pool_ = nullptr;
+  std::mutex spares_mutex_;
+  std::vector<std::unique_ptr<nn::Sequential>> spares_;
 };
 
 /// One evaluation point along a run.

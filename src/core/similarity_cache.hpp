@@ -10,11 +10,15 @@
 // by Device/Cloud on every mutation, so staleness is impossible by
 // construction and no explicit invalidation hooks are needed.
 //
-// Not thread-safe: lookups and stores happen on the selection thread (the
-// parallel scoring path computes misses concurrently into a scratch array
-// and commits them serially).
+// Concurrency: per-edge task chains run selection for different edges at
+// the same time, but a device belongs to exactly one edge per step, so all
+// entry reads/writes stay disjoint. The only shared mutation is the
+// hit/miss counters, which are relaxed atomics — totals at serial points
+// are scheduling-independent because integer addition commutes. resize()
+// and clear() are serial-only operations.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <optional>
@@ -38,10 +42,10 @@ class SimilarityCache {
     const Entry& entry = entries_[device_id];
     if (entry.valid && entry.device_version == device_version &&
         entry.cloud_version == cloud_version) {
-      ++hits_;
+      hits_.fetch_add(1, std::memory_order_relaxed);
       return entry.value;
     }
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return std::nullopt;
   }
 
@@ -58,8 +62,12 @@ class SimilarityCache {
   }
 
   // Hit/miss counters since construction (throughput introspection).
-  std::size_t hits() const noexcept { return hits_; }
-  std::size_t misses() const noexcept { return misses_; }
+  std::size_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  std::size_t misses() const noexcept {
+    return misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Entry {
@@ -69,8 +77,8 @@ class SimilarityCache {
     bool valid = false;
   };
   std::vector<Entry> entries_;
-  mutable std::size_t hits_ = 0;
-  mutable std::size_t misses_ = 0;
+  mutable std::atomic<std::size_t> hits_{0};
+  mutable std::atomic<std::size_t> misses_{0};
 };
 
 }  // namespace middlefl::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "core/aggregation.hpp"
 #include "parallel/parallel_for.hpp"
@@ -13,7 +14,9 @@ namespace {
 
 // Stream tags keep the per-purpose RNG streams disjoint. Loss draws only
 // happen on links with a nonzero loss policy, so tags added for the
-// transport layer never perturb default-policy runs.
+// transport layer never perturb default-policy runs. Streams are keyed on
+// (tag, entity, step) and every entity is processed by exactly one chain,
+// so draws are identical no matter how chains interleave.
 constexpr std::uint64_t kSelectTag = 0x5E1EC7;
 constexpr std::uint64_t kTrainTag = 0x7EA1;
 constexpr std::uint64_t kUploadTag = 0xFA11;     // wireless uplink loss
@@ -86,23 +89,28 @@ Simulation::Simulation(SimulationConfig cfg, const nn::ModelSpec& model_spec,
   cfg_.upload_failure_prob = cfg_.transport.wireless_up.loss_prob;
   cfg_.upload_compression = cfg_.transport.wireless_up.compression;
 
+  pool_ = cfg_.parallel_devices
+              ? (cfg_.pool != nullptr ? cfg_.pool
+                                      : &parallel::ThreadPool::global())
+              : nullptr;
+
   // Common initialization: one model drawn from the seed, copied everywhere
   // (cloud, edges, devices all start aligned, as in Algorithm 1's t = 0).
   auto init_model = nn::build_model(model_spec, cfg_.seed);
-  const std::size_t param_count = init_model->param_count();
+  param_count_ = init_model->param_count();
 
-  cloud_ = Cloud(param_count);
+  cloud_ = Cloud(param_count_);
   cloud_.set_params(init_model->parameters());
 
   const std::size_t num_edges = mobility_->num_edges();
   edges_.reserve(num_edges);
   for (std::size_t n = 0; n < num_edges; ++n) {
-    edges_.emplace_back(n, param_count);
-    edges_.back().set_params(init_model->parameters());
+    edges_.emplace_back(n, param_count_);
+    edges_.back().adopt(cloud_.snapshot());
   }
 
-  // One uplink delay-queue shard per edge: the parallel Upload stage
-  // enqueues from per-edge tasks without locks.
+  // One uplink delay-queue shard per edge: a chain enqueues into and
+  // drains only its own shard, without locks.
   transport_ = std::make_unique<transport::Transport>(cfg_.transport, num_edges);
   observers_.push_back(&comm_observer_);
 
@@ -138,6 +146,7 @@ Simulation::Simulation(SimulationConfig cfg, const nn::ModelSpec& model_spec,
 
   evaluator_ = std::make_unique<Evaluator>(
       init_model->clone(), data::DataView::all(test));
+  evaluator_->set_pool(pool_);
   history_.algorithm = algorithm_.name;
 }
 
@@ -153,8 +162,7 @@ void Simulation::notify_phase(StepPhase phase) {
 }
 
 void Simulation::notify_transfers(StepPhase phase, transport::LinkKind kind,
-                                  const transport::LinkStats& before) {
-  const transport::LinkStats delta = transport_->stats(kind) - before;
+                                  const transport::LinkStats& delta) {
   if (delta.transfers == 0) return;
   for (StepObserver* obs : observers_) {
     obs->on_transfers(phase, kind, delta, t_);
@@ -164,11 +172,17 @@ void Simulation::notify_transfers(StepPhase phase, transport::LinkKind kind,
 bool Simulation::step() {
   ++t_;
   begin_step();
-  stage_select();
-  stage_distribute();
-  stage_local_train();
-  stage_upload();
-  stage_edge_aggregate();
+
+  // One fused task per edge; the pool is joined exactly once. Chains have
+  // no cross-edge dependencies within a step — the sync points are the
+  // serial sections around this graph.
+  graph_.clear();
+  for (std::size_t n = 0; n < edges_.size(); ++n) {
+    graph_.add("edge-chain/" + std::to_string(n), [this, n] { edge_chain(n); });
+  }
+  graph_.run(pool_);
+
+  replay_step_events();
   const bool sync = (t_ % cfg_.cloud_interval) == 0;
   if (sync) stage_cloud_sync();
   for (StepObserver* obs : observers_) obs->on_step_end(t_, sync);
@@ -180,16 +194,15 @@ void Simulation::begin_step() {
   mobility_->advance();
   const auto& assignment = mobility_->assignment();
 
-  // Snapshot the edge models of this step (w^t_n); training initialization
-  // and FedMes' previous-edge lookup must not observe partial aggregation.
-  // Buffers are refilled in place: after the first step no allocation
-  // happens here.
+  // Snapshot the edge models of this step (w^t_n): an O(1) share of each
+  // edge's current immutable block. Chains publish NEW blocks at
+  // aggregation, so these stay stable for training initialization and
+  // FedMes' prev-edge lookup even while other chains aggregate.
   if (edge_snapshot_.size() != edges_.size()) {
     edge_snapshot_.resize(edges_.size());
   }
   for (std::size_t n = 0; n < edges_.size(); ++n) {
-    edge_snapshot_[n].assign(edges_[n].params().begin(),
-                             edges_[n].params().end());
+    edge_snapshot_[n] = edges_[n].snapshot();
   }
 
   // Group connected devices per edge (the candidate sets M_t_n).
@@ -199,92 +212,85 @@ void Simulation::begin_step() {
     members_[assignment[m]].push_back(m);
   }
 
-  for (StepObserver* obs : observers_) obs->on_step_begin(t_);
-}
-
-void Simulation::stage_select() {
-  // In-edge device selection (Algorithm 1, line 2). The context lets
-  // similarity strategies reuse cached Eq. 11 scores and fan large miss
-  // batches out over the pool; it never changes the selected set.
-  parallel::ThreadPool* pool =
-      cfg_.parallel_devices ? &parallel::ThreadPool::global() : nullptr;
-  const SelectionContext context{
-      .cloud_version = cloud_.params_version(),
-      .cache = cfg_.use_similarity_cache ? &similarity_cache_ : nullptr,
-      .pool = pool,
-  };
   if (last_selection_.size() != edges_.size()) {
     last_selection_.resize(edges_.size());
   }
-  std::vector<Candidate> candidates;
-  for (std::size_t n = 0; n < edges_.size(); ++n) {
-    last_selection_[n].clear();
-    if (members_[n].empty()) continue;
-    candidates.clear();
-    candidates.reserve(members_[n].size());
-    for (std::size_t m : members_[n]) {
-      candidates.push_back(Candidate{
-          .device_id = m,
-          .data_size = static_cast<double>(devices_[m].data_size()),
-          .stat_utility = devices_[m].stat_utility(),
-          .local_params = devices_[m].params(),
-          .params_version = devices_[m].params_version(),
-      });
-    }
-    auto rng = streams_.stream(kSelectTag, n, t_);
-    last_selection_[n] = algorithm_.selection->select(
-        candidates, cloud_.params(), cfg_.select_per_edge, rng, context);
+  if (candidates_.size() != edges_.size()) candidates_.resize(edges_.size());
+  if (traces_.size() != edges_.size()) traces_.resize(edges_.size());
+  if (arrivals_.size() != edges_.size()) {
+    arrivals_.resize(edges_.size());
+    recon_arena_.resize(edges_.size());
+    stale_uploads_.resize(edges_.size());
   }
 
-  for (StepObserver* obs : observers_) obs->on_selection(t_, last_selection_);
-  notify_phase(StepPhase::kSelect);
+  for (StepObserver* obs : observers_) obs->on_step_begin(t_);
 }
 
-void Simulation::stage_distribute() {
-  const transport::LinkStats before_down =
-      transport_->wireless_down().stats();
-  const transport::LinkStats before_carry = transport_->carry().stats();
+void Simulation::edge_chain(std::size_t n) {
+  EdgeTrace& trace = traces_[n];
+  trace.down = transport::LinkStats{};
+  trace.carry = transport::LinkStats{};
+  trace.up = transport::LinkStats{};
+  trace.stragglers = 0;
+  trace.lost_downloads = 0;
+  trace.blend_weights.clear();
 
-  // Flatten every edge's selection into one task list so the pool sees all
-  // the step's work at once instead of K-sized bursts per edge. Each device
-  // is connected to exactly one edge, so tasks touch disjoint devices.
-  train_tasks_.clear();
-  for (std::size_t n = 0; n < edges_.size(); ++n) {
-    for (std::size_t m : last_selection_[n]) {
-      train_tasks_.push_back(TrainTask{n, m});
-    }
+  select_edge(n);
+  distribute_edge(n, trace);
+  train_edge(n);
+  upload_edge(n, trace);
+  aggregate_edge(n);
+}
+
+void Simulation::select_edge(std::size_t n) {
+  // In-edge device selection (Algorithm 1, line 2). The context lets
+  // similarity strategies reuse cached Eq. 11 scores; it never changes the
+  // selected set. Cache entries are per device and a device connects to
+  // exactly one edge, so concurrent chains touch disjoint entries.
+  const SelectionContext context{
+      .cloud_version = cloud_.params_version(),
+      .cache = cfg_.use_similarity_cache ? &similarity_cache_ : nullptr,
+      .pool = pool_,
+  };
+  last_selection_[n].clear();
+  if (members_[n].empty()) return;
+  auto& candidates = candidates_[n];
+  candidates.clear();
+  candidates.reserve(members_[n].size());
+  for (std::size_t m : members_[n]) {
+    candidates.push_back(Candidate{
+        .device_id = m,
+        .data_size = static_cast<double>(devices_[m].data_size()),
+        .stat_utility = devices_[m].stat_utility(),
+        .local_params = devices_[m].params(),
+        .params_version = devices_[m].params_version(),
+    });
   }
-  if (train_tasks_.empty()) {
-    notify_phase(StepPhase::kDistribute);
-    return;
-  }
+  auto rng = streams_.stream(kSelectTag, n, t_);
+  last_selection_[n] = algorithm_.selection->select(
+      candidates, cloud_.params(), cfg_.select_per_edge, rng, context);
+}
 
-  // Per-task result slots: each task writes only its own entry, and the
-  // stage reduces them serially in task order below — bitwise deterministic
-  // with any thread count (this replaced a mutex-guarded running sum whose
-  // accumulation order depended on scheduling).
-  task_blend_weight_.assign(train_tasks_.size(), 0.0);
-  task_blended_.assign(train_tasks_.size(), 0);
-
+void Simulation::distribute_edge(std::size_t n, EdgeTrace& trace) {
   transport::Link& downlink = transport_->wireless_down();
   transport::Link& carry = transport_->carry();
   const bool down_lossy = downlink.policy().loss_prob > 0.0;
   const bool down_compressed =
       downlink.policy().compression.kind != CompressionKind::kNone;
+  const Snapshot& edge_block = edge_snapshot_[n];
+  const std::span<const float> edge_model = edge_block->span();
 
-  const auto distribute_one = [&](std::size_t idx) {
-    const TrainTask task = train_tasks_[idx];
-    const std::size_t m = task.device;
+  for (std::size_t m : last_selection_[n]) {
     Device& device = devices_[m];
     dropped_this_step_[m] = steps_budget_[m] == 0 ? 1 : 0;
     download_lost_[m] = 0;
-    const std::span<const float> edge_model = edge_snapshot_[task.edge];
-    const bool moved = prev_assignment_[m] != task.edge;
+    const bool moved = prev_assignment_[m] != n;
 
     parallel::Xoshiro256 rng;  // consulted only on a lossy downlink
     std::vector<std::vector<float>> local_arena;  // downlink reconstructions
     transport::SendContext ctx;
     ctx.step = t_;
+    ctx.tally = &trace.down;
     if (down_lossy) {
       rng = streams_.stream(kDownlinkTag, m, t_);
       ctx.rng = &rng;
@@ -300,16 +306,18 @@ void Simulation::stage_distribute() {
     const bool wants_prev =
         moved && algorithm_.on_move == OnDeviceRule::kPrevEdgeAverage;
     if (wants_prev) {
-      prev_dl = downlink.send(edge_snapshot_[prev_assignment_[m]], ctx);
+      prev_dl = downlink.send(edge_snapshot_[prev_assignment_[m]]->span(), ctx);
     }
     if (dropped_this_step_[m]) {
       // Straggler: cannot finish a single local step before the deadline.
-      return;
+      ++trace.stragglers;
+      continue;
     }
     if (!dl.delivered) {
       // Download lost in transit: the device sits the round out.
       download_lost_[m] = 1;
-      return;
+      ++trace.lost_downloads;
+      continue;
     }
 
     if (moved && algorithm_.on_move != OnDeviceRule::kDownloadEdge) {
@@ -321,8 +329,8 @@ void Simulation::stage_distribute() {
         if (!prev_dl.delivered) {
           // The extra FedMes download was lost: fall back to the plain
           // edge download (the rule has nothing to average with).
-          device.set_params(dl.payload);
-          return;
+          install_download(device, dl.payload, edge_block);
+          continue;
         }
         prev_edge = prev_dl.payload;
       }
@@ -332,6 +340,7 @@ void Simulation::stage_distribute() {
         // carry link (free — zero bytes — but counted).
         transport::SendContext carry_ctx;
         carry_ctx.step = t_;
+        carry_ctx.tally = &trace.carry;
         local = carry.send(local, carry_ctx).payload;
       }
       std::span<float> blended = tensor::Workspace::tls().floats(
@@ -340,49 +349,134 @@ void Simulation::stage_distribute() {
           apply_on_device_rule(algorithm_.on_move, dl.payload, local,
                                prev_edge, algorithm_.fixed_alpha, blended);
       device.set_params(blended);
-      task_blended_[idx] = 1;
-      task_blend_weight_[idx] = weight;
+      trace.blend_weights.push_back(weight);
     } else {
-      // Line 7: start from the downloaded edge model.
-      device.set_params(dl.payload);
+      // Line 7: start from the downloaded edge model — a shared adopt of
+      // the snapshot when the link passed it through losslessly.
+      install_download(device, dl.payload, edge_block);
     }
-  };
-
-  if (cfg_.parallel_devices && train_tasks_.size() > 1) {
-    parallel::parallel_for(0, train_tasks_.size(), distribute_one);
-  } else {
-    for (std::size_t i = 0; i < train_tasks_.size(); ++i) distribute_one(i);
   }
+}
 
-  // Serial reduction in fixed task order.
+void Simulation::install_download(Device& device,
+                                  std::span<const float> payload,
+                                  const Snapshot& source) {
+  if (!payload.empty() && payload.data() == source->span().data()) {
+    device.adopt(source);
+  } else {
+    device.set_params(payload);
+  }
+}
+
+void Simulation::train_edge(std::size_t n) {
+  for (std::size_t m : last_selection_[n]) {
+    if (dropped_this_step_[m] || download_lost_[m]) continue;
+    Device& device = devices_[m];
+    auto rng = streams_.stream(kTrainTag, m, t_);
+    device.train(steps_budget_[m], cfg_.batch_size, cfg_.lr_schedule(t_),
+                 cfg_.reset_optimizer_each_round, rng, cfg_.prox_mu,
+                 cfg_.clip_norm);
+    device.mark_trained(t_);
+  }
+}
+
+void Simulation::upload_edge(std::size_t n, EdgeTrace& trace) {
+  transport::Link& uplink = transport_->wireless_up();
+  const bool lossy = uplink.policy().loss_prob > 0.0;
+  const bool compressed =
+      uplink.policy().compression.kind != CompressionKind::kNone;
+  const bool delayed = uplink.policy().latency_steps > 0;
+
+  arrivals_[n].clear();
+  recon_arena_[n].clear();
+  stale_uploads_[n].clear();
+  if (delayed) {
+    // Uploads sent latency_steps ago arrive now and join this edge's
+    // aggregation, oldest first.
+    stale_uploads_[n] = uplink.drain(t_, n);
+    for (const transport::Arrival& a : stale_uploads_[n]) {
+      arrivals_[n].push_back(UploadArrival{a.payload, a.weight});
+    }
+  }
+  for (std::size_t m : last_selection_[n]) {
+    if (dropped_this_step_[m] || download_lost_[m]) continue;
+    const auto weight = static_cast<double>(devices_[m].data_size());
+    parallel::Xoshiro256 rng;
+    transport::SendContext ctx;
+    ctx.step = t_;
+    ctx.shard = n;
+    ctx.weight = weight;
+    ctx.tally = &trace.up;
+    // The edge receives a lossy reconstruction of the device's update
+    // against this step's edge model.
+    ctx.reference = edge_snapshot_[n]->span();
+    if (lossy) {
+      rng = streams_.stream(kUploadTag, m, t_);
+      ctx.rng = &rng;
+    }
+    if (compressed) ctx.arena = &recon_arena_[n];
+    const transport::Delivery up = uplink.send(devices_[m].params(), ctx);
+    if (up.delivered) {
+      arrivals_[n].push_back(UploadArrival{up.payload, weight});
+    }
+    // Lost uploads vanish (the device keeps its local update); queued
+    // uploads surface through drain() in a later step.
+  }
+}
+
+void Simulation::aggregate_edge(std::size_t n) {
+  if (arrivals_[n].empty()) return;  // idle edge (or every upload lost /
+                                     // still in flight) keeps its model
+  std::vector<WeightedModel> models;
+  models.reserve(arrivals_[n].size());
+  double participating = 0.0;
+  for (const UploadArrival& arrival : arrivals_[n]) {
+    models.push_back(WeightedModel{arrival.payload, arrival.weight});
+    participating += arrival.weight;
+  }
+  // Aggregate into a fresh block, never over the live one: the previous
+  // block may be shared (it IS this step's snapshot, and possibly the
+  // cloud broadcast), so in-place writes would corrupt concurrent readers.
+  std::vector<float> fresh = SnapshotStore::global().borrow(param_count_);
+  weighted_average(models, std::span<float>(fresh));
+  edges_[n].adopt(SnapshotStore::global().seal(std::move(fresh)));
+  edges_[n].add_participation(participating);
+}
+
+void Simulation::replay_step_events() {
+  // Merge the per-chain traces in canonical edge order — the same order
+  // the barriered pipeline reduced its flat task list in. Counter merges
+  // commute; the blend-weight sum is floating point and is replayed term
+  // by term in (edge, selection) order, keeping mean_blend_weight()
+  // bitwise stable at any thread count.
+  transport::LinkStats down{};
+  transport::LinkStats carry{};
+  transport::LinkStats up{};
   std::size_t stragglers = 0;
   std::size_t lost = 0;
   std::size_t new_blends = 0;
   double event_weight = 0.0;
-  for (std::size_t idx = 0; idx < train_tasks_.size(); ++idx) {
-    if (dropped_this_step_[train_tasks_[idx].device]) {
-      ++stragglers;
-      continue;
-    }
-    if (download_lost_[train_tasks_[idx].device]) {
-      ++lost;
-      continue;
-    }
-    if (task_blended_[idx]) {
+  for (const EdgeTrace& trace : traces_) {
+    down += trace.down;
+    carry += trace.carry;
+    up += trace.up;
+    stragglers += trace.stragglers;
+    lost += trace.lost_downloads;
+    for (const double weight : trace.blend_weights) {
       ++blends_;
-      // Accumulate term by term, exactly as the running counter always
-      // did, so mean_blend_weight() stays bitwise stable.
-      blend_weight_sum_ += task_blend_weight_[idx];
+      blend_weight_sum_ += weight;
       ++new_blends;
-      event_weight += task_blend_weight_[idx];
+      event_weight += weight;
     }
   }
   straggler_drops_ += stragglers;
 
+  for (StepObserver* obs : observers_) obs->on_selection(t_, last_selection_);
+  notify_phase(StepPhase::kSelect);
+
   notify_transfers(StepPhase::kDistribute, transport::LinkKind::kWirelessDown,
-                   before_down);
-  notify_transfers(StepPhase::kDistribute, transport::LinkKind::kCarry,
-                   before_carry);
+                   down);
+  notify_transfers(StepPhase::kDistribute, transport::LinkKind::kCarry, carry);
   if (stragglers > 0 || lost > 0) {
     for (StepObserver* obs : observers_) obs->on_dropouts(t_, stragglers, lost);
   }
@@ -392,117 +486,10 @@ void Simulation::stage_distribute() {
     }
   }
   notify_phase(StepPhase::kDistribute);
-}
-
-void Simulation::stage_local_train() {
-  const auto train_one = [&](std::size_t idx) {
-    const TrainTask task = train_tasks_[idx];
-    const std::size_t m = task.device;
-    if (dropped_this_step_[m] || download_lost_[m]) return;
-    Device& device = devices_[m];
-    auto rng = streams_.stream(kTrainTag, m, t_);
-    device.train(steps_budget_[m], cfg_.batch_size, cfg_.lr_schedule(t_),
-                 cfg_.reset_optimizer_each_round, rng, cfg_.prox_mu,
-                 cfg_.clip_norm);
-    device.mark_trained(t_);
-  };
-
-  if (cfg_.parallel_devices && train_tasks_.size() > 1) {
-    parallel::parallel_for(0, train_tasks_.size(), train_one);
-  } else {
-    for (std::size_t i = 0; i < train_tasks_.size(); ++i) train_one(i);
-  }
   notify_phase(StepPhase::kLocalTrain);
-}
 
-void Simulation::stage_upload() {
-  const transport::LinkStats before = transport_->wireless_up().stats();
-  if (arrivals_.size() != edges_.size()) {
-    arrivals_.resize(edges_.size());
-    recon_arena_.resize(edges_.size());
-    stale_uploads_.resize(edges_.size());
-  }
-
-  transport::Link& uplink = transport_->wireless_up();
-  const bool lossy = uplink.policy().loss_prob > 0.0;
-  const bool compressed =
-      uplink.policy().compression.kind != CompressionKind::kNone;
-  const bool delayed = uplink.policy().latency_steps > 0;
-
-  // Edges process their uploads independently: each body writes only its
-  // own edge's arrival list and delay-queue shard; link counters are
-  // commutative atomics, so totals are scheduling-independent.
-  const auto upload_one = [&](std::size_t n) {
-    arrivals_[n].clear();
-    recon_arena_[n].clear();
-    stale_uploads_[n].clear();
-    if (delayed) {
-      // Uploads sent latency_steps ago arrive now and join this edge's
-      // aggregation, oldest first.
-      stale_uploads_[n] = uplink.drain(t_, n);
-      for (const transport::Arrival& a : stale_uploads_[n]) {
-        arrivals_[n].push_back(UploadArrival{a.payload, a.weight});
-      }
-    }
-    for (std::size_t m : last_selection_[n]) {
-      if (dropped_this_step_[m] || download_lost_[m]) continue;
-      const auto weight = static_cast<double>(devices_[m].data_size());
-      parallel::Xoshiro256 rng;
-      transport::SendContext ctx;
-      ctx.step = t_;
-      ctx.shard = n;
-      ctx.weight = weight;
-      // The edge receives a lossy reconstruction of the device's update
-      // against this step's edge model.
-      ctx.reference = edge_snapshot_[n];
-      if (lossy) {
-        rng = streams_.stream(kUploadTag, m, t_);
-        ctx.rng = &rng;
-      }
-      if (compressed) ctx.arena = &recon_arena_[n];
-      const transport::Delivery up = uplink.send(devices_[m].params(), ctx);
-      if (up.delivered) {
-        arrivals_[n].push_back(UploadArrival{up.payload, weight});
-      }
-      // Lost uploads vanish (the device keeps its local update); queued
-      // uploads surface through drain() in a later step.
-    }
-  };
-
-  if (cfg_.parallel_devices && edges_.size() > 1) {
-    parallel::parallel_for(0, edges_.size(), upload_one);
-  } else {
-    for (std::size_t n = 0; n < edges_.size(); ++n) upload_one(n);
-  }
-
-  notify_transfers(StepPhase::kUpload, transport::LinkKind::kWirelessUp,
-                   before);
+  notify_transfers(StepPhase::kUpload, transport::LinkKind::kWirelessUp, up);
   notify_phase(StepPhase::kUpload);
-}
-
-void Simulation::stage_edge_aggregate() {
-  // Edges aggregate independently: each body writes only its own edge's
-  // parameters. weighted_average sums every element in model order, so the
-  // parallel path is bitwise identical to the serial one.
-  const auto aggregate_one = [&](std::size_t n) {
-    if (arrivals_[n].empty()) return;  // idle edge (or every upload lost /
-                                       // still in flight) keeps its model
-    std::vector<WeightedModel> models;
-    models.reserve(arrivals_[n].size());
-    double participating = 0.0;
-    for (const UploadArrival& arrival : arrivals_[n]) {
-      models.push_back(WeightedModel{arrival.payload, arrival.weight});
-      participating += arrival.weight;
-    }
-    weighted_average(models, edges_[n].mutable_params());
-    edges_[n].add_participation(participating);
-  };
-
-  if (cfg_.parallel_devices && edges_.size() > 1) {
-    parallel::parallel_for(0, edges_.size(), aggregate_one);
-  } else {
-    for (std::size_t n = 0; n < edges_.size(); ++n) aggregate_one(n);
-  }
   notify_phase(StepPhase::kEdgeAggregate);
 }
 
@@ -511,8 +498,6 @@ void Simulation::stage_cloud_sync() {
   const transport::LinkStats before_down = transport_->wan_down().stats();
   const transport::LinkStats before_bcast = transport_->broadcast().stats();
 
-  parallel::ThreadPool* pool =
-      cfg_.parallel_devices ? &parallel::ThreadPool::global() : nullptr;
   transport::Link& wan_up = transport_->wan_up();
   transport::Link& wan_down = transport_->wan_down();
   transport::Link& broadcast = transport_->broadcast();
@@ -559,33 +544,43 @@ void Simulation::stage_cloud_sync() {
   }
 
   if (!models.empty()) {
+    // The aggregate lands in a fresh block: edge uploads alias the edges'
+    // live (shared) blocks, so the old global model must stay intact while
+    // the average reads them — and the old block may itself still be
+    // shared with edges and devices from the previous broadcast.
+    std::vector<float> fresh = SnapshotStore::global().borrow(param_count_);
+    const std::span<float> next(fresh);
     if (cfg_.server_momentum > 0.0) {
       // FedAvgM: treat the FedAvg aggregate as a pseudo-gradient step and
       // smooth it with momentum on the server.
       std::span<float> aggregate = tensor::Workspace::tls().floats(
-          tensor::WsSlot::kScratch, cloud_.params().size());
-      weighted_average(models, aggregate, pool);
+          tensor::WsSlot::kScratch, param_count_);
+      weighted_average(models, aggregate, pool_);
       if (server_velocity_.size() != aggregate.size()) {
         server_velocity_.assign(aggregate.size(), 0.0f);
       }
-      auto cloud = cloud_.mutable_params();
+      const auto cloud = cloud_.params();
       const auto m = static_cast<float>(cfg_.server_momentum);
       for (std::size_t i = 0; i < aggregate.size(); ++i) {
         server_velocity_[i] =
             m * server_velocity_[i] + (aggregate[i] - cloud[i]);
-        cloud[i] += server_velocity_[i];
+        next[i] = cloud[i] + server_velocity_[i];
       }
     } else {
-      weighted_average(models, cloud_.mutable_params(), pool);
+      weighted_average(models, next, pool_);
     }
-    // w_c moved through mutable_params: invalidate cached Eq. 11 scores.
-    cloud_.bump_version();
+    // One publish replaces the old global model; the fresh version
+    // invalidates cached Eq. 11 scores by construction.
+    cloud_.adopt(SnapshotStore::global().seal(std::move(fresh)));
   }
   const std::size_t contributing = models.size();
 
   // Push the global model back down: cloud -> edge over the WAN, then the
   // broadcast to every device. A lost push leaves the receiver on its old
-  // model until the next sync.
+  // model until the next sync. A lossless push is a shared adopt of the
+  // cloud's block — the num_edges + num_devices full copies of the
+  // barriered pipeline collapse into refcount bumps.
+  const Snapshot& global_block = cloud_.snapshot();
   const bool down_lossy = wan_down.policy().loss_prob > 0.0;
   const bool down_compressed =
       wan_down.policy().compression.kind != CompressionKind::kNone;
@@ -599,7 +594,13 @@ void Simulation::stage_cloud_sync() {
     }
     if (down_compressed) ctx.arena = &wan_arena_;
     const transport::Delivery down = wan_down.send(cloud_.params(), ctx);
-    if (down.delivered) edges_[n].set_params(down.payload);
+    if (down.delivered) {
+      if (down.payload.data() == global_block->span().data()) {
+        edges_[n].adopt(global_block);
+      } else {
+        edges_[n].set_params(down.payload);
+      }
+    }
     edges_[n].reset_participation();
   }
   if (cfg_.broadcast_to_devices) {
@@ -616,24 +617,34 @@ void Simulation::stage_cloud_sync() {
       }
       if (bcast_compressed) ctx.arena = &wan_arena_;
       const transport::Delivery push = broadcast.send(cloud_.params(), ctx);
-      if (push.delivered) devices_[m].set_params(push.payload);
+      if (push.delivered) {
+        install_download(devices_[m], push.payload, global_block);
+      }
     }
   }
 
   notify_transfers(StepPhase::kCloudSync, transport::LinkKind::kWanUp,
-                   before_up);
-  notify_transfers(StepPhase::kCloudSync, transport::LinkKind::kWanDown,
-                   before_down);
-  notify_transfers(StepPhase::kCloudSync, transport::LinkKind::kBroadcast,
-                   before_bcast);
+                   transport_->stats(transport::LinkKind::kWanUp) - before_up);
+  notify_transfers(
+      StepPhase::kCloudSync, transport::LinkKind::kWanDown,
+      transport_->stats(transport::LinkKind::kWanDown) - before_down);
+  notify_transfers(
+      StepPhase::kCloudSync, transport::LinkKind::kBroadcast,
+      transport_->stats(transport::LinkKind::kBroadcast) - before_bcast);
   for (StepObserver* obs : observers_) obs->on_cloud_sync(t_, contributing);
   notify_phase(StepPhase::kCloudSync);
 }
 
 void Simulation::warm_start(std::span<const float> params) {
-  cloud_.set_params(params);
-  for (auto& edge : edges_) edge.set_params(params);
-  for (auto& device : devices_) device.set_params(params);
+  if (params.size() != param_count_) {
+    throw std::invalid_argument("Simulation::warm_start: size mismatch");
+  }
+  // One published block shared by every tier, exactly like a lossless
+  // broadcast — but out of band: no link is charged.
+  const Snapshot snapshot = SnapshotStore::global().publish(params);
+  cloud_.adopt(snapshot);
+  for (auto& edge : edges_) edge.adopt(snapshot);
+  for (auto& device : devices_) device.adopt(snapshot);
 }
 
 double Simulation::current_edge_skew() const {
@@ -662,7 +673,7 @@ const EvalPoint& Simulation::evaluate_now() {
   if (cfg_.track_per_class) {
     point.per_class_accuracy = evaluator_->per_class_accuracy(cloud_.params());
   }
-  if (cfg_.track_edge_accuracy) {
+  if (cfg_.track_edge_accuracy && cfg_.eval_edges) {
     point.edge_accuracy.reserve(edges_.size());
     for (const auto& edge : edges_) {
       point.edge_accuracy.push_back(

@@ -1,4 +1,4 @@
-// The MIDDLE training loop (paper Algorithm 1), as a staged step pipeline.
+// The MIDDLE training loop (paper Algorithm 1), scheduled per edge.
 //
 // Each time step advances through six named phases:
 //
@@ -13,25 +13,33 @@
 //                 participating-sample weights (Eq. 7) and broadcasts the
 //                 global model down to every edge and device
 //
-// Every inter-tier model transfer flows through a typed transport::Link
-// (wireless device<->edge, WAN edge<->cloud, the intra-device carry), each
-// carrying its own policy: loss probability, lossy compression, byte
-// accounting, and — on uplinks — a deterministic latency-in-steps delay
-// queue whose stale arrivals join a later aggregation. Registered
-// StepObservers receive phase/transfer/sync events at serial stage
-// boundaries; communication accounting is one such observer, not state
-// threaded through the training code.
+// The phases are embarrassingly parallel PER EDGE: a device is connected
+// to exactly one edge per step, cross-edge reads only touch the immutable
+// begin-of-step snapshots, and edges couple only at cloud rounds. So
+// instead of running six globally-barriered phase loops (4-5 pool joins a
+// step), step() builds a sched::TaskGraph with ONE fused
+// Select->Distribute->LocalTrain->Upload->EdgeAggregate chain per edge and
+// joins the pool once; the only serial sections are the true dependencies
+// — the mobility update and snapshotting at step begin, observer event
+// replay, and the cloud sync every T_c steps.
 //
-// Device training within a step is embarrassingly parallel: all selected
-// (edge, device) pairs across ALL edges form one flat task list that runs
-// on the thread pool in a single parallel_for, so a K-device edge never
-// serializes behind its neighbours. Upload processing and edge aggregation
-// fan out per edge the same way. All randomness is keyed on (seed, entity,
-// step), link counters are commutative atomics, and all other parallel
-// reductions commit serially in fixed task order, so results are
-// bit-identical regardless of thread count — and, under default link
-// policies, bit-identical to the pre-transport monolithic loop (pinned by
-// pipeline_test).
+// Parameters move as version-stamped copy-on-write snapshots
+// (core::Snapshot): Distribute hands devices the edge's published block (a
+// refcount bump, not a memcpy), a private copy materializes on the first
+// write (blend or SGD step), aggregates are sealed into fresh blocks
+// (never written over a possibly-shared buffer), and the broadcast after
+// CloudSync is one publish shared by every tier.
+//
+// Every inter-tier model transfer flows through a typed transport::Link
+// with its own policy (loss, compression, latency-in-steps delay queues,
+// byte accounting). Registered StepObservers see exactly the serial event
+// stream of the barriered pipeline: each chain records its traffic and
+// blend/dropout outcomes in a private trace, and step() replays the merged
+// events in canonical edge order at the serial point after the graph
+// joins. All randomness is keyed on (seed, entity, step), link counters
+// are commutative atomics, and every cross-chain reduction commits
+// serially in fixed edge order, so results are bit-identical regardless of
+// thread count (pinned by pipeline_test and determinism_test).
 #pragma once
 
 #include <functional>
@@ -44,6 +52,7 @@
 #include "core/entities.hpp"
 #include "core/metrics.hpp"
 #include "core/similarity_cache.hpp"
+#include "core/snapshot.hpp"
 #include "core/step_observer.hpp"
 #include "data/partition.hpp"
 #include "mobility/mobility_model.hpp"
@@ -51,6 +60,7 @@
 #include "optim/lr_schedule.hpp"
 #include "optim/optimizer.hpp"
 #include "parallel/thread_pool.hpp"
+#include "sched/task_graph.hpp"
 #include "transport/transport.hpp"
 
 namespace middlefl::core {
@@ -80,6 +90,12 @@ struct SimulationConfig {
   bool track_per_class = false;
   /// Record each edge model's test accuracy at eval points.
   bool track_edge_accuracy = false;
+  /// Master switch for the per-edge evaluation sweep: with it off,
+  /// evaluate_now() only evaluates the cloud model even when
+  /// track_edge_accuracy is set. Throughput benches turn it off — the
+  /// edge sweep multiplies eval cost by num_edges for a curve they never
+  /// consume.
+  bool eval_edges = true;
 
   /// Per-link transport policies (loss, compression, latency) for the
   /// whole hierarchy. Defaults are perfect links.
@@ -114,8 +130,13 @@ struct SimulationConfig {
   CompressionConfig upload_compression;
 
   std::uint64_t seed = 42;
-  /// Train selected devices on the global thread pool.
+  /// Run the per-edge task chains (and sharded evaluation) on the thread
+  /// pool. Results are bitwise identical either way.
   bool parallel_devices = true;
+  /// Pool for all intra-step parallelism; nullptr = the process-wide pool
+  /// (parallel::ThreadPool::global()). Lets tests and benches pin exact
+  /// worker counts without touching the shared pool.
+  parallel::ThreadPool* pool = nullptr;
   /// Reuse Eq. 11 selection scores across steps for (device, cloud)
   /// version pairs that have not changed. Pure acceleration: scores are
   /// bitwise identical with the cache on or off.
@@ -134,7 +155,8 @@ class Simulation {
              std::unique_ptr<mobility::MobilityModel> mobility,
              AlgorithmSpec algorithm);
 
-  /// Advances one time step (t starts at 1) through the staged pipeline.
+  /// Advances one time step (t starts at 1): per-edge task chains on the
+  /// pool, then event replay, then the serial cloud sync when due.
   /// Returns true if a cloud synchronization happened this step.
   bool step();
 
@@ -150,9 +172,9 @@ class Simulation {
 
   /// Warm start: installs `params` (e.g. a loaded checkpoint) as the global
   /// model on the cloud, every edge and every device, exactly like a cloud
-  /// synchronization broadcast. Size must equal the model's param count.
-  /// An out-of-band operator action, not network traffic: no link is
-  /// charged.
+  /// synchronization broadcast — one published snapshot shared by every
+  /// tier. Size must equal the model's param count. An out-of-band
+  /// operator action, not network traffic: no link is charged.
   void warm_start(std::span<const float> params);
 
   /// Registers an observer (non-owning; must outlive the simulation).
@@ -225,22 +247,45 @@ class Simulation {
   }
 
  private:
-  // The staged pipeline. Each stage reads the step-scratch state the
-  // previous stages produced; step() calls them in order and emits phase
-  // events at each boundary.
+  /// Everything a fused edge chain must not publish directly while other
+  /// chains run: its exact link traffic (mirrored by SendContext::tally),
+  /// dropout counts and ordered blend weights. step() replays the merged
+  /// events from these in canonical edge order at the serial point after
+  /// the graph joins, so observers see the barriered pipeline's stream.
+  struct EdgeTrace {
+    transport::LinkStats down;   // wireless downlink traffic of this chain
+    transport::LinkStats carry;  // carry-link traffic of this chain
+    transport::LinkStats up;     // wireless uplink traffic of this chain
+    std::size_t stragglers = 0;
+    std::size_t lost_downloads = 0;
+    /// Blend weights in selection order (the canonical reduction order).
+    std::vector<double> blend_weights;
+  };
+
+  // Serial step prologue: mobility advance, per-edge membership, immutable
+  // edge snapshots, on_step_begin.
   void begin_step();
-  void stage_select();
-  void stage_distribute();
-  void stage_local_train();
-  void stage_upload();
-  void stage_edge_aggregate();
+  // The fused per-edge task: Select -> Distribute -> LocalTrain -> Upload
+  // -> EdgeAggregate for edge n, touching only edge-n/device-owned state.
+  void edge_chain(std::size_t n);
+  void select_edge(std::size_t n);
+  void distribute_edge(std::size_t n, EdgeTrace& trace);
+  void train_edge(std::size_t n);
+  void upload_edge(std::size_t n, EdgeTrace& trace);
+  void aggregate_edge(std::size_t n);
+  // Serial replay of the chains' events in canonical order, plus the
+  // ordered blend/straggler reductions.
+  void replay_step_events();
   void stage_cloud_sync();
 
+  /// Adopts `source` when the delivered payload is a lossless pass-through
+  /// of its block (zero-copy sharing); installs a private copy otherwise.
+  void install_download(Device& device, std::span<const float> payload,
+                        const Snapshot& source);
+
   void notify_phase(StepPhase phase);
-  /// Emits on_transfers for the delta a stage put on `kind` since
-  /// `before`.
   void notify_transfers(StepPhase phase, transport::LinkKind kind,
-                        const transport::LinkStats& before);
+                        const transport::LinkStats& delta);
 
   SimulationConfig cfg_;
   AlgorithmSpec algorithm_;
@@ -251,32 +296,29 @@ class Simulation {
   std::unique_ptr<Evaluator> evaluator_;
   std::unique_ptr<transport::Transport> transport_;
   parallel::StreamRng streams_;
+  /// Resolved from cfg (parallel_devices / pool); nullptr = fully serial.
+  parallel::ThreadPool* pool_ = nullptr;
+  sched::TaskGraph graph_;
+  std::size_t param_count_ = 0;
   std::size_t t_ = 0;
   std::vector<std::vector<std::size_t>> last_selection_;
   std::vector<std::size_t> prev_assignment_;
-  // Edge snapshot taken at the start of the step so FedMes' prev-edge rule
-  // reads w^t even while new edge models are being formed. The outer vector
-  // and per-edge buffers are sized once and refilled in place each step.
-  std::vector<std::vector<float>> edge_snapshot_;
+  // Edge models of this step (w^t_n) as O(1) shared snapshots, taken at
+  // step begin so training initialization and FedMes' prev-edge lookup
+  // never observe partial aggregation — including across concurrently
+  // running chains, since a chain publishes a NEW block instead of
+  // mutating the snapshotted one.
+  std::vector<Snapshot> edge_snapshot_;
   SimilarityCache similarity_cache_;
-  // Step-scratch buffers, reused across steps to keep the hot loop
-  // allocation-free: per-edge candidate membership, the flattened
-  // (edge, device) training task list, and per-task result slots that the
-  // parallel loops write disjointly and the stage boundaries reduce
-  // serially in task order (the deterministic replacement for a
-  // mutex-guarded sum).
+  // Step-scratch state, all indexed per edge (each chain writes only its
+  // own slot) or per device (each device belongs to one chain), reused
+  // across steps to keep the hot loop allocation-light.
   std::vector<std::vector<std::size_t>> members_;
-  struct TrainTask {
-    std::size_t edge = 0;
-    std::size_t device = 0;
-  };
-  std::vector<TrainTask> train_tasks_;
-  std::vector<double> task_blend_weight_;
-  std::vector<std::uint8_t> task_blended_;
+  std::vector<std::vector<Candidate>> candidates_;
+  std::vector<EdgeTrace> traces_;
   // Per-edge upload arrivals feeding EdgeAggregate: payload views into
   // device params, per-edge reconstruction arenas (compressed uploads), or
-  // stale uplink arrivals drained from the delay queue. All per-edge, so
-  // the parallel Upload stage writes them without synchronization.
+  // stale uplink arrivals drained from the delay queue.
   struct UploadArrival {
     std::span<const float> payload;
     double weight = 0.0;
@@ -296,7 +338,7 @@ class Simulation {
   std::vector<float> server_velocity_;
   std::vector<std::size_t> steps_budget_;  // per-device local-step budget
   // One byte per device, NOT vector<bool>: flags are written concurrently
-  // from the parallel training loop and bit-packed writes would race.
+  // from the parallel chains and bit-packed writes would race.
   std::vector<std::uint8_t> dropped_this_step_;
   std::vector<std::uint8_t> download_lost_;
   std::size_t straggler_drops_ = 0;

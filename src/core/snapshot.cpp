@@ -1,0 +1,63 @@
+#include "core/snapshot.hpp"
+
+#include <algorithm>
+
+namespace middlefl::core {
+namespace detail {
+
+struct BufferPool {
+  std::mutex mutex;
+  std::vector<std::vector<float>> free;
+};
+
+void BlockRecycler::operator()(const ParamBlock* block) const noexcept {
+  if (block == nullptr) return;
+  // Salvage the buffer before destroying the block; capacity survives the
+  // round trip, so steady-state publishes stop allocating.
+  std::vector<float> buffer = std::move(const_cast<ParamBlock*>(block)->data_);
+  delete block;
+  if (pool != nullptr && buffer.capacity() > 0) {
+    std::lock_guard lock(pool->mutex);
+    pool->free.push_back(std::move(buffer));
+  }
+}
+
+}  // namespace detail
+
+SnapshotStore::SnapshotStore() : pool_(std::make_shared<detail::BufferPool>()) {}
+
+SnapshotStore& SnapshotStore::global() {
+  static SnapshotStore store;
+  return store;
+}
+
+std::vector<float> SnapshotStore::borrow(std::size_t size) {
+  std::vector<float> buffer;
+  {
+    std::lock_guard lock(pool_->mutex);
+    if (!pool_->free.empty()) {
+      buffer = std::move(pool_->free.back());
+      pool_->free.pop_back();
+    }
+  }
+  buffer.resize(size);
+  return buffer;
+}
+
+Snapshot SnapshotStore::seal(std::vector<float>&& data) {
+  auto* block = new ParamBlock(std::move(data), next_version());
+  return Snapshot(block, detail::BlockRecycler{pool_});
+}
+
+Snapshot SnapshotStore::publish(std::span<const float> data) {
+  std::vector<float> buffer = borrow(data.size());
+  std::copy(data.begin(), data.end(), buffer.begin());
+  return seal(std::move(buffer));
+}
+
+std::size_t SnapshotStore::pooled() const {
+  std::lock_guard lock(pool_->mutex);
+  return pool_->free.size();
+}
+
+}  // namespace middlefl::core

@@ -1,0 +1,101 @@
+// Version-stamped copy-on-write parameter snapshots.
+//
+// A ParamBlock is an immutable flat parameter vector stamped with a
+// process-unique version at publish time. Entities hold blocks through
+// Snapshot (shared_ptr<const ParamBlock>): handing a model to another tier
+// is a refcount bump, not a memcpy — the broadcast after a cloud sync is
+// one publish shared by the cloud, every edge and every device. A private
+// copy materializes only when a holder first writes (a blend or an SGD
+// step), which is the copy-on-write discipline Distribute relies on.
+//
+// Versions come from one process-global monotonic counter, so a version
+// uniquely identifies parameter *content*: the SimilarityCache keys on
+// (device version, cloud version) pairs and needs no invalidation hooks —
+// two equal versions guarantee bitwise-equal parameters, which is exactly
+// the property cached Eq. 11 scores require. Version values themselves are
+// never observable in results; only change/no-change is.
+//
+// The store recycles retired block buffers through a freelist so the
+// steady-state step loop publishes edge/cloud aggregates without heap
+// allocation. The recycling deleter owns the freelist via shared_ptr, so
+// blocks outliving the store (or the store outliving every block) are both
+// safe. All store operations are thread-safe: per-edge task chains publish
+// aggregates concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace middlefl::core {
+
+class ParamBlock;
+/// Shared immutable parameter snapshot.
+using Snapshot = std::shared_ptr<const ParamBlock>;
+
+namespace detail {
+struct BufferPool;
+/// Deleter returning a retired block's buffer to the store's freelist.
+struct BlockRecycler {
+  std::shared_ptr<BufferPool> pool;
+  void operator()(const ParamBlock* block) const noexcept;
+};
+}  // namespace detail
+
+class ParamBlock {
+ public:
+  std::span<const float> span() const noexcept { return data_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  /// Process-unique stamp assigned at publish time.
+  std::uint64_t version() const noexcept { return version_; }
+
+ private:
+  friend class SnapshotStore;
+  friend struct detail::BlockRecycler;
+  ParamBlock(std::vector<float> data, std::uint64_t version)
+      : data_(std::move(data)), version_(version) {}
+
+  std::vector<float> data_;
+  std::uint64_t version_;
+};
+
+class SnapshotStore {
+ public:
+  SnapshotStore();
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// The process-wide store every entity publishes through.
+  static SnapshotStore& global();
+
+  /// Next unique version stamp. Also used by Device for private (non-
+  /// shared) parameter mutations, so private and shared states draw from
+  /// one version space and never collide.
+  std::uint64_t next_version() noexcept {
+    return version_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Publishes an immutable copy of `data` with a fresh version.
+  Snapshot publish(std::span<const float> data);
+
+  /// A mutable scratch buffer of `size` floats (recycled when available,
+  /// contents unspecified). Fill it, then seal() it — the in-place
+  /// replacement for writing an aggregate into an entity's live buffer.
+  std::vector<float> borrow(std::size_t size);
+
+  /// Seals a buffer into an immutable published block with a fresh
+  /// version (no copy: the vector moves into the block).
+  Snapshot seal(std::vector<float>&& data);
+
+  /// Buffers currently waiting in the freelist (introspection for tests).
+  std::size_t pooled() const;
+
+ private:
+  std::shared_ptr<detail::BufferPool> pool_;
+  std::atomic<std::uint64_t> version_{0};
+};
+
+}  // namespace middlefl::core

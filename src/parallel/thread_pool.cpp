@@ -1,17 +1,42 @@
 #include "parallel/thread_pool.hpp"
 
+#include <atomic>
+#include <cstdlib>
+
 namespace middlefl::parallel {
 namespace {
 
 thread_local bool tls_in_worker = false;
 
+std::atomic<std::size_t> g_default_size{0};
+
+std::size_t env_thread_override() {
+  const char* raw = std::getenv("MIDDLEFL_THREADS");
+  if (raw == nullptr || *raw == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(raw, &end, 10);
+  if (end == raw || *end != '\0') return 0;  // not a number: ignore
+  return static_cast<std::size_t>(parsed);
+}
+
 }  // namespace
 
 bool ThreadPool::in_worker() noexcept { return tls_in_worker; }
 
+std::size_t ThreadPool::default_size() {
+  std::size_t n = g_default_size.load(std::memory_order_relaxed);
+  if (n == 0) n = env_thread_override();
+  if (n == 0) n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  return n;
+}
+
+void ThreadPool::set_default_size(std::size_t num_threads) noexcept {
+  g_default_size.store(num_threads, std::memory_order_relaxed);
+}
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
-    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    num_threads = default_size();
   }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {

@@ -45,10 +45,20 @@ class ThreadPool {
     return future;
   }
 
-  /// Process-wide default pool, sized to hardware concurrency; created on
-  /// first use. Bench binaries and the simulator share it so thread counts
-  /// stay bounded.
+  /// Process-wide default pool, sized to default_size(); created on first
+  /// use. Bench binaries and the simulator share it so thread counts stay
+  /// bounded.
   static ThreadPool& global();
+
+  /// Worker count global() will use: set_default_size() when called with a
+  /// nonzero value, else the MIDDLEFL_THREADS environment variable, else
+  /// hardware concurrency (always at least 1).
+  static std::size_t default_size();
+
+  /// Overrides default_size() (0 restores the env/hardware default). Must
+  /// be called before the first global() use to affect the shared pool —
+  /// CLI front ends apply their --threads flag here at startup.
+  static void set_default_size(std::size_t num_threads) noexcept;
 
   /// True when the calling thread is a pool worker. parallel_for uses this
   /// to run nested loops inline: a worker that blocked on sub-tasks queued

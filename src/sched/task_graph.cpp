@@ -1,0 +1,126 @@
+#include "sched/task_graph.hpp"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+
+namespace middlefl::sched {
+
+TaskGraph::TaskId TaskGraph::add(std::string label, std::function<void()> fn,
+                                 std::span<const TaskId> deps) {
+  if (fn == nullptr) {
+    throw std::invalid_argument("TaskGraph::add: null task function");
+  }
+  const TaskId id = tasks_.size();
+  for (const TaskId dep : deps) {
+    if (dep >= id) {
+      throw std::invalid_argument(
+          "TaskGraph::add('" + label +
+          "'): dependencies must reference earlier tasks");
+    }
+  }
+  Task task;
+  task.label = std::move(label);
+  task.fn = std::move(fn);
+  task.deps.assign(deps.begin(), deps.end());
+  tasks_.push_back(std::move(task));
+  for (const TaskId dep : tasks_.back().deps) {
+    tasks_[dep].dependents.push_back(id);
+  }
+  return id;
+}
+
+void TaskGraph::clear() {
+  tasks_.clear();
+}
+
+void TaskGraph::run(parallel::ThreadPool* pool) {
+  if (tasks_.empty()) return;
+  if (pool == nullptr || pool->size() <= 1 ||
+      parallel::ThreadPool::in_worker()) {
+    run_serial();
+  } else {
+    run_parallel(*pool);
+  }
+}
+
+void TaskGraph::run_serial() {
+  // Insertion order is a topological order (add() rejects forward deps).
+  std::exception_ptr first_error;
+  for (Task& task : tasks_) {
+    if (first_error) break;  // fail-fast: skip everything after a failure
+    try {
+      task.fn();
+    } catch (...) {
+      first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void TaskGraph::run_parallel(parallel::ThreadPool& pool) {
+  const std::size_t n = tasks_.size();
+
+  struct RunState {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::vector<std::size_t> pending;  // unmet dependency counts
+    std::size_t finished = 0;
+    std::exception_ptr first_error;
+  };
+  RunState state;
+  state.pending.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    state.pending[i] = tasks_[i].deps.size();
+  }
+
+  // Each execution decrements its dependents' pending counts and submits
+  // the ones that became ready; the caller waits for the whole graph.
+  // Ready tasks are collected under the lock but submitted outside it so a
+  // worker never blocks on the pool queue while holding the graph mutex.
+  std::function<void(std::size_t)> execute = [&](std::size_t id) {
+    bool failed;
+    {
+      std::lock_guard lock(state.mutex);
+      failed = state.first_error != nullptr;
+    }
+    if (!failed) {
+      try {
+        tasks_[id].fn();
+      } catch (...) {
+        std::lock_guard lock(state.mutex);
+        if (!state.first_error) state.first_error = std::current_exception();
+      }
+    }
+    std::vector<std::size_t> ready;
+    {
+      std::lock_guard lock(state.mutex);
+      ++state.finished;
+      for (const TaskId dep : tasks_[id].dependents) {
+        if (--state.pending[dep] == 0) ready.push_back(dep);
+      }
+      // Notify under the lock: once the caller sees finished == n it may
+      // destroy the state, so the last worker must not touch it after
+      // releasing the mutex.
+      if (state.finished == n) state.done_cv.notify_all();
+    }
+    for (const std::size_t next : ready) {
+      pool.submit([&execute, next] { execute(next); });
+    }
+  };
+
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (state.pending[i] == 0) roots.push_back(i);
+  }
+  for (const std::size_t root : roots) {
+    pool.submit([&execute, root] { execute(root); });
+  }
+
+  std::unique_lock lock(state.mutex);
+  state.done_cv.wait(lock, [&] { return state.finished == n; });
+  if (state.first_error) std::rethrow_exception(state.first_error);
+}
+
+}  // namespace middlefl::sched

@@ -1,0 +1,69 @@
+// Deterministic task-graph scheduler over the shared thread pool.
+//
+// A TaskGraph is a DAG of labelled tasks built once per use: add() returns
+// a TaskId, later tasks may depend on earlier ones (forward references are
+// rejected, which makes insertion order a topological order by
+// construction). run() executes every task exactly once with all
+// dependencies satisfied, fanning independent tasks out over the pool.
+//
+// Determinism contract: the scheduler decides only WHEN tasks run, never
+// what they compute — bodies must confine writes to task-private state
+// (the simulator gives each edge chain its own trace buffer) and any
+// cross-task reduction happens after run() returns, in task order. Under a
+// null/single-thread pool, or when called from inside a pool worker
+// (nested graphs would deadlock a blocked worker), run() degrades to
+// executing tasks serially in insertion order — the same order the
+// serial simulator uses, so parallel and serial runs are bitwise equal by
+// the same argument as parallel_for.
+//
+// Exceptions: the first exception thrown by any task is rethrown on the
+// calling thread after the graph quiesces; tasks not yet started when a
+// failure is recorded are skipped (fail-fast, nothing runs on a broken
+// premise).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace middlefl::sched {
+
+class TaskGraph {
+ public:
+  using TaskId = std::size_t;
+
+  /// Registers a task. Every id in `deps` must come from an earlier add()
+  /// on this graph (throws std::invalid_argument otherwise).
+  TaskId add(std::string label, std::function<void()> fn,
+             std::span<const TaskId> deps = {});
+
+  /// Runs the whole graph and blocks until every task finished or was
+  /// skipped after a failure. `pool` null (or size 1, or already inside a
+  /// worker) = serial insertion-order execution.
+  void run(parallel::ThreadPool* pool);
+
+  /// Drops all tasks so the graph can be rebuilt (buffers are reused).
+  void clear();
+
+  std::size_t size() const noexcept { return tasks_.size(); }
+  const std::string& label(TaskId id) const { return tasks_.at(id).label; }
+
+ private:
+  struct Task {
+    std::string label;
+    std::function<void()> fn;
+    std::vector<TaskId> deps;
+    std::vector<TaskId> dependents;
+  };
+
+  void run_serial();
+  void run_parallel(parallel::ThreadPool& pool);
+
+  std::vector<Task> tasks_;
+};
+
+}  // namespace middlefl::sched

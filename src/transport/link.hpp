@@ -130,6 +130,12 @@ struct SendContext {
   std::size_t shard = 0;
   /// Metadata carried with a queued payload (e.g. FedAvg weight).
   double weight = 0.0;
+  /// Optional caller-owned mirror: every bump send() applies to the link's
+  /// global counters is applied here too (plain fields, no atomics). Lets
+  /// a concurrent task chain account exactly the traffic it generated —
+  /// phase-boundary before/after snapshots of the shared counters stop
+  /// working once phases of different chains overlap in time.
+  LinkStats* tally = nullptr;
 };
 
 class Link {

@@ -10,6 +10,7 @@
 #include <functional>
 #include <vector>
 
+#include "parallel/thread_pool.hpp"
 #include "sim_fixture.hpp"
 
 namespace {
@@ -118,6 +119,53 @@ TEST(Determinism, UplinkLatencyParallelMatchesSerialBitwise) {
                           cfg.transport.wireless_up.latency_steps = 2;
                           cfg.transport.wan_up.latency_steps = 4;
                         });
+}
+
+TEST(Determinism, TaskGraphIdenticalAcrossPoolSizes) {
+  // The per-edge task-graph scheduler must produce the serial result at
+  // every worker count: chains of different edges interleave arbitrarily,
+  // but all cross-chain reductions replay in canonical edge order.
+  SimBundle bundle;
+  bundle.cfg.total_steps = 8;
+  bundle.cfg.cloud_interval = 4;
+  bundle.cfg.eval_every = 4;
+  bundle.cfg.upload_failure_prob = 0.1;
+  bundle.cfg.transport.wireless_down.loss_prob = 0.2;
+
+  bundle.cfg.parallel_devices = false;
+  auto serial = bundle.make(Algorithm::kMiddle);
+  const RunHistory reference = serial->run();
+
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    middlefl::parallel::ThreadPool pool(threads);
+    bundle.cfg.parallel_devices = true;
+    bundle.cfg.pool = &pool;
+    auto sim = bundle.make(Algorithm::kMiddle);
+    const RunHistory history = sim->run();
+
+    ASSERT_EQ(reference.points.size(), history.points.size())
+        << threads << " threads";
+    for (std::size_t i = 0; i < reference.points.size(); ++i) {
+      EXPECT_EQ(reference.points[i].accuracy, history.points[i].accuracy)
+          << threads << " threads, eval point " << i;
+      EXPECT_EQ(reference.points[i].loss, history.points[i].loss)
+          << threads << " threads, eval point " << i;
+    }
+    expect_spans_equal(serial->cloud_params(), sim->cloud_params(),
+                       "cloud params");
+    for (std::size_t n = 0; n < serial->num_edges(); ++n) {
+      expect_spans_equal(serial->edge_params(n), sim->edge_params(n),
+                         "edge params");
+    }
+    for (std::size_t m = 0; m < serial->num_devices(); ++m) {
+      expect_spans_equal(serial->device(m).params(), sim->device(m).params(),
+                         "device params");
+    }
+    EXPECT_EQ(serial->mean_blend_weight(), sim->mean_blend_weight())
+        << threads << " threads";
+    EXPECT_EQ(serial->lost_downloads(), sim->lost_downloads())
+        << threads << " threads";
+  }
 }
 
 TEST(Determinism, RepeatedRunsAreBitwiseIdentical) {

@@ -1,0 +1,148 @@
+// sched::TaskGraph semantics: execution completeness, dependency ordering,
+// the serial fallback, failure propagation and graph reuse — on pools of
+// several sizes, since the simulator runs the same graph at any worker
+// count and expects identical behavior.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "sched/task_graph.hpp"
+
+namespace {
+
+using middlefl::parallel::ThreadPool;
+using middlefl::sched::TaskGraph;
+
+TEST(TaskGraph, RunsEveryTaskOnce) {
+  for (const std::size_t threads : {0u, 1u, 4u}) {
+    TaskGraph graph;
+    std::vector<std::atomic<int>> runs(16);
+    for (auto& r : runs) r = 0;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      graph.add("t" + std::to_string(i), [&runs, i] { ++runs[i]; });
+    }
+    ThreadPool pool(threads == 0 ? 1 : threads);
+    graph.run(threads == 0 ? nullptr : &pool);
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      EXPECT_EQ(runs[i].load(), 1) << "task " << i << ", " << threads
+                                   << " threads";
+    }
+  }
+}
+
+TEST(TaskGraph, DependenciesRunFirst) {
+  // A diamond per lane: root -> {left, right} -> join. The join must
+  // observe both sides done, at every pool size.
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    TaskGraph graph;
+    std::atomic<int> root_done{0}, sides_done{0};
+    bool join_saw_all = false;
+    const auto root = graph.add("root", [&] { ++root_done; });
+    const TaskGraph::TaskId root_deps[] = {root};
+    const auto left = graph.add(
+        "left",
+        [&] {
+          EXPECT_EQ(root_done.load(), 1);
+          ++sides_done;
+        },
+        root_deps);
+    const auto right = graph.add(
+        "right",
+        [&] {
+          EXPECT_EQ(root_done.load(), 1);
+          ++sides_done;
+        },
+        root_deps);
+    const TaskGraph::TaskId join_deps[] = {left, right};
+    graph.add("join", [&] { join_saw_all = sides_done.load() == 2; },
+              join_deps);
+    graph.run(&pool);
+    EXPECT_TRUE(join_saw_all) << threads << " threads";
+  }
+}
+
+TEST(TaskGraph, SerialFallbackRunsInInsertionOrder) {
+  // Null pool: tasks must execute in insertion order on the calling
+  // thread (the order the barriered serial simulator used).
+  TaskGraph graph;
+  std::vector<int> order;
+  for (int i = 0; i < 6; ++i) {
+    graph.add("t" + std::to_string(i), [&order, i] { order.push_back(i); });
+  }
+  graph.run(nullptr);
+  ASSERT_EQ(order.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(TaskGraph, RejectsForwardDependencies) {
+  TaskGraph graph;
+  const auto first = graph.add("first", [] {});
+  const TaskGraph::TaskId bogus[] = {first + 5};
+  EXPECT_THROW(graph.add("second", [] {}, bogus), std::invalid_argument);
+  EXPECT_THROW(graph.add("self", [] {},
+                         std::vector<TaskGraph::TaskId>{graph.size()}),
+               std::invalid_argument);
+  EXPECT_THROW(graph.add("null", nullptr), std::invalid_argument);
+}
+
+TEST(TaskGraph, FirstExceptionPropagatesAndDependentsAreSkipped) {
+  for (const std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    TaskGraph graph;
+    std::atomic<int> after_runs{0};
+    const auto bad = graph.add("bad", [] {
+      throw std::runtime_error("task failed");
+    });
+    const TaskGraph::TaskId deps[] = {bad};
+    graph.add("dependent", [&] { ++after_runs; }, deps);
+    EXPECT_THROW(graph.run(&pool), std::runtime_error);
+    // The dependent still "finishes" (the graph quiesces) but fail-fast
+    // skips its body.
+    EXPECT_EQ(after_runs.load(), 0) << threads << " threads";
+  }
+}
+
+TEST(TaskGraph, ClearAllowsReuse) {
+  ThreadPool pool(2);
+  TaskGraph graph;
+  std::atomic<int> counter{0};
+  graph.add("a", [&] { counter += 1; });
+  graph.add("b", [&] { counter += 10; });
+  graph.run(&pool);
+  EXPECT_EQ(counter.load(), 11);
+  EXPECT_EQ(graph.size(), 2u);
+
+  graph.clear();
+  EXPECT_EQ(graph.size(), 0u);
+  graph.run(&pool);  // empty graph is a no-op
+  graph.add("c", [&] { counter += 100; });
+  graph.run(&pool);
+  EXPECT_EQ(counter.load(), 111);
+}
+
+TEST(TaskGraph, LabelsAreRetained) {
+  TaskGraph graph;
+  const auto id = graph.add("edge-chain/3", [] {});
+  EXPECT_EQ(graph.label(id), "edge-chain/3");
+}
+
+TEST(TaskGraph, ManyIndependentTasksOnSmallPool) {
+  // More tasks than workers: the queue must drain completely with each
+  // task running exactly once.
+  ThreadPool pool(2);
+  TaskGraph graph;
+  std::atomic<int> total{0};
+  for (int i = 0; i < 64; ++i) {
+    graph.add("n" + std::to_string(i), [&] { ++total; });
+  }
+  graph.run(&pool);
+  EXPECT_EQ(total.load(), 64);
+}
+
+}  // namespace

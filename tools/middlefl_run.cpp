@@ -72,6 +72,8 @@ struct Options {
   std::size_t uplink_latency = 0;
   std::size_t wan_latency = 0;
   double target = 0.0;  // optional time-to-accuracy report
+  /// Worker threads (0 = MIDDLEFL_THREADS env or hardware concurrency).
+  std::size_t threads = 0;
 
   bool quiet = false;
   bool list = false;
@@ -221,9 +223,16 @@ int run(int argc, const char* const* argv) {
                &opt.json_summary);
   cli.add_flag("target", "report time-to-accuracy for this target (0 = off)",
                &opt.target);
+  cli.add_flag("threads",
+               "worker threads (0 = MIDDLEFL_THREADS env or hardware)",
+               &opt.threads);
   cli.add_flag("quiet", "suppress per-eval progress lines", &opt.quiet);
   cli.add_flag("list", "print available options and exit", &opt.list);
   if (!cli.parse(argc, argv)) return 0;
+
+  // Before the first ThreadPool::global() use, so the shared pool is built
+  // at the requested size.
+  parallel::ThreadPool::set_default_size(opt.threads);
 
   if (opt.list) {
     std::cout << "tasks:      mnist emnist cifar10 speech\n"
