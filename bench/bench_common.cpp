@@ -19,6 +19,77 @@ void BenchOptions::register_flags(util::CliParser& cli) {
   cli.add_flag("threads",
                "worker threads (0 = MIDDLEFL_THREADS env or hardware)",
                &threads);
+  cli.add_flag("trace-out",
+               "write a Chrome trace-event JSON (Perfetto-loadable) here",
+               &trace_out);
+  cli.add_flag("metrics-out", "write a metrics snapshot JSON here",
+               &metrics_out);
+  cli.add_flag("log-jsonl", "write per-step/per-eval JSONL records here",
+               &log_jsonl);
+}
+
+ObsSession::ObsSession(const BenchOptions& options)
+    : trace_out_(options.trace_out), metrics_out_(options.metrics_out) {
+  if (!options.trace_out.empty()) {
+    trace_ = std::make_unique<obs::TraceRecorder>();
+    bundle_.trace = trace_.get();
+  }
+  if (!options.metrics_out.empty()) {
+    metrics_ = std::make_unique<obs::MetricsRegistry>();
+    bundle_.metrics = metrics_.get();
+  }
+  if (!options.log_jsonl.empty()) {
+    logger_ = std::make_unique<obs::RunLogger>(options.log_jsonl);
+    bundle_.logger = logger_.get();
+  }
+}
+
+ObsSession::~ObsSession() {
+  // The global pool outlives this session; never leave it holding a
+  // pointer into the dying recorder.
+  if (bundle_.trace != nullptr) {
+    parallel::ThreadPool::global().set_trace(nullptr);
+  }
+}
+
+void ObsSession::attach(core::Simulation& simulation) {
+  if (!enabled()) return;
+  simulation.set_observability(bundle_);
+  parallel::ThreadPool::global().set_trace(bundle_.trace);
+  if (bundle_.metrics != nullptr) {
+    parallel::ThreadPool::global().set_accounting(true);
+  }
+}
+
+void ObsSession::collect(core::Simulation& simulation) {
+  if (bundle_.metrics != nullptr) {
+    simulation.transport().export_metrics(*bundle_.metrics);
+  }
+}
+
+void ObsSession::finish() {
+  if (trace_ != nullptr) {
+    parallel::ThreadPool::global().set_trace(nullptr);
+    trace_->write_chrome_trace_file(trace_out_);
+    std::cerr << "   trace written to " << trace_out_ << " ("
+              << trace_->event_count() << " events)\n";
+  }
+  if (metrics_ != nullptr) {
+    const parallel::ThreadPool& pool = parallel::ThreadPool::global();
+    metrics_->set(metrics_->gauge("pool.workers"),
+                  static_cast<double>(pool.size()));
+    double busy_us = 0.0, tasks = 0.0;
+    for (const auto& w : pool.worker_stats()) {
+      busy_us += w.busy_us;
+      tasks += static_cast<double>(w.tasks);
+    }
+    metrics_->set(metrics_->gauge("pool.tasks"), tasks);
+    metrics_->set(metrics_->gauge("pool.busy_us"), busy_us);
+    metrics_->set(metrics_->gauge("pool.uptime_us"), pool.uptime_us());
+    metrics_->write_json_file(metrics_out_);
+    std::cerr << "   metrics written to " << metrics_out_ << "\n";
+  }
+  if (logger_ != nullptr) logger_->flush();
 }
 
 namespace {
@@ -211,13 +282,16 @@ std::unique_ptr<core::Simulation> make_simulation(
 
 std::vector<core::RunHistory> run_repeats(const TaskSetup& setup,
                                           core::Algorithm algorithm,
-                                          const BenchOptions& options) {
+                                          const BenchOptions& options,
+                                          ObsSession* obs) {
   std::vector<core::RunHistory> runs;
   const std::size_t n = std::max<std::size_t>(1, options.repeats);
   runs.reserve(n);
   for (std::size_t r = 0; r < n; ++r) {
     auto sim = make_simulation(setup, algorithm, options, r);
+    if (obs != nullptr) obs->attach(*sim);
     runs.push_back(sim->run());
+    if (obs != nullptr) obs->collect(*sim);
   }
   return runs;
 }

@@ -17,6 +17,7 @@
 
 #include "core/simulation.hpp"
 #include "data/partition.hpp"
+#include "obs/observability.hpp"
 #include "data/synthetic.hpp"
 #include "mobility/markov_mobility.hpp"
 #include "nn/model_factory.hpp"
@@ -43,8 +44,47 @@ struct BenchOptions {
   /// print_banner, before any bench touches the global pool.
   std::size_t threads = 0;
 
+  /// Observability capture (all optional; empty = fully disabled, the
+  /// simulator stays on its zero-cost path).
+  std::string trace_out;    // Chrome trace-event JSON (Perfetto)
+  std::string metrics_out;  // metrics snapshot JSON
+  std::string log_jsonl;    // per-step/per-eval JSONL records
+
   /// Registers the shared flags on a parser.
   void register_flags(util::CliParser& cli);
+};
+
+/// Owns the recorders behind the shared --trace-out/--metrics-out/
+/// --log-jsonl flags and wires them into simulations. With no capture
+/// flags set every method is a no-op. One session spans a whole bench
+/// invocation: attach() each simulation before running it, collect() it
+/// after (transport gauges), finish() once at the end to write the files.
+/// The destructor detaches the recorders from the global pool.
+class ObsSession {
+ public:
+  explicit ObsSession(const BenchOptions& options);
+  ~ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  bool enabled() const noexcept { return bundle_.enabled(); }
+  obs::TraceRecorder* trace() noexcept { return bundle_.trace; }
+
+  /// Wires the recorders into `simulation` (and the global pool).
+  void attach(core::Simulation& simulation);
+  /// Publishes the simulation's transport totals as gauges (last call
+  /// wins — hand it the run you want the snapshot to describe).
+  void collect(core::Simulation& simulation);
+  /// Writes the trace/metrics files; call once, after the last run.
+  void finish();
+
+ private:
+  std::unique_ptr<obs::TraceRecorder> trace_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::RunLogger> logger_;
+  obs::Observability bundle_;
+  std::string trace_out_;
+  std::string metrics_out_;
 };
 
 /// Everything needed to construct Simulations for one task at one scale.
@@ -77,10 +117,12 @@ std::unique_ptr<core::Simulation> make_simulation(
     const BenchOptions& options, std::size_t repeat = 0);
 
 /// Runs `options.repeats` independent repetitions and returns all
-/// histories (index = repeat).
+/// histories (index = repeat). When `obs` is given, every repetition is
+/// attached to (and collected into) the session.
 std::vector<core::RunHistory> run_repeats(const TaskSetup& setup,
                                           core::Algorithm algorithm,
-                                          const BenchOptions& options);
+                                          const BenchOptions& options,
+                                          ObsSession* obs = nullptr);
 
 /// Mean and sample standard deviation of final accuracy over repetitions.
 struct RepeatSummary {

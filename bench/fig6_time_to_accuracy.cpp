@@ -27,6 +27,11 @@ int run(int argc, const char* const* argv) {
   if (!cli.parse(argc, argv)) return 0;
 
   bench::print_banner("Figure 6: time-to-accuracy", options);
+  // One observability session spans the whole figure: every (task,
+  // algorithm, repeat) run lands on the same trace/metrics/JSONL outputs,
+  // so `--trace-out fig6.json` captures a Perfetto-loadable timeline of
+  // the full sweep. Inert without the capture flags.
+  bench::ObsSession obs(options);
   auto csv = bench::open_csv(options);
   csv->header({"task", "algorithm", "repeat", "step", "accuracy", "loss"});
 
@@ -50,7 +55,7 @@ int run(int argc, const char* const* argv) {
               << " steps, target " << setup.target_accuracy << ", "
               << std::max<std::size_t>(1, options.repeats) << " repeat(s)\n";
     for (const auto algorithm : core::kAllAlgorithms) {
-      const auto runs = bench::run_repeats(setup, algorithm, options);
+      const auto runs = bench::run_repeats(setup, algorithm, options, &obs);
       for (std::size_t r = 0; r < runs.size(); ++r) {
         for (const auto& point : runs[r].points) {
           csv->add(task)
@@ -108,6 +113,7 @@ int run(int argc, const char* const* argv) {
               << std::setprecision(2) << worst << "x - " << best
               << "x  (paper: 1.51x - 6.85x)\n";
   }
+  obs.finish();
   return 0;
 }
 

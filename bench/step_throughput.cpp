@@ -34,7 +34,8 @@ struct Measurement {
 /// fully serial) and returns the timing.
 Measurement measure(const bench::TaskSetup& setup, core::Algorithm algorithm,
                     const BenchOptions& options, std::size_t warmup_steps,
-                    std::size_t timed_steps, parallel::ThreadPool* pool) {
+                    std::size_t timed_steps, parallel::ThreadPool* pool,
+                    bench::ObsSession* obs = nullptr) {
   bench::TaskSetup run_setup{setup.kind,
                              setup.train,
                              setup.test,
@@ -48,11 +49,13 @@ Measurement measure(const bench::TaskSetup& setup, core::Algorithm algorithm,
   run_setup.sim_cfg.parallel_devices = pool != nullptr;
   run_setup.sim_cfg.pool = pool;
   auto sim = bench::make_simulation(run_setup, algorithm, options);
+  if (obs != nullptr) obs->attach(*sim);
 
   for (std::size_t s = 0; s < warmup_steps; ++s) sim->step();
   const auto start = std::chrono::steady_clock::now();
   for (std::size_t s = 0; s < timed_steps; ++s) sim->step();
   const auto stop = std::chrono::steady_clock::now();
+  if (obs != nullptr) obs->collect(*sim);
 
   Measurement m;
   m.pool_threads = pool == nullptr ? 1 : pool->size();
@@ -94,10 +97,15 @@ int run(int argc, const char* const* argv) {
   setup.sim_cfg.eval_edges = false;
 
   // Main measurement on the configured pool (--threads / MIDDLEFL_THREADS).
+  // Observability (when requested) captures only this measurement, not the
+  // sweep; with the flags unset the session is inert and the measured loop
+  // runs on the zero-cost disabled path.
+  bench::ObsSession obs(options);
   parallel::ThreadPool* main_pool =
       serial ? nullptr : &parallel::ThreadPool::global();
-  const Measurement main =
-      measure(setup, algorithm, options, warmup_steps, timed_steps, main_pool);
+  const Measurement main = measure(setup, algorithm, options, warmup_steps,
+                                   timed_steps, main_pool, &obs);
+  obs.finish();
   std::cerr << "   " << timed_steps << " steps in " << main.seconds
             << " s  ->  " << main.steps_per_sec << " steps/sec  ("
             << main.pool_threads << " pool thread"

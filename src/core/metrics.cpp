@@ -37,6 +37,7 @@ EvalResult Evaluator::evaluate_view(std::span<const float> params,
       !parallel::ThreadPool::in_worker()) {
     return evaluate_view_sharded(params, view, num_batches);
   }
+  obs::TraceSpan span(trace_, "eval-sweep", "eval", view.size(), "samples");
   model_->set_parameters(params);
   EvalResult result;
   result.samples = view.size();
@@ -88,6 +89,7 @@ EvalResult Evaluator::evaluate_view_sharded(std::span<const float> params,
   parallel::parallel_for(
       *pool_, 0, num_batches,
       [&](std::size_t b) {
+        obs::TraceSpan span(trace_, "eval-shard", "eval", b, "batch");
         const std::size_t start = b * batch_size_;
         const std::size_t end = std::min(view.size(), start + batch_size_);
         std::vector<std::size_t> positions(end - start);
@@ -303,18 +305,23 @@ RunHistory load_history_csv(const std::string& path) {
   RunHistory history;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    std::istringstream row(line);
-    std::string algorithm, step, accuracy, loss;
-    if (!std::getline(row, algorithm, ',') || !std::getline(row, step, ',') ||
-        !std::getline(row, accuracy, ',') || !std::getline(row, loss, ',')) {
+    if (line.back() == '\r') line.pop_back();
+    std::vector<std::string> fields;
+    try {
+      fields = util::csv_split_row(line);
+    } catch (const std::invalid_argument& error) {
+      throw std::runtime_error("load_history_csv: malformed row '" + line +
+                               "': " + error.what());
+    }
+    if (fields.size() != 4) {
       throw std::runtime_error("load_history_csv: malformed row '" + line +
                                "'");
     }
-    if (history.algorithm.empty()) history.algorithm = algorithm;
+    if (history.algorithm.empty()) history.algorithm = fields[0];
     EvalPoint point;
-    point.step = std::stoul(step);
-    point.accuracy = std::stod(accuracy);
-    point.loss = std::stod(loss);
+    point.step = std::stoul(fields[1]);
+    point.accuracy = std::stod(fields[2]);
+    point.loss = std::stod(fields[3]);
     history.points.push_back(point);
   }
   return history;

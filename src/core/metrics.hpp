@@ -39,6 +39,11 @@ class Evaluator {
   /// recycled across calls.
   void set_pool(parallel::ThreadPool* pool) noexcept { pool_ = pool; }
 
+  /// Attaches a span recorder: each evaluation batch (sharded path) or
+  /// whole-view sweep (serial path) becomes an "eval" span. nullptr
+  /// detaches. Tracing never changes the batch order or the reduction.
+  void set_trace(obs::TraceRecorder* trace) noexcept { trace_ = trace; }
+
   /// Overall accuracy/loss of `params`. When `max_samples` > 0 and smaller
   /// than the test set, evaluates on a fixed deterministic subsample (same
   /// subset for every call, so curves are comparable across steps).
@@ -80,6 +85,7 @@ class Evaluator {
   std::size_t subsample_size_ = 0;
   std::size_t batch_size_;
   parallel::ThreadPool* pool_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
   std::mutex spares_mutex_;
   std::vector<std::unique_ptr<nn::Sequential>> spares_;
 };
@@ -114,11 +120,11 @@ struct RunHistory {
 };
 
 /// Writes a RunHistory as CSV (columns: algorithm, step, accuracy, loss)
-/// and reads it back. Round-trips through util::CsvWriter's format; loading
-/// validates the header. Extras (per-class / edge accuracy) are not
-/// persisted — persist the full CSVs from the benches for those. The
-/// loader uses plain comma splitting, so algorithm names must not contain
-/// commas (none of the built-in names do).
+/// and reads it back. Round-trips through util::CsvWriter's format —
+/// including algorithm names containing commas or quotes, which the writer
+/// escapes per RFC 4180 and the loader unescapes (util::csv_split_row).
+/// Loading validates the header. Extras (per-class / edge accuracy) are
+/// not persisted — persist the full CSVs from the benches for those.
 void save_history_csv(const RunHistory& history, const std::string& path);
 RunHistory load_history_csv(const std::string& path);
 

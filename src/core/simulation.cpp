@@ -12,6 +12,11 @@
 namespace middlefl::core {
 namespace {
 
+double elapsed_us(obs::TraceRecorder::Clock::time_point begin,
+                  obs::TraceRecorder::Clock::time_point end) {
+  return std::chrono::duration<double, std::micro>(end - begin).count();
+}
+
 // Stream tags keep the per-purpose RNG streams disjoint. Loss draws only
 // happen on links with a nonzero loss policy, so tags added for the
 // transport layer never perturb default-policy runs. Streams are keyed on
@@ -157,6 +162,26 @@ void Simulation::add_observer(StepObserver* observer) {
   observers_.push_back(observer);
 }
 
+void Simulation::set_observability(const obs::Observability& obs) {
+  obs_ = obs;
+  graph_.set_trace(obs_.trace);
+  evaluator_->set_trace(obs_.trace);
+  if (obs_.trace != nullptr) obs_.trace->name_this_thread("sim");
+  if (obs_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *obs_.metrics;
+    metric_ids_.steps = m.counter("sim.steps");
+    metric_ids_.cloud_syncs = m.counter("sim.cloud_syncs");
+    metric_ids_.selected = m.counter("sim.selected_devices");
+    metric_ids_.stragglers = m.counter("sim.straggler_drops");
+    metric_ids_.lost_downloads = m.counter("sim.lost_downloads");
+    metric_ids_.blends = m.counter("sim.on_device_aggregations");
+    metric_ids_.evaluations = m.counter("sim.evaluations");
+    metric_ids_.step_ms = m.histogram(
+        "sim.step_ms", {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000,
+                        5000, 10000});
+  }
+}
+
 void Simulation::notify_phase(StepPhase phase) {
   for (StepObserver* obs : observers_) obs->on_phase(phase, t_);
 }
@@ -170,6 +195,12 @@ void Simulation::notify_transfers(StepPhase phase, transport::LinkKind kind,
 }
 
 bool Simulation::step() {
+  const bool observed = obs_.enabled();
+  obs::TraceRecorder::Clock::time_point step_begin{};
+  if (observed) {
+    step_begin = obs::TraceRecorder::Clock::now();
+    if (obs_.logger != nullptr) prev_links_ = transport_->bytes_by_link();
+  }
   ++t_;
   begin_step();
 
@@ -184,8 +215,23 @@ bool Simulation::step() {
 
   replay_step_events();
   const bool sync = (t_ % cfg_.cloud_interval) == 0;
-  if (sync) stage_cloud_sync();
+  double sync_us = 0.0;
+  if (sync) {
+    if (observed) {
+      const auto begin = obs::TraceRecorder::Clock::now();
+      stage_cloud_sync();
+      const auto end = obs::TraceRecorder::Clock::now();
+      sync_us = elapsed_us(begin, end);
+      if (obs_.trace != nullptr) {
+        obs_.trace->complete("cloud_sync", "phase", begin, end,
+                             last_sync_contributing_, "contributing");
+      }
+    } else {
+      stage_cloud_sync();
+    }
+  }
   for (StepObserver* obs : observers_) obs->on_step_end(t_, sync);
+  if (observed) finish_step_obs(sync, step_begin, sync_us);
   return sync;
 }
 
@@ -235,11 +281,32 @@ void Simulation::edge_chain(std::size_t n) {
   trace.lost_downloads = 0;
   trace.blend_weights.clear();
 
-  select_edge(n);
-  distribute_edge(n, trace);
-  train_edge(n);
-  upload_edge(n, trace);
-  aggregate_edge(n);
+  if (!obs_.enabled()) {
+    select_edge(n);
+    distribute_edge(n, trace);
+    train_edge(n);
+    upload_edge(n, trace);
+    aggregate_edge(n);
+    return;
+  }
+
+  // Instrumented path: identical call sequence, plus one clock-read pair
+  // per phase feeding both the span and the per-step phase sums. Timing
+  // never touches RNG or model state, so both paths are bit-identical.
+  const auto timed = [&](std::size_t phase, const char* name, auto&& body) {
+    const auto begin = obs::TraceRecorder::Clock::now();
+    body();
+    const auto end = obs::TraceRecorder::Clock::now();
+    trace.phase_us[phase] = elapsed_us(begin, end);
+    if (obs_.trace != nullptr) {
+      obs_.trace->complete(name, "phase", begin, end, n, "edge");
+    }
+  };
+  timed(0, "select", [&] { select_edge(n); });
+  timed(1, "distribute", [&] { distribute_edge(n, trace); });
+  timed(2, "local_train", [&] { train_edge(n); });
+  timed(3, "upload", [&] { upload_edge(n, trace); });
+  timed(4, "edge_aggregate", [&] { aggregate_edge(n); });
 }
 
 void Simulation::select_edge(std::size_t n) {
@@ -456,6 +523,7 @@ void Simulation::replay_step_events() {
   std::size_t lost = 0;
   std::size_t new_blends = 0;
   double event_weight = 0.0;
+  const bool observed = obs_.enabled();
   for (const EdgeTrace& trace : traces_) {
     down += trace.down;
     carry += trace.carry;
@@ -470,6 +538,20 @@ void Simulation::replay_step_events() {
     }
   }
   straggler_drops_ += stragglers;
+  if (observed) {
+    // last_events_ feeds finish_step_obs() only; skip the bookkeeping
+    // entirely on the disabled path.
+    last_events_ = StepEventSummary{};
+    for (const EdgeTrace& trace : traces_) {
+      for (std::size_t p = 0; p < 5; ++p) {
+        last_events_.phase_us[p] += trace.phase_us[p];
+      }
+    }
+    last_events_.stragglers = stragglers;
+    last_events_.lost_downloads = lost;
+    last_events_.blends = new_blends;
+    last_events_.blend_weight = event_weight;
+  }
 
   for (StepObserver* obs : observers_) obs->on_selection(t_, last_selection_);
   notify_phase(StepPhase::kSelect);
@@ -477,12 +559,21 @@ void Simulation::replay_step_events() {
   notify_transfers(StepPhase::kDistribute, transport::LinkKind::kWirelessDown,
                    down);
   notify_transfers(StepPhase::kDistribute, transport::LinkKind::kCarry, carry);
+  // Instant markers fire here, at the serial replay point in canonical
+  // edge order — never from inside the parallel chains — so the trace
+  // event stream is deterministic at any thread count.
   if (stragglers > 0 || lost > 0) {
     for (StepObserver* obs : observers_) obs->on_dropouts(t_, stragglers, lost);
+    if (obs_.trace != nullptr) {
+      obs_.trace->instant("dropouts", "sim", stragglers + lost, "count");
+    }
   }
   if (new_blends > 0) {
     for (StepObserver* obs : observers_) {
       obs->on_blends(t_, new_blends, event_weight);
+    }
+    if (obs_.trace != nullptr) {
+      obs_.trace->instant("blends", "sim", new_blends, "count");
     }
   }
   notify_phase(StepPhase::kDistribute);
@@ -574,6 +665,7 @@ void Simulation::stage_cloud_sync() {
     cloud_.adopt(SnapshotStore::global().seal(std::move(fresh)));
   }
   const std::size_t contributing = models.size();
+  last_sync_contributing_ = contributing;
 
   // Push the global model back down: cloud -> edge over the WAN, then the
   // broadcast to every device. A lost push leaves the receiver on its old
@@ -635,6 +727,66 @@ void Simulation::stage_cloud_sync() {
   notify_phase(StepPhase::kCloudSync);
 }
 
+void Simulation::finish_step_obs(bool sync,
+                                 obs::TraceRecorder::Clock::time_point begin,
+                                 double sync_us) {
+  const auto end = obs::TraceRecorder::Clock::now();
+  const double step_us = elapsed_us(begin, end);
+  std::size_t selected = 0;
+  for (const auto& selection : last_selection_) selected += selection.size();
+
+  if (obs_.trace != nullptr) {
+    obs_.trace->complete("step", "sim", begin, end, t_, "t");
+  }
+  if (obs_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *obs_.metrics;
+    m.add(metric_ids_.steps);
+    m.add(metric_ids_.selected, static_cast<double>(selected));
+    if (last_events_.stragglers > 0) {
+      m.add(metric_ids_.stragglers,
+            static_cast<double>(last_events_.stragglers));
+    }
+    if (last_events_.lost_downloads > 0) {
+      m.add(metric_ids_.lost_downloads,
+            static_cast<double>(last_events_.lost_downloads));
+    }
+    if (last_events_.blends > 0) {
+      m.add(metric_ids_.blends, static_cast<double>(last_events_.blends));
+    }
+    if (sync) m.add(metric_ids_.cloud_syncs);
+    m.observe(metric_ids_.step_ms, step_us / 1000.0);
+  }
+  if (obs_.logger != nullptr) {
+    obs::StepRecord record;
+    record.step = t_;
+    record.synced = sync;
+    record.selected = selected;
+    record.stragglers = last_events_.stragglers;
+    record.lost_downloads = last_events_.lost_downloads;
+    record.blends = last_events_.blends;
+    record.blend_weight_sum = last_events_.blend_weight;
+    if (sync) record.contributing_edges = last_sync_contributing_;
+    record.step_wall_us = step_us;
+    record.phase_us = {{"select", last_events_.phase_us[0]},
+                       {"distribute", last_events_.phase_us[1]},
+                       {"local_train", last_events_.phase_us[2]},
+                       {"upload", last_events_.phase_us[3]},
+                       {"edge_aggregate", last_events_.phase_us[4]},
+                       {"cloud_sync", sync_us}};
+    const auto now_links = transport_->bytes_by_link();
+    record.links.reserve(now_links.size());
+    for (std::size_t i = 0; i < now_links.size(); ++i) {
+      const transport::LinkStats delta =
+          i < prev_links_.size() ? now_links[i].stats - prev_links_[i].stats
+                                 : now_links[i].stats;
+      record.links.push_back(obs::LinkDeltaRecord{
+          transport::to_string(now_links[i].kind), delta.transfers,
+          delta.dropped, delta.bytes, now_links[i].in_flight});
+    }
+    obs_.logger->log_step(record);
+  }
+}
+
 void Simulation::warm_start(std::span<const float> params) {
   if (params.size() != param_count_) {
     throw std::invalid_argument("Simulation::warm_start: size mismatch");
@@ -664,6 +816,9 @@ double Simulation::current_edge_skew() const {
 }
 
 const EvalPoint& Simulation::evaluate_now() {
+  const bool observed = obs_.enabled();
+  obs::TraceRecorder::Clock::time_point eval_begin{};
+  if (observed) eval_begin = obs::TraceRecorder::Clock::now();
   EvalPoint point;
   point.step = t_;
   const EvalResult result =
@@ -683,6 +838,18 @@ const EvalPoint& Simulation::evaluate_now() {
   history_.points.push_back(std::move(point));
   const EvalPoint& recorded = history_.points.back();
   for (StepObserver* obs : observers_) obs->on_evaluation(recorded);
+  if (observed) {
+    const auto eval_end = obs::TraceRecorder::Clock::now();
+    const double wall_us = elapsed_us(eval_begin, eval_end);
+    if (obs_.trace != nullptr) {
+      obs_.trace->complete("evaluate", "eval", eval_begin, eval_end, t_, "t");
+    }
+    if (obs_.metrics != nullptr) obs_.metrics->add(metric_ids_.evaluations);
+    if (obs_.logger != nullptr) {
+      obs_.logger->log_eval(obs::EvalRecord{recorded.step, recorded.accuracy,
+                                            recorded.loss, wall_us});
+    }
+  }
   return recorded;
 }
 

@@ -57,6 +57,7 @@
 #include "data/partition.hpp"
 #include "mobility/mobility_model.hpp"
 #include "nn/model_factory.hpp"
+#include "obs/observability.hpp"
 #include "optim/lr_schedule.hpp"
 #include "optim/optimizer.hpp"
 #include "parallel/thread_pool.hpp"
@@ -182,6 +183,16 @@ class Simulation {
   /// built-in communication accounting.
   void add_observer(StepObserver* observer);
 
+  /// Attaches the observability bundle (all recorders non-owning, any
+  /// subset may be null; they must outlive the simulation). Fans the trace
+  /// recorder out to the task graph and evaluator and registers the
+  /// simulator's metric ids. With every pointer null (the default) the
+  /// instrumentation collapses to one branch per step — no clock reads —
+  /// and recording never mutates simulation state or consumes RNG draws,
+  /// so instrumented runs are bit-identical to bare ones.
+  void set_observability(const obs::Observability& obs);
+  const obs::Observability& observability() const noexcept { return obs_; }
+
   // --- Introspection (benches, tests) ---
   std::size_t current_step() const noexcept { return t_; }
   std::size_t num_devices() const noexcept { return devices_.size(); }
@@ -260,6 +271,32 @@ class Simulation {
     std::size_t lost_downloads = 0;
     /// Blend weights in selection order (the canonical reduction order).
     std::vector<double> blend_weights;
+    /// Per-phase wall microseconds of this chain (Select..EdgeAggregate),
+    /// filled only when observability is attached; replay sums them.
+    double phase_us[5] = {};
+  };
+
+  /// Per-step event totals captured by replay_step_events() for the
+  /// end-of-step observability flush (cheap plain writes, kept current
+  /// even when observability is off).
+  struct StepEventSummary {
+    std::size_t stragglers = 0;
+    std::size_t lost_downloads = 0;
+    std::size_t blends = 0;
+    double blend_weight = 0.0;
+    double phase_us[5] = {};
+  };
+
+  /// Metric ids registered once by set_observability().
+  struct SimMetricIds {
+    obs::MetricsRegistry::MetricId steps = 0;
+    obs::MetricsRegistry::MetricId cloud_syncs = 0;
+    obs::MetricsRegistry::MetricId selected = 0;
+    obs::MetricsRegistry::MetricId stragglers = 0;
+    obs::MetricsRegistry::MetricId lost_downloads = 0;
+    obs::MetricsRegistry::MetricId blends = 0;
+    obs::MetricsRegistry::MetricId evaluations = 0;
+    obs::MetricsRegistry::MetricId step_ms = 0;  // histogram
   };
 
   // Serial step prologue: mobility advance, per-edge membership, immutable
@@ -277,6 +314,10 @@ class Simulation {
   // ordered blend/straggler reductions.
   void replay_step_events();
   void stage_cloud_sync();
+  // End-of-step observability flush (serial point): the step span, metric
+  // increments and the JSONL step record. Called only when obs_.enabled().
+  void finish_step_obs(bool sync, obs::TraceRecorder::Clock::time_point begin,
+                       double sync_us);
 
   /// Adopts `source` when the delivered payload is a lossless pass-through
   /// of its block (zero-copy sharing); installs a private copy otherwise.
@@ -333,6 +374,12 @@ class Simulation {
   RunHistory history_;
   std::size_t blends_ = 0;
   double blend_weight_sum_ = 0.0;
+  obs::Observability obs_;
+  SimMetricIds metric_ids_;
+  StepEventSummary last_events_;
+  std::size_t last_sync_contributing_ = 0;
+  // Link totals at step begin; the JSONL record logs this step's delta.
+  std::vector<transport::Transport::LinkReport> prev_links_;
   CommStatsObserver comm_observer_;
   std::vector<StepObserver*> observers_;
   std::vector<float> server_velocity_;

@@ -10,6 +10,11 @@
 #include "util/logging.hpp"
 #include "util/stats.hpp"
 
+#include "obs/metrics_registry.hpp"
+#include "obs/observability.hpp"
+#include "obs/run_logger.hpp"
+#include "obs/trace_recorder.hpp"
+
 #include "parallel/parallel_for.hpp"
 #include "parallel/rng.hpp"
 #include "parallel/thread_pool.hpp"

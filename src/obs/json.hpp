@@ -1,0 +1,61 @@
+// Minimal JSON emission helpers shared by the observability exporters.
+//
+// The repo has no external JSON dependency; every exporter (Chrome trace,
+// metrics snapshot, JSONL run log) hand-rolls its structure and uses these
+// helpers only for the parts that are easy to get wrong: string escaping
+// and locale/precision-stable number formatting.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace middlefl::obs {
+
+/// Escapes `text` for use inside a JSON string literal (quotes not
+/// included): backslash, double quote, and control characters.
+inline std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Formats a double as a JSON number. JSON has no NaN/Inf; both map to 0 so
+/// exporters can never emit an unparseable file.
+inline std::string json_number(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace middlefl::obs

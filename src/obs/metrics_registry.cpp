@@ -1,0 +1,250 @@
+#include "obs/metrics_registry.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace middlefl::obs {
+namespace {
+
+std::atomic<std::uint64_t> g_registry_generation{1};
+
+/// Per-thread cache of the shard owned by (this thread, one registry).
+/// Generations are process-unique and never reused, so a stale entry can
+/// never alias a new registry — it just misses and takes the slow path.
+struct TlsShardCache {
+  std::uint64_t generation = 0;
+  void* shard = nullptr;
+};
+thread_local TlsShardCache tls_shard_cache;
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : generation_(
+          g_registry_generation.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::MetricId MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  if (gauge_ids_.count(name) != 0 || histogram_ids_.count(name) != 0) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered as another family");
+  }
+  const auto [it, inserted] = counter_ids_.emplace(name, counter_names_.size());
+  if (inserted) counter_names_.push_back(name);
+  return it->second;
+}
+
+MetricsRegistry::MetricId MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  if (counter_ids_.count(name) != 0 || histogram_ids_.count(name) != 0) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered as another family");
+  }
+  const auto [it, inserted] = gauge_ids_.emplace(name, gauge_names_.size());
+  if (inserted) {
+    gauge_names_.push_back(name);
+    gauge_cells_.emplace_back(0.0);
+  }
+  return it->second;
+}
+
+MetricsRegistry::MetricId MetricsRegistry::histogram(
+    const std::string& name, std::vector<double> bounds) {
+  if (bounds.empty() || !std::is_sorted(bounds.begin(), bounds.end())) {
+    throw std::invalid_argument(
+        "MetricsRegistry: histogram bounds must be non-empty and ascending");
+  }
+  std::lock_guard lock(mutex_);
+  if (counter_ids_.count(name) != 0 || gauge_ids_.count(name) != 0) {
+    throw std::invalid_argument("MetricsRegistry: '" + name +
+                                "' already registered as another family");
+  }
+  const auto it = histogram_ids_.find(name);
+  if (it != histogram_ids_.end()) {
+    if (histogram_meta_[it->second].bounds != bounds) {
+      throw std::invalid_argument("MetricsRegistry: histogram '" + name +
+                                  "' re-registered with different bounds");
+    }
+    return it->second;
+  }
+  const MetricId id = histogram_meta_.size();
+  histogram_ids_.emplace(name, id);
+  histogram_meta_.push_back(HistogramMeta{name, std::move(bounds)});
+  return id;
+}
+
+MetricsRegistry::Shard& MetricsRegistry::local_shard() {
+  if (tls_shard_cache.generation == generation_) {
+    return *static_cast<Shard*>(tls_shard_cache.shard);
+  }
+  std::lock_guard lock(mutex_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  grow_shard_locked(*shard);
+  tls_shard_cache = TlsShardCache{generation_, shard};
+  return *shard;
+}
+
+void MetricsRegistry::grow_shard_locked(Shard& shard) {
+  while (shard.counters.size() < counter_names_.size()) {
+    shard.counters.emplace_back(0.0);
+  }
+  while (shard.histograms.size() < histogram_meta_.size()) {
+    const HistogramMeta& meta = histogram_meta_[shard.histograms.size()];
+    auto& cells = shard.histograms.emplace_back();
+    const std::size_t buckets = meta.bounds.size() + 1;
+    cells.buckets = std::make_unique<std::atomic<std::uint64_t>[]>(buckets);
+    for (std::size_t b = 0; b < buckets; ++b) cells.buckets[b] = 0;
+    cells.bounds = &meta.bounds;
+  }
+}
+
+void MetricsRegistry::add(MetricId counter_id, double delta) {
+  Shard& shard = local_shard();
+  if (counter_id >= shard.counters.size()) {
+    std::lock_guard lock(mutex_);
+    if (counter_id >= counter_names_.size()) {
+      throw std::out_of_range("MetricsRegistry::add: unknown counter id");
+    }
+    grow_shard_locked(shard);
+  }
+  // Single-writer cell: only the owning thread stores, so load+store is a
+  // race-free increment; snapshot() reads whole cells atomically.
+  auto& cell = shard.counters[counter_id];
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set(MetricId gauge_id, double value) {
+  // Gauges are last-writer-wins shared cells; setting is a serial-point
+  // operation (pool stats, queue depths), so the lock is off the hot path.
+  std::lock_guard lock(mutex_);
+  if (gauge_id >= gauge_cells_.size()) {
+    throw std::out_of_range("MetricsRegistry::set: unknown gauge id");
+  }
+  gauge_cells_[gauge_id].store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::observe(MetricId histogram_id, double value) {
+  Shard& shard = local_shard();
+  if (histogram_id >= shard.histograms.size()) {
+    std::lock_guard lock(mutex_);
+    if (histogram_id >= histogram_meta_.size()) {
+      throw std::out_of_range("MetricsRegistry::observe: unknown histogram id");
+    }
+    grow_shard_locked(shard);
+  }
+  HistogramCells& cells = shard.histograms[histogram_id];
+  const std::vector<double>& bounds = *cells.bounds;
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin());
+  auto& slot = cells.buckets[bucket];
+  slot.store(slot.load(std::memory_order_relaxed) + 1,
+             std::memory_order_relaxed);
+  cells.count.store(cells.count.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+  cells.sum.store(cells.sum.load(std::memory_order_relaxed) + value,
+                  std::memory_order_relaxed);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counter_names_.size());
+  for (std::size_t id = 0; id < counter_names_.size(); ++id) {
+    double total = 0.0;
+    for (const auto& shard : shards_) {
+      if (id < shard->counters.size()) {
+        total += shard->counters[id].load(std::memory_order_relaxed);
+      }
+    }
+    snap.counters.emplace_back(counter_names_[id], total);
+  }
+  snap.gauges.reserve(gauge_names_.size());
+  for (std::size_t id = 0; id < gauge_names_.size(); ++id) {
+    snap.gauges.emplace_back(gauge_names_[id],
+                             gauge_cells_[id].load(std::memory_order_relaxed));
+  }
+  snap.histograms.reserve(histogram_meta_.size());
+  for (std::size_t id = 0; id < histogram_meta_.size(); ++id) {
+    HistogramSnapshot hist;
+    hist.name = histogram_meta_[id].name;
+    hist.bounds = histogram_meta_[id].bounds;
+    hist.counts.assign(hist.bounds.size() + 1, 0);
+    for (const auto& shard : shards_) {
+      if (id >= shard->histograms.size()) continue;
+      const HistogramCells& cells = shard->histograms[id];
+      for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+        hist.counts[b] += cells.buckets[b].load(std::memory_order_relaxed);
+      }
+      hist.count += cells.count.load(std::memory_order_relaxed);
+      hist.sum += cells.sum.load(std::memory_order_relaxed);
+    }
+    snap.histograms.push_back(std::move(hist));
+  }
+  const auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  const Snapshot snap = snapshot();
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << json_escape(snap.counters[i].first)
+        << "\": " << json_number(snap.counters[i].second);
+  }
+  out << (snap.counters.empty() ? "},\n" : "\n  },\n");
+  out << "  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    \""
+        << json_escape(snap.gauges[i].first)
+        << "\": " << json_number(snap.gauges[i].second);
+  }
+  out << (snap.gauges.empty() ? "},\n" : "\n  },\n");
+  out << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramSnapshot& hist = snap.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(hist.name)
+        << "\": {\"bounds\": [";
+    for (std::size_t b = 0; b < hist.bounds.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << json_number(hist.bounds[b]);
+    }
+    out << "], \"counts\": [";
+    for (std::size_t b = 0; b < hist.counts.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << hist.counts[b];
+    }
+    out << "], \"count\": " << hist.count
+        << ", \"sum\": " << json_number(hist.sum) << "}";
+  }
+  out << (snap.histograms.empty() ? "}\n" : "\n  }\n");
+  out << "}\n";
+}
+
+void MetricsRegistry::write_json_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("MetricsRegistry: cannot write '" + path + "'");
+  }
+  write_json(out);
+}
+
+std::size_t MetricsRegistry::num_threads_seen() const {
+  std::lock_guard lock(mutex_);
+  return shards_.size();
+}
+
+}  // namespace middlefl::obs

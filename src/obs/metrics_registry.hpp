@@ -1,0 +1,124 @@
+// Named runtime metrics with thread-local sharding.
+//
+// A MetricsRegistry holds three metric families:
+//
+//   counter    monotonically growing double (events, bytes, drops)
+//   gauge      last-writer-wins double (pool size, in-flight payloads)
+//   histogram  fixed-bucket distribution of observed values (latencies)
+//
+// Registration (counter()/gauge()/histogram()) takes a lock and returns a
+// stable MetricId; it is meant to happen at setup time. The hot-path
+// operations (add/observe/set) are lock-free: each recording thread owns a
+// private shard of cells, created on its first touch of the registry, and
+// only ever writes its own cells. Cells are relaxed atomics so snapshot()
+// can read them mid-run without tearing; cross-thread totals are exact at
+// serial points because integer/double accumulation per cell has a single
+// writer and the snapshot sums whole cells.
+//
+// snapshot() and write_json() aggregate across shards under the registry
+// lock. The JSON layout is flat and stable:
+//
+//   {"counters": {...}, "gauges": {...},
+//    "histograms": {"name": {"bounds": [...], "counts": [...],
+//                            "count": N, "sum": S}}}
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace middlefl::obs {
+
+class MetricsRegistry {
+ public:
+  using MetricId = std::size_t;
+
+  MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+  ~MetricsRegistry();
+
+  /// Registers (or looks up) a counter/gauge by name. Re-registering the
+  /// same name returns the same id; registering a name that already exists
+  /// as a different family throws std::invalid_argument.
+  MetricId counter(const std::string& name);
+  MetricId gauge(const std::string& name);
+
+  /// Registers a histogram with the given ascending upper bucket bounds;
+  /// values land in the first bucket whose bound is >= value, with one
+  /// implicit overflow bucket past the last bound. Re-registering must use
+  /// identical bounds.
+  MetricId histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Hot-path recording. Ids must come from the matching registration call.
+  void add(MetricId counter_id, double delta = 1.0);
+  void set(MetricId gauge_id, double value);
+  void observe(MetricId histogram_id, double value);
+
+  struct HistogramSnapshot {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  struct Snapshot {
+    std::vector<std::pair<std::string, double>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<HistogramSnapshot> histograms;
+  };
+
+  /// Aggregated view across every thread shard, entries sorted by name.
+  Snapshot snapshot() const;
+
+  /// Serializes snapshot() as a single JSON object.
+  void write_json(std::ostream& out) const;
+  /// Writes the JSON snapshot to `path`; throws std::runtime_error when the
+  /// file cannot be opened.
+  void write_json_file(const std::string& path) const;
+
+  std::size_t num_threads_seen() const;
+
+ private:
+  struct HistogramCells {
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets;
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    /// Stable pointer into histogram_meta_ (a deque: growth never moves
+    /// existing entries), so the hot path never touches registry state.
+    const std::vector<double>* bounds = nullptr;
+  };
+  struct Shard {
+    // deque: growth never relocates existing (non-movable) atomic cells.
+    std::deque<std::atomic<double>> counters;
+    std::deque<HistogramCells> histograms;
+  };
+  struct HistogramMeta {
+    std::string name;
+    std::vector<double> bounds;
+  };
+
+  Shard& local_shard();
+  void grow_shard_locked(Shard& shard);
+
+  mutable std::mutex mutex_;
+  std::uint64_t generation_ = 0;  // unique per registry instance
+  std::map<std::string, MetricId> counter_ids_;
+  std::map<std::string, MetricId> gauge_ids_;
+  std::map<std::string, MetricId> histogram_ids_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::deque<HistogramMeta> histogram_meta_;
+  // Gauges are last-writer-wins: one shared cell per gauge, no sharding.
+  std::deque<std::atomic<double>> gauge_cells_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace middlefl::obs

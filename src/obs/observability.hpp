@@ -1,0 +1,33 @@
+// The observability bundle handed to instrumented components.
+//
+// All three recorders are optional and non-owning: a component holds an
+// Observability by value and checks each pointer before touching it, so a
+// default-constructed (all-null) bundle is the zero-cost disabled path —
+// one pointer test per would-be instrumentation site, no clock reads, no
+// allocation, no locks. The recorders must outlive every component they
+// are attached to.
+//
+// Lifecycle: construct the recorders, attach them (Simulation::
+// set_observability, ThreadPool::set_trace, ...), run, then export at a
+// serial point (write_chrome_trace / write_json / the JSONL file is
+// already on disk). Recording never mutates simulation state or consumes
+// RNG draws, so an instrumented run is bit-identical to a bare one.
+#pragma once
+
+#include "obs/metrics_registry.hpp"
+#include "obs/run_logger.hpp"
+#include "obs/trace_recorder.hpp"
+
+namespace middlefl::obs {
+
+struct Observability {
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+  RunLogger* logger = nullptr;
+
+  bool enabled() const noexcept {
+    return trace != nullptr || metrics != nullptr || logger != nullptr;
+  }
+};
+
+}  // namespace middlefl::obs

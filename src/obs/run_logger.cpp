@@ -1,0 +1,55 @@
+#include "obs/run_logger.hpp"
+
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace middlefl::obs {
+
+RunLogger::RunLogger(const std::string& path) : owned_(path), out_(&owned_) {
+  if (!owned_) {
+    throw std::runtime_error("RunLogger: cannot write '" + path + "'");
+  }
+}
+
+void RunLogger::log_step(const StepRecord& record) {
+  std::ostream& out = *out_;
+  out << "{\"kind\": \"step\", \"step\": " << record.step
+      << ", \"synced\": " << (record.synced ? "true" : "false")
+      << ", \"selected\": " << record.selected
+      << ", \"stragglers\": " << record.stragglers
+      << ", \"lost_downloads\": " << record.lost_downloads
+      << ", \"blends\": " << record.blends
+      << ", \"blend_weight_sum\": " << json_number(record.blend_weight_sum);
+  if (record.synced) {
+    out << ", \"contributing_edges\": " << record.contributing_edges;
+  }
+  out << ", \"step_wall_us\": " << json_number(record.step_wall_us);
+  out << ", \"phase_us\": {";
+  for (std::size_t i = 0; i < record.phase_us.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << "\"" << json_escape(record.phase_us[i].first)
+        << "\": " << json_number(record.phase_us[i].second);
+  }
+  out << "}, \"links\": {";
+  for (std::size_t i = 0; i < record.links.size(); ++i) {
+    const LinkDeltaRecord& link = record.links[i];
+    out << (i == 0 ? "" : ", ") << "\"" << json_escape(link.link)
+        << "\": {\"transfers\": " << link.transfers
+        << ", \"dropped\": " << link.dropped << ", \"bytes\": " << link.bytes
+        << ", \"in_flight\": " << link.in_flight << "}";
+  }
+  out << "}}\n";
+  ++records_;
+}
+
+void RunLogger::log_eval(const EvalRecord& record) {
+  *out_ << "{\"kind\": \"eval\", \"step\": " << record.step
+        << ", \"accuracy\": " << json_number(record.accuracy)
+        << ", \"loss\": " << json_number(record.loss)
+        << ", \"wall_us\": " << json_number(record.wall_us) << "}\n";
+  ++records_;
+}
+
+void RunLogger::flush() { out_->flush(); }
+
+}  // namespace middlefl::obs

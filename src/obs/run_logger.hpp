@@ -1,0 +1,81 @@
+// Structured run logs: one JSON object per line (JSONL).
+//
+// The RunLogger is the machine-readable flight record of a simulation run:
+// the instrumented caller hands it one StepRecord per time step (phase
+// timings, per-link wire-traffic deltas, selection/straggler/blend counts)
+// and one EvalRecord per evaluation point; each becomes a single
+// self-contained JSON line, so logs stream, tail, and grep cleanly and
+// load with one `json.loads` per line.
+//
+// The logger is deliberately passive — it formats and writes exactly what
+// it is given, on the caller's thread, at serial points. It holds no
+// references into the simulation and cannot perturb it.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace middlefl::obs {
+
+/// Wire-traffic delta of one link over one step.
+struct LinkDeltaRecord {
+  std::string link;  // transport::to_string(kind)
+  std::size_t transfers = 0;
+  std::size_t dropped = 0;
+  std::size_t bytes = 0;
+  std::size_t in_flight = 0;  // absolute queue depth at end of step
+};
+
+/// Everything the simulator knows about one completed step.
+struct StepRecord {
+  std::size_t step = 0;
+  bool synced = false;
+  std::size_t selected = 0;
+  std::size_t stragglers = 0;
+  std::size_t lost_downloads = 0;
+  std::size_t blends = 0;
+  double blend_weight_sum = 0.0;
+  /// Edge models aggregated by the cloud this step (sync steps only).
+  std::size_t contributing_edges = 0;
+  /// Wall time of the whole step on the driving thread.
+  double step_wall_us = 0.0;
+  /// Named phase timings, summed across per-edge chains (CPU-time per
+  /// phase, not wall time, when chains run in parallel).
+  std::vector<std::pair<const char*, double>> phase_us;
+  std::vector<LinkDeltaRecord> links;
+};
+
+/// One evaluation point.
+struct EvalRecord {
+  std::size_t step = 0;
+  double accuracy = 0.0;
+  double loss = 0.0;
+  double wall_us = 0.0;
+};
+
+class RunLogger {
+ public:
+  /// Appends to `path` is false — the file is truncated and owned.
+  /// Throws std::runtime_error when the file cannot be opened.
+  explicit RunLogger(const std::string& path);
+  /// Writes to an external stream; the caller keeps ownership.
+  explicit RunLogger(std::ostream& out) : out_(&out) {}
+  RunLogger(const RunLogger&) = delete;
+  RunLogger& operator=(const RunLogger&) = delete;
+
+  void log_step(const StepRecord& record);
+  void log_eval(const EvalRecord& record);
+
+  std::size_t records_written() const noexcept { return records_; }
+  void flush();
+
+ private:
+  std::ofstream owned_;
+  std::ostream* out_ = nullptr;
+  std::size_t records_ = 0;
+};
+
+}  // namespace middlefl::obs

@@ -1,0 +1,173 @@
+#include "obs/trace_recorder.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace middlefl::obs {
+namespace {
+
+std::atomic<std::uint64_t> g_recorder_generation{1};
+
+struct TlsBufferCache {
+  std::uint64_t generation = 0;
+  void* buffer = nullptr;
+};
+thread_local TlsBufferCache tls_buffer_cache;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(std::size_t events_per_thread)
+    : epoch_(Clock::now()),
+      capacity_(events_per_thread == 0 ? 1 : events_per_thread),
+      generation_(
+          g_recorder_generation.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  if (tls_buffer_cache.generation == generation_) {
+    return *static_cast<ThreadBuffer*>(tls_buffer_cache.buffer);
+  }
+  std::lock_guard lock(mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer* buffer = buffers_.back().get();
+  buffer->tid = buffers_.size() - 1;
+  buffer->ring.reserve(capacity_);
+  tls_buffer_cache = TlsBufferCache{generation_, buffer};
+  return *buffer;
+}
+
+void TraceRecorder::push(Event event) {
+  ThreadBuffer& buffer = local_buffer();
+  if (buffer.ring.size() < capacity_) {
+    buffer.ring.push_back(std::move(event));
+  } else {
+    buffer.ring[buffer.head] = std::move(event);
+  }
+  buffer.head = (buffer.head + 1) % capacity_;
+  ++buffer.written;
+}
+
+void TraceRecorder::complete(std::string name, const char* cat,
+                             Clock::time_point begin, Clock::time_point end,
+                             std::uint64_t arg, const char* arg_name) {
+  Event event;
+  event.ph = 'X';
+  event.name = std::move(name);
+  event.cat = cat;
+  event.ts_us = std::chrono::duration<double, std::micro>(begin - epoch_).count();
+  event.dur_us = std::chrono::duration<double, std::micro>(end - begin).count();
+  event.arg = arg;
+  event.arg_name = arg_name;
+  push(std::move(event));
+}
+
+void TraceRecorder::instant(std::string name, const char* cat,
+                            std::uint64_t arg, const char* arg_name) {
+  Event event;
+  event.ph = 'i';
+  event.name = std::move(name);
+  event.cat = cat;
+  event.ts_us = now_us();
+  event.arg = arg;
+  event.arg_name = arg_name;
+  push(std::move(event));
+}
+
+void TraceRecorder::counter(std::string name, const char* cat, double value) {
+  Event event;
+  event.ph = 'C';
+  event.name = std::move(name);
+  event.cat = cat;
+  event.ts_us = now_us();
+  event.value = value;
+  push(std::move(event));
+}
+
+double TraceRecorder::now_us() const {
+  return std::chrono::duration<double, std::micro>(Clock::now() - epoch_)
+      .count();
+}
+
+void TraceRecorder::name_this_thread(std::string name) {
+  local_buffer().thread_name = std::move(name);
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->ring.size();
+  return total;
+}
+
+std::size_t TraceRecorder::dropped_events() const {
+  std::lock_guard lock(mutex_);
+  std::size_t dropped = 0;
+  for (const auto& buffer : buffers_) {
+    dropped += buffer->written - buffer->ring.size();
+  }
+  return dropped;
+}
+
+std::size_t TraceRecorder::num_threads_seen() const {
+  std::lock_guard lock(mutex_);
+  return buffers_.size();
+}
+
+void TraceRecorder::write_chrome_trace(std::ostream& out) const {
+  std::lock_guard lock(mutex_);
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  const auto emit = [&](const ThreadBuffer& buffer, const Event& event) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << " {\"pid\": 1, \"tid\": " << buffer.tid << ", \"ph\": \""
+        << event.ph << "\", \"name\": \"" << json_escape(event.name)
+        << "\", \"cat\": \"" << json_escape(event.cat) << "\", \"ts\": "
+        << json_number(event.ts_us);
+    if (event.ph == 'X') {
+      out << ", \"dur\": " << json_number(event.dur_us);
+    }
+    if (event.ph == 'i') {
+      out << ", \"s\": \"t\"";  // thread-scoped instant
+    }
+    if (event.ph == 'C') {
+      out << ", \"args\": {\"value\": " << json_number(event.value) << "}";
+    } else if (event.arg_name != nullptr) {
+      out << ", \"args\": {\"" << json_escape(event.arg_name)
+          << "\": " << event.arg << "}";
+    }
+    out << "}";
+  };
+  for (const auto& buffer : buffers_) {
+    if (!buffer->thread_name.empty()) {
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << " {\"pid\": 1, \"tid\": " << buffer->tid
+          << ", \"ph\": \"M\", \"name\": \"thread_name\", \"args\": "
+          << "{\"name\": \"" << json_escape(buffer->thread_name) << "\"}}";
+    }
+    // Chronological order: a wrapped ring starts at head (the oldest
+    // retained event), an unwrapped one at 0.
+    const bool wrapped = buffer->written > buffer->ring.size();
+    const std::size_t count = buffer->ring.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t idx = wrapped ? (buffer->head + i) % count : i;
+      emit(*buffer, buffer->ring[idx]);
+    }
+  }
+  out << (first ? "]}\n" : "\n]}\n");
+}
+
+void TraceRecorder::write_chrome_trace_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("TraceRecorder: cannot write '" + path + "'");
+  }
+  write_chrome_trace(out);
+}
+
+}  // namespace middlefl::obs

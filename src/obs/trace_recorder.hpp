@@ -1,0 +1,145 @@
+// Span tracing with Chrome trace-event export.
+//
+// A TraceRecorder collects timing events — complete spans ("X"), instant
+// markers ("i") and counter samples ("C") — into per-thread ring buffers:
+// every recording thread owns a private fixed-capacity buffer created on
+// its first event, so the hot path takes no locks and threads never
+// contend. When a buffer fills, the oldest events are overwritten (the
+// recorder keeps the tail of the run) and the drop is counted.
+//
+// write_chrome_trace() serializes everything as Chrome trace-event JSON
+// ({"traceEvents": [...]}), loadable in Perfetto (https://ui.perfetto.dev)
+// or chrome://tracing, with one timeline row per recording thread. Export
+// must happen at a serial point: no thread may be recording while the
+// buffers are read (the simulator exports after run()/step() returns, when
+// the pool is quiescent).
+//
+// Timestamps come from std::chrono::steady_clock relative to the
+// recorder's construction. Recording only reads the clock — it never draws
+// randomness or touches simulation state — so tracing cannot perturb a
+// run; the null-recorder fast path (callers hold a TraceRecorder* and skip
+// everything when it is null, which TraceSpan does for them) makes
+// disabled tracing a single pointer test.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace middlefl::obs {
+
+class TraceRecorder {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `events_per_thread` caps each thread's ring buffer; the oldest events
+  /// are overwritten past that.
+  explicit TraceRecorder(std::size_t events_per_thread = 1 << 15);
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+  ~TraceRecorder();
+
+  /// Records a complete span [begin, end) on the calling thread's
+  /// timeline. `arg_name`, when non-null, attaches {"arg_name": arg} to
+  /// the event. `name` may be dynamic; `cat`/`arg_name` must be literals
+  /// (stored as pointers).
+  void complete(std::string name, const char* cat, Clock::time_point begin,
+                Clock::time_point end, std::uint64_t arg = 0,
+                const char* arg_name = nullptr);
+
+  /// Records a zero-duration instant marker at now().
+  void instant(std::string name, const char* cat, std::uint64_t arg = 0,
+               const char* arg_name = nullptr);
+
+  /// Records a counter sample ("C" event) at now(); Perfetto renders these
+  /// as a per-name value track.
+  void counter(std::string name, const char* cat, double value);
+
+  /// Microseconds elapsed since recorder construction.
+  double now_us() const;
+
+  /// Names the calling thread's timeline row ("main", "worker-3", ...).
+  void name_this_thread(std::string name);
+
+  /// Events currently retained / overwritten across all threads. Serial
+  /// points only (same contract as write_chrome_trace).
+  std::size_t event_count() const;
+  std::size_t dropped_events() const;
+  std::size_t num_threads_seen() const;
+
+  /// Serializes all retained events as Chrome trace-event JSON. Serial
+  /// points only.
+  void write_chrome_trace(std::ostream& out) const;
+  /// Writes the trace to `path`; throws std::runtime_error on open failure.
+  void write_chrome_trace_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    double ts_us = 0.0;
+    double dur_us = 0.0;   // "X" only
+    double value = 0.0;    // "C" only
+    std::uint64_t arg = 0;
+    const char* cat = "";
+    const char* arg_name = nullptr;
+    char ph = 'X';
+    std::string name;
+  };
+  struct ThreadBuffer {
+    std::size_t tid = 0;  // dense id in registration order
+    std::string thread_name;
+    std::vector<Event> ring;
+    std::size_t head = 0;     // next write slot
+    std::size_t written = 0;  // total events pushed
+  };
+
+  ThreadBuffer& local_buffer();
+  void push(Event event);
+
+  const Clock::time_point epoch_;
+  const std::size_t capacity_;
+  const std::uint64_t generation_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: times its scope and records a complete event on destruction.
+/// A null recorder makes construction and destruction no-ops (no clock
+/// reads) — the zero-cost disabled path.
+class TraceSpan {
+ public:
+  TraceSpan(TraceRecorder* recorder, std::string name, const char* cat,
+            std::uint64_t arg = 0, const char* arg_name = nullptr)
+      : recorder_(recorder) {
+    if (recorder_ != nullptr) {
+      name_ = std::move(name);
+      cat_ = cat;
+      arg_ = arg;
+      arg_name_ = arg_name;
+      begin_ = TraceRecorder::Clock::now();
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->complete(std::move(name_), cat_,
+                          begin_, TraceRecorder::Clock::now(), arg_,
+                          arg_name_);
+    }
+  }
+
+ private:
+  TraceRecorder* recorder_;
+  std::string name_;
+  const char* cat_ = "";
+  std::uint64_t arg_ = 0;
+  const char* arg_name_ = nullptr;
+  TraceRecorder::Clock::time_point begin_{};
+};
+
+}  // namespace middlefl::obs

@@ -34,13 +34,15 @@ void ThreadPool::set_default_size(std::size_t num_threads) noexcept {
   g_default_size.store(num_threads, std::memory_order_relaxed);
 }
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : start_(obs::TraceRecorder::Clock::now()) {
   if (num_threads == 0) {
     num_threads = default_size();
   }
+  cells_ = std::make_unique<WorkerCell[]>(num_threads);
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -53,8 +55,9 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
   tls_in_worker = true;
+  bool named = false;  // timeline named lazily, on the first traced task
   for (;;) {
     std::function<void()> task;
     {
@@ -64,8 +67,46 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    obs::TraceRecorder* trace = trace_.load(std::memory_order_relaxed);
+    if (trace == nullptr && !accounting_.load(std::memory_order_relaxed)) {
+      task();
+      continue;
+    }
+    const auto begin = obs::TraceRecorder::Clock::now();
     task();
+    const auto end = obs::TraceRecorder::Clock::now();
+    WorkerCell& cell = cells_[index];
+    // Single-writer cells: only this worker mutates them, so a relaxed
+    // load+store pair is a race-free increment.
+    cell.tasks.store(cell.tasks.load(std::memory_order_relaxed) + 1,
+                     std::memory_order_relaxed);
+    cell.busy_us.store(
+        cell.busy_us.load(std::memory_order_relaxed) +
+            std::chrono::duration<double, std::micro>(end - begin).count(),
+        std::memory_order_relaxed);
+    if (trace != nullptr) {
+      if (!named) {
+        trace->name_this_thread("worker-" + std::to_string(index));
+        named = true;
+      }
+      trace->complete("task", "pool", begin, end);
+    }
   }
+}
+
+std::vector<ThreadPool::WorkerStats> ThreadPool::worker_stats() const {
+  std::vector<WorkerStats> stats(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    stats[i].tasks = cells_[i].tasks.load(std::memory_order_relaxed);
+    stats[i].busy_us = cells_[i].busy_us.load(std::memory_order_relaxed);
+  }
+  return stats;
+}
+
+double ThreadPool::uptime_us() const {
+  return std::chrono::duration<double, std::micro>(
+             obs::TraceRecorder::Clock::now() - start_)
+      .count();
 }
 
 ThreadPool& ThreadPool::global() {

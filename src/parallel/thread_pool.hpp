@@ -7,14 +7,19 @@
 // fail-fast policy (a corrupted training step cannot be recovered mid-round).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/trace_recorder.hpp"
 
 namespace middlefl::parallel {
 
@@ -27,6 +32,31 @@ class ThreadPool {
   ~ThreadPool();
 
   std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Per-worker busy/idle accounting, exact at serial points (pool idle).
+  /// Idle time is uptime_us() minus a worker's busy_us.
+  struct WorkerStats {
+    std::uint64_t tasks = 0;
+    double busy_us = 0.0;
+  };
+
+  /// Attaches a span recorder: every executed task becomes a "pool" span
+  /// on its worker's timeline and feeds the busy counters. nullptr detaches
+  /// the recorder; accounting stays on if enabled separately.
+  void set_trace(obs::TraceRecorder* trace) noexcept {
+    trace_.store(trace, std::memory_order_relaxed);
+  }
+  /// Busy/idle accounting without span recording (two clock reads per
+  /// task). Off by default: the disabled hot path is one relaxed load.
+  void set_accounting(bool enabled) noexcept {
+    accounting_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Snapshot of per-worker counters (index = worker). Totals are exact
+  /// when no task is in flight.
+  std::vector<WorkerStats> worker_stats() const;
+  /// Wall microseconds since the pool was constructed.
+  double uptime_us() const;
 
   /// Enqueue a task; returns a future for completion/exception propagation.
   template <typename F>
@@ -66,9 +96,20 @@ class ThreadPool {
   static bool in_worker() noexcept;
 
  private:
-  void worker_loop();
+  // One cache line per worker; each cell has a single writer (its worker),
+  // so relaxed load+store increments are race-free.
+  struct alignas(64) WorkerCell {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<double> busy_us{0.0};
+  };
+
+  void worker_loop(std::size_t index);
 
   std::vector<std::thread> workers_;
+  std::unique_ptr<WorkerCell[]> cells_;
+  std::atomic<obs::TraceRecorder*> trace_{nullptr};
+  std::atomic<bool> accounting_{false};
+  obs::TraceRecorder::Clock::time_point start_;
   std::deque<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;

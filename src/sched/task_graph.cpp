@@ -45,13 +45,22 @@ void TaskGraph::run(parallel::ThreadPool* pool) {
   }
 }
 
+void TaskGraph::run_task(Task& task) {
+  if (trace_ == nullptr) {
+    task.fn();
+    return;
+  }
+  obs::TraceSpan span(trace_, task.label, "sched");
+  task.fn();
+}
+
 void TaskGraph::run_serial() {
   // Insertion order is a topological order (add() rejects forward deps).
   std::exception_ptr first_error;
   for (Task& task : tasks_) {
     if (first_error) break;  // fail-fast: skip everything after a failure
     try {
-      task.fn();
+      run_task(task);
     } catch (...) {
       first_error = std::current_exception();
     }
@@ -87,7 +96,7 @@ void TaskGraph::run_parallel(parallel::ThreadPool& pool) {
     }
     if (!failed) {
       try {
-        tasks_[id].fn();
+        run_task(tasks_[id]);
       } catch (...) {
         std::lock_guard lock(state.mutex);
         if (!state.first_error) state.first_error = std::current_exception();

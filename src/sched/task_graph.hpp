@@ -49,6 +49,11 @@ class TaskGraph {
   /// Drops all tasks so the graph can be rebuilt (buffers are reused).
   void clear();
 
+  /// Attaches a span recorder: every executed task becomes a "sched" span
+  /// (named by its label) on the thread that ran it. Survives clear();
+  /// nullptr detaches. Tracing never alters scheduling order.
+  void set_trace(obs::TraceRecorder* trace) noexcept { trace_ = trace; }
+
   std::size_t size() const noexcept { return tasks_.size(); }
   const std::string& label(TaskId id) const { return tasks_.at(id).label; }
 
@@ -62,8 +67,10 @@ class TaskGraph {
 
   void run_serial();
   void run_parallel(parallel::ThreadPool& pool);
+  void run_task(Task& task);
 
   std::vector<Task> tasks_;
+  obs::TraceRecorder* trace_ = nullptr;
 };
 
 }  // namespace middlefl::sched

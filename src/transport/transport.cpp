@@ -1,5 +1,9 @@
 #include "transport/transport.hpp"
 
+#include <string>
+
+#include "obs/metrics_registry.hpp"
+
 namespace middlefl::transport {
 
 Transport::Transport(const TransportConfig& config,
@@ -38,6 +42,21 @@ std::size_t Transport::total_in_flight() const {
   std::size_t total = 0;
   for (LinkKind kind : kAllLinkKinds) total += link(kind).in_flight();
   return total;
+}
+
+void Transport::export_metrics(obs::MetricsRegistry& metrics) const {
+  for (LinkKind kind : kAllLinkKinds) {
+    const std::string prefix = std::string("transport.") + to_string(kind);
+    const LinkStats stats = link(kind).stats();
+    metrics.set(metrics.gauge(prefix + ".transfers"),
+                static_cast<double>(stats.transfers));
+    metrics.set(metrics.gauge(prefix + ".dropped"),
+                static_cast<double>(stats.dropped));
+    metrics.set(metrics.gauge(prefix + ".bytes"),
+                static_cast<double>(stats.bytes));
+    metrics.set(metrics.gauge(prefix + ".in_flight"),
+                static_cast<double>(link(kind).in_flight()));
+  }
 }
 
 }  // namespace middlefl::transport

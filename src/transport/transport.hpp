@@ -15,6 +15,10 @@
 
 #include "transport/link.hpp"
 
+namespace middlefl::obs {
+class MetricsRegistry;
+}
+
 namespace middlefl::transport {
 
 /// Per-link policies for the whole hierarchy. Defaults describe perfect
@@ -69,6 +73,12 @@ class Transport {
 
   /// Payloads still in delay queues anywhere in the hierarchy.
   std::size_t total_in_flight() const;
+
+  /// Publishes the current per-link totals as gauges named
+  /// "transport.<link>.{transfers,dropped,bytes,in_flight}". Absolute
+  /// values (idempotent), so call at any serial point — typically once
+  /// before a metrics export.
+  void export_metrics(obs::MetricsRegistry& metrics) const;
 
  private:
   static std::size_t index(LinkKind kind) {

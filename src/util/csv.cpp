@@ -20,6 +20,46 @@ std::string csv_escape(std::string_view field) {
   return out;
 }
 
+std::vector<std::string> csv_split_row(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::size_t i = 0;
+  const std::size_t n = line.size();
+  for (;;) {
+    field.clear();
+    if (i < n && line[i] == '"') {
+      ++i;  // opening quote
+      for (;;) {
+        if (i >= n) {
+          throw std::invalid_argument(
+              "csv_split_row: unterminated quoted field");
+        }
+        if (line[i] == '"') {
+          if (i + 1 < n && line[i + 1] == '"') {  // doubled quote -> literal
+            field.push_back('"');
+            i += 2;
+          } else {
+            ++i;  // closing quote
+            break;
+          }
+        } else {
+          field.push_back(line[i++]);
+        }
+      }
+      if (i < n && line[i] != ',') {
+        throw std::invalid_argument(
+            "csv_split_row: text after closing quote");
+      }
+    } else {
+      while (i < n && line[i] != ',') field.push_back(line[i++]);
+    }
+    fields.push_back(field);
+    if (i >= n) break;
+    ++i;  // consume the comma; a trailing comma yields a final empty field
+  }
+  return fields;
+}
+
 std::string csv_number(double value) {
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.9g", value);

@@ -23,6 +23,14 @@ std::string csv_escape(std::string_view field);
 /// trimmed).
 std::string csv_number(double value);
 
+/// Split one CSV line into fields, undoing csv_escape(): quoted fields may
+/// contain commas and doubled quotes. Throws std::invalid_argument on a
+/// malformed line (unterminated quote, or garbage after a closing quote).
+/// The line must not contain the row terminator; embedded newlines inside
+/// quoted fields are not supported (csv_escape never emits them unescaped,
+/// and every writer in this codebase quotes them into a single line).
+std::vector<std::string> csv_split_row(std::string_view line);
+
 /// Row-oriented CSV writer over any ostream. Not thread-safe; one writer per
 /// stream.
 class CsvWriter {

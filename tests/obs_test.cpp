@@ -1,0 +1,438 @@
+// Observability subsystem tests.
+//
+// 1. MetricsRegistry: registration semantics, hot-path recording across
+//    threads, histogram bucketing, JSON export shape.
+// 2. TraceRecorder: event kinds, ring-buffer overwrite accounting, thread
+//    naming, Chrome trace-event export, TraceSpan null fast path.
+// 3. RunLogger: JSONL record shape and counts.
+// 4. History CSV round-trip, including algorithm names containing commas
+//    and quotes (util::csv_split_row undoing util::csv_escape).
+// 5. The StepObserver event stream (on_dropouts / on_blends /
+//    on_cloud_sync) and CommStatsObserver under lossy + latency link
+//    policies — the events must reconcile exactly with the simulation's
+//    own counters and the transport's wire reports.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/step_observer.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/run_logger.hpp"
+#include "obs/trace_recorder.hpp"
+#include "sim_fixture.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using middlefl::core::Algorithm;
+using middlefl::core::CommStatsObserver;
+using middlefl::core::RunHistory;
+using middlefl::core::StepObserver;
+using middlefl::core::StepPhase;
+using middlefl::obs::MetricsRegistry;
+using middlefl::obs::RunLogger;
+using middlefl::obs::TraceRecorder;
+using middlefl::obs::TraceSpan;
+using middlefl::testing::SimBundle;
+using middlefl::transport::LinkKind;
+using middlefl::transport::LinkStats;
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsRegistry, RegistrationIsIdempotentPerFamily) {
+  MetricsRegistry registry;
+  const auto a = registry.counter("events");
+  EXPECT_EQ(registry.counter("events"), a);
+  const auto g = registry.gauge("depth");
+  EXPECT_EQ(registry.gauge("depth"), g);
+  // Same name in a different family is a configuration bug.
+  EXPECT_THROW(registry.gauge("events"), std::invalid_argument);
+  EXPECT_THROW(registry.counter("depth"), std::invalid_argument);
+  // Histograms must re-register with identical bounds.
+  const auto h = registry.histogram("lat", {1.0, 2.0});
+  EXPECT_EQ(registry.histogram("lat", {1.0, 2.0}), h);
+  EXPECT_THROW(registry.histogram("lat", {1.0, 3.0}), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, CountersAndGaugesAggregate) {
+  MetricsRegistry registry;
+  const auto hits = registry.counter("hits");
+  const auto depth = registry.gauge("depth");
+  registry.add(hits);
+  registry.add(hits, 4.0);
+  registry.set(depth, 7.0);
+  registry.set(depth, 3.0);  // last writer wins
+
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "hits");
+  EXPECT_DOUBLE_EQ(snap.counters[0].second, 5.0);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, 3.0);
+}
+
+TEST(MetricsRegistry, CountersSumAcrossThreads) {
+  MetricsRegistry registry;
+  const auto hits = registry.counter("hits");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&registry, hits] {
+      for (int j = 0; j < kPerThread; ++j) registry.add(hits);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.counters[0].second, kThreads * kPerThread);
+  EXPECT_GE(registry.num_threads_seen(), static_cast<std::size_t>(kThreads));
+}
+
+TEST(MetricsRegistry, HistogramBucketsValues) {
+  MetricsRegistry registry;
+  // Buckets: (-inf,1], (1,5], (5,+inf)
+  const auto lat = registry.histogram("lat", {1.0, 5.0});
+  registry.observe(lat, 0.5);
+  registry.observe(lat, 1.0);  // boundary lands in its own bucket
+  registry.observe(lat, 3.0);
+  registry.observe(lat, 100.0);  // overflow bucket
+
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  const auto& h = snap.histograms[0];
+  ASSERT_EQ(h.counts.size(), 3u);
+  EXPECT_EQ(h.counts[0], 2u);
+  EXPECT_EQ(h.counts[1], 1u);
+  EXPECT_EQ(h.counts[2], 1u);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.sum, 104.5);
+}
+
+TEST(MetricsRegistry, JsonExportHasStableShape) {
+  MetricsRegistry registry;
+  registry.add(registry.counter("a.count"), 2.0);
+  registry.set(registry.gauge("b.depth"), 1.5);
+  registry.observe(registry.histogram("c.lat", {1.0}), 0.5);
+  std::ostringstream out;
+  registry.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"a.count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"b.depth\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+
+TEST(TraceRecorder, RecordsAllEventKinds) {
+  TraceRecorder trace;
+  trace.name_this_thread("main");
+  const auto begin = TraceRecorder::Clock::now();
+  trace.complete("span", "test", begin, TraceRecorder::Clock::now(), 7, "n");
+  trace.instant("marker", "test", 3, "count");
+  trace.counter("queue", "test", 2.0);
+  EXPECT_EQ(trace.event_count(), 3u);
+  EXPECT_EQ(trace.dropped_events(), 0u);
+  EXPECT_EQ(trace.num_threads_seen(), 1u);
+
+  std::ostringstream out;
+  trace.write_chrome_trace(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("\"main\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\": 7"), std::string::npos);
+}
+
+TEST(TraceRecorder, RingBufferKeepsTailAndCountsDrops) {
+  TraceRecorder trace(/*events_per_thread=*/4);
+  for (int i = 0; i < 10; ++i) trace.instant("e" + std::to_string(i), "t");
+  EXPECT_EQ(trace.event_count(), 4u);
+  EXPECT_EQ(trace.dropped_events(), 6u);
+  std::ostringstream out;
+  trace.write_chrome_trace(out);
+  // The tail of the run survives, the head is gone.
+  EXPECT_NE(out.str().find("\"e9\""), std::string::npos);
+  EXPECT_EQ(out.str().find("\"e0\""), std::string::npos);
+}
+
+TEST(TraceRecorder, SpanIsNoOpOnNullRecorder) {
+  // Must not crash, allocate buffers, or read clocks.
+  TraceSpan span(nullptr, "never", "test");
+  TraceRecorder trace;
+  { TraceSpan live(&trace, "scoped", "test", 1, "k"); }
+  EXPECT_EQ(trace.event_count(), 1u);
+}
+
+TEST(TraceRecorder, MergesPerThreadTimelines) {
+  TraceRecorder trace;
+  std::thread a([&trace] {
+    trace.name_this_thread("a");
+    trace.instant("from-a", "t");
+  });
+  std::thread b([&trace] {
+    trace.name_this_thread("b");
+    trace.instant("from-b", "t");
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(trace.event_count(), 2u);
+  EXPECT_EQ(trace.num_threads_seen(), 2u);
+  std::ostringstream out;
+  trace.write_chrome_trace(out);
+  EXPECT_NE(out.str().find("from-a"), std::string::npos);
+  EXPECT_NE(out.str().find("from-b"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// RunLogger
+
+TEST(RunLogger, WritesOneJsonObjectPerRecord) {
+  std::ostringstream out;
+  RunLogger logger(out);
+
+  middlefl::obs::StepRecord step;
+  step.step = 3;
+  step.synced = true;
+  step.selected = 6;
+  step.stragglers = 1;
+  step.blends = 2;
+  step.blend_weight_sum = 0.75;
+  step.contributing_edges = 3;
+  step.step_wall_us = 120.5;
+  step.phase_us = {{"select", 10.0}, {"local_train", 90.0}};
+  step.links.push_back({"wireless_up", 6, 1, 4096, 2});
+  logger.log_step(step);
+  logger.log_eval({3, 0.5, 1.25, 900.0});
+  logger.flush();
+  EXPECT_EQ(logger.records_written(), 2u);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> records;
+  while (std::getline(lines, line)) records.push_back(line);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NE(records[0].find("\"kind\": \"step\""), std::string::npos);
+  EXPECT_NE(records[0].find("\"step\": 3"), std::string::npos);
+  EXPECT_NE(records[0].find("\"synced\": true"), std::string::npos);
+  EXPECT_NE(records[0].find("\"wireless_up\""), std::string::npos);
+  EXPECT_NE(records[0].find("\"select\""), std::string::npos);
+  EXPECT_NE(records[1].find("\"kind\": \"eval\""), std::string::npos);
+  EXPECT_NE(records[1].find("\"accuracy\": 0.5"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// History CSV round-trip (names with commas/quotes)
+
+TEST(HistoryCsv, RoundTripsAlgorithmNameWithCommasAndQuotes) {
+  RunHistory history;
+  history.algorithm = "MIDDLE, \"tuned\", v2";
+  history.points.push_back({5, 0.25, 1.5, {}, {}});
+  history.points.push_back({10, 0.5, 0.75, {}, {}});
+
+  const std::string path =
+      ::testing::TempDir() + "obs_test_history_roundtrip.csv";
+  middlefl::core::save_history_csv(history, path);
+  const RunHistory loaded = middlefl::core::load_history_csv(path);
+  std::remove(path.c_str());
+
+  EXPECT_EQ(loaded.algorithm, history.algorithm);
+  ASSERT_EQ(loaded.points.size(), 2u);
+  EXPECT_EQ(loaded.points[0].step, 5u);
+  EXPECT_DOUBLE_EQ(loaded.points[0].accuracy, 0.25);
+  EXPECT_DOUBLE_EQ(loaded.points[1].loss, 0.75);
+}
+
+TEST(CsvSplitRow, UndoesEscaping) {
+  using middlefl::util::csv_split_row;
+  EXPECT_EQ(csv_split_row("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(csv_split_row("\"a,b\",c"),
+            (std::vector<std::string>{"a,b", "c"}));
+  EXPECT_EQ(csv_split_row("\"say \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"say \"hi\"", "x"}));
+  EXPECT_EQ(csv_split_row("a,,c"),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(csv_split_row("a,"), (std::vector<std::string>{"a", ""}));
+  EXPECT_EQ(csv_split_row(""), (std::vector<std::string>{""}));
+  EXPECT_THROW(csv_split_row("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(csv_split_row("\"x\"y,z"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Step-event stream under lossy + latency link policies (satellite 3)
+
+/// Collects every pipeline event relevant to the dropout/blend/sync
+/// contract so tests can reconcile the stream against the simulation's
+/// counters.
+class EventLog final : public StepObserver {
+ public:
+  struct Dropout {
+    std::size_t step, stragglers, lost;
+  };
+  struct Blend {
+    std::size_t step, count;
+    double weight_sum;
+  };
+  struct Sync {
+    std::size_t step, contributing;
+  };
+
+  std::vector<Dropout> dropouts;
+  std::vector<Blend> blends;
+  std::vector<Sync> syncs;
+  LinkStats uplink_total;
+  LinkStats downlink_total;
+
+  void on_dropouts(std::size_t step, std::size_t stragglers,
+                   std::size_t lost) override {
+    dropouts.push_back({step, stragglers, lost});
+  }
+  void on_blends(std::size_t step, std::size_t count,
+                 double weight_sum) override {
+    blends.push_back({step, count, weight_sum});
+  }
+  void on_cloud_sync(std::size_t step, std::size_t contributing) override {
+    syncs.push_back({step, contributing});
+  }
+  void on_transfers(StepPhase, LinkKind kind, const LinkStats& delta,
+                    std::size_t) override {
+    if (kind == LinkKind::kWirelessUp) uplink_total += delta;
+    if (kind == LinkKind::kWirelessDown) downlink_total += delta;
+  }
+};
+
+TEST(EventStream, ReconcilesWithCountersUnderLossyLatencyLinks) {
+  SimBundle bundle;
+  // Lossy wireless in both directions, one step of uplink latency, plus a
+  // straggler-heavy device population: every dropout path fires.
+  bundle.cfg.transport.wireless_up.loss_prob = 0.3;
+  bundle.cfg.transport.wireless_up.latency_steps = 1;
+  bundle.cfg.transport.wireless_down.loss_prob = 0.25;
+  bundle.cfg.device_speeds.assign(12, 1.0);
+  bundle.cfg.device_speeds[0] = 0.05;
+  bundle.cfg.round_deadline = 5.0;
+  auto sim = bundle.make(Algorithm::kMiddle);
+
+  EventLog events;
+  CommStatsObserver comm;  // independent copy of the built-in observer
+  sim->add_observer(&events);
+  sim->add_observer(&comm);
+  sim->run();
+
+  // Dropout events must sum exactly to the simulation's counters, and a
+  // lossy downlink + slow device must actually produce some.
+  std::size_t stragglers = 0, lost = 0;
+  for (const auto& d : events.dropouts) {
+    EXPECT_GT(d.stragglers + d.lost, 0u) << "empty dropout event";
+    stragglers += d.stragglers;
+    lost += d.lost;
+  }
+  EXPECT_EQ(stragglers, sim->straggler_drops());
+  // lost_downloads() counts every downlink drop, including drops on
+  // downloads to devices that were then dropped as stragglers anyway (the
+  // event classifies those as stragglers, not lost downloads).
+  EXPECT_LE(lost, sim->lost_downloads());
+  EXPECT_GT(stragglers, 0u);
+  EXPECT_GT(lost, 0u);
+
+  // Blend events reconcile with the on-device aggregation counter.
+  std::size_t blend_count = 0;
+  for (const auto& b : events.blends) {
+    EXPECT_GT(b.count, 0u);
+    EXPECT_GT(b.weight_sum, 0.0);
+    blend_count += b.count;
+  }
+  EXPECT_EQ(blend_count, sim->on_device_aggregations());
+
+  // Cloud syncs fire every cloud_interval steps, never with more edges
+  // than exist.
+  ASSERT_EQ(events.syncs.size(),
+            bundle.cfg.total_steps / bundle.cfg.cloud_interval);
+  for (const auto& s : events.syncs) {
+    EXPECT_EQ(s.step % bundle.cfg.cloud_interval, 0u);
+    EXPECT_LE(s.contributing, sim->num_edges());
+  }
+
+  // Transfer deltas reconcile with the transport's own wire report, drops
+  // included (lossy uplink must have dropped something).
+  const auto& up = sim->transport().link(LinkKind::kWirelessUp).stats();
+  const auto& down = sim->transport().link(LinkKind::kWirelessDown).stats();
+  EXPECT_EQ(events.uplink_total.transfers, up.transfers);
+  EXPECT_EQ(events.uplink_total.dropped, up.dropped);
+  EXPECT_EQ(events.uplink_total.bytes, up.bytes);
+  EXPECT_EQ(events.downlink_total.transfers, down.transfers);
+  EXPECT_EQ(events.downlink_total.dropped, down.dropped);
+  EXPECT_GT(up.dropped, 0u);
+  EXPECT_GT(down.dropped, 0u);
+
+  // The user-registered CommStatsObserver saw the identical stream as the
+  // built-in one behind comm_stats().
+  const auto& mine = comm.stats();
+  const auto& builtin = sim->comm_stats();
+  EXPECT_EQ(mine.device_downloads, builtin.device_downloads);
+  EXPECT_EQ(mine.device_uploads, builtin.device_uploads);
+  EXPECT_EQ(mine.edge_uploads, builtin.edge_uploads);
+  EXPECT_EQ(mine.edge_downloads, builtin.edge_downloads);
+  EXPECT_EQ(mine.device_broadcasts, builtin.device_broadcasts);
+}
+
+TEST(EventStream, WanLatencyDefersCloudContributions) {
+  SimBundle bundle;
+  bundle.cfg.transport.wan_up.latency_steps = 1;
+  auto sim = bundle.make(Algorithm::kMiddle);
+
+  EventLog events;
+  sim->add_observer(&events);
+  sim->run();
+
+  // With one step of WAN latency every sync's uploads are still in flight
+  // when the cloud aggregates, so the first sync has no contributions and
+  // later syncs see only the previous sync's (stale) uploads.
+  ASSERT_FALSE(events.syncs.empty());
+  EXPECT_EQ(events.syncs.front().contributing, 0u);
+  for (std::size_t i = 1; i < events.syncs.size(); ++i) {
+    EXPECT_LE(events.syncs[i].contributing, sim->num_edges());
+  }
+  // The stale uploads do eventually land: the final in-flight count equals
+  // exactly one sync's worth of WAN uploads.
+  EXPECT_EQ(sim->transport().total_in_flight(), 0u + sim->num_edges());
+}
+
+TEST(EventStream, TraceCapturesDropoutAndBlendInstants) {
+  SimBundle bundle;
+  bundle.cfg.transport.wireless_down.loss_prob = 0.3;
+  auto sim = bundle.make(Algorithm::kMiddle);
+
+  TraceRecorder trace;
+  sim->set_observability({&trace, nullptr, nullptr});
+  sim->run();
+
+  std::ostringstream out;
+  trace.write_chrome_trace(out);
+  const std::string json = out.str();
+  // The serial replay point emits instant markers for the lossy downlink's
+  // dropouts and the mobility-driven blends, and every phase span shows up.
+  EXPECT_NE(json.find("\"dropouts\""), std::string::npos);
+  EXPECT_NE(json.find("\"blends\""), std::string::npos);
+  for (const char* phase : {"\"select\"", "\"distribute\"", "\"local_train\"",
+                            "\"upload\"", "\"edge_aggregate\"",
+                            "\"cloud_sync\"", "\"step\"", "\"evaluate\""}) {
+    EXPECT_NE(json.find(phase), std::string::npos) << phase;
+  }
+}
+
+}  // namespace

@@ -17,8 +17,12 @@
 #include <cstdint>
 #include <cstring>
 #include <span>
+#include <sstream>
 #include <vector>
 
+#include "obs/metrics_registry.hpp"
+#include "obs/run_logger.hpp"
+#include "obs/trace_recorder.hpp"
 #include "sim_fixture.hpp"
 
 namespace {
@@ -115,6 +119,35 @@ void expect_matches_golden(Simulation& sim, const RunHistory& history,
       << "blend weight bits 0x" << std::hex << bw;
 }
 
+// Runs the configured bundle twice — bare, then with the full
+// observability stack attached (trace recorder + metrics registry + JSONL
+// logger) — and requires both runs to match the same pre-refactor
+// fingerprints. Recording reads only the steady clock, so attaching it
+// must not change a single bit of the run.
+void expect_golden_with_and_without_obs(SimBundle& bundle,
+                                        Algorithm algorithm,
+                                        const GoldenRun& g) {
+  {
+    SCOPED_TRACE("bare");
+    auto sim = bundle.make(algorithm);
+    const RunHistory history = sim->run();
+    expect_matches_golden(*sim, history, g);
+  }
+  {
+    SCOPED_TRACE("observed");
+    middlefl::obs::TraceRecorder trace;
+    middlefl::obs::MetricsRegistry metrics;
+    std::ostringstream jsonl;
+    middlefl::obs::RunLogger logger(jsonl);
+    auto sim = bundle.make(algorithm);
+    sim->set_observability({&trace, &metrics, &logger});
+    const RunHistory history = sim->run();
+    expect_matches_golden(*sim, history, g);
+    EXPECT_GT(trace.event_count(), 0u);
+    EXPECT_GT(logger.records_written(), 0u);
+  }
+}
+
 TEST(GoldenParity, MiddleDefault) {
   const GoldenRun golden{
       "middle_default",
@@ -127,9 +160,7 @@ TEST(GoldenParity, MiddleDefault) {
       0, 0, 308880, 61,
       {0x3fdfffa9a58325ac, 0x3fdfffa9a582ae6b}};
   SimBundle bundle;
-  auto sim = bundle.make(Algorithm::kMiddle);
-  const RunHistory history = sim->run();
-  expect_matches_golden(*sim, history, golden);
+  expect_golden_with_and_without_obs(bundle, Algorithm::kMiddle, golden);
 }
 
 TEST(GoldenParity, MiddleDefaultParallel) {
@@ -146,9 +177,7 @@ TEST(GoldenParity, MiddleDefaultParallel) {
       {0x3fdfffa9a58325ac, 0x3fdfffa9a582ae6b}};
   SimBundle bundle;
   bundle.cfg.parallel_devices = true;
-  auto sim = bundle.make(Algorithm::kMiddle);
-  const RunHistory history = sim->run();
-  expect_matches_golden(*sim, history, golden);
+  expect_golden_with_and_without_obs(bundle, Algorithm::kMiddle, golden);
 }
 
 TEST(GoldenParity, MiddleUploadFailures) {
@@ -166,9 +195,7 @@ TEST(GoldenParity, MiddleUploadFailures) {
       {0x3fdfff99a8d61897, 0x3fdfff99a8d59276}};
   SimBundle bundle;
   bundle.cfg.upload_failure_prob = 0.25;
-  auto sim = bundle.make(Algorithm::kMiddle);
-  const RunHistory history = sim->run();
-  expect_matches_golden(*sim, history, golden);
+  expect_golden_with_and_without_obs(bundle, Algorithm::kMiddle, golden);
 }
 
 TEST(GoldenParity, MiddleTopKCompression) {
@@ -186,9 +213,7 @@ TEST(GoldenParity, MiddleTopKCompression) {
   bundle.cfg.upload_compression.kind =
       middlefl::core::CompressionKind::kTopK;
   bundle.cfg.upload_compression.top_k_fraction = 0.25;
-  auto sim = bundle.make(Algorithm::kMiddle);
-  const RunHistory history = sim->run();
-  expect_matches_golden(*sim, history, golden);
+  expect_golden_with_and_without_obs(bundle, Algorithm::kMiddle, golden);
 }
 
 TEST(GoldenParity, FedMesMobile) {
@@ -205,9 +230,7 @@ TEST(GoldenParity, FedMesMobile) {
       {0x3fe0000000000000, 0x3fe0000000000000}};
   SimBundle bundle;
   bundle.mobility_p = 0.8;
-  auto sim = bundle.make(Algorithm::kFedMes);
-  const RunHistory history = sim->run();
-  expect_matches_golden(*sim, history, golden);
+  expect_golden_with_and_without_obs(bundle, Algorithm::kFedMes, golden);
 }
 
 TEST(GoldenParity, MiddleHeterogeneousStragglers) {
@@ -228,9 +251,7 @@ TEST(GoldenParity, MiddleHeterogeneousStragglers) {
   bundle.cfg.device_speeds[1] = 0.4;
   bundle.cfg.round_deadline = 5.0;
   bundle.cfg.upload_failure_prob = 0.2;
-  auto sim = bundle.make(Algorithm::kMiddle);
-  const RunHistory history = sim->run();
-  expect_matches_golden(*sim, history, golden);
+  expect_golden_with_and_without_obs(bundle, Algorithm::kMiddle, golden);
 }
 
 // ---------------------------------------------------------------------------

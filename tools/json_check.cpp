@@ -1,0 +1,383 @@
+// json_check — strict validator for the observability output files.
+//
+// Validates that a file is well-formed JSON (default) or JSONL (--jsonl:
+// every non-empty line is one JSON value), with optional structural
+// checks used by CI and the smoke tests:
+//
+//   json_check --require-key traceEvents --nonempty-array traceEvents trace.json
+//   json_check --require-key counters,gauges,histograms metrics.json
+//   json_check --jsonl --require-key kind --min-records 10 run.jsonl
+//
+// --require-key demands the top-level value (every line in JSONL mode) be
+// an object containing each comma-separated key; --nonempty-array demands
+// the named top-level key hold an array with at least one element;
+// --min-records demands at least N values (lines in JSONL mode, 1
+// otherwise). Exit 0 on success, 1 with a diagnostic on stderr otherwise.
+//
+// Hand-rolled recursive-descent parser: no external JSON dependency, and
+// strict by construction (no trailing commas, no comments, no garbage
+// after the value) so anything it accepts loads in Python/Perfetto.
+#include <cctype>
+#include <cstddef>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+
+namespace {
+
+/// What the validator remembers about one top-level object entry.
+struct TopValueInfo {
+  char kind = '?';  // 'o' object, 'a' array, 's' string, 'n' number,
+                    // 'b' bool, 'z' null
+  std::size_t array_size = 0;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  /// Parses exactly one JSON value spanning the whole input (modulo
+  /// whitespace). Throws std::runtime_error with offset context on any
+  /// violation. Top-level object entries are recorded in top_level().
+  void parse_document() {
+    skip_ws();
+    parse_value(/*depth=*/0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing garbage after JSON value");
+  }
+
+  const std::map<std::string, TopValueInfo>& top_level() const {
+    return top_level_;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error(what + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("unexpected end of input");
+    }
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+  }
+
+  TopValueInfo parse_value(int depth) {
+    if (depth > 256) fail("nesting too deep");
+    TopValueInfo info;
+    switch (peek()) {
+      case '{':
+        info.kind = 'o';
+        parse_object(depth);
+        break;
+      case '[':
+        info.kind = 'a';
+        info.array_size = parse_array(depth);
+        break;
+      case '"':
+        info.kind = 's';
+        parse_string();
+        break;
+      case 't':
+        info.kind = 'b';
+        parse_literal("true");
+        break;
+      case 'f':
+        info.kind = 'b';
+        parse_literal("false");
+        break;
+      case 'n':
+        info.kind = 'z';
+        parse_literal("null");
+        break;
+      default:
+        info.kind = 'n';
+        parse_number();
+        break;
+    }
+    return info;
+  }
+
+  void parse_object(int depth) {
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      const TopValueInfo info = parse_value(depth + 1);
+      if (depth == 0) top_level_[key] = info;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  std::size_t parse_array(int depth) {
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return 0;
+    }
+    std::size_t count = 0;
+    for (;;) {
+      skip_ws();
+      parse_value(depth + 1);
+      ++count;
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return count;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          for (int i = 0; i < 4; ++i) {
+            if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + i]))) {
+              fail("bad \\u escape");
+            }
+          }
+          pos_ += 4;  // decoded value irrelevant for validation
+          out.push_back('?');
+          break;
+        }
+        default:
+          fail("bad escape character");
+      }
+    }
+  }
+
+  void parse_literal(const char* literal) {
+    for (const char* c = literal; *c != '\0'; ++c) {
+      if (pos_ >= text_.size() || text_[pos_] != *c) fail("bad literal");
+      ++pos_;
+    }
+  }
+
+  void parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      fail("bad number");
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("bad fraction");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        fail("bad exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start) fail("bad number");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::map<std::string, TopValueInfo> top_level_;
+};
+
+std::vector<std::string> split_commas(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const auto comma = list.find(',', pos);
+    const auto end = comma == std::string::npos ? list.size() : comma;
+    if (end > pos) out.push_back(list.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
+/// Validates one JSON document and applies the structural checks; returns
+/// an error message, or empty on success.
+std::string check_document(std::string_view text,
+                           const std::vector<std::string>& required_keys,
+                           const std::string& nonempty_array) {
+  JsonParser parser(text);
+  try {
+    parser.parse_document();
+  } catch (const std::exception& error) {
+    return error.what();
+  }
+  for (const std::string& key : required_keys) {
+    if (parser.top_level().find(key) == parser.top_level().end()) {
+      return "missing required top-level key \"" + key + "\"";
+    }
+  }
+  if (!nonempty_array.empty()) {
+    const auto it = parser.top_level().find(nonempty_array);
+    if (it == parser.top_level().end()) {
+      return "missing array key \"" + nonempty_array + "\"";
+    }
+    if (it->second.kind != 'a') {
+      return "key \"" + nonempty_array + "\" is not an array";
+    }
+    if (it->second.array_size == 0) {
+      return "array \"" + nonempty_array + "\" is empty";
+    }
+  }
+  return {};
+}
+
+int run(int argc, const char* const* argv) {
+  bool jsonl = false;
+  std::string require_key;
+  std::string nonempty_array;
+  std::size_t min_records = 1;
+  std::string file;
+  middlefl::util::CliParser cli(
+      "json_check: strict JSON/JSONL validator for observability outputs");
+  cli.add_flag("jsonl", "treat the file as JSONL (one value per line)",
+               &jsonl);
+  cli.add_flag("require-key",
+               "comma-separated top-level keys that must be present",
+               &require_key);
+  cli.add_flag("nonempty-array",
+               "top-level key that must hold a non-empty array",
+               &nonempty_array);
+  cli.add_flag("min-records", "minimum number of JSON values (JSONL lines)",
+               &min_records);
+  cli.add_flag("file", "file to validate", &file);
+  if (!cli.parse(argc, argv)) return 0;
+  if (file.empty()) {
+    std::cerr << "json_check: no input (use --file <path>)\n";
+    return 1;
+  }
+
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    std::cerr << "json_check: cannot open " << file << "\n";
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const std::vector<std::string> required = split_commas(require_key);
+
+  std::size_t records = 0;
+  if (jsonl) {
+    std::istringstream lines(text);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(lines, line)) {
+      ++line_no;
+      if (line.empty()) continue;
+      const std::string error = check_document(line, required, nonempty_array);
+      if (!error.empty()) {
+        std::cerr << "json_check: " << file << ":" << line_no << ": " << error
+                  << "\n";
+        return 1;
+      }
+      ++records;
+    }
+  } else {
+    const std::string error = check_document(text, required, nonempty_array);
+    if (!error.empty()) {
+      std::cerr << "json_check: " << file << ": " << error << "\n";
+      return 1;
+    }
+    records = 1;
+  }
+  if (records < min_records) {
+    std::cerr << "json_check: " << file << ": " << records
+              << " record(s), expected at least " << min_records << "\n";
+    return 1;
+  }
+  std::cout << file << ": OK (" << records << " record"
+            << (records == 1 ? "" : "s") << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "json_check: " << e.what() << "\n";
+    return 1;
+  }
+}

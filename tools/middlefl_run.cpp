@@ -36,6 +36,9 @@ struct Options {
   std::string topology = "home-ring";
   std::string out;
   std::string json_summary;
+  std::string trace_out;    // Chrome trace-event JSON (Perfetto)
+  std::string metrics_out;  // metrics snapshot JSON
+  std::string log_jsonl;    // per-step/per-eval JSONL flight record
   std::string uplink_compression = "none";
   std::string downlink_compression = "none";
   std::string wan_compression = "none";
@@ -131,13 +134,16 @@ void write_json_summary(const std::string& path, const Options& opt,
   file << "  },\n";
   file << "  \"total_wire_bytes\": " << sim.transport().total_bytes()
        << ",\n";
+  file << "  \"total_in_flight\": " << sim.transport().total_in_flight()
+       << ",\n";
 
   file << "  \"failed_uploads\": " << sim.failed_uploads() << ",\n";
   file << "  \"lost_downloads\": " << sim.lost_downloads() << ",\n";
   file << "  \"straggler_drops\": " << sim.straggler_drops() << ",\n";
   file << "  \"on_device_aggregations\": " << sim.on_device_aggregations()
        << ",\n";
-  file << "  \"mean_blend_weight\": " << sim.mean_blend_weight() << "\n";
+  file << "  \"mean_blend_weight\": " << sim.mean_blend_weight() << ",\n";
+  file << "  \"eval_points\": " << history.points.size() << "\n";
   file << "}\n";
 }
 
@@ -221,6 +227,13 @@ int run(int argc, const char* const* argv) {
                &opt.broadcast_loss);
   cli.add_flag("json-summary", "write a JSON run summary here",
                &opt.json_summary);
+  cli.add_flag("trace-out",
+               "write a Chrome trace-event JSON (Perfetto-loadable) here",
+               &opt.trace_out);
+  cli.add_flag("metrics-out", "write a metrics snapshot JSON here",
+               &opt.metrics_out);
+  cli.add_flag("log-jsonl", "write per-step/per-eval JSONL records here",
+               &opt.log_jsonl);
   cli.add_flag("target", "report time-to-accuracy for this target (0 = off)",
                &opt.target);
   cli.add_flag("threads",
@@ -315,12 +328,68 @@ int run(int argc, const char* const* argv) {
                        std::move(mobility_model),
                        core::make_algorithm(core::parse_algorithm(opt.algorithm)));
 
+  // Observability: each recorder exists only when its output was requested;
+  // an all-null bundle keeps the simulator on the zero-cost path. The pool
+  // trace must be detached before the recorder dies (the global pool
+  // outlives this scope).
+  std::unique_ptr<obs::TraceRecorder> trace;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::RunLogger> logger;
+  obs::Observability bundle;
+  if (!opt.trace_out.empty()) {
+    trace = std::make_unique<obs::TraceRecorder>();
+    bundle.trace = trace.get();
+  }
+  if (!opt.metrics_out.empty()) {
+    metrics = std::make_unique<obs::MetricsRegistry>();
+    bundle.metrics = metrics.get();
+  }
+  if (!opt.log_jsonl.empty()) {
+    logger = std::make_unique<obs::RunLogger>(opt.log_jsonl);
+    bundle.logger = logger.get();
+  }
+  if (bundle.enabled()) {
+    sim.set_observability(bundle);
+    parallel::ThreadPool::global().set_trace(bundle.trace);
+    if (bundle.metrics != nullptr) {
+      parallel::ThreadPool::global().set_accounting(true);
+    }
+  }
+
   const auto history = sim.run([&opt](const core::EvalPoint& point) {
     if (!opt.quiet) {
       std::cerr << "step " << point.step << "  acc " << point.accuracy
                 << "  loss " << point.loss << "\n";
     }
   });
+
+  parallel::ThreadPool::global().set_trace(nullptr);
+  if (trace != nullptr) {
+    trace->write_chrome_trace_file(opt.trace_out);
+    std::cerr << "trace written to " << opt.trace_out << " ("
+              << trace->event_count() << " events)\n";
+  }
+  if (metrics != nullptr) {
+    sim.transport().export_metrics(*metrics);
+    const parallel::ThreadPool& pool = parallel::ThreadPool::global();
+    metrics->set(metrics->gauge("pool.workers"),
+                 static_cast<double>(pool.size()));
+    double busy_us = 0.0, tasks = 0.0;
+    for (const auto& w : pool.worker_stats()) {
+      busy_us += w.busy_us;
+      tasks += static_cast<double>(w.tasks);
+    }
+    metrics->set(metrics->gauge("pool.tasks"), tasks);
+    metrics->set(metrics->gauge("pool.busy_us"), busy_us);
+    metrics->set(metrics->gauge("pool.uptime_us"), pool.uptime_us());
+    metrics->write_json_file(opt.metrics_out);
+    std::cerr << "metrics written to " << opt.metrics_out << "\n";
+  }
+  if (logger != nullptr) {
+    logger->flush();
+    std::cerr << "run log written to " << opt.log_jsonl << " ("
+              << logger->records_written() << " records)\n";
+  }
 
   if (!opt.out.empty()) {
     core::save_history_csv(history, opt.out);
