@@ -4,6 +4,7 @@
 // thread-pool dispatch.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "parallel/rng.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/blas.hpp"
+#include "tensor/cpu_features.hpp"
 
 namespace {
 
@@ -88,6 +90,68 @@ void BM_GemmLinearForward(benchmark::State& state) {
                           m * n * k);
 }
 BENCHMARK(BM_GemmLinearForward);
+
+/// The fused Linear-forward epilogue (bias + ReLU + mask) against the same
+/// GEMM followed by separate bias/ReLU sweeps — the memory-pass saving the
+/// layer fusion buys on the Fig-6 hidden-layer shape (batch 8, 64 -> 48).
+void BM_GemmFusedEpilogue(benchmark::State& state) {
+  const bool fused = state.range(0) != 0;
+  const std::size_t m = 8, n = 48, k = 64;
+  const auto a = random_vec(m * k, 5);
+  const auto b = random_vec(n * k, 6);
+  const auto bias = random_vec(n, 7);
+  std::vector<float> c(m * n, 0.0f);
+  std::vector<std::uint8_t> mask(m * n, 0);
+  for (auto _ : state) {
+    if (fused) {
+      tensor::GemmEpilogue epi;
+      epi.col_bias = bias.data();
+      epi.relu = true;
+      epi.relu_mask = mask.data();
+      tensor::gemm(tensor::Trans::kNo, tensor::Trans::kYes, m, n, k, 1.0f, a,
+                   b, 0.0f, c, nullptr, &epi);
+    } else {
+      tensor::gemm(tensor::Trans::kNo, tensor::Trans::kYes, m, n, k, 1.0f, a,
+                   b, 0.0f, c);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          float v = c[i * n + j] + bias[j];
+          v = v > 0.0f ? v : 0.0f;
+          c[i * n + j] = v;
+          mask[i * n + j] = v > 0.0f ? 1 : 0;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(c.data());
+    benchmark::DoNotOptimize(mask.data());
+  }
+}
+BENCHMARK(BM_GemmFusedEpilogue)->Arg(0)->Arg(1);
+
+/// One GEMM shape through each ISA tier the host supports (0 = scalar,
+/// 1 = AVX2, 2 = AVX-512): the speed the runtime dispatch buys. Tiers the
+/// CPU lacks are clamped by force_isa and reported skipped.
+void BM_GemmDispatchIsa(benchmark::State& state) {
+  const auto want = static_cast<tensor::IsaLevel>(state.range(0));
+  if (tensor::force_isa(want) != want) {
+    tensor::clear_forced_isa();
+    state.SkipWithError("ISA tier not supported on this host");
+    return;
+  }
+  const std::size_t n = 128;
+  const auto a = random_vec(n * n, 8);
+  const auto b = random_vec(n * n, 9);
+  std::vector<float> c(n * n, 0.0f);
+  for (auto _ : state) {
+    tensor::gemm(tensor::Trans::kNo, tensor::Trans::kNo, n, n, n, 1.0f, a, b,
+                 0.0f, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  tensor::clear_forced_isa();
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2 *
+                          n * n * n);
+}
+BENCHMARK(BM_GemmDispatchIsa)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_GemmTransB(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

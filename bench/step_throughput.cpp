@@ -5,9 +5,12 @@
 // SGD, edge aggregation and snapshot upkeep all sit inside one step. The
 // result is emitted as JSON (default BENCH_step_throughput.json) so the
 // perf trajectory is tracked across PRs. Besides the main measurement on
-// the configured pool, a thread-scaling sweep (1/2/4/8 workers, even past
-// the hardware concurrency recorded next to it) records how the per-edge
-// task-graph scheduler scales; --no-sweep skips it.
+// the configured pool, a thread-scaling sweep (requested sizes 1/2/4/8,
+// clamped to the hardware concurrency so a small host measures real scaling
+// instead of oversubscription noise; each entry records the requested size
+// and an `oversubscribed` flag) records how the per-edge task-graph
+// scheduler scales; --no-sweep skips it.
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -26,6 +29,8 @@ using bench::BenchOptions;
 
 struct Measurement {
   std::size_t pool_threads = 0;
+  std::size_t threads_requested = 0;
+  bool oversubscribed = false;
   double seconds = 0.0;
   double steps_per_sec = 0.0;
 };
@@ -112,15 +117,39 @@ int run(int argc, const char* const* argv) {
             << (main.pool_threads == 1 ? "" : "s") << ")\n";
 
   // Thread-scaling sweep on private pools so the pinned sizes do not
-  // disturb the shared pool.
+  // disturb the shared pool. Requested sizes beyond the hardware
+  // concurrency are clamped: oversubscribing a small host measures
+  // scheduler contention, not scaling, and each distinct clamped size only
+  // needs to run once. The requested size and an `oversubscribed` flag are
+  // still recorded so sweep entries stay comparable across hosts.
   std::vector<Measurement> sweep;
   if (!no_sweep) {
+    const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+    std::size_t last_run = 0;
     for (const std::size_t n : {1u, 2u, 4u, 8u}) {
+      const std::size_t clamped = std::min(n, hw);
+      if (clamped == last_run) {
+        // Same effective pool as the previous entry: reuse its timing
+        // instead of re-measuring the identical configuration.
+        Measurement repeat = sweep.back();
+        repeat.threads_requested = n;
+        repeat.oversubscribed = n > hw;
+        sweep.push_back(repeat);
+        continue;
+      }
       std::unique_ptr<parallel::ThreadPool> pool;
-      if (n > 1) pool = std::make_unique<parallel::ThreadPool>(n);
-      sweep.push_back(measure(setup, algorithm, options, warmup_steps,
-                              timed_steps, pool.get()));
-      std::cerr << "   sweep " << n << " thread" << (n == 1 ? " " : "s")
+      if (clamped > 1) pool = std::make_unique<parallel::ThreadPool>(clamped);
+      Measurement m = measure(setup, algorithm, options, warmup_steps,
+                              timed_steps, pool.get());
+      m.threads_requested = n;
+      m.oversubscribed = n > hw;
+      sweep.push_back(m);
+      last_run = clamped;
+      std::cerr << "   sweep " << clamped << " thread"
+                << (clamped == 1 ? " " : "s")
+                << (n > hw ? " (requested " + std::to_string(n) +
+                                 ", clamped)"
+                           : "")
                 << ": " << sweep.back().steps_per_sec << " steps/sec\n";
     }
   }
@@ -147,6 +176,9 @@ int run(int argc, const char* const* argv) {
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     out << (i == 0 ? "\n" : ",\n")
         << "    {\"threads\": " << sweep[i].pool_threads
+        << ", \"threads_requested\": " << sweep[i].threads_requested
+        << ", \"oversubscribed\": "
+        << (sweep[i].oversubscribed ? "true" : "false")
         << ", \"seconds\": " << sweep[i].seconds
         << ", \"steps_per_sec\": " << sweep[i].steps_per_sec << "}";
   }

@@ -67,7 +67,8 @@ DeviceTrainStats Device::train(std::size_t local_steps,
   std::vector<float> sample_losses(batch_size);
   double loss_acc = 0.0;
   for (std::size_t step = 0; step < local_steps; ++step) {
-    const auto batch = data::sample_minibatch(data_, batch_size, rng);
+    data::sample_minibatch_into(data_, batch_size, rng, batch_scratch_);
+    const auto& batch = batch_scratch_;
     const nn::Tensor& logits = model_->forward(batch.features, true);
     auto result = nn::softmax_cross_entropy(logits, batch.labels);
     loss_acc += result.loss;

@@ -23,6 +23,7 @@
 
 #include "core/snapshot.hpp"
 #include "data/dataset.hpp"
+#include "data/sampler.hpp"
 #include "nn/sequential.hpp"
 #include "optim/optimizer.hpp"
 #include "parallel/rng.hpp"
@@ -126,6 +127,9 @@ class Device {
   data::DataView data_;
   std::unique_ptr<nn::Sequential> model_;
   std::unique_ptr<optim::Optimizer> optimizer_;
+  // Reused across all local SGD steps so per-step sampling is
+  // allocation-free in the steady state (see data::sample_minibatch_into).
+  data::Minibatch batch_scratch_;
   std::optional<double> stat_utility_;
   std::optional<std::size_t> last_trained_step_;
   Snapshot shared_;

@@ -63,6 +63,46 @@ std::vector<std::int32_t> Dataset::gather_labels(
   return out;
 }
 
+namespace {
+
+/// Reshapes `out` to [batch, sample_shape...] reusing its buffer; the
+/// Shape temporary is only constructed when the extents actually changed,
+/// so the steady-state path (same batch size every local step) does not
+/// allocate.
+void reset_batch_shape(Tensor& out, std::size_t batch,
+                       const Shape& sample_shape) {
+  const auto& sdims = sample_shape.dims();
+  const auto& odims = out.shape().dims();
+  const bool same = odims.size() == sdims.size() + 1 && odims[0] == batch &&
+                    std::equal(sdims.begin(), sdims.end(), odims.begin() + 1);
+  if (!same) {
+    std::vector<std::size_t> dims{batch};
+    for (std::size_t d : sdims) dims.push_back(d);
+    out.reset_for_overwrite(Shape(std::move(dims)));
+  }
+}
+
+}  // namespace
+
+void Dataset::gather_into(std::span<const std::size_t> indices,
+                          Tensor& out) const {
+  if (indices.empty()) {
+    throw std::invalid_argument("Dataset::gather_into: empty index list");
+  }
+  reset_batch_shape(out, indices.size(), sample_shape_);
+  float* dst = out.data().data();
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const auto sample = features(indices[i]);
+    std::copy(sample.begin(), sample.end(), dst + i * sample_numel_);
+  }
+}
+
+void Dataset::gather_labels_into(std::span<const std::size_t> indices,
+                                 std::vector<std::int32_t>& out) const {
+  out.resize(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) out[i] = label(indices[i]);
+}
+
 std::vector<std::size_t> Dataset::class_histogram() const {
   std::vector<std::size_t> hist(num_classes_, 0);
   for (std::int32_t l : labels_) ++hist[static_cast<std::size_t>(l)];
@@ -110,6 +150,28 @@ std::vector<std::int32_t> DataView::gather_labels(
   out.reserve(positions.size());
   for (std::size_t p : positions) out.push_back(base_->label(indices_.at(p)));
   return out;
+}
+
+void DataView::gather_into(std::span<const std::size_t> positions,
+                           Tensor& out) const {
+  if (positions.empty()) {
+    throw std::invalid_argument("DataView::gather_into: empty position list");
+  }
+  reset_batch_shape(out, positions.size(), base_->sample_shape());
+  const std::size_t sample_numel = base_->sample_shape().numel();
+  float* dst = out.data().data();
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const auto sample = base_->features(indices_.at(positions[i]));
+    std::copy(sample.begin(), sample.end(), dst + i * sample_numel);
+  }
+}
+
+void DataView::gather_labels_into(std::span<const std::size_t> positions,
+                                  std::vector<std::int32_t>& out) const {
+  out.resize(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    out[i] = base_->label(indices_.at(positions[i]));
+  }
 }
 
 Tensor DataView::all_features() const { return base_->gather(indices_); }

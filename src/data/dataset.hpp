@@ -42,6 +42,12 @@ class Dataset {
   std::vector<std::int32_t> gather_labels(
       std::span<const std::size_t> indices) const;
 
+  /// Allocation-free gather variants: `out` is reshaped (reusing its
+  /// buffer) and overwritten. Same element layout/values as gather().
+  void gather_into(std::span<const std::size_t> indices, Tensor& out) const;
+  void gather_labels_into(std::span<const std::size_t> indices,
+                          std::vector<std::int32_t>& out) const;
+
   /// Per-class sample counts.
   std::vector<std::size_t> class_histogram() const;
   /// Indices of all samples with the given label.
@@ -80,6 +86,11 @@ class DataView {
   Tensor gather(std::span<const std::size_t> positions) const;
   std::vector<std::int32_t> gather_labels(
       std::span<const std::size_t> positions) const;
+
+  /// Allocation-free gather variants (see Dataset::gather_into).
+  void gather_into(std::span<const std::size_t> positions, Tensor& out) const;
+  void gather_labels_into(std::span<const std::size_t> positions,
+                          std::vector<std::int32_t>& out) const;
 
   /// Materializes the whole view as one batch (used for evaluation sets).
   Tensor all_features() const;

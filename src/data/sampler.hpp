@@ -6,6 +6,7 @@
 
 #include "data/dataset.hpp"
 #include "parallel/rng.hpp"
+#include "tensor/workspace.hpp"
 
 namespace middlefl::data {
 
@@ -15,17 +16,32 @@ struct Minibatch {
 };
 
 /// Draws `batch_size` positions uniformly with replacement — the "randomly
-/// selected data samples xi_t_m" of Eq. (1). With-replacement keeps every
-/// device's draw identically distributed regardless of how few samples it
-/// holds.
-inline Minibatch sample_minibatch(const DataView& view, std::size_t batch_size,
-                                  parallel::Xoshiro256& rng) {
+/// selected data samples xi_t_m" of Eq. (1) — into `out`, reusing its
+/// feature/label buffers and the calling thread's Workspace position slot
+/// (steady-state local SGD steps perform no heap allocation here).
+/// With-replacement keeps every device's draw identically distributed
+/// regardless of how few samples it holds. The RNG stream is one
+/// rng.bounded(view.size()) call per slot, in slot order — identical to
+/// the allocating overload, so sampled indices are unchanged.
+inline void sample_minibatch_into(const DataView& view, std::size_t batch_size,
+                                  parallel::Xoshiro256& rng, Minibatch& out) {
   if (view.empty()) {
     throw std::invalid_argument("sample_minibatch: empty view");
   }
-  std::vector<std::size_t> positions(batch_size);
+  auto positions = tensor::Workspace::tls().indices(
+      tensor::WsIndexSlot::kMinibatchPositions, batch_size);
   for (auto& p : positions) p = rng.bounded(view.size());
-  return Minibatch{view.gather(positions), view.gather_labels(positions)};
+  view.gather_into(positions, out.features);
+  view.gather_labels_into(positions, out.labels);
+}
+
+/// Allocating convenience wrapper around sample_minibatch_into (same RNG
+/// stream, same values).
+inline Minibatch sample_minibatch(const DataView& view, std::size_t batch_size,
+                                  parallel::Xoshiro256& rng) {
+  Minibatch batch;
+  sample_minibatch_into(view, batch_size, rng, batch);
+  return batch;
 }
 
 /// Deterministic sequential batches covering the view once (for evaluation).

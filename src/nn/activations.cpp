@@ -6,7 +6,7 @@
 namespace middlefl::nn {
 
 void ReLU::forward(const Tensor& input, Tensor& output, bool training) {
-  output.reset(input.shape());
+  output.reset_for_overwrite(input.shape());
   const auto in = input.data();
   auto out = output.data();
   if (training) {
@@ -26,10 +26,15 @@ void ReLU::forward(const Tensor& input, Tensor& output, bool training) {
 
 void ReLU::backward(const Tensor& input, const Tensor& grad_output,
                     Tensor& grad_input) {
-  if (cached_numel_ != input.numel()) {
+  // Validate and shape against grad_output, not `input`: under epilogue
+  // fusion the preceding layer wrote this ReLU's output (and mask)
+  // directly, so the activation slot holding our nominal input was never
+  // filled this step. grad_output always has the activation's shape.
+  static_cast<void>(input);
+  if (cached_numel_ != grad_output.numel()) {
     throw std::logic_error("ReLU::backward: no cached forward state");
   }
-  grad_input.reset(input.shape());
+  grad_input.reset_for_overwrite(grad_output.shape());
   const auto dy = grad_output.data();
   auto dx = grad_input.data();
   for (std::size_t i = 0; i < dx.size(); ++i) {
@@ -38,15 +43,23 @@ void ReLU::backward(const Tensor& input, const Tensor& grad_output,
 }
 
 void Tanh::forward(const Tensor& input, Tensor& output, bool training) {
-  output.reset(input.shape());
+  output.reset_for_overwrite(input.shape());
   const auto in = input.data();
   auto out = output.data();
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    out[i] = std::tanh(in[i]);
-  }
   if (training) {
-    output_.assign(out.begin(), out.end());
-    cached_numel_ = out.size();
+    // Cache tanh(x) for backward while writing the output — one pass,
+    // into a high-water buffer (assign() reallocated every forward).
+    if (output_.size() < in.size()) output_.resize(in.size());
+    cached_numel_ = in.size();
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const float t = std::tanh(in[i]);
+      out[i] = t;
+      output_[i] = t;
+    }
+  } else {
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      out[i] = std::tanh(in[i]);
+    }
   }
 }
 
@@ -55,7 +68,7 @@ void Tanh::backward(const Tensor& input, const Tensor& grad_output,
   if (cached_numel_ != input.numel()) {
     throw std::logic_error("Tanh::backward: no cached forward state");
   }
-  grad_input.reset(input.shape());
+  grad_input.reset_for_overwrite(input.shape());
   const auto dy = grad_output.data();
   auto dx = grad_input.data();
   for (std::size_t i = 0; i < dx.size(); ++i) {

@@ -19,6 +19,17 @@ class ReLU final : public Layer {
     return std::make_unique<ReLU>();
   }
 
+  /// Fused-forward hook: when Sequential fuses this ReLU into the
+  /// preceding Linear/Conv2d GEMM epilogue, the producing layer writes the
+  /// activation mask straight into this buffer (1 where the pre-activation
+  /// was positive) instead of ReLU::forward running at all. backward()
+  /// then works exactly as if forward had filled the mask itself.
+  std::uint8_t* fused_mask(std::size_t numel) {
+    if (mask_.size() < numel) mask_.resize(numel);
+    cached_numel_ = numel;
+    return mask_.data();
+  }
+
  private:
   // One byte per element of the last training batch: was the input
   // positive. Bytes, not vector<bool> — bit addressing serializes the
@@ -39,7 +50,8 @@ class Tanh final : public Layer {
   }
 
  private:
-  // tanh(x) of the last training batch; dtanh = 1 - tanh^2.
+  // tanh(x) of the last training batch; dtanh = 1 - tanh^2. Grows to a
+  // high-water mark like ReLU's mask (no per-forward reallocation).
   std::vector<float> output_;
   std::size_t cached_numel_ = 0;
 };

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "nn/activations.hpp"
 #include "nn/init.hpp"
 #include "tensor/blas.hpp"
 #include "tensor/workspace.hpp"
@@ -120,13 +121,27 @@ void Conv2d::col2im(const float* col, float* sample_grad) const noexcept {
 }
 
 void Conv2d::forward(const Tensor& input, Tensor& output, bool training) {
+  forward_impl(input, output, training, nullptr);
+}
+
+void Conv2d::forward_fused(const Tensor& input, Tensor& output, bool training,
+                           ReLU& relu) {
+  forward_impl(input, output, training, &relu);
+}
+
+void Conv2d::forward_impl(const Tensor& input, Tensor& output, bool training,
+                          ReLU* relu) {
   const std::size_t batch = input.dim(0);
   const std::size_t sample_size = cfg_.in_channels * in_h_ * in_w_;
   if (input.numel() != batch * sample_size) {
     throw std::invalid_argument("Conv2d::forward: bad input " +
                                 input.shape().to_string());
   }
-  output.reset({batch, cfg_.out_channels, out_h_, out_w_});
+  const std::size_t out_sample_size = cfg_.out_channels * col_cols_;
+  output.reset_for_overwrite({batch, cfg_.out_channels, out_h_, out_w_});
+  std::uint8_t* mask = relu != nullptr && training
+                           ? relu->fused_mask(batch * out_sample_size)
+                           : nullptr;
 
   const std::size_t col_size = col_rows_ * col_cols_;
   // Inference reuses a single panel; training caches every sample's panel
@@ -141,18 +156,18 @@ void Conv2d::forward(const Tensor& input, Tensor& output, bool training) {
   for (std::size_t b = 0; b < batch; ++b) {
     float* col = col_cache_.data() + (training ? b * col_size : 0);
     im2col(input.data().data() + b * sample_size, col);
-    float* out_sample =
-        output.data().data() + b * cfg_.out_channels * col_cols_;
-    // out[oc, pos] = W[oc, :] . col[:, pos]
+    float* out_sample = output.data().data() + b * out_sample_size;
+    // out[oc, pos] = W[oc, :] . col[:, pos] + bias[oc]; the per-channel
+    // bias (and the fused ReLU, when present) ride the GEMM's final sweep
+    // instead of re-traversing the output planes.
+    tensor::GemmEpilogue epi;
+    epi.row_bias = bias_.data();
+    epi.relu = relu != nullptr;
+    if (mask != nullptr) epi.relu_mask = mask + b * out_sample_size;
     tensor::gemm(tensor::Trans::kNo, tensor::Trans::kNo, cfg_.out_channels,
                  col_cols_, col_rows_, 1.0f, weight_,
                  std::span<const float>(col, col_size), 0.0f,
-                 std::span<float>(out_sample, cfg_.out_channels * col_cols_));
-    for (std::size_t oc = 0; oc < cfg_.out_channels; ++oc) {
-      float* plane = out_sample + oc * col_cols_;
-      const float beta = bias_[oc];
-      for (std::size_t p = 0; p < col_cols_; ++p) plane[p] += beta;
-    }
+                 std::span<float>(out_sample, out_sample_size), nullptr, &epi);
   }
 }
 

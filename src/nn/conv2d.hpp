@@ -7,6 +7,8 @@
 
 namespace middlefl::nn {
 
+class ReLU;
+
 struct Conv2dConfig {
   std::size_t in_channels = 1;
   std::size_t out_channels = 1;
@@ -29,9 +31,21 @@ class Conv2d final : public Layer {
                 Tensor& grad_input) override;
   std::unique_ptr<Layer> clone() const override;
 
+  /// Forward with the following ReLU folded into the per-sample GEMM
+  /// epilogue (see Linear::forward_fused). The per-channel bias is a
+  /// row_bias here: output row oc of each sample's GEMM is one channel
+  /// plane.
+  void forward_fused(const Tensor& input, Tensor& output, bool training,
+                     ReLU& relu);
+
   const Conv2dConfig& config() const noexcept { return cfg_; }
 
  private:
+  /// Shared body of forward()/forward_fused(): im2col + one GEMM per
+  /// sample with bias (and optionally ReLU + mask) applied in the GEMM's
+  /// final sweep. `relu` may be null (bias-only epilogue).
+  void forward_impl(const Tensor& input, Tensor& output, bool training,
+                    ReLU* relu);
   /// Expands one sample (C x H x W) into the column matrix
   /// (C*k*k) x (out_h*out_w).
   void im2col(const float* sample, float* col) const noexcept;

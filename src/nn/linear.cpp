@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "nn/activations.hpp"
 #include "nn/init.hpp"
 #include "tensor/blas.hpp"
 
@@ -54,14 +55,29 @@ void Linear::forward(const Tensor& input, Tensor& output, bool /*training*/) {
     throw std::invalid_argument("Linear::forward: bad input " +
                                 input.shape().to_string());
   }
-  output.reset({batch, out_});
-  // Y[b, o] = sum_i X[b, i] * W[o, i] + bias[o]
+  output.reset_for_overwrite({batch, out_});
+  // Y[b, o] = sum_i X[b, i] * W[o, i] + bias[o]; the bias rides the GEMM's
+  // final sweep over Y instead of a second pass.
+  tensor::GemmEpilogue epi;
+  epi.col_bias = bias_.data();
   tensor::gemm(tensor::Trans::kNo, tensor::Trans::kYes, batch, out_, in_, 1.0f,
-               input.data(), weight_, 0.0f, output.data());
-  for (std::size_t b = 0; b < batch; ++b) {
-    float* row = output.data().data() + b * out_;
-    for (std::size_t o = 0; o < out_; ++o) row[o] += bias_[o];
+               input.data(), weight_, 0.0f, output.data(), nullptr, &epi);
+}
+
+void Linear::forward_fused(const Tensor& input, Tensor& output, bool training,
+                           ReLU& relu) {
+  const std::size_t batch = input.dim(0);
+  if (input.numel() != batch * in_) {
+    throw std::invalid_argument("Linear::forward: bad input " +
+                                input.shape().to_string());
   }
+  output.reset_for_overwrite({batch, out_});
+  tensor::GemmEpilogue epi;
+  epi.col_bias = bias_.data();
+  epi.relu = true;
+  if (training) epi.relu_mask = relu.fused_mask(batch * out_);
+  tensor::gemm(tensor::Trans::kNo, tensor::Trans::kYes, batch, out_, in_, 1.0f,
+               input.data(), weight_, 0.0f, output.data(), nullptr, &epi);
 }
 
 void Linear::backward(const Tensor& input, const Tensor& grad_output,
@@ -71,16 +87,16 @@ void Linear::backward(const Tensor& input, const Tensor& grad_output,
     throw std::invalid_argument("Linear::backward: bad grad_output " +
                                 grad_output.shape().to_string());
   }
-  // dW[o, i] += sum_b dY[b, o] * X[b, i]
+  // dW[o, i] += sum_b dY[b, o] * X[b, i], with the grad-bias column
+  // reduction db[o] += sum_b dY[b, o] folded into the same sweep over dY
+  // (row_sums accumulates in ascending b, matching the unfused loop).
+  tensor::GemmEpilogue epi;
+  epi.row_sums = grad_bias_.data();
   tensor::gemm(tensor::Trans::kYes, tensor::Trans::kNo, out_, in_, batch, 1.0f,
-               grad_output.data(), input.data(), 1.0f, grad_weight_);
-  // db[o] += sum_b dY[b, o]
-  for (std::size_t b = 0; b < batch; ++b) {
-    const float* row = grad_output.data().data() + b * out_;
-    for (std::size_t o = 0; o < out_; ++o) grad_bias_[o] += row[o];
-  }
+               grad_output.data(), input.data(), 1.0f, grad_weight_, nullptr,
+               &epi);
   // dX[b, i] = sum_o dY[b, o] * W[o, i]
-  grad_input.reset(input.shape());
+  grad_input.reset_for_overwrite(input.shape());
   tensor::gemm(tensor::Trans::kNo, tensor::Trans::kNo, batch, in_, out_, 1.0f,
                grad_output.data(), weight_, 0.0f, grad_input.data());
 }

@@ -5,6 +5,8 @@
 
 namespace middlefl::nn {
 
+class ReLU;
+
 class Linear final : public Layer {
  public:
   /// `in_features == 0` means "infer from the input shape at build time"
@@ -21,6 +23,15 @@ class Linear final : public Layer {
   void backward(const Tensor& input, const Tensor& grad_output,
                 Tensor& grad_input) override;
   std::unique_ptr<Layer> clone() const override;
+
+  /// Forward with the following ReLU folded into the GEMM epilogue:
+  /// `output` receives the post-activation values in the same sweep that
+  /// writes the GEMM result, and in training the ReLU's backward mask is
+  /// filled through relu.fused_mask(). Bitwise identical to
+  /// forward() + relu.forward(); called by Sequential for Linear->ReLU
+  /// pairs detected at build time.
+  void forward_fused(const Tensor& input, Tensor& output, bool training,
+                     ReLU& relu);
 
   std::size_t in_features() const noexcept { return in_; }
   std::size_t out_features() const noexcept { return out_; }

@@ -4,7 +4,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
 #include "nn/dropout.hpp"
+#include "nn/linear.hpp"
 
 namespace middlefl::nn {
 
@@ -52,6 +55,18 @@ void Sequential::build(std::uint64_t seed) {
       dropout->set_rng(&dropout_rng_);
     }
   }
+
+  // Resolve Linear/Conv2d -> ReLU pairs for epilogue fusion in forward().
+  fusion_.assign(layers_.size(), FusionSlot{});
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    auto* relu = dynamic_cast<ReLU*>(layers_[i + 1].get());
+    if (relu == nullptr) continue;
+    if (auto* linear = dynamic_cast<Linear*>(layers_[i].get())) {
+      fusion_[i] = FusionSlot{linear, nullptr, relu};
+    } else if (auto* conv = dynamic_cast<Conv2d*>(layers_[i].get())) {
+      fusion_[i] = FusionSlot{nullptr, conv, relu};
+    }
+  }
   built_ = true;
 }
 
@@ -86,8 +101,24 @@ const Tensor& Sequential::forward(const Tensor& batch, bool training) {
 
   const Tensor* current = &batch;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    layers_[i]->forward(*current, activations_[i], training);
-    current = &activations_[i];
+    const FusionSlot& fuse = fusion_[i];
+    if (fuse.relu != nullptr) {
+      // Fused pair: the producer writes post-ReLU values directly into the
+      // ReLU's activation slot and fills its mask; the ReLU layer itself is
+      // skipped. Its nominal input slot (activations_[i]) stays stale,
+      // which is safe: ReLU::backward reads only grad_output + mask.
+      Tensor& out = activations_[i + 1];
+      if (fuse.linear != nullptr) {
+        fuse.linear->forward_fused(*current, out, training, *fuse.relu);
+      } else {
+        fuse.conv->forward_fused(*current, out, training, *fuse.relu);
+      }
+      current = &out;
+      ++i;
+    } else {
+      layers_[i]->forward(*current, activations_[i], training);
+      current = &activations_[i];
+    }
   }
   return activations_.back();
 }

@@ -79,6 +79,20 @@ class Sequential {
   parallel::Xoshiro256 dropout_rng_;
   bool built_ = false;
 
+  // Epilogue fusion, resolved once at build(): slot i holds typed pointers
+  // when layer i is a Linear/Conv2d immediately followed by a ReLU. The
+  // forward loop then lets the producing layer write post-activation values
+  // (and the training mask) straight into the ReLU's activation slot and
+  // skips the ReLU's own forward — one sweep over the activation instead of
+  // three (GEMM out, bias pass, ReLU pass). Backward is unchanged: ReLU
+  // works entirely off its mask.
+  struct FusionSlot {
+    class Linear* linear = nullptr;
+    class Conv2d* conv = nullptr;
+    class ReLU* relu = nullptr;
+  };
+  std::vector<FusionSlot> fusion_;
+
   // Forward state for backward.
   Tensor input_copy_;
   std::vector<Tensor> activations_;

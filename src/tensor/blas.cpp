@@ -7,6 +7,8 @@
 
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "tensor/cpu_features.hpp"
+#include "tensor/kernels/gemm_kernel.hpp"
 #include "tensor/workspace.hpp"
 
 namespace middlefl::tensor {
@@ -90,96 +92,48 @@ double chunked_reduce(std::size_t n, parallel::ThreadPool* pool,
 
 // --- GEMM kernels -----------------------------------------------------------
 //
-// Every kernel computes rows [row_lo, row_hi) of C. Within a kernel each C
-// row's arithmetic order depends only on the row itself (4-row blocks share
-// loads, never partial sums), so any row split yields identical results —
-// the property the parallel path and the determinism pin rely on.
+// The general path lives in kernels/ (packed micro-kernels with runtime
+// ISA dispatch); this file keeps only the small-NT dot-form kernel, whose
+// distinct lane/summation tree is pinned by the golden fingerprints for
+// shapes where panel packing would dominate (n < 16 or k < 16). Every
+// kernel computes rows [row_lo, row_hi) of C and each row's arithmetic
+// order depends only on the row itself, so any row split yields identical
+// results — the property the parallel path and the determinism pin rely on.
 
-/// NN: C[i,:] += alpha * A[i,p] * B[p,:]. A m x k, B k x n. Four C rows per
-/// pass reuse each streamed B row; the j loop vectorizes (no reduction).
-void gemm_nn_rows(std::size_t row_lo, std::size_t row_hi, std::size_t n,
-                  std::size_t k, float alpha, const float* a, const float* b,
-                  float beta, float* c) noexcept {
-  std::size_t i = row_lo;
-  for (; i + 4 <= row_hi; i += 4) {
-    float* c0 = c + i * n;
-    float* c1 = c0 + n;
-    float* c2 = c1 + n;
-    float* c3 = c2 + n;
-    scale_row(c0, n, beta);
-    scale_row(c1, n, beta);
-    scale_row(c2, n, beta);
-    scale_row(c3, n, beta);
-    const float* a0 = a + i * k;
-    const float* a1 = a0 + k;
-    const float* a2 = a1 + k;
-    const float* a3 = a2 + k;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float v0 = alpha * a0[p];
-      const float v1 = alpha * a1[p];
-      const float v2 = alpha * a2[p];
-      const float v3 = alpha * a3[p];
-      const float* br = b + p * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const float bj = br[j];
-        c0[j] += v0 * bj;
-        c1[j] += v1 * bj;
-        c2[j] += v2 * bj;
-        c3[j] += v3 * bj;
-      }
-    }
-  }
-  for (; i < row_hi; ++i) {
+/// Applies the fused epilogue to rows [row_lo, row_hi) of C after a
+/// non-packed kernel: the same elementwise steps, in the same order, as
+/// the packed kernels apply in-register (see GemmEpilogue).
+void epilogue_rows(const GemmEpilogue& epi, std::size_t row_lo,
+                   std::size_t row_hi, std::size_t n, float* c) noexcept {
+  for (std::size_t i = row_lo; i < row_hi; ++i) {
     float* ci = c + i * n;
-    scale_row(ci, n, beta);
-    const float* ai = a + i * k;
-    for (std::size_t p = 0; p < k; ++p) {
-      const float v = alpha * ai[p];
-      const float* br = b + p * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += v * br[j];
+    if (epi.col_bias != nullptr) {
+      for (std::size_t j = 0; j < n; ++j) ci[j] += epi.col_bias[j];
+    }
+    if (epi.row_bias != nullptr) {
+      const float rb = epi.row_bias[i];
+      for (std::size_t j = 0; j < n; ++j) ci[j] += rb;
+    }
+    if (epi.relu) {
+      for (std::size_t j = 0; j < n; ++j) ci[j] = ci[j] > 0.0f ? ci[j] : 0.0f;
+    }
+    if (epi.relu_mask != nullptr) {
+      std::uint8_t* mrow = epi.relu_mask + i * n;
+      for (std::size_t j = 0; j < n; ++j) mrow[j] = ci[j] > 0.0f ? 1 : 0;
     }
   }
 }
 
-/// TN: C[i,:] += alpha * A[p,i] * B[p,:]. A k x m (transposed use), B k x n.
-/// Same streaming structure as NN with a strided A access.
-void gemm_tn_rows(std::size_t row_lo, std::size_t row_hi, std::size_t m,
-                  std::size_t n, std::size_t k, float alpha, const float* a,
-                  const float* b, float beta, float* c) noexcept {
-  std::size_t i = row_lo;
-  for (; i + 4 <= row_hi; i += 4) {
-    float* c0 = c + i * n;
-    float* c1 = c0 + n;
-    float* c2 = c1 + n;
-    float* c3 = c2 + n;
-    scale_row(c0, n, beta);
-    scale_row(c1, n, beta);
-    scale_row(c2, n, beta);
-    scale_row(c3, n, beta);
-    for (std::size_t p = 0; p < k; ++p) {
-      const float* ap = a + p * m + i;
-      const float v0 = alpha * ap[0];
-      const float v1 = alpha * ap[1];
-      const float v2 = alpha * ap[2];
-      const float v3 = alpha * ap[3];
-      const float* br = b + p * n;
-      for (std::size_t j = 0; j < n; ++j) {
-        const float bj = br[j];
-        c0[j] += v0 * bj;
-        c1[j] += v1 * bj;
-        c2[j] += v2 * bj;
-        c3[j] += v3 * bj;
-      }
-    }
-  }
-  for (; i < row_hi; ++i) {
-    float* ci = c + i * n;
-    scale_row(ci, n, beta);
-    for (std::size_t p = 0; p < k; ++p) {
-      const float v = alpha * a[p * m + i];
-      const float* br = b + p * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += v * br[j];
-    }
+/// row_sums side channel for the non-packed path: fold op(A) row values
+/// (ascending p) into the caller's accumulator array. `a` is op(A) in
+/// row-major m x k form here (the small-NT path never sees a transposed A).
+void row_sums_rows(float* row_sums, std::size_t row_lo, std::size_t row_hi,
+                   std::size_t k, const float* a) noexcept {
+  for (std::size_t i = row_lo; i < row_hi; ++i) {
+    const float* ai = a + i * k;
+    float sums = row_sums[i];
+    for (std::size_t p = 0; p < k; ++p) sums += ai[p];
+    row_sums[i] = sums;
   }
 }
 
@@ -306,15 +260,24 @@ double nrm2(std::span<const float> x, parallel::ThreadPool* pool) {
 void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
           std::size_t k, float alpha, std::span<const float> a,
           std::span<const float> b, float beta, std::span<float> c,
-          parallel::ThreadPool* pool) {
+          parallel::ThreadPool* pool, const GemmEpilogue* epilogue) {
   check_size(a, m * k, "gemm: A");
   check_size(b, k * n, "gemm: B");
   check_size(c, m * n, "gemm: C");
   if (m == 0 || n == 0) return;
 
+  // Degenerate k == 0: the product contributes nothing, so C is just the
+  // beta prologue plus the epilogue (row_sums stays untouched — the sum
+  // over an empty p range is empty).
+  if (k == 0) {
+    for (std::size_t i = 0; i < m; ++i) scale_row(c.data() + i * n, n, beta);
+    if (epilogue != nullptr) epilogue_rows(*epilogue, 0, m, n, c.data());
+    return;
+  }
+
   // TT is the one case without a direct kernel: pack op(A) once into the
   // thread-local workspace (amortized: no allocation after warm-up) and
-  // fall through to the NT kernel.
+  // fall through as NT.
   const float* a_ptr = a.data();
   Trans eff_a = trans_a;
   if (trans_a == Trans::kYes && trans_b == Trans::kYes) {
@@ -323,49 +286,71 @@ void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
     a_ptr = packed.data();
     eff_a = Trans::kNo;
   }
-  const float* b_ptr = b.data();
-  Trans eff_b = trans_b;
-  // NT with a big enough B: pack B^T once into the workspace and stream
-  // with the NN kernel. The dot-form NT kernel pays a horizontal reduction
-  // per output element and runs far below the FMA peak; the streaming
-  // kernel's pure accumulate-into-C-rows form more than buys back the
-  // packing pass. Small B keeps the direct dot path (packing would
-  // dominate). The choice is shape-based, so results stay deterministic.
-  if (eff_a == Trans::kNo && eff_b == Trans::kYes && n >= 16 && k >= 16) {
-    auto packed = Workspace::tls().floats(WsSlot::kGemmPackB, k * n);
-    transpose_pack(b.data(), n, k, packed.data());
-    b_ptr = packed.data();
-    eff_b = Trans::kNo;
-  }
   float* c_ptr = c.data();
 
-  const auto run_rows = [&](std::size_t lo, std::size_t hi) {
-    if (eff_a == Trans::kNo && eff_b == Trans::kNo) {
-      gemm_nn_rows(lo, hi, n, k, alpha, a_ptr, b_ptr, beta, c_ptr);
-    } else if (eff_a == Trans::kNo) {
-      gemm_nt_rows(lo, hi, n, k, alpha, a_ptr, b_ptr, beta, c_ptr);
+  // Parallel heuristic, shared by both paths: split into row panels when
+  // there is enough arithmetic to amortize the fork/join (>= ~1 MFLOP and
+  // >= 2 rows per worker). Row splits do not change any row's arithmetic
+  // order, so the parallel result is bitwise-identical to the serial one.
+  const std::size_t flops = 2 * m * n * k;
+  const bool go_parallel = pool != nullptr && pool->size() > 1 &&
+                           flops >= (1u << 20) && m >= 2 * pool->size();
+  const auto run_split = [&](const auto& run_rows) {
+    if (go_parallel) {
+      const std::size_t grain = std::max<std::size_t>(
+          4, ((m / (pool->size() * 4)) + 3) & ~std::size_t{3});
+      const std::size_t num_blocks = (m + grain - 1) / grain;
+      parallel::parallel_for(*pool, 0, num_blocks, [&](std::size_t block) {
+        const std::size_t lo = block * grain;
+        run_rows(lo, std::min(m, lo + grain));
+      });
     } else {
-      gemm_tn_rows(lo, hi, m, n, k, alpha, a_ptr, b_ptr, beta, c_ptr);
+      run_rows(0, m);
     }
   };
 
-  // Parallelize across row panels when there is enough arithmetic to
-  // amortize the fork/join (heuristic: >= ~1 MFLOP and >= 2 rows per
-  // worker). Row splits do not change any row's arithmetic order, so the
-  // parallel result is bitwise-identical to the serial one.
-  const std::size_t flops = 2 * m * n * k;
-  if (pool != nullptr && pool->size() > 1 && flops >= (1u << 20) &&
-      m >= 2 * pool->size()) {
-    const std::size_t grain = std::max<std::size_t>(
-        4, ((m / (pool->size() * 4)) + 3) & ~std::size_t{3});
-    const std::size_t num_blocks = (m + grain - 1) / grain;
-    parallel::parallel_for(*pool, 0, num_blocks, [&](std::size_t block) {
-      const std::size_t lo = block * grain;
-      run_rows(lo, std::min(m, lo + grain));
+  // NT with a small B (n < 16 or k < 16) keeps the direct dot-form kernel:
+  // panel packing would dominate at these shapes, and its distinct
+  // summation tree is pinned by the golden fingerprints. Everything else
+  // goes through the packed micro-kernel with runtime ISA dispatch.
+  if (eff_a == Trans::kNo && trans_b == Trans::kYes && (n < 16 || k < 16)) {
+    run_split([&](std::size_t lo, std::size_t hi) {
+      gemm_nt_rows(lo, hi, n, k, alpha, a_ptr, b.data(), beta, c_ptr);
+      if (epilogue != nullptr) {
+        if (epilogue->row_sums != nullptr) {
+          row_sums_rows(epilogue->row_sums, lo, hi, k, a_ptr);
+        }
+        epilogue_rows(*epilogue, lo, hi, n, c_ptr);
+      }
     });
-  } else {
-    run_rows(0, m);
+    return;
   }
+
+  // Packed path. B is packed once on the calling thread into its aligned
+  // workspace slot; row-chunk workers only read it, and each packs its own
+  // A rows into its thread's kGemmPanelA slot inside compute().
+  const auto& kern = detail::packed_kernels(active_isa());
+  auto bpanel = Workspace::tls().aligned_floats(WsAlignedSlot::kGemmPanelB,
+                                                kern.packed_b_floats(k, n));
+  kern.pack_b(k, n, b.data(), trans_b == Trans::kYes, bpanel.data());
+
+  detail::PackedGemmArgs args;
+  args.m = m;
+  args.n = n;
+  args.k = k;
+  args.alpha = alpha;
+  args.beta = beta;
+  args.a = a_ptr;
+  args.trans_a = eff_a == Trans::kYes;
+  args.packed_b = bpanel.data();
+  args.c = c_ptr;
+  args.epilogue = epilogue;
+  run_split([&](std::size_t lo, std::size_t hi) {
+    detail::PackedGemmArgs chunk = args;
+    chunk.row_lo = lo;
+    chunk.row_hi = hi;
+    kern.compute(chunk);
+  });
 }
 
 void gemv(Trans trans_a, std::size_t m, std::size_t n, float alpha,

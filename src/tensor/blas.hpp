@@ -6,13 +6,16 @@
 // spans (size-checked on entry) so both Tensor storage and flat model
 // vectors reuse them.
 //
-// GEMM dispatches to a dedicated kernel per transpose combination — NN and
-// TN stream B rows against 4-row register blocks of C, NT computes
-// register-tiled dot products with 4-way unrolled lanes — so no operand is
-// materialized/transposed except in the rare TT case, which packs into the
-// thread-local Workspace (no per-call allocation). Row panels parallelize
-// when a thread pool is provided; every row's arithmetic order is
-// independent of the panel split, so parallel and serial runs produce
+// GEMM runs a packed micro-kernel with runtime CPU dispatch (see
+// cpu_features.hpp and kernels/gemm_kernel.hpp): operands are packed into
+// cache-blocked panels in aligned thread-local Workspace slots and swept by
+// an MR x NR register tile in scalar, AVX2+FMA or AVX-512 form, chosen by
+// cpuid at run time. Every dispatch target accumulates each C element in
+// the same fixed K order, so the selected ISA never changes an output bit.
+// The one exception is NT with a small B (n < 16 or k < 16), which keeps a
+// direct dot-form kernel — packing would dominate there. Row panels
+// parallelize when a thread pool is provided; every row's arithmetic order
+// is independent of the panel split, so parallel and serial runs produce
 // bitwise-identical results.
 //
 // dot/nrm2 overloads taking a pool use a FIXED chunk decomposition (chunk
@@ -21,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 namespace middlefl::parallel {
@@ -30,6 +34,29 @@ class ThreadPool;
 namespace middlefl::tensor {
 
 enum class Trans { kNo, kYes };
+
+/// Optional per-element epilogue fused into gemm's final sweep over C, so
+/// layer bias/activation passes need not re-traverse activation memory.
+/// Applied per element, after the full K accumulation, in this order:
+///
+///   c = beta * c + alpha * sum_p op(A)[i,p] * op(B)[p,j]
+///   c += col_bias[j]                   (if col_bias)
+///   c += row_bias[i]                   (if row_bias)
+///   c = c > 0 ? c : 0                  (if relu)
+///   relu_mask[i*n + j] = c > 0 ? 1 : 0 (if relu_mask)
+///
+/// Each step is the exact elementwise operation the unfused layer code
+/// performed, so fused and unfused results are bitwise identical.
+struct GemmEpilogue {
+  const float* col_bias = nullptr;  // length n (Linear bias)
+  const float* row_bias = nullptr;  // length m (Conv2d per-channel bias)
+  bool relu = false;
+  std::uint8_t* relu_mask = nullptr;  // length m*n; requires relu
+  /// When set (length m): row_sums[i] += sum_p op(A)[i,p], accumulated in
+  /// ascending-p order directly into the caller's array — the grad-bias
+  /// column reduction of the TN backward GEMM, folded into the A sweep.
+  float* row_sums = nullptr;
+};
 
 /// y += alpha * x (sizes must match).
 void axpy(float alpha, std::span<const float> x, std::span<float> y);
@@ -56,11 +83,13 @@ double nrm2(std::span<const float> x, parallel::ThreadPool* pool);
 /// A is m x k after op, B is k x n after op, C is m x n, all row-major.
 /// When `pool` is non-null and the output is large, row panels of C are
 /// computed in parallel (deterministic: each row's arithmetic order does
-/// not depend on the split).
+/// not depend on the split). `epilogue`, when non-null, is applied in the
+/// same sweep that writes C (see GemmEpilogue for the exact semantics).
 void gemm(Trans trans_a, Trans trans_b, std::size_t m, std::size_t n,
           std::size_t k, float alpha, std::span<const float> a,
           std::span<const float> b, float beta, std::span<float> c,
-          parallel::ThreadPool* pool = nullptr);
+          parallel::ThreadPool* pool = nullptr,
+          const GemmEpilogue* epilogue = nullptr);
 
 /// y = alpha * op(A) * x + beta * y. A is m x n row-major before op.
 void gemv(Trans trans_a, std::size_t m, std::size_t n, float alpha,

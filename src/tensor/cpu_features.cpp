@@ -1,0 +1,84 @@
+#include "tensor/cpu_features.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace middlefl::tensor {
+namespace {
+
+IsaLevel probe() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx512f")) return IsaLevel::kAvx512;
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return IsaLevel::kAvx2;
+  }
+#endif
+  return IsaLevel::kScalar;
+}
+
+IsaLevel clamp_to_detected(IsaLevel level) noexcept {
+  return static_cast<int>(level) <= static_cast<int>(detected_isa())
+             ? level
+             : detected_isa();
+}
+
+/// Environment override, resolved once: getenv is not guaranteed
+/// thread-safe against setenv, and the dispatch must not flip mid-run.
+IsaLevel env_or_detected() noexcept {
+  static const IsaLevel resolved = [] {
+    if (const char* env = std::getenv("MIDDLEFL_ISA")) {
+      if (const auto parsed = isa_from_string(env)) {
+        return clamp_to_detected(*parsed);
+      }
+    }
+    return detected_isa();
+  }();
+  return resolved;
+}
+
+// -1 = no force_isa() pin. Relaxed is enough: the value is a pure
+// performance hint and every level computes identical bits.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+const char* to_string(IsaLevel level) noexcept {
+  switch (level) {
+    case IsaLevel::kAvx512:
+      return "avx512";
+    case IsaLevel::kAvx2:
+      return "avx2";
+    default:
+      return "scalar";
+  }
+}
+
+std::optional<IsaLevel> isa_from_string(const std::string& name) noexcept {
+  if (name == "scalar") return IsaLevel::kScalar;
+  if (name == "avx2") return IsaLevel::kAvx2;
+  if (name == "avx512") return IsaLevel::kAvx512;
+  return std::nullopt;
+}
+
+IsaLevel detected_isa() noexcept {
+  static const IsaLevel detected = probe();
+  return detected;
+}
+
+IsaLevel active_isa() noexcept {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<IsaLevel>(forced);
+  return env_or_detected();
+}
+
+IsaLevel force_isa(IsaLevel level) noexcept {
+  const IsaLevel applied = clamp_to_detected(level);
+  g_forced.store(static_cast<int>(applied), std::memory_order_relaxed);
+  return applied;
+}
+
+void clear_forced_isa() noexcept {
+  g_forced.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace middlefl::tensor

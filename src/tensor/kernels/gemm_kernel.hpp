@@ -1,0 +1,79 @@
+// Dispatch table for the packed GEMM micro-kernels.
+//
+// blas.cpp's gemm() routes every transpose combination except small-NT
+// through one of three kernel translation units — scalar, AVX2+FMA,
+// AVX-512F — selected at runtime via cpu_features.hpp. Each TU compiles
+// the same blocked algorithm (kernels/gemm_kernel_impl.hpp) with a
+// different register geometry; the determinism contract (see the impl
+// header) guarantees all three produce bitwise-identical C.
+//
+// Call protocol:
+//   1. Pick the table:    const PackedKernels& k = packed_kernels(active_isa())
+//   2. Pack B once:       k.pack_b(...) into an aligned Workspace span of
+//                         k.packed_b_floats(k_dim, n) floats
+//   3. Compute rows:      k.compute(args) — serial over [0, m), or once per
+//                         disjoint row chunk from parallel workers. Each
+//                         call packs its own A rows into the calling
+//                         thread's kGemmPanelA slot, so workers never
+//                         share mutable panel state; the packed B panel is
+//                         read-only after step 2.
+#pragma once
+
+#include <cstddef>
+
+#include "tensor/cpu_features.hpp"
+
+namespace middlefl::tensor {
+struct GemmEpilogue;
+}
+
+namespace middlefl::tensor::detail {
+
+/// One packed-GEMM invocation over C rows [row_lo, row_hi).
+struct PackedGemmArgs {
+  std::size_t row_lo = 0;
+  std::size_t row_hi = 0;
+  std::size_t m = 0;  // full C height (row_sums / relu_mask indexing)
+  std::size_t n = 0;
+  std::size_t k = 0;  // must be > 0 (k == 0 degenerates in blas.cpp)
+  float alpha = 1.0f;
+  float beta = 0.0f;
+  const float* a = nullptr;  // op(A): m x k row-major, or k x m if trans_a
+  bool trans_a = false;
+  const float* packed_b = nullptr;  // from pack_b(), shared read-only
+  float* c = nullptr;               // full C, row stride n
+  const GemmEpilogue* epilogue = nullptr;  // may be null
+};
+
+struct PackedKernels {
+  std::size_t mr;  // micro-tile rows
+  std::size_t nr;  // micro-tile columns
+  /// Zero-padded panel sizes in floats.
+  std::size_t (*packed_a_floats)(std::size_t rows, std::size_t k);
+  std::size_t (*packed_b_floats)(std::size_t k, std::size_t n);
+  /// Packs op(B) (k x n after op) into NR-column slabs, zero-padding the
+  /// final partial slab. `b` is row-major k x n, or n x k when trans_b.
+  void (*pack_b)(std::size_t k, std::size_t n, const float* b, bool trans_b,
+                 float* out);
+  void (*compute)(const PackedGemmArgs& args);
+};
+
+// One table per TU; every table exists in every binary (a TU compiled
+// without its ISA falls back to the scalar geometry), and the dispatch
+// never selects a table the CPU cannot run.
+const PackedKernels& scalar_kernels() noexcept;
+const PackedKernels& avx2_kernels() noexcept;
+const PackedKernels& avx512_kernels() noexcept;
+
+inline const PackedKernels& packed_kernels(IsaLevel level) noexcept {
+  switch (level) {
+    case IsaLevel::kAvx512:
+      return avx512_kernels();
+    case IsaLevel::kAvx2:
+      return avx2_kernels();
+    default:
+      return scalar_kernels();
+  }
+}
+
+}  // namespace middlefl::tensor::detail

@@ -1,0 +1,60 @@
+// AVX2+FMA instantiation of the packed GEMM: 6x16 micro-tile (12 ymm
+// accumulators + 2 B vectors + 1 broadcast within the 16-register file).
+// Compiled with -mavx2 -mfma -ffp-contract=off on x86 builds; when the
+// toolchain cannot target AVX2 this TU falls back to the scalar geometry
+// so the symbol always links (the runtime dispatch never selects it on a
+// CPU without AVX2, so the fallback body is effectively dead code there).
+#include "tensor/kernels/gemm_kernel_impl.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#include <immintrin.h>
+
+namespace middlefl::tensor::detail {
+namespace {
+
+struct ArchAvx2 {
+  using Vec = __m256;
+  static constexpr std::size_t kW = 8;
+  static constexpr std::size_t kMR = 6;
+  static constexpr std::size_t kNV = 2;  // NR = 16
+
+  static Vec zero() noexcept { return _mm256_setzero_ps(); }
+  static Vec load(const float* p) noexcept { return _mm256_loadu_ps(p); }
+  static void store(float* p, Vec v) noexcept { _mm256_storeu_ps(p, v); }
+  static Vec broadcast(float v) noexcept { return _mm256_set1_ps(v); }
+  static Vec add(Vec a, Vec b) noexcept { return _mm256_add_ps(a, b); }
+  static Vec mul(Vec a, Vec b) noexcept { return _mm256_mul_ps(a, b); }
+  static Vec madd(Vec a, Vec b, Vec c) noexcept {
+#if defined(MIDDLEFL_GEMM_FMA)
+    return _mm256_fmadd_ps(a, b, c);
+#else
+    return _mm256_add_ps(_mm256_mul_ps(a, b), c);
+#endif
+  }
+  static Vec relu(Vec v) noexcept {
+    // compare-and-select, not max: NaN and -0.0 must map to +0.0 exactly
+    // like the scalar `v > 0 ? v : 0`.
+    return _mm256_and_ps(_mm256_cmp_ps(v, _mm256_setzero_ps(), _CMP_GT_OQ),
+                         v);
+  }
+};
+
+}  // namespace
+
+const PackedKernels& avx2_kernels() noexcept {
+  return PackedGemm<ArchAvx2>::table();
+}
+
+}  // namespace middlefl::tensor::detail
+
+#else  // toolchain cannot emit AVX2: link-compatible scalar fallback
+
+namespace middlefl::tensor::detail {
+
+const PackedKernels& avx2_kernels() noexcept {
+  return PackedGemm<ArchScalar>::table();
+}
+
+}  // namespace middlefl::tensor::detail
+
+#endif

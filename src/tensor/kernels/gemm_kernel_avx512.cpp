@@ -1,0 +1,60 @@
+// AVX-512F instantiation of the packed GEMM: 8x32 micro-tile (16 zmm
+// accumulators out of 32). Compiled with -mavx512f -ffp-contract=off on
+// x86 builds; falls back to the scalar geometry when the toolchain cannot
+// target AVX-512 so the symbol always links (the runtime dispatch never
+// selects it on a CPU without AVX-512F).
+#include "tensor/kernels/gemm_kernel_impl.hpp"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+
+namespace middlefl::tensor::detail {
+namespace {
+
+struct ArchAvx512 {
+  using Vec = __m512;
+  static constexpr std::size_t kW = 16;
+  static constexpr std::size_t kMR = 8;
+  static constexpr std::size_t kNV = 2;  // NR = 32
+
+  static Vec zero() noexcept { return _mm512_setzero_ps(); }
+  static Vec load(const float* p) noexcept { return _mm512_loadu_ps(p); }
+  static void store(float* p, Vec v) noexcept { _mm512_storeu_ps(p, v); }
+  static Vec broadcast(float v) noexcept { return _mm512_set1_ps(v); }
+  static Vec add(Vec a, Vec b) noexcept { return _mm512_add_ps(a, b); }
+  static Vec mul(Vec a, Vec b) noexcept { return _mm512_mul_ps(a, b); }
+  static Vec madd(Vec a, Vec b, Vec c) noexcept {
+#if defined(MIDDLEFL_GEMM_FMA)
+    return _mm512_fmadd_ps(a, b, c);
+#else
+    return _mm512_add_ps(_mm512_mul_ps(a, b), c);
+#endif
+  }
+  static Vec relu(Vec v) noexcept {
+    // Masked move keeps exactly the lanes where v > 0 (ordered compare:
+    // NaN lanes zero out), matching the scalar `v > 0 ? v : 0`.
+    const __mmask16 pos =
+        _mm512_cmp_ps_mask(v, _mm512_setzero_ps(), _CMP_GT_OQ);
+    return _mm512_maskz_mov_ps(pos, v);
+  }
+};
+
+}  // namespace
+
+const PackedKernels& avx512_kernels() noexcept {
+  return PackedGemm<ArchAvx512>::table();
+}
+
+}  // namespace middlefl::tensor::detail
+
+#else  // toolchain cannot emit AVX-512: link-compatible scalar fallback
+
+namespace middlefl::tensor::detail {
+
+const PackedKernels& avx512_kernels() noexcept {
+  return PackedGemm<ArchScalar>::table();
+}
+
+}  // namespace middlefl::tensor::detail
+
+#endif

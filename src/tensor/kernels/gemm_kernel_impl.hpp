@@ -1,0 +1,341 @@
+// Blocked packed-GEMM algorithm, templated over a register geometry.
+//
+// Each ISA translation unit instantiates PackedGemm<Arch> where Arch
+// supplies the vector type and a handful of primitive ops. The algorithm is
+// the classic GEBP decomposition:
+//
+//   pack op(B) into NR-column slabs (zero-padded), once per gemm call
+//   pack op(A) into MR-row panels with alpha folded in, once per row chunk
+//   loop: column-slab groups (~Nc) -> Kc blocks -> MR panels -> NR slabs
+//         -> MR x NR register micro-tile over the Kc block
+//
+// Determinism contract (pinned by the pipeline_test goldens): every C
+// element is computed as
+//
+//   c = beta * c                      (exactly once, before any product)
+//   for p = 0 .. k-1, ascending:
+//     c = madd(round(alpha * op(A)[i,p]), op(B)[p,j], c)
+//
+// where madd is a fused multiply-add when MIDDLEFL_GEMM_FMA is defined
+// (the MIDDLEFL_NATIVE build, matching the compiler-contracted baseline)
+// and a separately-rounded multiply+add otherwise. Kc blocking only
+// round-trips the accumulator through memory between blocks (bit-neutral),
+// Mc/Nc/row-split blocking only reorders across elements, and the vector
+// width never mixes lanes — so scalar, AVX2 and AVX-512 instantiations,
+// with any blocking and any row split, produce bitwise-identical C. These
+// translation units are compiled with -ffp-contract=off so the compiler
+// cannot introduce fusions the contract does not specify.
+//
+// The optional GemmEpilogue (bias add / ReLU / mask write / row sums) uses
+// only elementwise operations in a fixed order, so it is bit-identical to
+// the unfused layer loops it replaces; it is applied in the final-Kc-block
+// sweep while the tile is still in registers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/blas.hpp"
+#include "tensor/kernels/gemm_kernel.hpp"
+#include "tensor/workspace.hpp"
+
+namespace middlefl::tensor::detail {
+
+/// Fixed-lane fallback geometry: Vec is a plain float, so every op below
+/// is ordinary scalar arithmetic (the compiler may still autovectorize the
+/// elementwise loops — that never changes per-element rounding).
+struct ArchScalar {
+  using Vec = float;
+  static constexpr std::size_t kW = 1;    // lanes per Vec
+  static constexpr std::size_t kMR = 4;   // micro-tile rows
+  static constexpr std::size_t kNV = 8;   // Vecs per micro-tile row
+
+  static Vec zero() noexcept { return 0.0f; }
+  static Vec load(const float* p) noexcept { return *p; }
+  static void store(float* p, Vec v) noexcept { *p = v; }
+  static Vec broadcast(float v) noexcept { return v; }
+  static Vec add(Vec a, Vec b) noexcept { return a + b; }
+  static Vec mul(Vec a, Vec b) noexcept { return a * b; }
+  static Vec madd(Vec a, Vec b, Vec c) noexcept {
+#if defined(MIDDLEFL_GEMM_FMA)
+    return __builtin_fmaf(a, b, c);
+#else
+    return a * b + c;
+#endif
+  }
+  static Vec relu(Vec v) noexcept { return v > 0.0f ? v : 0.0f; }
+};
+
+template <class Arch>
+struct PackedGemm {
+  using Vec = typename Arch::Vec;
+  static constexpr std::size_t kW = Arch::kW;
+  static constexpr std::size_t kMR = Arch::kMR;
+  static constexpr std::size_t kNV = Arch::kNV;
+  static constexpr std::size_t kNR = kW * kNV;
+
+  // Cache blocking. Kc sizes one B slab chunk (Kc x NR floats) to stay
+  // L1-resident under the streaming A panel; Nc bounds the B working set
+  // (Kc x Nc floats) to roughly half an L2. Blocking never changes bits
+  // (see the contract above), so the values are pure tuning knobs.
+  static constexpr std::size_t kKc = 256;
+  static constexpr std::size_t kNc = 512;
+
+  static std::size_t packed_a_floats(std::size_t rows, std::size_t k) {
+    return ((rows + kMR - 1) / kMR) * kMR * k;
+  }
+  static std::size_t packed_b_floats(std::size_t k, std::size_t n) {
+    return ((n + kNR - 1) / kNR) * kNR * k;
+  }
+
+  /// Packs op(B) into slabs: slab s holds columns [s*NR, s*NR+NR) as k
+  /// consecutive NR-float rows, padding columns beyond n with zeros (the
+  /// padded lanes multiply into accumulators that are never stored).
+  static void pack_b(std::size_t k, std::size_t n, const float* b,
+                     bool trans_b, float* out) {
+    const std::size_t n_slabs = (n + kNR - 1) / kNR;
+    for (std::size_t s = 0; s < n_slabs; ++s) {
+      const std::size_t col0 = s * kNR;
+      const std::size_t valid = n - col0 < kNR ? n - col0 : kNR;
+      float* slab = out + s * k * kNR;
+      if (!trans_b) {
+        for (std::size_t p = 0; p < k; ++p) {
+          const float* src = b + p * n + col0;
+          float* dst = slab + p * kNR;
+          for (std::size_t t = 0; t < valid; ++t) dst[t] = src[t];
+          for (std::size_t t = valid; t < kNR; ++t) dst[t] = 0.0f;
+        }
+      } else {
+        // b is n x k: column j of op(B) is row j of b.
+        for (std::size_t t = 0; t < valid; ++t) {
+          const float* src = b + (col0 + t) * k;
+          for (std::size_t p = 0; p < k; ++p) slab[p * kNR + t] = src[p];
+        }
+        for (std::size_t t = valid; t < kNR; ++t) {
+          for (std::size_t p = 0; p < k; ++p) slab[p * kNR + t] = 0.0f;
+        }
+      }
+    }
+  }
+
+  /// Packs op(A) rows [row_lo, row_hi) into MR-row panels with alpha
+  /// folded in (one rounding, exactly like the unpacked kernels' per-use
+  /// `alpha * a` products). When the epilogue requests row_sums, the raw
+  /// (unscaled) values are folded into the caller's array here, in
+  /// ascending-p order — A is packed exactly once per row, so each element
+  /// contributes exactly once.
+  static void pack_a(const PackedGemmArgs& g, float* out) {
+    const std::size_t rows = g.row_hi - g.row_lo;
+    const std::size_t panels = (rows + kMR - 1) / kMR;
+    float* row_sums =
+        g.epilogue != nullptr ? g.epilogue->row_sums : nullptr;
+    for (std::size_t q = 0; q < panels; ++q) {
+      float* panel = out + q * g.k * kMR;
+      for (std::size_t r = 0; r < kMR; ++r) {
+        const std::size_t local = q * kMR + r;
+        if (local >= rows) {
+          for (std::size_t p = 0; p < g.k; ++p) panel[p * kMR + r] = 0.0f;
+          continue;
+        }
+        const std::size_t row = g.row_lo + local;
+        const float* src = g.trans_a ? g.a + row : g.a + row * g.k;
+        const std::size_t stride = g.trans_a ? g.m : 1;
+        if (row_sums != nullptr) {
+          float sums = row_sums[row];
+          for (std::size_t p = 0; p < g.k; ++p) {
+            const float v = src[p * stride];
+            sums += v;
+            panel[p * kMR + r] = g.alpha == 1.0f ? v : g.alpha * v;
+          }
+          row_sums[row] = sums;
+        } else if (g.alpha == 1.0f) {
+          for (std::size_t p = 0; p < g.k; ++p) {
+            panel[p * kMR + r] = src[p * stride];
+          }
+        } else {
+          for (std::size_t p = 0; p < g.k; ++p) {
+            panel[p * kMR + r] = g.alpha * src[p * stride];
+          }
+        }
+      }
+    }
+  }
+
+  /// One MR x NR register tile over a Kc block. `mv`/`nv` bound the valid
+  /// region (partial edge tiles stage through a local buffer); `first`
+  /// applies the beta prologue, `last` the epilogue + final store,
+  /// intermediate Kc blocks round-trip raw accumulators through C.
+  static void run_tile(const float* ap, const float* bp, std::size_t kc,
+                       float* ct, std::size_t ldc, std::size_t mv,
+                       std::size_t nv, bool first, bool last,
+                       const PackedGemmArgs& g, std::size_t row0,
+                       std::size_t col0) {
+    Vec acc[kMR][kNV];
+    const bool full = mv == kMR && nv == kNR;
+    alignas(64) float stage[kMR * kNR];
+
+    if (first && g.beta == 0.0f) {
+      for (std::size_t r = 0; r < kMR; ++r) {
+        for (std::size_t v = 0; v < kNV; ++v) acc[r][v] = Arch::zero();
+      }
+    } else {
+      if (full) {
+        for (std::size_t r = 0; r < kMR; ++r) {
+          for (std::size_t v = 0; v < kNV; ++v) {
+            acc[r][v] = Arch::load(ct + r * ldc + v * kW);
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < kMR * kNR; ++i) stage[i] = 0.0f;
+        for (std::size_t r = 0; r < mv; ++r) {
+          const float* src = ct + r * ldc;
+          for (std::size_t j = 0; j < nv; ++j) stage[r * kNR + j] = src[j];
+        }
+        for (std::size_t r = 0; r < kMR; ++r) {
+          for (std::size_t v = 0; v < kNV; ++v) {
+            acc[r][v] = Arch::load(stage + r * kNR + v * kW);
+          }
+        }
+      }
+      if (first && g.beta != 1.0f) {
+        const Vec vb = Arch::broadcast(g.beta);
+        for (std::size_t r = 0; r < kMR; ++r) {
+          for (std::size_t v = 0; v < kNV; ++v) {
+            acc[r][v] = Arch::mul(acc[r][v], vb);
+          }
+        }
+      }
+    }
+
+    for (std::size_t p = 0; p < kc; ++p) {
+      const float* brow = bp + p * kNR;
+      Vec bv[kNV];
+      for (std::size_t v = 0; v < kNV; ++v) bv[v] = Arch::load(brow + v * kW);
+      const float* arow = ap + p * kMR;
+      for (std::size_t r = 0; r < kMR; ++r) {
+        const Vec av = Arch::broadcast(arow[r]);
+        for (std::size_t v = 0; v < kNV; ++v) {
+          acc[r][v] = Arch::madd(av, bv[v], acc[r][v]);
+        }
+      }
+    }
+
+    const GemmEpilogue* epi = last ? g.epilogue : nullptr;
+    if (epi != nullptr) {
+      if (epi->col_bias != nullptr) {
+        Vec cb[kNV];
+        if (full) {
+          for (std::size_t v = 0; v < kNV; ++v) {
+            cb[v] = Arch::load(epi->col_bias + col0 + v * kW);
+          }
+        } else {
+          for (std::size_t j = 0; j < kNR; ++j) {
+            stage[j] = j < nv ? epi->col_bias[col0 + j] : 0.0f;
+          }
+          for (std::size_t v = 0; v < kNV; ++v) {
+            cb[v] = Arch::load(stage + v * kW);
+          }
+        }
+        for (std::size_t r = 0; r < kMR; ++r) {
+          for (std::size_t v = 0; v < kNV; ++v) {
+            acc[r][v] = Arch::add(acc[r][v], cb[v]);
+          }
+        }
+      }
+      if (epi->row_bias != nullptr) {
+        for (std::size_t r = 0; r < mv; ++r) {
+          const Vec rb = Arch::broadcast(epi->row_bias[row0 + r]);
+          for (std::size_t v = 0; v < kNV; ++v) {
+            acc[r][v] = Arch::add(acc[r][v], rb);
+          }
+        }
+      }
+      if (epi->relu) {
+        for (std::size_t r = 0; r < kMR; ++r) {
+          for (std::size_t v = 0; v < kNV; ++v) {
+            acc[r][v] = Arch::relu(acc[r][v]);
+          }
+        }
+      }
+    }
+
+    if (full) {
+      for (std::size_t r = 0; r < kMR; ++r) {
+        for (std::size_t v = 0; v < kNV; ++v) {
+          Arch::store(ct + r * ldc + v * kW, acc[r][v]);
+        }
+      }
+    } else {
+      for (std::size_t r = 0; r < kMR; ++r) {
+        for (std::size_t v = 0; v < kNV; ++v) {
+          Arch::store(stage + r * kNR + v * kW, acc[r][v]);
+        }
+      }
+      for (std::size_t r = 0; r < mv; ++r) {
+        float* dst = ct + r * ldc;
+        for (std::size_t j = 0; j < nv; ++j) dst[j] = stage[r * kNR + j];
+      }
+    }
+
+    if (epi != nullptr && epi->relu_mask != nullptr) {
+      // Post-ReLU values are > 0 exactly where the pre-ReLU input was
+      // (NaN and -0.0 both map to stored +0.0, mask 0 — the unfused
+      // semantics), so the mask derives from what was just stored.
+      for (std::size_t r = 0; r < mv; ++r) {
+        const float* crow = ct + r * ldc;
+        std::uint8_t* mrow = epi->relu_mask + (row0 + r) * g.n + col0;
+        for (std::size_t j = 0; j < nv; ++j) {
+          mrow[j] = crow[j] > 0.0f ? 1 : 0;
+        }
+      }
+    }
+  }
+
+  static void compute(const PackedGemmArgs& g) {
+    const std::size_t rows = g.row_hi - g.row_lo;
+    if (rows == 0 || g.n == 0) return;
+    auto apanel = Workspace::tls().aligned_floats(
+        WsAlignedSlot::kGemmPanelA, packed_a_floats(rows, g.k));
+    pack_a(g, apanel.data());
+
+    const std::size_t n_slabs = (g.n + kNR - 1) / kNR;
+    const std::size_t slabs_per_group = kNc / kNR > 0 ? kNc / kNR : 1;
+    const std::size_t num_panels = (rows + kMR - 1) / kMR;
+    const std::size_t num_kb = (g.k + kKc - 1) / kKc;
+
+    for (std::size_t s0 = 0; s0 < n_slabs; s0 += slabs_per_group) {
+      const std::size_t s1 = s0 + slabs_per_group < n_slabs
+                                 ? s0 + slabs_per_group
+                                 : n_slabs;
+      for (std::size_t kb = 0; kb < num_kb; ++kb) {
+        const std::size_t p0 = kb * kKc;
+        const std::size_t kc = g.k - p0 < kKc ? g.k - p0 : kKc;
+        const bool first = kb == 0;
+        const bool last = kb + 1 == num_kb;
+        for (std::size_t q = 0; q < num_panels; ++q) {
+          const std::size_t local0 = q * kMR;
+          const std::size_t mv =
+              rows - local0 < kMR ? rows - local0 : kMR;
+          const float* ap = apanel.data() + q * g.k * kMR + p0 * kMR;
+          for (std::size_t s = s0; s < s1; ++s) {
+            const std::size_t col0 = s * kNR;
+            const std::size_t nv =
+                g.n - col0 < kNR ? g.n - col0 : kNR;
+            const float* bp = g.packed_b + s * g.k * kNR + p0 * kNR;
+            float* ct = g.c + (g.row_lo + local0) * g.n + col0;
+            run_tile(ap, bp, kc, ct, g.n, mv, nv, first, last, g,
+                     g.row_lo + local0, col0);
+          }
+        }
+      }
+    }
+  }
+
+  static const PackedKernels& table() noexcept {
+    static const PackedKernels t{kMR, kNR, &packed_a_floats,
+                                 &packed_b_floats, &pack_b, &compute};
+    return t;
+  }
+};
+
+}  // namespace middlefl::tensor::detail

@@ -79,6 +79,26 @@ class Tensor {
     return *this;
   }
 
+  /// reset() minus the zero-fill, for callers that overwrite every element
+  /// before reading any (GEMM outputs with beta == 0, elementwise forward
+  /// outputs). Contents beyond the previous size are zero; the rest is the
+  /// previous data. NOT for accumulation targets — Conv2d::backward's
+  /// grad_input (col2im does +=) must keep the zeroing reset().
+  Tensor& reset_for_overwrite(const Shape& shape) {
+    if (shape_ != shape) shape_ = shape;
+    data_.resize(shape_.numel());
+    return *this;
+  }
+
+  Tensor& reset_for_overwrite(std::initializer_list<std::size_t> dims) {
+    if (!std::equal(dims.begin(), dims.end(), shape_.dims().begin(),
+                    shape_.dims().end())) {
+      shape_ = Shape(dims);
+    }
+    data_.resize(shape_.numel());
+    return *this;
+  }
+
   void fill(float value) noexcept;
 
   // Elementwise in-place arithmetic; shapes must match exactly.

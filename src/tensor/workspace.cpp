@@ -1,6 +1,32 @@
 #include "tensor/workspace.hpp"
 
+#include <new>
+
 namespace middlefl::tensor {
+
+namespace {
+constexpr std::align_val_t kPanelAlign{64};
+}
+
+void AlignedFloatBuffer::grow(std::size_t n) {
+  // Geometric growth keeps the amortized cost of the high-water climb
+  // linear, like the vector slots.
+  std::size_t cap = capacity_ == 0 ? 1024 : capacity_;
+  while (cap < n) cap *= 2;
+  auto* fresh =
+      static_cast<float*>(::operator new(cap * sizeof(float), kPanelAlign));
+  release();
+  data_ = fresh;
+  capacity_ = cap;
+}
+
+void AlignedFloatBuffer::release() noexcept {
+  if (data_ != nullptr) {
+    ::operator delete(data_, kPanelAlign);
+    data_ = nullptr;
+    capacity_ = 0;
+  }
+}
 
 Workspace& Workspace::tls() {
   thread_local Workspace instance;

@@ -44,6 +44,45 @@ enum class WsDoubleSlot : std::size_t {
   kCount,
 };
 
+/// 64-byte-aligned float slots for the packed-GEMM micro-kernel panels
+/// (cache-line/vector-register aligned loads on every ISA tier).
+enum class WsAlignedSlot : std::size_t {
+  kGemmPanelA = 0,  // packed (alpha-scaled, MR-padded) A panel
+  kGemmPanelB,      // packed (NR-slab, zero-padded) B panel
+  kCount,
+};
+
+/// Index scratch slots (std::size_t).
+enum class WsIndexSlot : std::size_t {
+  kMinibatchPositions = 0,  // sample_minibatch_into: drawn sample positions
+  kCount,
+};
+
+/// Fixed-capacity-free buffer of 64-byte-aligned floats; grows like the
+/// vector slots but with over-aligned storage (plain std::vector only
+/// guarantees alignof(float)).
+class AlignedFloatBuffer {
+ public:
+  AlignedFloatBuffer() = default;
+  AlignedFloatBuffer(const AlignedFloatBuffer&) = delete;
+  AlignedFloatBuffer& operator=(const AlignedFloatBuffer&) = delete;
+  ~AlignedFloatBuffer() { release(); }
+
+  /// Grows to at least `n` floats (contents unspecified after growth).
+  float* ensure(std::size_t n) {
+    if (n > capacity_) grow(n);
+    return data_;
+  }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  void grow(std::size_t n);
+  void release() noexcept;
+
+  float* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
 class Workspace {
  public:
   /// The calling thread's arena (created on first use).
@@ -63,12 +102,31 @@ class Workspace {
     return {buf.data(), n};
   }
 
+  /// Borrows `n` 64-byte-aligned floats (contents unspecified).
+  std::span<float> aligned_floats(WsAlignedSlot slot, std::size_t n) {
+    auto& buf = aligned_slots_[static_cast<std::size_t>(slot)];
+    return {buf.ensure(n), n};
+  }
+
+  /// Borrows `n` size_t entries (contents unspecified).
+  std::span<std::size_t> indices(WsIndexSlot slot, std::size_t n) {
+    auto& buf = index_slots_[static_cast<std::size_t>(slot)];
+    if (buf.size() < n) buf.resize(n);
+    return {buf.data(), n};
+  }
+
   /// Total bytes currently retained across all slots (introspection).
   std::size_t retained_bytes() const noexcept {
     std::size_t total = 0;
     for (const auto& buf : float_slots_) total += buf.capacity() * sizeof(float);
     for (const auto& buf : double_slots_) {
       total += buf.capacity() * sizeof(double);
+    }
+    for (const auto& buf : aligned_slots_) {
+      total += buf.capacity() * sizeof(float);
+    }
+    for (const auto& buf : index_slots_) {
+      total += buf.capacity() * sizeof(std::size_t);
     }
     return total;
   }
@@ -79,6 +137,12 @@ class Workspace {
   std::array<std::vector<double>,
              static_cast<std::size_t>(WsDoubleSlot::kCount)>
       double_slots_;
+  std::array<AlignedFloatBuffer,
+             static_cast<std::size_t>(WsAlignedSlot::kCount)>
+      aligned_slots_;
+  std::array<std::vector<std::size_t>,
+             static_cast<std::size_t>(WsIndexSlot::kCount)>
+      index_slots_;
 };
 
 }  // namespace middlefl::tensor

@@ -1,0 +1,357 @@
+// Property tests for the packed micro-kernel GEMM (src/tensor/kernels/):
+// value correctness against a naive double-accumulated reference across
+// shapes that exercise partial MR/NR edge tiles and multi-Kc sweeps, exact
+// fused-epilogue semantics (bias / ReLU / mask / row-sums bitwise equal to
+// the unfused elementwise passes), and dispatch parity — every ISA tier the
+// host supports must produce byte-identical output for the same input.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+#include "tensor/blas.hpp"
+#include "tensor/cpu_features.hpp"
+
+namespace {
+
+using middlefl::tensor::GemmEpilogue;
+using middlefl::tensor::IsaLevel;
+using middlefl::tensor::Trans;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<float> dist(-1.0f, 1.0f);
+  std::vector<float> v(n);
+  for (auto& x : v) x = dist(rng);
+  return v;
+}
+
+/// Naive op(A)*op(B) with double accumulation — the correctness oracle.
+std::vector<float> naive_gemm(Trans ta, Trans tb, std::size_t m,
+                              std::size_t n, std::size_t k, float alpha,
+                              const std::vector<float>& a,
+                              const std::vector<float>& b, float beta,
+                              const std::vector<float>& c_in) {
+  std::vector<float> c = c_in;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const float av = ta == Trans::kNo ? a[i * k + p] : a[p * m + i];
+        const float bv = tb == Trans::kNo ? b[p * n + j] : b[j * k + p];
+        acc += static_cast<double>(av) * bv;
+      }
+      c[i * n + j] =
+          alpha * static_cast<float>(acc) + beta * c_in[i * n + j];
+    }
+  }
+  return c;
+}
+
+/// Pins the GEMM dispatch to a level for the lifetime of the guard.
+struct IsaGuard {
+  explicit IsaGuard(IsaLevel level)
+      : applied(middlefl::tensor::force_isa(level)) {}
+  ~IsaGuard() { middlefl::tensor::clear_forced_isa(); }
+  IsaGuard(const IsaGuard&) = delete;
+  IsaGuard& operator=(const IsaGuard&) = delete;
+  IsaLevel applied;
+};
+
+void check_against_naive(Trans ta, Trans tb, std::size_t m, std::size_t n,
+                         std::size_t k, float alpha, float beta) {
+  SCOPED_TRACE(::testing::Message()
+               << "ta=" << (ta == Trans::kYes) << " tb="
+               << (tb == Trans::kYes) << " m=" << m << " n=" << n
+               << " k=" << k << " alpha=" << alpha << " beta=" << beta);
+  const auto a = random_vec(m * k, 101 + m * 13 + k * 3);
+  const auto b = random_vec(k * n, 202 + n * 17 + k * 5);
+  const auto c0 = random_vec(m * n, 303 + m * 7 + n);
+  const auto expected = naive_gemm(ta, tb, m, n, k, alpha, a, b, beta, c0);
+  std::vector<float> c = c0;
+  middlefl::tensor::gemm(ta, tb, m, n, k, alpha, a, b, beta, c);
+  const double tol = 1e-4 * (1.0 + static_cast<double>(k) * 0.01);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], expected[i], tol) << "at flat index " << i;
+  }
+}
+
+// Shapes chosen to hit every structural case of the packed kernels: exact
+// multiples of the widest register tile (8 x 32), partial edge tiles in M
+// and N, single rows/columns, n/k below the small-NT threshold, and k
+// values that cross one and two Kc = 256 block boundaries.
+struct ShapeCase {
+  std::size_t m, n, k;
+};
+const ShapeCase kShapes[] = {
+    {1, 1, 1},    {3, 5, 7},     {8, 32, 16},  {16, 64, 64},
+    {6, 16, 8},   {13, 33, 21},  {17, 48, 19}, {9, 40, 257},
+    {5, 17, 300}, {12, 70, 513}, {33, 10, 64}, {2, 100, 31},
+};
+
+TEST(GemmKernel, MatchesNaiveReferenceAllTransposes) {
+  for (const auto& s : kShapes) {
+    for (const Trans ta : {Trans::kNo, Trans::kYes}) {
+      for (const Trans tb : {Trans::kNo, Trans::kYes}) {
+        check_against_naive(ta, tb, s.m, s.n, s.k, 1.0f, 0.0f);
+      }
+    }
+  }
+}
+
+TEST(GemmKernel, AlphaBetaVariants) {
+  const float alphas[] = {1.0f, 0.5f, -2.0f};
+  const float betas[] = {0.0f, 1.0f, -0.75f};
+  for (const auto& s : {ShapeCase{13, 33, 21}, ShapeCase{9, 40, 257}}) {
+    for (const float alpha : alphas) {
+      for (const float beta : betas) {
+        check_against_naive(Trans::kNo, Trans::kNo, s.m, s.n, s.k, alpha,
+                            beta);
+        check_against_naive(Trans::kYes, Trans::kNo, s.m, s.n, s.k, alpha,
+                            beta);
+      }
+    }
+  }
+}
+
+TEST(GemmKernel, KZeroScalesCAndAppliesEpilogue) {
+  const std::size_t m = 7, n = 19;
+  const auto c0 = random_vec(m * n, 42);
+  const auto bias = random_vec(n, 43);
+
+  std::vector<float> c = c0;
+  GemmEpilogue epi;
+  epi.col_bias = bias.data();
+  epi.relu = true;
+  middlefl::tensor::gemm(Trans::kNo, Trans::kNo, m, n, 0, 1.0f, {}, {},
+                         0.5f, c, nullptr, &epi);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float want = 0.5f * c0[i * n + j];
+      want += bias[j];
+      want = want > 0.0f ? want : 0.0f;
+      EXPECT_EQ(c[i * n + j], want) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+/// Applies the documented epilogue steps elementwise to a plain GEMM
+/// result — the reference the fused path must match bitwise.
+void apply_epilogue_reference(const GemmEpilogue& epi, std::size_t m,
+                              std::size_t n, std::vector<float>& c,
+                              std::vector<std::uint8_t>* mask) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      float v = c[i * n + j];
+      if (epi.col_bias != nullptr) v += epi.col_bias[j];
+      if (epi.row_bias != nullptr) v += epi.row_bias[i];
+      if (epi.relu) v = v > 0.0f ? v : 0.0f;
+      c[i * n + j] = v;
+      if (mask != nullptr) (*mask)[i * n + j] = v > 0.0f ? 1 : 0;
+    }
+  }
+}
+
+void check_fused_epilogue_bitwise(Trans ta, Trans tb, std::size_t m,
+                                  std::size_t n, std::size_t k) {
+  SCOPED_TRACE(::testing::Message() << "ta=" << (ta == Trans::kYes)
+                                    << " tb=" << (tb == Trans::kYes)
+                                    << " m=" << m << " n=" << n
+                                    << " k=" << k);
+  const auto a = random_vec(m * k, 900 + m + k);
+  const auto b = random_vec(k * n, 901 + n + k);
+  const auto c0 = random_vec(m * n, 902 + m + n);
+  const auto col_bias = random_vec(n, 903);
+  const auto row_bias = random_vec(m, 904);
+
+  // Unfused reference: plain gemm, then the elementwise passes.
+  std::vector<float> ref = c0;
+  middlefl::tensor::gemm(ta, tb, m, n, k, 1.0f, a, b, 1.0f, ref);
+  GemmEpilogue epi;
+  epi.col_bias = col_bias.data();
+  epi.row_bias = row_bias.data();
+  epi.relu = true;
+  std::vector<std::uint8_t> ref_mask(m * n, 0);
+  apply_epilogue_reference(epi, m, n, ref, &ref_mask);
+
+  // Fused: one gemm call with the epilogue attached.
+  std::vector<float> fused = c0;
+  std::vector<std::uint8_t> fused_mask(m * n, 0xCC);
+  epi.relu_mask = fused_mask.data();
+  middlefl::tensor::gemm(ta, tb, m, n, k, 1.0f, a, b, 1.0f, fused, nullptr,
+                         &epi);
+
+  ASSERT_EQ(0, std::memcmp(ref.data(), fused.data(),
+                           ref.size() * sizeof(float)))
+      << "fused epilogue changed output bits";
+  EXPECT_EQ(ref_mask, fused_mask);
+}
+
+TEST(GemmKernel, FusedEpilogueBitwiseEqualsUnfused) {
+  // Packed-path shapes (n, k >= 16) and small-NT shapes (n < 16), plus a
+  // Kc-crossing depth: the epilogue must behave identically on both paths.
+  check_fused_epilogue_bitwise(Trans::kNo, Trans::kNo, 13, 33, 21);
+  check_fused_epilogue_bitwise(Trans::kNo, Trans::kNo, 9, 40, 257);
+  check_fused_epilogue_bitwise(Trans::kNo, Trans::kYes, 11, 10, 24);
+  check_fused_epilogue_bitwise(Trans::kNo, Trans::kYes, 16, 48, 32);
+  check_fused_epilogue_bitwise(Trans::kYes, Trans::kNo, 12, 20, 18);
+}
+
+TEST(GemmKernel, RowSumsAccumulateExactly) {
+  for (const Trans ta : {Trans::kNo, Trans::kYes}) {
+    for (const auto& s : {ShapeCase{13, 33, 21}, ShapeCase{9, 40, 257},
+                          ShapeCase{11, 10, 24}}) {
+      SCOPED_TRACE(::testing::Message() << "ta=" << (ta == Trans::kYes)
+                                        << " m=" << s.m << " n=" << s.n
+                                        << " k=" << s.k);
+      const auto a = random_vec(s.m * s.k, 700 + s.m);
+      const auto b = random_vec(s.k * s.n, 701 + s.n);
+      std::vector<float> c(s.m * s.n, 0.0f);
+
+      // The contract: row_sums[i] += sum_p op(A)[i,p], raw values (no
+      // alpha), ascending p, float accumulation, exactly once per row.
+      auto sums = random_vec(s.m, 702);  // nonzero start proves +=
+      std::vector<float> want = sums;
+      for (std::size_t i = 0; i < s.m; ++i) {
+        float acc = want[i];
+        for (std::size_t p = 0; p < s.k; ++p) {
+          acc += ta == Trans::kNo ? a[i * s.k + p] : a[p * s.m + i];
+        }
+        want[i] = acc;
+      }
+
+      GemmEpilogue epi;
+      epi.row_sums = sums.data();
+      middlefl::tensor::gemm(ta, Trans::kNo, s.m, s.n, s.k, 2.0f, a, b,
+                             0.0f, c, nullptr, &epi);
+      ASSERT_EQ(0, std::memcmp(want.data(), sums.data(),
+                               want.size() * sizeof(float)));
+    }
+  }
+}
+
+TEST(GemmKernel, RowSumsOnSmallNtPath) {
+  // n < 16 routes through the legacy dot-form NT kernel; its scalar
+  // row-sums helper must obey the same contract as the packed path.
+  const std::size_t m = 9, n = 10, k = 24;
+  const auto a = random_vec(m * k, 750);
+  const auto b = random_vec(n * k, 751);
+  std::vector<float> c(m * n, 0.0f);
+
+  auto sums = random_vec(m, 752);
+  std::vector<float> want = sums;
+  for (std::size_t i = 0; i < m; ++i) {
+    float acc = want[i];
+    for (std::size_t p = 0; p < k; ++p) acc += a[i * k + p];
+    want[i] = acc;
+  }
+
+  GemmEpilogue epi;
+  epi.row_sums = sums.data();
+  middlefl::tensor::gemm(Trans::kNo, Trans::kYes, m, n, k, 1.0f, a, b, 0.0f,
+                         c, nullptr, &epi);
+  ASSERT_EQ(0,
+            std::memcmp(want.data(), sums.data(), m * sizeof(float)));
+}
+
+TEST(GemmKernel, RowSumsExactlyOnceWithThreadPool) {
+  // Parallel row splits must not double-count: A is packed once per row
+  // regardless of how many chunks the pool runs.
+  const std::size_t m = 64, n = 48, k = 512;  // big enough to parallelize
+  const auto a = random_vec(m * k, 800);
+  const auto b = random_vec(k * n, 801);
+
+  std::vector<float> c_serial(m * n, 0.0f);
+  std::vector<float> sums_serial(m, 1.0f);
+  GemmEpilogue epi;
+  epi.row_sums = sums_serial.data();
+  middlefl::tensor::gemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a, b, 0.0f,
+                         c_serial, nullptr, &epi);
+
+  middlefl::parallel::ThreadPool pool(4);
+  std::vector<float> c_par(m * n, 0.0f);
+  std::vector<float> sums_par(m, 1.0f);
+  epi.row_sums = sums_par.data();
+  middlefl::tensor::gemm(Trans::kNo, Trans::kNo, m, n, k, 1.0f, a, b, 0.0f,
+                         c_par, &pool, &epi);
+
+  ASSERT_EQ(0, std::memcmp(sums_serial.data(), sums_par.data(),
+                           m * sizeof(float)));
+  ASSERT_EQ(0, std::memcmp(c_serial.data(), c_par.data(),
+                           m * n * sizeof(float)));
+}
+
+// Dispatch parity: the same inputs through every ISA tier this host
+// supports must produce byte-identical C (and mask). This is the
+// determinism contract the golden-run fingerprints rely on — a portable
+// binary's output cannot depend on which CPU it lands on.
+TEST(GemmKernel, DispatchParityAcrossIsaTiers) {
+  const IsaLevel detected = middlefl::tensor::detected_isa();
+
+  for (const auto& s : kShapes) {
+    for (const Trans ta : {Trans::kNo, Trans::kYes}) {
+      const auto a = random_vec(s.m * s.k, 500 + s.m + s.k);
+      const auto b = random_vec(s.k * s.n, 501 + s.n + s.k);
+      const auto c0 = random_vec(s.m * s.n, 502 + s.m + s.n);
+      const auto bias = random_vec(s.n, 503);
+
+      GemmEpilogue epi;
+      epi.col_bias = bias.data();
+      epi.relu = true;
+
+      // Baseline: forced scalar.
+      std::vector<float> c_scalar = c0;
+      std::vector<std::uint8_t> mask_scalar(s.m * s.n, 0);
+      {
+        IsaGuard guard(IsaLevel::kScalar);
+        ASSERT_EQ(guard.applied, IsaLevel::kScalar);
+        epi.relu_mask = mask_scalar.data();
+        middlefl::tensor::gemm(ta, Trans::kNo, s.m, s.n, s.k, 1.0f, a, b,
+                               0.5f, c_scalar, nullptr, &epi);
+      }
+
+      for (const IsaLevel level : {IsaLevel::kAvx2, IsaLevel::kAvx512}) {
+        if (static_cast<int>(level) > static_cast<int>(detected)) continue;
+        SCOPED_TRACE(::testing::Message()
+                     << "isa=" << middlefl::tensor::to_string(level)
+                     << " ta=" << (ta == Trans::kYes) << " m=" << s.m
+                     << " n=" << s.n << " k=" << s.k);
+        std::vector<float> c_simd = c0;
+        std::vector<std::uint8_t> mask_simd(s.m * s.n, 0);
+        IsaGuard guard(level);
+        ASSERT_EQ(guard.applied, level);
+        epi.relu_mask = mask_simd.data();
+        middlefl::tensor::gemm(ta, Trans::kNo, s.m, s.n, s.k, 1.0f, a, b,
+                               0.5f, c_simd, nullptr, &epi);
+        ASSERT_EQ(0, std::memcmp(c_scalar.data(), c_simd.data(),
+                                 c_scalar.size() * sizeof(float)))
+            << "ISA tier changed output bits";
+        ASSERT_EQ(mask_scalar, mask_simd);
+      }
+    }
+  }
+}
+
+TEST(GemmKernel, ForceIsaClampsToDetected) {
+  const IsaLevel detected = middlefl::tensor::detected_isa();
+  IsaGuard guard(IsaLevel::kAvx512);
+  EXPECT_LE(static_cast<int>(guard.applied), static_cast<int>(detected));
+  EXPECT_EQ(middlefl::tensor::active_isa(), guard.applied);
+}
+
+TEST(GemmKernel, IsaStringRoundTrip) {
+  using middlefl::tensor::isa_from_string;
+  using middlefl::tensor::to_string;
+  for (const IsaLevel level :
+       {IsaLevel::kScalar, IsaLevel::kAvx2, IsaLevel::kAvx512}) {
+    const auto parsed = isa_from_string(to_string(level));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, level);
+  }
+  EXPECT_FALSE(isa_from_string("sse9").has_value());
+}
+
+}  // namespace
