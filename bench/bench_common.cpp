@@ -1,6 +1,8 @@
 #include "bench_common.hpp"
 
 #include <cmath>
+#include <fstream>
+#include <sstream>
 
 #include "parallel/thread_pool.hpp"
 #include "util/stats.hpp"
@@ -327,6 +329,41 @@ core::RunHistory run_and_collect(core::Simulation& simulation,
     });
   }
   return simulation.run();
+}
+
+namespace {
+
+/// Reads a "<key>:   <n> kB" line from /proc/self/status; 0 when absent.
+std::size_t proc_status_kb(const char* key) {
+  std::ifstream status("/proc/self/status");
+  if (!status) return 0;
+  const std::string prefix = std::string(key) + ":";
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.compare(0, prefix.size(), prefix) != 0) continue;
+    std::size_t kb = 0;
+    std::istringstream fields(line.substr(prefix.size()));
+    fields >> kb;
+    return kb;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::size_t peak_rss_bytes() {
+  const std::size_t hwm = proc_status_kb("VmHWM");
+  if (hwm > 0) return hwm * 1024;
+  return current_rss_bytes();
+}
+
+std::size_t current_rss_bytes() { return proc_status_kb("VmRSS") * 1024; }
+
+bool reset_peak_rss() {
+  std::ofstream clear_refs("/proc/self/clear_refs");
+  if (!clear_refs) return false;
+  clear_refs << "5";
+  return static_cast<bool>(clear_refs);
 }
 
 std::unique_ptr<util::CsvWriter> open_csv(const BenchOptions& options) {

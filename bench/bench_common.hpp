@@ -139,6 +139,18 @@ RepeatSummary summarize_repeats(const std::vector<core::RunHistory>& runs,
 core::RunHistory run_and_collect(core::Simulation& simulation,
                                  const std::string& label, bool echo = false);
 
+/// Peak resident set size (VmHWM) of this process in bytes, read from
+/// /proc/self/status; falls back to current RSS, and 0 where neither is
+/// available (non-Linux). The memory-footprint figure of merit for the
+/// fleet-scale benches.
+std::size_t peak_rss_bytes();
+/// Current resident set size (VmRSS) in bytes; 0 when unavailable.
+std::size_t current_rss_bytes();
+/// Re-arms the kernel's RSS high-water mark (writes "5" to
+/// /proc/self/clear_refs) so peak_rss_bytes() measures only what follows.
+/// Returns false when the kernel does not support resetting.
+bool reset_peak_rss();
+
 /// Opens options.out or falls back to stdout.
 std::unique_ptr<util::CsvWriter> open_csv(const BenchOptions& options);
 

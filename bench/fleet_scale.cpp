@@ -1,0 +1,278 @@
+// Fleet-scale memory/throughput bench: how far does lazy device state
+// stretch one host?
+//
+// Sweeps the fleet size (default 10k -> 100k -> 1M virtual devices, then
+// 10k/100k eager devices for the baseline) over a fixed tiny task:
+// random-selection FedMes-style hierarchy, window-partitioned synthetic
+// data (O(1) per-device data state), a small MLP, a handful of steps with
+// one cloud sync. Per configuration it records wall time, steps/sec, the
+// RSS high-water mark (VmHWM, re-armed per configuration via
+// /proc/self/clear_refs) and the registry's fleet accounting
+// (materializations per step, peak resident devices, at-rest delta bytes).
+//
+// The headline criterion, recorded in the JSON: the 1M-device lazy run
+// must peak below 25% of the fully-materialized footprint extrapolated
+// from the 100k eager run (x10). Eager 1M is never run — at ~10 KB per
+// materialized device it would need the extrapolation's worth of RAM,
+// which is exactly the point.
+//
+// CI smoke: --devices 100000 --rss-budget-mb N runs the single lazy
+// configuration and fails (exit 1) when its peak RSS delta exceeds the
+// budget.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/algorithms.hpp"
+
+namespace {
+
+using middlefl::bench::BenchOptions;
+
+struct FleetMeasurement {
+  bool lazy = true;
+  std::size_t devices = 0;
+  std::size_t steps = 0;
+  double seconds = 0.0;
+  double steps_per_sec = 0.0;
+  std::size_t rss_before_bytes = 0;
+  std::size_t peak_rss_bytes = 0;
+  std::size_t peak_delta_bytes = 0;
+  std::uint64_t materializations = 0;
+  double materializations_per_step = 0.0;
+  std::size_t resident_peak = 0;
+  std::size_t delta_bytes_at_rest = 0;
+};
+
+struct FleetTask {
+  middlefl::data::Dataset train;
+  middlefl::data::Dataset test;
+  middlefl::nn::ModelSpec model_spec;
+
+  FleetTask() : train(make_data(240, 0)), test(make_data(80, 1)) {
+    model_spec.arch = middlefl::nn::ModelArch::kMlp;
+    model_spec.input_shape = middlefl::tensor::Shape{1, 6, 6};
+    model_spec.num_classes = 4;
+    model_spec.hidden = 16;
+  }
+
+  static middlefl::data::Dataset make_data(std::size_t per_class,
+                                           std::uint64_t salt) {
+    middlefl::data::SyntheticConfig dcfg;
+    dcfg.num_classes = 4;
+    dcfg.height = 6;
+    dcfg.width = 6;
+    dcfg.noise_std = 0.2f;
+    dcfg.seed = 5;
+    return middlefl::data::SyntheticGenerator(dcfg).generate(per_class, salt);
+  }
+};
+
+FleetMeasurement run_config(const FleetTask& task, std::size_t devices,
+                            bool lazy, std::size_t steps,
+                            std::size_t num_edges,
+                            const BenchOptions& options) {
+  namespace core = middlefl::core;
+  namespace data = middlefl::data;
+  using middlefl::bench::current_rss_bytes;
+  using middlefl::bench::peak_rss_bytes;
+  using middlefl::bench::reset_peak_rss;
+
+  FleetMeasurement m;
+  m.lazy = lazy;
+  m.devices = devices;
+  m.steps = steps;
+
+  reset_peak_rss();
+  m.rss_before_bytes = current_rss_bytes();
+
+  const data::Partition partition =
+      data::partition_fleet_window(task.train, devices, 16);
+  auto initial = data::assign_edges_uniform(devices, num_edges, options.seed);
+  auto mobility = std::make_unique<middlefl::mobility::MarkovMobility>(
+      std::move(initial), num_edges, options.mobility, options.seed + 11);
+
+  core::SimulationConfig cfg;
+  cfg.select_per_edge = 4;
+  cfg.local_steps = 2;
+  cfg.cloud_interval = options.cloud_interval;
+  cfg.batch_size = 8;
+  cfg.total_steps = steps;
+  cfg.eval_edges = false;
+  cfg.seed = options.seed;
+  cfg.parallel_devices = false;
+  cfg.fleet.lazy_devices = lazy;
+
+  middlefl::optim::Sgd optimizer(
+      middlefl::optim::SgdConfig{.learning_rate = 0.05, .momentum = 0.9});
+  core::Simulation sim(cfg, task.model_spec, optimizer, task.train, partition,
+                       task.test, std::move(mobility),
+                       core::make_algorithm(core::Algorithm::kFedMes));
+
+  const auto begin = std::chrono::steady_clock::now();
+  for (std::size_t s = 0; s < steps; ++s) sim.step();
+  const auto end = std::chrono::steady_clock::now();
+  m.seconds = std::chrono::duration<double>(end - begin).count();
+  m.steps_per_sec =
+      m.seconds > 0.0 ? static_cast<double>(steps) / m.seconds : 0.0;
+
+  m.peak_rss_bytes = peak_rss_bytes();
+  m.peak_delta_bytes = m.peak_rss_bytes > m.rss_before_bytes
+                           ? m.peak_rss_bytes - m.rss_before_bytes
+                           : 0;
+  m.materializations = sim.fleet().materializations();
+  m.materializations_per_step =
+      static_cast<double>(m.materializations) / static_cast<double>(steps);
+  m.resident_peak = sim.fleet().resident_peak();
+  m.delta_bytes_at_rest = sim.fleet().delta_bytes_at_rest();
+  return m;
+}
+
+void print_row(const FleetMeasurement& m) {
+  std::cerr << "   " << (m.lazy ? "lazy " : "eager") << " " << m.devices
+            << " devices: " << m.steps << " steps in " << m.seconds
+            << " s (" << m.steps_per_sec << " steps/sec), peak RSS +"
+            << m.peak_delta_bytes / (1024 * 1024) << " MiB, "
+            << m.materializations_per_step << " materializations/step\n";
+}
+
+void emit_json(std::ostream& out, const FleetMeasurement& m, bool last) {
+  out << "    {\"mode\": \"" << (m.lazy ? "lazy" : "eager")
+      << "\", \"devices\": " << m.devices << ", \"steps\": " << m.steps
+      << ", \"seconds\": " << m.seconds
+      << ", \"steps_per_sec\": " << m.steps_per_sec
+      << ", \"rss_before_bytes\": " << m.rss_before_bytes
+      << ", \"peak_rss_bytes\": " << m.peak_rss_bytes
+      << ", \"peak_delta_bytes\": " << m.peak_delta_bytes
+      << ", \"materializations\": " << m.materializations
+      << ", \"materializations_per_step\": " << m.materializations_per_step
+      << ", \"resident_peak\": " << m.resident_peak
+      << ", \"delta_bytes_at_rest\": " << m.delta_bytes_at_rest << "}"
+      << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace bench = middlefl::bench;
+  namespace util = middlefl::util;
+
+  BenchOptions options;
+  options.cloud_interval = 5;
+  options.mobility = 0.1;
+  std::string json_path = "BENCH_fleet_scale.json";
+  std::size_t single_devices = 0;
+  std::size_t rss_budget_mb = 0;
+  std::size_t steps = 6;
+  std::size_t num_edges = 8;
+
+  util::CliParser cli(
+      "fleet_scale: fleet-size sweep comparing lazy vs eager device state");
+  options.register_flags(cli);
+  cli.add_flag("json", "JSON output path", &json_path);
+  cli.add_flag("devices",
+               "run one lazy configuration at this fleet size instead of "
+               "the full sweep (CI smoke)",
+               &single_devices);
+  cli.add_flag("rss-budget-mb",
+               "fail when a configuration's peak RSS delta exceeds this "
+               "budget (0 = no assertion)",
+               &rss_budget_mb);
+  cli.add_flag("steps", "simulated steps per configuration", &steps);
+  cli.add_flag("edges", "number of edge servers", &num_edges);
+  if (!cli.parse(argc, argv)) return 0;
+  bench::print_banner("fleet_scale: lazy device state sweep", options);
+
+  const FleetTask task;
+  std::vector<FleetMeasurement> results;
+  // Lazy ascending first, then the eager baselines: the cheap runs are
+  // never contaminated by a bigger predecessor's retained allocator arena,
+  // and the headline lazy-1M measurement happens before any eager fleet
+  // exists.
+  if (single_devices > 0) {
+    results.push_back(
+        run_config(task, single_devices, true, steps, num_edges, options));
+    print_row(results.back());
+  } else {
+    for (const std::size_t n : {10'000, 100'000, 1'000'000}) {
+      results.push_back(run_config(task, n, true, steps, num_edges, options));
+      print_row(results.back());
+    }
+    for (const std::size_t n : {10'000, 100'000}) {
+      results.push_back(run_config(task, n, false, steps, num_edges, options));
+      print_row(results.back());
+    }
+  }
+
+  // Headline criterion: the 1M lazy fleet must fit in < 25% of the
+  // fully-materialized footprint extrapolated from eager 100k (x10).
+  const FleetMeasurement* lazy_1m = nullptr;
+  const FleetMeasurement* eager_100k = nullptr;
+  for (const auto& m : results) {
+    if (m.lazy && m.devices == 1'000'000) lazy_1m = &m;
+    if (!m.lazy && m.devices == 100'000) eager_100k = &m;
+  }
+  double extrapolated = 0.0;
+  double ratio = 0.0;
+  bool criterion_pass = true;
+  if (lazy_1m != nullptr && eager_100k != nullptr) {
+    extrapolated = static_cast<double>(eager_100k->peak_delta_bytes) * 10.0;
+    ratio = extrapolated > 0.0
+                ? static_cast<double>(lazy_1m->peak_delta_bytes) / extrapolated
+                : 0.0;
+    criterion_pass = ratio < 0.25;
+    std::cerr << "   criterion: lazy 1M peak +"
+              << lazy_1m->peak_delta_bytes / (1024 * 1024)
+              << " MiB vs eager-1M extrapolation "
+              << static_cast<std::size_t>(extrapolated) / (1024 * 1024)
+              << " MiB -> ratio " << ratio << " ("
+              << (criterion_pass ? "PASS" : "FAIL") << ", budget 0.25)\n";
+  }
+
+  bool budget_pass = true;
+  if (rss_budget_mb > 0) {
+    const std::size_t budget = rss_budget_mb * 1024 * 1024;
+    for (const auto& m : results) {
+      if (m.peak_delta_bytes > budget) {
+        std::cerr << "   RSS budget exceeded: " << (m.lazy ? "lazy" : "eager")
+                  << " " << m.devices << " devices peaked at +"
+                  << m.peak_delta_bytes / (1024 * 1024) << " MiB > "
+                  << rss_budget_mb << " MiB\n";
+        budget_pass = false;
+      }
+    }
+  }
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << json_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"fleet_scale\",\n"
+      << "  \"steps\": " << steps << ",\n"
+      << "  \"edges\": " << num_edges << ",\n"
+      << "  \"select_per_edge\": 4,\n"
+      << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    emit_json(out, results[i], i + 1 == results.size());
+  }
+  out << "  ]";
+  if (lazy_1m != nullptr && eager_100k != nullptr) {
+    out << ",\n  \"criterion\": {\"lazy_1m_peak_delta_bytes\": "
+        << lazy_1m->peak_delta_bytes
+        << ", \"eager_100k_peak_delta_bytes\": "
+        << eager_100k->peak_delta_bytes
+        << ", \"extrapolated_eager_1m_bytes\": "
+        << static_cast<std::size_t>(extrapolated)
+        << ", \"ratio\": " << ratio << ", \"budget\": 0.25, \"pass\": "
+        << (criterion_pass ? "true" : "false") << "}";
+  }
+  out << "\n}\n";
+  std::cerr << "   wrote " << json_path << "\n";
+  return (criterion_pass && budget_pass) ? 0 : 1;
+}

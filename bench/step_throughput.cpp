@@ -111,10 +111,12 @@ int run(int argc, const char* const* argv) {
   const Measurement main = measure(setup, algorithm, options, warmup_steps,
                                    timed_steps, main_pool, &obs);
   obs.finish();
+  const std::size_t peak_rss = bench::peak_rss_bytes();
   std::cerr << "   " << timed_steps << " steps in " << main.seconds
             << " s  ->  " << main.steps_per_sec << " steps/sec  ("
             << main.pool_threads << " pool thread"
-            << (main.pool_threads == 1 ? "" : "s") << ")\n";
+            << (main.pool_threads == 1 ? "" : "s") << ", peak RSS "
+            << peak_rss / (1024 * 1024) << " MiB)\n";
 
   // Thread-scaling sweep on private pools so the pinned sizes do not
   // disturb the shared pool. Requested sizes beyond the hardware
@@ -170,6 +172,7 @@ int run(int argc, const char* const* argv) {
       << "  \"steps_per_sec\": " << main.steps_per_sec << ",\n"
       << "  \"parallel_devices\": " << (serial ? "false" : "true") << ",\n"
       << "  \"pool_threads\": " << main.pool_threads << ",\n"
+      << "  \"peak_rss_bytes\": " << peak_rss << ",\n"
       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
       << ",\n"
       << "  \"thread_sweep\": [";

@@ -13,6 +13,18 @@
 // device first writes — set_params (a blend) or train (local SGD). Version
 // stamps come from the process-global SnapshotStore, so an unchanged
 // version still guarantees unchanged content for the SimilarityCache.
+//
+// Devices come in two layouts:
+//   eager   — the historical form: the device owns a private
+//             nn::Sequential + optimizer (O(param_count) each, forever).
+//   lazy    — fleet-scale virtual state (see core/fleet.hpp): the device
+//             holds a base Snapshot plus an at-rest EncodedDelta and
+//             borrows pooled buffers from its DeviceRegistry only while
+//             dense parameters are actually needed. Lifecycle:
+//             shared snapshot -> resident (materialized) -> settled
+//             (snapshot + delta at rest). With the default lossless
+//             at-rest codec the float stream is bitwise identical to the
+//             eager path (pinned by pipeline_test and fleet_test).
 #pragma once
 
 #include <cstdint>
@@ -27,8 +39,13 @@
 #include "nn/sequential.hpp"
 #include "optim/optimizer.hpp"
 #include "parallel/rng.hpp"
+#include "tensor/tensor.hpp"
+#include "transport/compression.hpp"
 
 namespace middlefl::core {
+
+class DeviceRegistry;
+class DeviceRuntime;
 
 struct DeviceTrainStats {
   /// Mean per-sample cross-entropy across all local steps.
@@ -41,9 +58,15 @@ struct DeviceTrainStats {
 
 class Device {
  public:
+  /// Eager device: owns a materialized model + optimizer.
   Device(std::size_t id, data::DataView data,
          std::unique_ptr<nn::Sequential> model,
          std::unique_ptr<optim::Optimizer> optimizer);
+  /// Lazy (virtual) device: starts sharing `base` (O(1) memory) and
+  /// borrows pooled state from `fleet` — which must outlive the device —
+  /// whenever dense parameters are needed.
+  Device(std::size_t id, data::DataView data, Snapshot base,
+         DeviceRegistry* fleet);
 
   Device(Device&&) = default;
   Device& operator=(Device&&) = default;
@@ -52,24 +75,40 @@ class Device {
   /// d_m: the number of local data samples (the FedAvg weight).
   std::size_t data_size() const noexcept { return data_.size(); }
   const data::DataView& data() const noexcept { return data_; }
+  /// True for snapshot+delta virtual devices (core/fleet.hpp).
+  bool lazy() const noexcept { return fleet_ != nullptr; }
+  std::size_t param_count() const noexcept {
+    return fleet_ != nullptr ? param_count_ : model_->param_count();
+  }
 
   /// The current local model w_m: the shared snapshot when one is adopted,
-  /// the private model buffer otherwise.
-  std::span<const float> params() const {
-    return shared_ ? shared_->span()
-                   : std::span<const float>(model_->parameters());
-  }
+  /// otherwise the private (eager) or resident (lazy) buffer. A settled
+  /// lazy device materializes its at-rest delta here — call settle() when
+  /// done to return the buffer to the pool.
+  std::span<const float> params() const;
   /// Installs a private copy of `params` (the copy-on-write write path).
-  void set_params(std::span<const float> params) {
-    model_->set_parameters(params);
-    shared_.reset();
-    params_version_ = SnapshotStore::global().next_version();
-  }
+  void set_params(std::span<const float> params);
   /// Shares `snapshot` without copying; the device's version becomes the
-  /// snapshot's. The private buffer is left stale until the next write.
+  /// snapshot's. A lazy device also rebases on it: any resident buffer and
+  /// at-rest delta are returned to the pool (the snapshot replaces them).
   void adopt(Snapshot snapshot);
   /// True while the device reads a shared snapshot (no private copy yet).
   bool shares_snapshot() const noexcept { return shared_ != nullptr; }
+
+  /// Lazy only: true while a dense parameter buffer is checked out.
+  bool resident() const noexcept { return has_resident_; }
+  /// De-materializes a lazy device: encodes the resident parameters as the
+  /// at-rest delta against the base snapshot (verbatim under the lossless
+  /// default codec; q8/topk settle-out is lossy and bumps the version) and
+  /// returns the buffer to the registry. No-op when not resident.
+  void settle();
+  /// Simulated storage footprint of the at-rest delta (0 when none).
+  std::size_t at_rest_bytes() const noexcept {
+    return delta_valid_ ? delta_->bytes() : 0;
+  }
+  /// Registry-eviction hook: returns every pooled resource and drops the
+  /// snapshot references. The device is unusable afterwards.
+  void release_fleet_state() noexcept;
 
   /// Version stamp of the current parameters, changed on every mutation
   /// (set_params, adopt of a different snapshot, train). The
@@ -85,10 +124,16 @@ class Device {
   /// round's starting parameters, damping client drift on Non-IID data.
   /// `clip_norm` > 0 rescales each step's gradient to at most that L2
   /// norm before the optimizer update (global-norm clipping).
+  ///
+  /// Lazy devices run the identical float stream through a pooled
+  /// DeviceRuntime instead of a private model: pass `runtime` to reuse a
+  /// checkout across many devices (the per-edge chains do); nullptr makes
+  /// the device acquire and release one itself. Eager devices ignore it.
   DeviceTrainStats train(std::size_t local_steps, std::size_t batch_size,
                          double learning_rate, bool reset_optimizer,
                          parallel::Xoshiro256& rng, double prox_mu = 0.0,
-                         double clip_norm = 0.0);
+                         double clip_norm = 0.0,
+                         DeviceRuntime* runtime = nullptr);
 
   /// Oort statistical utility: d_m * sqrt(mean squared sample loss) from
   /// the most recent training round; nullopt before the first round (such
@@ -106,22 +151,41 @@ class Device {
     last_trained_step_.reset();
   }
 
-  /// The private model, with any shared snapshot materialized into it
-  /// first so its parameters are current.
-  nn::Sequential& model() {
-    materialize();
-    return *model_;
-  }
+  /// The private model of an EAGER device, with any shared snapshot
+  /// materialized into it first so its parameters are current. Throws
+  /// std::logic_error for lazy devices (they have no private model; use
+  /// params()).
+  nn::Sequential& model();
 
  private:
   /// Copies an adopted snapshot into the private buffer and drops the
-  /// share. Content (and version) are unchanged.
+  /// share (eager layout). Content (and version) are unchanged.
   void materialize() {
     if (shared_) {
       model_->set_parameters(shared_->span());
       shared_.reset();
     }
   }
+  /// Lazy: checks a resident buffer out of the registry (or reuses the
+  /// current one) sized for overwrite — reset_for_overwrite skips the
+  /// zero-fill the subsequent copy/decode would waste.
+  std::span<float> ensure_resident_for_overwrite();
+  /// Lazy: materializes the dense parameters of a settled device from its
+  /// at-rest delta into a resident buffer. Mutable path behind params().
+  void decode_resident() const;
+  /// Lazy: retires the at-rest delta's byte accounting (the encoded block
+  /// is kept for reuse by the next settle()).
+  void invalidate_delta() noexcept;
+  /// The I-step local SGD loop shared verbatim by the eager and lazy
+  /// paths; `model`/`optimizer`/`batch_scratch` are the device's own
+  /// (eager) or a pooled runtime's (lazy).
+  DeviceTrainStats run_local_sgd(nn::Sequential& model,
+                                 optim::Optimizer& optimizer,
+                                 data::Minibatch& batch_scratch,
+                                 std::size_t local_steps,
+                                 std::size_t batch_size,
+                                 parallel::Xoshiro256& rng, double prox_mu,
+                                 double clip_norm);
 
   std::size_t id_;
   data::DataView data_;
@@ -134,6 +198,29 @@ class Device {
   std::optional<std::size_t> last_trained_step_;
   Snapshot shared_;
   std::uint64_t params_version_ = 0;
+
+  // --- Lazy (virtual) state; meaningful only when fleet_ != nullptr. ---
+  DeviceRegistry* fleet_ = nullptr;
+  std::size_t param_count_ = 0;
+  /// Base snapshot the at-rest delta is encoded against (always set).
+  Snapshot base_;
+  /// At-rest divergence from base_; valid content iff delta_valid_ (the
+  /// block itself is kept across invalidations for reuse).
+  std::unique_ptr<transport::EncodedDelta> delta_;
+  bool delta_valid_ = false;
+  /// Dense parameters while checked out; mutable because params() const
+  /// materializes on demand.
+  mutable tensor::Tensor resident_;
+  mutable bool has_resident_ = false;
+  /// Resident buffer holds writes not yet encoded by settle().
+  bool dirty_ = false;
+  /// Persisted per-device stochastic training state, restored into the
+  /// pooled runtime around each round so virtual and eager devices draw
+  /// identical dropout masks and momentum trajectories.
+  parallel::Xoshiro256 dropout_rng_;
+  bool dropout_seeded_ = false;
+  std::vector<float> opt_state_;
+  bool has_opt_state_ = false;
 };
 
 class Edge {

@@ -69,6 +69,12 @@ class SelectionStrategy {
 
   virtual std::string name() const = 0;
 
+  /// True when select() reads Candidate::local_params. Strategies that
+  /// rank on metadata alone (random, Oort utility) override this to false
+  /// so callers can skip materializing parameters for lazy devices — the
+  /// lever that keeps selection O(1) per candidate at fleet scale.
+  virtual bool needs_params() const noexcept { return true; }
+
   /// Returns the ids of min(k, candidates.size()) devices. `cloud_params`
   /// is the current global model w_c (the proxy for w_c* in Eq. 11).
   /// Implementations must be deterministic given `rng` (the context only
@@ -84,6 +90,7 @@ class SelectionStrategy {
 class RandomSelection final : public SelectionStrategy {
  public:
   std::string name() const override { return "random"; }
+  bool needs_params() const noexcept override { return false; }
   std::vector<std::size_t> select(
       std::span<const Candidate> candidates,
       std::span<const float> cloud_params, std::size_t k,
@@ -96,6 +103,7 @@ class RandomSelection final : public SelectionStrategy {
 class StatUtilitySelection final : public SelectionStrategy {
  public:
   std::string name() const override { return "stat-utility"; }
+  bool needs_params() const noexcept override { return false; }
   std::vector<std::size_t> select(
       std::span<const Candidate> candidates,
       std::span<const float> cloud_params, std::size_t k,

@@ -119,23 +119,31 @@ Simulation::Simulation(SimulationConfig cfg, const nn::ModelSpec& model_spec,
   transport_ = std::make_unique<transport::Transport>(cfg_.transport, num_edges);
   observers_.push_back(&comm_observer_);
 
-  devices_.reserve(partition.num_devices());
-  for (std::size_t m = 0; m < partition.num_devices(); ++m) {
-    auto model = init_model->clone();
-    devices_.emplace_back(m, partition.view(train, m), std::move(model),
-                          optimizer_prototype.clone_config());
+  const std::size_t num_devices = partition.num_devices();
+  registry_.configure(cfg_.fleet);
+  registry_.set_prototypes(*init_model, optimizer_prototype);
+  for (std::size_t m = 0; m < num_devices; ++m) {
+    if (cfg_.fleet.lazy_devices) {
+      // Virtual device: starts as a zero-cost share of the common init
+      // snapshot; dense state materializes only around training.
+      registry_.insert(
+          Device(m, partition.view(train, m), cloud_.snapshot(), &registry_));
+    } else {
+      registry_.insert(Device(m, partition.view(train, m), init_model->clone(),
+                              optimizer_prototype.clone_config()));
+    }
   }
-  similarity_cache_.resize(devices_.size());
+  similarity_cache_.resize(num_devices);
 
   // Per-device local-step budgets from the heterogeneity profile.
   if (!cfg_.device_speeds.empty() &&
-      cfg_.device_speeds.size() != devices_.size()) {
+      cfg_.device_speeds.size() != num_devices) {
     throw std::invalid_argument(
         "Simulation: device_speeds must be empty or one entry per device");
   }
-  steps_budget_.assign(devices_.size(), cfg_.local_steps);
+  steps_budget_.assign(num_devices, cfg_.local_steps);
   if (cfg_.round_deadline > 0.0) {
-    for (std::size_t m = 0; m < devices_.size(); ++m) {
+    for (std::size_t m = 0; m < num_devices; ++m) {
       const double speed =
           cfg_.device_speeds.empty() ? 1.0 : cfg_.device_speeds[m];
       if (speed <= 0.0) {
@@ -146,8 +154,8 @@ Simulation::Simulation(SimulationConfig cfg, const nn::ModelSpec& model_spec,
       steps_budget_[m] = std::min(cfg_.local_steps, budget);
     }
   }
-  dropped_this_step_.assign(devices_.size(), 0);
-  download_lost_.assign(devices_.size(), 0);
+  dropped_this_step_.assign(num_devices, 0);
+  download_lost_.assign(num_devices, 0);
 
   evaluator_ = std::make_unique<Evaluator>(
       init_model->clone(), data::DataView::all(test));
@@ -179,6 +187,9 @@ void Simulation::set_observability(const obs::Observability& obs) {
     metric_ids_.step_ms = m.histogram(
         "sim.step_ms", {0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000,
                         5000, 10000});
+    metric_ids_.fleet_materializations = m.counter("fleet.materializations");
+    metric_ids_.fleet_resident = m.gauge("fleet.resident_devices");
+    metric_ids_.fleet_delta_bytes = m.gauge("fleet.delta_bytes_at_rest");
   }
 }
 
@@ -200,6 +211,11 @@ bool Simulation::step() {
   if (observed) {
     step_begin = obs::TraceRecorder::Clock::now();
     if (obs_.logger != nullptr) prev_links_ = transport_->bytes_by_link();
+    // Fleet gauges are per-step: count materializations from here and
+    // re-arm the resident high-water mark. Pure accounting — bare runs
+    // skip it and stay bit-identical.
+    prev_materializations_ = registry_.materializations();
+    registry_.reset_resident_peak();
   }
   ++t_;
   begin_step();
@@ -251,10 +267,11 @@ void Simulation::begin_step() {
     edge_snapshot_[n] = edges_[n].snapshot();
   }
 
-  // Group connected devices per edge (the candidate sets M_t_n).
+  // Group connected devices per edge (the candidate sets M_t_n). Touches
+  // only the assignment vector — no device (cold state) is dereferenced.
   if (members_.size() != edges_.size()) members_.resize(edges_.size());
   for (auto& members : members_) members.clear();
-  for (std::size_t m = 0; m < devices_.size(); ++m) {
+  for (std::size_t m = 0; m < registry_.size(); ++m) {
     members_[assignment[m]].push_back(m);
   }
 
@@ -287,6 +304,7 @@ void Simulation::edge_chain(std::size_t n) {
     train_edge(n);
     upload_edge(n, trace);
     aggregate_edge(n);
+    settle_edge(n);
     return;
   }
 
@@ -306,7 +324,10 @@ void Simulation::edge_chain(std::size_t n) {
   timed(1, "distribute", [&] { distribute_edge(n, trace); });
   timed(2, "local_train", [&] { train_edge(n); });
   timed(3, "upload", [&] { upload_edge(n, trace); });
-  timed(4, "edge_aggregate", [&] { aggregate_edge(n); });
+  timed(4, "edge_aggregate", [&] {
+    aggregate_edge(n);
+    settle_edge(n);
+  });
 }
 
 void Simulation::select_edge(std::size_t n) {
@@ -324,13 +345,20 @@ void Simulation::select_edge(std::size_t n) {
   auto& candidates = candidates_[n];
   candidates.clear();
   candidates.reserve(members_[n].size());
+  // Random/stat-utility strategies never read candidate parameters, so
+  // lazy devices stay cold through selection; similarity strategies
+  // materialize diverged candidates here (settled again after the chain's
+  // aggregation).
+  const bool want_params = algorithm_.selection->needs_params();
   for (std::size_t m : members_[n]) {
+    const Device& device = registry_.at(m);
     candidates.push_back(Candidate{
         .device_id = m,
-        .data_size = static_cast<double>(devices_[m].data_size()),
-        .stat_utility = devices_[m].stat_utility(),
-        .local_params = devices_[m].params(),
-        .params_version = devices_[m].params_version(),
+        .data_size = static_cast<double>(device.data_size()),
+        .stat_utility = device.stat_utility(),
+        .local_params =
+            want_params ? device.params() : std::span<const float>{},
+        .params_version = device.params_version(),
     });
   }
   auto rng = streams_.stream(kSelectTag, n, t_);
@@ -348,7 +376,7 @@ void Simulation::distribute_edge(std::size_t n, EdgeTrace& trace) {
   const std::span<const float> edge_model = edge_block->span();
 
   for (std::size_t m : last_selection_[n]) {
-    Device& device = devices_[m];
+    Device& device = registry_.at(m);
     dropped_this_step_[m] = steps_budget_[m] == 0 ? 1 : 0;
     download_lost_[m] = 0;
     const bool moved = prev_assignment_[m] != n;
@@ -436,15 +464,23 @@ void Simulation::install_download(Device& device,
 }
 
 void Simulation::train_edge(std::size_t n) {
+  // One pooled runtime serves every lazy device in this chain serially;
+  // eager devices ignore it. Acquired on first need so edges full of
+  // eager devices (or empty selections) stay allocation-free.
+  DeviceRuntime* runtime = nullptr;
   for (std::size_t m : last_selection_[n]) {
     if (dropped_this_step_[m] || download_lost_[m]) continue;
-    Device& device = devices_[m];
+    Device& device = registry_.at(m);
+    if (device.lazy() && runtime == nullptr) {
+      runtime = registry_.acquire_runtime();
+    }
     auto rng = streams_.stream(kTrainTag, m, t_);
     device.train(steps_budget_[m], cfg_.batch_size, cfg_.lr_schedule(t_),
                  cfg_.reset_optimizer_each_round, rng, cfg_.prox_mu,
-                 cfg_.clip_norm);
+                 cfg_.clip_norm, runtime);
     device.mark_trained(t_);
   }
+  if (runtime != nullptr) registry_.release_runtime(runtime);
 }
 
 void Simulation::upload_edge(std::size_t n, EdgeTrace& trace) {
@@ -467,7 +503,7 @@ void Simulation::upload_edge(std::size_t n, EdgeTrace& trace) {
   }
   for (std::size_t m : last_selection_[n]) {
     if (dropped_this_step_[m] || download_lost_[m]) continue;
-    const auto weight = static_cast<double>(devices_[m].data_size());
+    const auto weight = static_cast<double>(registry_.at(m).data_size());
     parallel::Xoshiro256 rng;
     transport::SendContext ctx;
     ctx.step = t_;
@@ -482,7 +518,7 @@ void Simulation::upload_edge(std::size_t n, EdgeTrace& trace) {
       ctx.rng = &rng;
     }
     if (compressed) ctx.arena = &recon_arena_[n];
-    const transport::Delivery up = uplink.send(devices_[m].params(), ctx);
+    const transport::Delivery up = uplink.send(registry_.at(m).params(), ctx);
     if (up.delivered) {
       arrivals_[n].push_back(UploadArrival{up.payload, weight});
     }
@@ -508,6 +544,18 @@ void Simulation::aggregate_edge(std::size_t n) {
   weighted_average(models, std::span<float>(fresh));
   edges_[n].adopt(SnapshotStore::global().seal(std::move(fresh)));
   edges_[n].add_participation(participating);
+}
+
+void Simulation::settle_edge(std::size_t n) {
+  // De-materialize every lazy member that is still holding a resident
+  // buffer. Members beyond last_selection matter too: a similarity-driven
+  // selection materializes every diverged candidate's parameters. This must
+  // run after aggregate_edge — the upload arrival spans alias the resident
+  // buffers until the weighted average has consumed them.
+  for (std::size_t m : members_[n]) {
+    Device& device = registry_.at(m);
+    if (device.lazy() && device.resident()) device.settle();
+  }
 }
 
 void Simulation::replay_step_events() {
@@ -699,7 +747,7 @@ void Simulation::stage_cloud_sync() {
     const bool bcast_lossy = broadcast.policy().loss_prob > 0.0;
     const bool bcast_compressed =
         broadcast.policy().compression.kind != CompressionKind::kNone;
-    for (std::size_t m = 0; m < devices_.size(); ++m) {
+    for (std::size_t m = 0; m < registry_.size(); ++m) {
       parallel::Xoshiro256 rng;
       transport::SendContext ctx;
       ctx.step = t_;
@@ -710,7 +758,7 @@ void Simulation::stage_cloud_sync() {
       if (bcast_compressed) ctx.arena = &wan_arena_;
       const transport::Delivery push = broadcast.send(cloud_.params(), ctx);
       if (push.delivered) {
-        install_download(devices_[m], push.payload, global_block);
+        install_download(registry_.at(m), push.payload, global_block);
       }
     }
   }
@@ -734,6 +782,11 @@ void Simulation::finish_step_obs(bool sync,
   const double step_us = elapsed_us(begin, end);
   std::size_t selected = 0;
   for (const auto& selection : last_selection_) selected += selection.size();
+  const std::uint64_t step_materializations =
+      registry_.materializations() - prev_materializations_;
+  const std::uint64_t resident_peak =
+      static_cast<std::uint64_t>(registry_.resident_peak());
+  const std::uint64_t delta_bytes = registry_.delta_bytes_at_rest();
 
   if (obs_.trace != nullptr) {
     obs_.trace->complete("step", "sim", begin, end, t_, "t");
@@ -754,6 +807,12 @@ void Simulation::finish_step_obs(bool sync,
       m.add(metric_ids_.blends, static_cast<double>(last_events_.blends));
     }
     if (sync) m.add(metric_ids_.cloud_syncs);
+    if (step_materializations > 0) {
+      m.add(metric_ids_.fleet_materializations,
+            static_cast<double>(step_materializations));
+    }
+    m.set(metric_ids_.fleet_resident, static_cast<double>(resident_peak));
+    m.set(metric_ids_.fleet_delta_bytes, static_cast<double>(delta_bytes));
     m.observe(metric_ids_.step_ms, step_us / 1000.0);
   }
   if (obs_.logger != nullptr) {
@@ -765,6 +824,9 @@ void Simulation::finish_step_obs(bool sync,
     record.lost_downloads = last_events_.lost_downloads;
     record.blends = last_events_.blends;
     record.blend_weight_sum = last_events_.blend_weight;
+    record.materializations = step_materializations;
+    record.resident_peak = resident_peak;
+    record.delta_bytes_at_rest = delta_bytes;
     if (sync) record.contributing_edges = last_sync_contributing_;
     record.step_wall_us = step_us;
     record.phase_us = {{"select", last_events_.phase_us[0]},
@@ -796,17 +858,19 @@ void Simulation::warm_start(std::span<const float> params) {
   const Snapshot snapshot = SnapshotStore::global().publish(params);
   cloud_.adopt(snapshot);
   for (auto& edge : edges_) edge.adopt(snapshot);
-  for (auto& device : devices_) device.adopt(snapshot);
+  for (std::size_t m = 0; m < registry_.size(); ++m) {
+    registry_.at(m).adopt(snapshot);
+  }
 }
 
 double Simulation::current_edge_skew() const {
   const std::size_t classes =
-      devices_.front().data().base().num_classes();
+      registry_.at(0).data().base().num_classes();
   std::vector<std::vector<std::size_t>> histograms(
       edges_.size(), std::vector<std::size_t>(classes, 0));
   const auto& assignment = mobility_->assignment();
-  for (std::size_t m = 0; m < devices_.size(); ++m) {
-    const auto device_hist = devices_[m].data().class_histogram();
+  for (std::size_t m = 0; m < registry_.size(); ++m) {
+    const auto device_hist = registry_.at(m).data().class_histogram();
     auto& edge_hist = histograms[assignment[m]];
     for (std::size_t c = 0; c < classes; ++c) {
       edge_hist[c] += device_hist[c];

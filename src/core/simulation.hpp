@@ -50,6 +50,7 @@
 #include "core/comm_stats.hpp"
 #include "core/compression.hpp"
 #include "core/entities.hpp"
+#include "core/fleet.hpp"
 #include "core/metrics.hpp"
 #include "core/similarity_cache.hpp"
 #include "core/snapshot.hpp"
@@ -130,6 +131,12 @@ struct SimulationConfig {
   /// aggregates the reconstruction; upload_bytes() tracks the wire size).
   CompressionConfig upload_compression;
 
+  /// Lazy-device machinery (core/fleet.hpp): virtual snapshot+delta
+  /// devices with pooled training runtimes, on by default. The defaults
+  /// (lossless at-rest codec) are bitwise identical to eager devices;
+  /// fleet.lazy_devices = false restores the historical eager layout.
+  FleetConfig fleet;
+
   std::uint64_t seed = 42;
   /// Run the per-edge task chains (and sharded evaluation) on the thread
   /// pool. Results are bitwise identical either way.
@@ -195,13 +202,16 @@ class Simulation {
 
   // --- Introspection (benches, tests) ---
   std::size_t current_step() const noexcept { return t_; }
-  std::size_t num_devices() const noexcept { return devices_.size(); }
+  std::size_t num_devices() const noexcept { return registry_.size(); }
   std::size_t num_edges() const noexcept { return edges_.size(); }
   std::span<const float> cloud_params() const { return cloud_.params(); }
   std::span<const float> edge_params(std::size_t n) const {
     return edges_.at(n).params();
   }
-  Device& device(std::size_t m) { return devices_.at(m); }
+  Device& device(std::size_t m) { return registry_.at(m); }
+  /// The sharded device registry: fleet accounting (materializations,
+  /// resident peaks, at-rest bytes) lives here.
+  const DeviceRegistry& fleet() const noexcept { return registry_; }
   const std::vector<std::size_t>& assignment() const {
     return mobility_->assignment();
   }
@@ -297,6 +307,9 @@ class Simulation {
     obs::MetricsRegistry::MetricId blends = 0;
     obs::MetricsRegistry::MetricId evaluations = 0;
     obs::MetricsRegistry::MetricId step_ms = 0;  // histogram
+    obs::MetricsRegistry::MetricId fleet_materializations = 0;
+    obs::MetricsRegistry::MetricId fleet_resident = 0;     // gauge
+    obs::MetricsRegistry::MetricId fleet_delta_bytes = 0;  // gauge
   };
 
   // Serial step prologue: mobility advance, per-edge membership, immutable
@@ -310,6 +323,10 @@ class Simulation {
   void train_edge(std::size_t n);
   void upload_edge(std::size_t n, EdgeTrace& trace);
   void aggregate_edge(std::size_t n);
+  // De-materializes every resident member of edge n back to
+  // snapshot + at-rest delta. Runs inside the chain right after
+  // aggregation — the arrivals aggregated there alias resident buffers.
+  void settle_edge(std::size_t n);
   // Serial replay of the chains' events in canonical order, plus the
   // ordered blend/straggler reductions.
   void replay_step_events();
@@ -330,7 +347,7 @@ class Simulation {
 
   SimulationConfig cfg_;
   AlgorithmSpec algorithm_;
-  std::vector<Device> devices_;
+  DeviceRegistry registry_;
   std::vector<Edge> edges_;
   Cloud cloud_;
   std::unique_ptr<mobility::MobilityModel> mobility_;
@@ -380,6 +397,8 @@ class Simulation {
   std::size_t last_sync_contributing_ = 0;
   // Link totals at step begin; the JSONL record logs this step's delta.
   std::vector<transport::Transport::LinkReport> prev_links_;
+  // Fleet counter at step begin (observed steps), for the per-step delta.
+  std::uint64_t prev_materializations_ = 0;
   CommStatsObserver comm_observer_;
   std::vector<StepObserver*> observers_;
   std::vector<float> server_velocity_;

@@ -137,10 +137,39 @@ DataView DataView::all(const Dataset& base) {
   return DataView(&base, std::move(indices));
 }
 
+DataView DataView::window(const Dataset& base, std::size_t first,
+                          std::size_t count) {
+  if (base.size() == 0) {
+    throw std::invalid_argument("DataView::window: empty base dataset");
+  }
+  if (first >= base.size()) {
+    throw std::out_of_range("DataView::window: first index " +
+                            std::to_string(first) + " exceeds dataset size " +
+                            std::to_string(base.size()));
+  }
+  DataView view;
+  view.base_ = &base;
+  view.first_ = first;
+  view.count_ = count;
+  view.windowed_ = true;
+  return view;
+}
+
+std::span<const std::size_t> DataView::indices() const {
+  if (windowed_) {
+    throw std::logic_error(
+        "DataView::indices: window views have no index list");
+  }
+  return indices_;
+}
+
 Tensor DataView::gather(std::span<const std::size_t> positions) const {
   std::vector<std::size_t> base_indices;
   base_indices.reserve(positions.size());
-  for (std::size_t p : positions) base_indices.push_back(indices_.at(p));
+  for (std::size_t p : positions) {
+    if (p >= size()) throw std::out_of_range("DataView::gather: bad position");
+    base_indices.push_back(base_index(p));
+  }
   return base_->gather(base_indices);
 }
 
@@ -148,7 +177,12 @@ std::vector<std::int32_t> DataView::gather_labels(
     std::span<const std::size_t> positions) const {
   std::vector<std::int32_t> out;
   out.reserve(positions.size());
-  for (std::size_t p : positions) out.push_back(base_->label(indices_.at(p)));
+  for (std::size_t p : positions) {
+    if (p >= size()) {
+      throw std::out_of_range("DataView::gather_labels: bad position");
+    }
+    out.push_back(base_->label(base_index(p)));
+  }
   return out;
 }
 
@@ -161,7 +195,10 @@ void DataView::gather_into(std::span<const std::size_t> positions,
   const std::size_t sample_numel = base_->sample_shape().numel();
   float* dst = out.data().data();
   for (std::size_t i = 0; i < positions.size(); ++i) {
-    const auto sample = base_->features(indices_.at(positions[i]));
+    if (positions[i] >= size()) {
+      throw std::out_of_range("DataView::gather_into: bad position");
+    }
+    const auto sample = base_->features(base_index(positions[i]));
     std::copy(sample.begin(), sample.end(), dst + i * sample_numel);
   }
 }
@@ -170,20 +207,34 @@ void DataView::gather_labels_into(std::span<const std::size_t> positions,
                                   std::vector<std::int32_t>& out) const {
   out.resize(positions.size());
   for (std::size_t i = 0; i < positions.size(); ++i) {
-    out[i] = base_->label(indices_.at(positions[i]));
+    if (positions[i] >= size()) {
+      throw std::out_of_range("DataView::gather_labels_into: bad position");
+    }
+    out[i] = base_->label(base_index(positions[i]));
   }
 }
 
-Tensor DataView::all_features() const { return base_->gather(indices_); }
+Tensor DataView::all_features() const {
+  if (!windowed_) return base_->gather(indices_);
+  std::vector<std::size_t> base_indices(count_);
+  for (std::size_t i = 0; i < count_; ++i) base_indices[i] = base_index(i);
+  return base_->gather(base_indices);
+}
 
 std::vector<std::int32_t> DataView::all_labels() const {
-  return base_->gather_labels(indices_);
+  if (!windowed_) return base_->gather_labels(indices_);
+  std::vector<std::int32_t> out;
+  out.reserve(count_);
+  for (std::size_t i = 0; i < count_; ++i) {
+    out.push_back(base_->label(base_index(i)));
+  }
+  return out;
 }
 
 std::vector<std::size_t> DataView::class_histogram() const {
   std::vector<std::size_t> hist(base_->num_classes(), 0);
-  for (std::size_t i : indices_) {
-    ++hist[static_cast<std::size_t>(base_->label(i))];
+  for (std::size_t i = 0; i < size(); ++i) {
+    ++hist[static_cast<std::size_t>(base_->label(base_index(i)))];
   }
   return hist;
 }

@@ -62,6 +62,14 @@ class Dataset {
 };
 
 /// Non-owning subset of a Dataset. The base must outlive the view.
+///
+/// Two layouts share the interface:
+///   list    — an explicit index vector (the general federated partition;
+///             O(size) storage per view).
+///   window  — `count` consecutive samples starting at `first`, wrapping
+///             around the end of the base (O(1) storage per view). This is
+///             what lets a million-device fleet share one dataset without
+///             a million index vectors; see partition_fleet_window().
 class DataView {
  public:
   DataView() = default;
@@ -69,17 +77,31 @@ class DataView {
 
   /// View covering the whole dataset.
   static DataView all(const Dataset& base);
+  /// O(1) wraparound window view (see class comment). `count` may exceed
+  /// base.size(): positions revisit samples modulo the base.
+  static DataView window(const Dataset& base, std::size_t first,
+                         std::size_t count);
 
-  bool empty() const noexcept { return indices_.empty(); }
-  std::size_t size() const noexcept { return indices_.size(); }
+  bool empty() const noexcept {
+    return windowed_ ? count_ == 0 : indices_.empty();
+  }
+  std::size_t size() const noexcept {
+    return windowed_ ? count_ : indices_.size();
+  }
   const Dataset& base() const { return *base_; }
-  std::span<const std::size_t> indices() const noexcept { return indices_; }
+  /// The explicit index list; throws std::logic_error for window views
+  /// (they have no materialized list — use base_index()).
+  std::span<const std::size_t> indices() const;
+  /// Base-dataset index behind view position `i`.
+  std::size_t base_index(std::size_t i) const {
+    return windowed_ ? (first_ + i) % base_->size() : indices_[i];
+  }
 
   std::span<const float> features(std::size_t i) const {
-    return base_->features(indices_[i]);
+    return base_->features(base_index(i));
   }
   std::int32_t label(std::size_t i) const {
-    return base_->label(indices_[i]);
+    return base_->label(base_index(i));
   }
 
   /// Gathers view-relative positions into a batch tensor.
@@ -101,6 +123,10 @@ class DataView {
  private:
   const Dataset* base_ = nullptr;
   std::vector<std::size_t> indices_;
+  // Window layout (windowed_ set): indices_ stays empty.
+  std::size_t first_ = 0;
+  std::size_t count_ = 0;
+  bool windowed_ = false;
 };
 
 }  // namespace middlefl::data

@@ -187,6 +187,26 @@ Partition partition_iid(const Dataset& dataset, std::size_t num_devices,
   return out;
 }
 
+Partition partition_fleet_window(const Dataset& dataset,
+                                 std::size_t num_devices,
+                                 std::size_t samples_per_device) {
+  if (num_devices == 0) {
+    throw std::invalid_argument(
+        "partition_fleet_window: num_devices must be positive");
+  }
+  if (samples_per_device == 0) {
+    throw std::invalid_argument(
+        "partition_fleet_window: samples_per_device must be positive");
+  }
+  if (dataset.size() == 0) {
+    throw std::invalid_argument("partition_fleet_window: empty dataset");
+  }
+  Partition out;
+  out.window_devices = num_devices;
+  out.window_size = samples_per_device;
+  return out;
+}
+
 std::vector<std::size_t> assign_edges_by_major_class(
     const Partition& partition, std::size_t num_edges,
     std::size_t num_classes) {

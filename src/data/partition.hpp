@@ -14,13 +14,25 @@
 namespace middlefl::data {
 
 struct Partition {
-  /// Base-dataset indices per device.
+  /// Base-dataset indices per device (list layout).
   std::vector<std::vector<std::size_t>> device_indices;
   /// Major class per device, or -1 when the notion does not apply.
   std::vector<std::int32_t> major_class;
+  /// Window layout (fleet scale): when window_devices > 0 the partition
+  /// holds no index lists at all — device m views `window_size` consecutive
+  /// samples starting at (m * window_size) mod dataset size, wrapping. O(1)
+  /// storage regardless of fleet size; see partition_fleet_window().
+  std::size_t window_devices = 0;
+  std::size_t window_size = 0;
 
-  std::size_t num_devices() const noexcept { return device_indices.size(); }
+  std::size_t num_devices() const noexcept {
+    return window_devices > 0 ? window_devices : device_indices.size();
+  }
   DataView view(const Dataset& base, std::size_t device) const {
+    if (window_devices > 0) {
+      return DataView::window(
+          base, (device * window_size) % base.size(), window_size);
+    }
     return DataView(&base, device_indices.at(device));
   }
 
@@ -53,6 +65,14 @@ Partition partition_dirichlet(const Dataset& dataset, std::size_t num_devices,
 /// Uniform random split without replacement.
 Partition partition_iid(const Dataset& dataset, std::size_t num_devices,
                         std::uint64_t seed);
+
+/// Fleet-scale window partition: every device views `samples_per_device`
+/// consecutive samples at a device-dependent offset (wrapping around the
+/// dataset). Deterministic, allocation-free per device, and valid for any
+/// fleet size — the layout behind the million-device benchmarks.
+Partition partition_fleet_window(const Dataset& dataset,
+                                 std::size_t num_devices,
+                                 std::size_t samples_per_device);
 
 /// Groups devices into `num_edges` clusters by major class so that data is
 /// Non-IID *across edges* too (edge e gets the devices whose major class

@@ -149,6 +149,13 @@ void Sequential::backward(const Tensor& grad_output) {
   have_training_forward_ = false;
 }
 
+bool Sequential::has_dropout() const noexcept {
+  for (const auto& layer : layers_) {
+    if (dynamic_cast<const Dropout*>(layer.get()) != nullptr) return true;
+  }
+  return false;
+}
+
 std::unique_ptr<Sequential> Sequential::clone() const {
   auto copy = std::make_unique<Sequential>(input_shape_);
   for (const auto& layer : layers_) {

@@ -24,6 +24,9 @@ void RunLogger::log_step(const StepRecord& record) {
   if (record.synced) {
     out << ", \"contributing_edges\": " << record.contributing_edges;
   }
+  out << ", \"materializations\": " << record.materializations
+      << ", \"resident_peak\": " << record.resident_peak
+      << ", \"delta_bytes_at_rest\": " << record.delta_bytes_at_rest;
   out << ", \"step_wall_us\": " << json_number(record.step_wall_us);
   out << ", \"phase_us\": {";
   for (std::size_t i = 0; i < record.phase_us.size(); ++i) {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <ostream>
 #include <string>
@@ -40,6 +41,13 @@ struct StepRecord {
   double blend_weight_sum = 0.0;
   /// Edge models aggregated by the cloud this step (sync steps only).
   std::size_t contributing_edges = 0;
+  /// Fleet (lazy device) accounting: resident-buffer checkouts this step,
+  /// peak concurrently-resident devices, and the simulated storage
+  /// footprint of all at-rest deltas at end of step. All zero when the
+  /// run uses eager devices.
+  std::uint64_t materializations = 0;
+  std::uint64_t resident_peak = 0;
+  std::uint64_t delta_bytes_at_rest = 0;
   /// Wall time of the whole step on the driving thread.
   double step_wall_us = 0.0;
   /// Named phase timings, summed across per-edge chains (CPU-time per

@@ -8,60 +8,167 @@
 
 namespace middlefl::transport {
 
-CompressedUpdate compress_update(std::span<const float> update,
-                                 const CompressionConfig& config) {
-  CompressedUpdate out;
+std::size_t EncodedDelta::bytes() const noexcept {
+  if (size == 0) return 0;
+  switch (kind) {
+    case CompressionKind::kNone:
+      return size * sizeof(float);
+    case CompressionKind::kTopK:
+      return indices.size() * (sizeof(float) + sizeof(std::uint32_t));
+    case CompressionKind::kQuant8:
+      return size + sizeof(float);
+  }
+  return 0;
+}
+
+void EncodedDelta::clear() noexcept {
+  kind = CompressionKind::kNone;
+  size = 0;
+  scale = 0.0f;
+  codes.clear();
+  indices.clear();
+  values.clear();
+}
+
+void encode_delta(std::span<const float> update,
+                  const CompressionConfig& config, EncodedDelta& out) {
   const std::size_t n = update.size();
+  out.kind = config.kind;
+  out.size = n;
+  out.scale = 0.0f;
+  out.codes.clear();
+  out.indices.clear();
+  out.values.clear();
   switch (config.kind) {
     case CompressionKind::kNone: {
-      out.reconstruction.assign(update.begin(), update.end());
-      out.bytes = n * sizeof(float);
-      return out;
+      out.values.assign(update.begin(), update.end());
+      return;
     }
     case CompressionKind::kTopK: {
       if (config.top_k_fraction <= 0.0 || config.top_k_fraction > 1.0) {
         throw std::invalid_argument(
-            "compress_update: top_k_fraction must be in (0, 1]");
+            "encode_delta: top_k_fraction must be in (0, 1]");
       }
       const std::size_t k = std::max<std::size_t>(
           1, static_cast<std::size_t>(
                  std::llround(config.top_k_fraction * static_cast<double>(n))));
+      const std::size_t keep = std::min(k, n);
+      // Partial selection of the k largest magnitudes; ties broken by index
+      // for determinism (same comparator as the historical wire path).
       std::vector<std::size_t> order(n);
       std::iota(order.begin(), order.end(), std::size_t{0});
-      // Partial selection of the k largest magnitudes; ties broken by index
-      // for determinism.
-      std::nth_element(order.begin(), order.begin() + (k - 1), order.end(),
-                       [&update](std::size_t a, std::size_t b) {
-                         const float ma = std::fabs(update[a]);
-                         const float mb = std::fabs(update[b]);
-                         return ma != mb ? ma > mb : a < b;
-                       });
-      out.reconstruction.assign(n, 0.0f);
-      for (std::size_t i = 0; i < k && i < n; ++i) {
-        out.reconstruction[order[i]] = update[order[i]];
+      if (keep > 0 && keep < n) {
+        std::nth_element(order.begin(), order.begin() + (keep - 1), order.end(),
+                         [&update](std::size_t a, std::size_t b) {
+                           const float ma = std::fabs(update[a]);
+                           const float mb = std::fabs(update[b]);
+                           return ma != mb ? ma > mb : a < b;
+                         });
       }
-      out.bytes = std::min(k, n) * (sizeof(float) + sizeof(std::uint32_t));
-      return out;
+      order.resize(keep);
+      std::sort(order.begin(), order.end());
+      out.indices.reserve(keep);
+      out.values.reserve(keep);
+      for (const std::size_t i : order) {
+        out.indices.push_back(static_cast<std::uint32_t>(i));
+        out.values.push_back(update[i]);
+      }
+      return;
     }
     case CompressionKind::kQuant8: {
       float max_mag = 0.0f;
       for (float v : update) max_mag = std::max(max_mag, std::fabs(v));
-      out.reconstruction.resize(n);
+      out.codes.resize(n);
       if (max_mag == 0.0f) {
-        std::fill(out.reconstruction.begin(), out.reconstruction.end(), 0.0f);
-      } else {
-        const float scale = max_mag / 127.0f;
-        for (std::size_t i = 0; i < n; ++i) {
-          const auto q = static_cast<int>(std::lround(update[i] / scale));
-          out.reconstruction[i] =
-              static_cast<float>(std::clamp(q, -127, 127)) * scale;
-        }
+        std::fill(out.codes.begin(), out.codes.end(), std::int8_t{0});
+        return;
       }
-      out.bytes = n + sizeof(float);
-      return out;
+      const float scale = max_mag / 127.0f;
+      out.scale = scale;
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto q = static_cast<int>(std::lround(update[i] / scale));
+        out.codes[i] = static_cast<std::int8_t>(std::clamp(q, -127, 127));
+      }
+      return;
     }
   }
-  throw std::logic_error("compress_update: unhandled kind");
+  throw std::logic_error("encode_delta: unhandled kind");
+}
+
+void decode_delta_into(const EncodedDelta& delta, std::span<float> out) {
+  if (out.size() != delta.size) {
+    throw std::invalid_argument("decode_delta_into: size mismatch");
+  }
+  switch (delta.kind) {
+    case CompressionKind::kNone: {
+      std::copy(delta.values.begin(), delta.values.end(), out.begin());
+      return;
+    }
+    case CompressionKind::kTopK: {
+      std::fill(out.begin(), out.end(), 0.0f);
+      for (std::size_t i = 0; i < delta.indices.size(); ++i) {
+        out[delta.indices[i]] = delta.values[i];
+      }
+      return;
+    }
+    case CompressionKind::kQuant8: {
+      const float scale = delta.scale;
+      for (std::size_t i = 0; i < delta.size; ++i) {
+        out[i] = static_cast<float>(delta.codes[i]) * scale;
+      }
+      return;
+    }
+  }
+  throw std::logic_error("decode_delta_into: unhandled kind");
+}
+
+void decode_delta_onto(const EncodedDelta& delta, std::span<const float> base,
+                       std::span<float> out) {
+  if (out.size() != delta.size) {
+    throw std::invalid_argument("decode_delta_onto: size mismatch");
+  }
+  switch (delta.kind) {
+    case CompressionKind::kNone: {
+      // Lossless at-rest mode stores the parameters verbatim: install them
+      // without arithmetic so the round-trip is bitwise-exact.
+      std::copy(delta.values.begin(), delta.values.end(), out.begin());
+      return;
+    }
+    case CompressionKind::kTopK: {
+      if (base.size() != delta.size) {
+        throw std::invalid_argument("decode_delta_onto: base size mismatch");
+      }
+      std::copy(base.begin(), base.end(), out.begin());
+      for (std::size_t i = 0; i < delta.indices.size(); ++i) {
+        out[delta.indices[i]] = base[delta.indices[i]] + delta.values[i];
+      }
+      return;
+    }
+    case CompressionKind::kQuant8: {
+      if (base.size() != delta.size) {
+        throw std::invalid_argument("decode_delta_onto: base size mismatch");
+      }
+      const float scale = delta.scale;
+      for (std::size_t i = 0; i < delta.size; ++i) {
+        out[i] = base[i] + static_cast<float>(delta.codes[i]) * scale;
+      }
+      return;
+    }
+  }
+  throw std::logic_error("decode_delta_onto: unhandled kind");
+}
+
+CompressedUpdate compress_update(std::span<const float> update,
+                                 const CompressionConfig& config) {
+  // encode + decode, so the wire reconstruction and the at-rest storage
+  // codec share one arithmetic path (bitwise-identical reconstructions).
+  EncodedDelta encoded;
+  encode_delta(update, config, encoded);
+  CompressedUpdate out;
+  out.reconstruction.resize(update.size());
+  decode_delta_into(encoded, out.reconstruction);
+  out.bytes = encoded.bytes();
+  return out;
 }
 
 CompressedUpdate compress_model(std::span<const float> model,

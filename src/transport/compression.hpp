@@ -1,4 +1,5 @@
-// Lossy compression of model payloads for simulated links.
+// Lossy compression of model payloads for simulated links — and, since the
+// fleet-scale work, the at-rest storage codec for lazy device state.
 //
 // The simulator models compression as reconstruct(compress(delta)): the
 // receiver aggregates the lossy reconstruction, and the byte counters
@@ -8,9 +9,18 @@
 // explicitly. Historically this lived in core/; it moved here because
 // compression is a property of a link, not of the training loop —
 // core/compression.hpp remains as a compatibility alias.
+//
+// The wire path (compress_update/compress_model) is a thin wrapper over the
+// split encode_delta()/decode_delta_into() pair: EncodedDelta is the actual
+// compressed representation (quantized codes, kept coordinates), which the
+// lazy-device layer keeps resident as the at-rest form of a device's
+// divergence from its base snapshot. Splitting the codec this way keeps the
+// arithmetic of both consumers literally identical — a decoded at-rest
+// delta reproduces exactly the bytes the wire reconstruction would have.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -35,6 +45,48 @@ struct CompressedUpdate {
   /// Simulated wire size of the compressed payload.
   std::size_t bytes = 0;
 };
+
+/// The compressed form of an update vector: what the wire would carry, and
+/// what a lazy device stores at rest. kNone keeps the raw values verbatim
+/// (decode is bitwise-exact), kTopK keeps (index, value) pairs of the k
+/// largest magnitudes, kQuant8 keeps one int8 code per coordinate plus the
+/// shared scale. Buffers are reused across encode() calls, so a recycled
+/// EncodedDelta re-encodes without heap allocation in the steady state.
+struct EncodedDelta {
+  CompressionKind kind = CompressionKind::kNone;
+  /// Length of the encoded update vector.
+  std::size_t size = 0;
+  /// kQuant8 reconstruction scale (max magnitude / 127).
+  float scale = 0.0f;
+  /// kQuant8: one code per coordinate, in [-127, 127].
+  std::vector<std::int8_t> codes;
+  /// kTopK: indices of the kept coordinates (ascending).
+  std::vector<std::uint32_t> indices;
+  /// kTopK: kept values (aligned with `indices`); kNone: all values.
+  std::vector<float> values;
+
+  /// Simulated storage footprint, same cost model as the wire: kNone = 4n,
+  /// kTopK = 8k, kQuant8 = n + 4. Empty (size == 0) deltas cost nothing.
+  std::size_t bytes() const noexcept;
+  void clear() noexcept;
+};
+
+/// Encodes `update` into `out` (buffers reused). kNone stores the values
+/// verbatim, so encode->decode round-trips bitwise; kTopK/kQuant8 use
+/// exactly the arithmetic of compress_update.
+void encode_delta(std::span<const float> update,
+                  const CompressionConfig& config, EncodedDelta& out);
+
+/// Decodes `delta` into `out` (out.size() must equal delta.size),
+/// overwriting every element: the reconstruction of the encoded update.
+void decode_delta_into(const EncodedDelta& delta, std::span<float> out);
+
+/// Decodes `delta` as a divergence from `base`: out = base + decode(delta).
+/// With kind == kNone the stored values are installed verbatim (no
+/// arithmetic — the lossless at-rest mode must reproduce exact bits, and
+/// base + (w - base) does not round-trip in floating point).
+void decode_delta_onto(const EncodedDelta& delta, std::span<const float> base,
+                       std::span<float> out);
 
 /// Compresses and immediately reconstructs `update`; see CompressedUpdate.
 /// Wire-size model: kNone = 4n; kTopK = 8k (float value + uint32 index per

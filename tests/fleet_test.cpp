@@ -1,0 +1,311 @@
+// Lazy device state (core/fleet.hpp): at-rest codec round-trips, bitwise
+// lazy/eager parity of whole simulations, and DeviceRegistry invariants
+// under id churn.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "core/fleet.hpp"
+#include "core/simulation.hpp"
+#include "data/partition.hpp"
+#include "nn/model_factory.hpp"
+#include "optim/sgd.hpp"
+#include "parallel/rng.hpp"
+#include "sim_fixture.hpp"
+#include "transport/compression.hpp"
+
+namespace {
+
+using middlefl::core::Device;
+using middlefl::core::DeviceRegistry;
+using middlefl::core::FleetConfig;
+using middlefl::core::Snapshot;
+using middlefl::core::SnapshotStore;
+using middlefl::testing::SimBundle;
+using middlefl::transport::CompressionConfig;
+using middlefl::transport::CompressionKind;
+using middlefl::transport::EncodedDelta;
+
+std::vector<float> ramp(std::size_t n, float scale) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = scale * std::sin(0.37f * static_cast<float>(i + 1));
+  }
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// At-rest codec round-trips
+
+TEST(AtRestCodec, LosslessRoundTripsBitwise) {
+  const std::vector<float> w = ramp(257, 2.5f);
+  EncodedDelta delta;
+  middlefl::transport::encode_delta(w, CompressionConfig{}, delta);
+  EXPECT_EQ(delta.bytes(), 4 * w.size());
+
+  std::vector<float> out(w.size(), -1.0f);
+  middlefl::transport::decode_delta_into(delta, out);
+  EXPECT_EQ(std::memcmp(out.data(), w.data(), w.size() * sizeof(float)), 0);
+
+  // decode_delta_onto with kNone installs verbatim too — the base must not
+  // perturb the lossless path (base + (w - base) != w in float).
+  const std::vector<float> base = ramp(257, 1.0f);
+  std::vector<float> onto(w.size(), -1.0f);
+  middlefl::transport::decode_delta_onto(delta, base, onto);
+  EXPECT_EQ(std::memcmp(onto.data(), w.data(), w.size() * sizeof(float)), 0);
+}
+
+TEST(AtRestCodec, Quant8AccumulateDecodeStaysInBounds) {
+  // Simulate the settle cycle: w diverges from base, the divergence is
+  // quantized at rest, and decode reconstructs base + recon. The error per
+  // coordinate is bounded by half a quantization bucket.
+  const std::vector<float> base = ramp(500, 1.0f);
+  std::vector<float> w = base;
+  middlefl::parallel::Xoshiro256 rng(7);
+  float max_mag = 0.0f;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    const auto nudge = static_cast<float>(rng.uniform() - 0.5) * 0.2f;
+    w[i] += nudge;
+    max_mag = std::max(max_mag, std::abs(nudge));
+  }
+
+  std::vector<float> diff(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) diff[i] = w[i] - base[i];
+  EncodedDelta delta;
+  middlefl::transport::encode_delta(
+      diff, CompressionConfig{.kind = CompressionKind::kQuant8}, delta);
+  EXPECT_EQ(delta.bytes(), w.size() + 4);
+  EXPECT_GT(delta.scale, 0.0f);
+
+  std::vector<float> out(w.size());
+  middlefl::transport::decode_delta_onto(delta, base, out);
+  const float bound = max_mag / 127.0f;  // scale = max|d|/127, error <= scale
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(out[i], w[i], bound) << "coordinate " << i;
+  }
+}
+
+TEST(AtRestCodec, TopKDecodePatchesExactlyKCoordinates) {
+  const std::vector<float> base = ramp(200, 1.0f);
+  std::vector<float> diff(base.size(), 0.0f);
+  // A sparse divergence: 10 touched coordinates with distinct magnitudes.
+  for (std::size_t i = 0; i < 10; ++i) {
+    diff[i * 17] = (i % 2 == 0 ? 1.0f : -1.0f) * static_cast<float>(i + 1);
+  }
+  EncodedDelta delta;
+  middlefl::transport::encode_delta(
+      diff,
+      CompressionConfig{.kind = CompressionKind::kTopK,
+                        .top_k_fraction = 0.05},
+      delta);
+  const std::size_t k = delta.indices.size();
+  EXPECT_EQ(k, 10u);  // 5% of 200
+  EXPECT_EQ(delta.bytes(), 8 * k);
+  EXPECT_TRUE(std::is_sorted(delta.indices.begin(), delta.indices.end()));
+
+  std::vector<float> out(base.size());
+  middlefl::transport::decode_delta_onto(delta, base, out);
+  std::size_t patched = 0;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (out[i] != base[i]) {
+      ++patched;
+      EXPECT_EQ(out[i], base[i] + diff[i]) << "coordinate " << i;
+    }
+  }
+  EXPECT_LE(patched, k);
+}
+
+// ---------------------------------------------------------------------------
+// Lazy vs eager whole-simulation parity
+
+std::uint64_t fnv1a(std::span<const float> data) {
+  const auto* p = reinterpret_cast<const unsigned char*>(data.data());
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < data.size() * sizeof(float); ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+struct RunFingerprint {
+  std::uint64_t cloud = 0;
+  std::vector<std::uint64_t> devices;
+  std::vector<double> accuracies;
+};
+
+RunFingerprint run_bundle(bool lazy, middlefl::core::Algorithm algorithm) {
+  SimBundle bundle;
+  bundle.cfg.fleet.lazy_devices = lazy;
+  auto sim = bundle.make(algorithm);
+  const middlefl::core::RunHistory history = sim->run();
+  RunFingerprint fp;
+  fp.cloud = fnv1a(sim->cloud_params());
+  for (std::size_t m = 0; m < sim->num_devices(); ++m) {
+    fp.devices.push_back(fnv1a(sim->device(m).params()));
+  }
+  for (const auto& point : history.points) {
+    fp.accuracies.push_back(point.accuracy);
+  }
+  return fp;
+}
+
+TEST(LazyEagerParity, MiddleRunsAreBitwiseIdentical) {
+  const RunFingerprint lazy = run_bundle(true, middlefl::core::Algorithm::kMiddle);
+  const RunFingerprint eager =
+      run_bundle(false, middlefl::core::Algorithm::kMiddle);
+  EXPECT_EQ(lazy.cloud, eager.cloud);
+  EXPECT_EQ(lazy.devices, eager.devices);
+  EXPECT_EQ(lazy.accuracies, eager.accuracies);
+}
+
+TEST(LazyEagerParity, FedMesRunsAreBitwiseIdentical) {
+  // Random selection takes the no-params selection path for lazy devices;
+  // the float stream must still match the eager run exactly.
+  const RunFingerprint lazy = run_bundle(true, middlefl::core::Algorithm::kFedMes);
+  const RunFingerprint eager =
+      run_bundle(false, middlefl::core::Algorithm::kFedMes);
+  EXPECT_EQ(lazy.cloud, eager.cloud);
+  EXPECT_EQ(lazy.devices, eager.devices);
+  EXPECT_EQ(lazy.accuracies, eager.accuracies);
+}
+
+TEST(LazyEagerParity, QuantizedAtRestStaysCloseToLossless) {
+  SimBundle bundle;
+  bundle.cfg.fleet.lazy_devices = true;
+  bundle.cfg.fleet.at_rest.kind = CompressionKind::kQuant8;
+  auto sim = bundle.make(middlefl::core::Algorithm::kMiddle);
+  const middlefl::core::RunHistory history = sim->run();
+  ASSERT_FALSE(history.points.empty());
+  // The lossy at-rest codec must not derail training: the run completes
+  // and the final model is finite everywhere.
+  for (const float v : sim->cloud_params()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  std::size_t at_rest = 0;
+  for (std::size_t m = 0; m < sim->num_devices(); ++m) {
+    at_rest += sim->device(m).at_rest_bytes();
+  }
+  // Quantized storage: at most ~1 byte per parameter per settled device.
+  EXPECT_LE(at_rest, sim->num_devices() * (sim->cloud_params().size() + 4));
+}
+
+TEST(LazyEagerParity, FleetAccountingTracksSelection) {
+  SimBundle bundle;
+  bundle.cfg.fleet.lazy_devices = true;
+  auto sim = bundle.make(middlefl::core::Algorithm::kFedMes);
+  sim->step();
+  // K=2 over 3 edges: at most 6 selected devices materialize in step 1
+  // (fewer when an edge has < K members).
+  const auto& fleet = sim->fleet();
+  EXPECT_GT(fleet.materializations(), 0u);
+  EXPECT_LE(fleet.materializations(), 6u);
+  // Every chain settles its members after aggregation: nothing stays
+  // resident between steps.
+  EXPECT_EQ(fleet.resident_devices(), 0u);
+  EXPECT_GT(fleet.delta_bytes_at_rest(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry invariants under churned ids
+
+middlefl::data::Dataset& shared_data() {
+  static middlefl::data::Dataset data = SimBundle::make_data(4, 30, 3);
+  return data;
+}
+
+Device make_lazy(std::size_t id, const Snapshot& base,
+                 DeviceRegistry* registry) {
+  return Device(id, middlefl::data::DataView::window(shared_data(), 0, 8),
+                base, registry);
+}
+
+TEST(RegistryChurn, InsertEraseReinsertKeepsLookupsExact) {
+  DeviceRegistry registry;
+  registry.configure(FleetConfig{.shards = 4});
+  const std::vector<float> init(64, 0.25f);
+  const Snapshot base = SnapshotStore::global().publish(init);
+
+  // Sparse, shard-colliding ids well past the dense fast path, plus a few
+  // sequential ones.
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < 64; ++i) ids.push_back(i);
+  for (std::size_t i = 0; i < 64; ++i) ids.push_back((i + 1) * 0x10000021);
+  for (const std::size_t id : ids) {
+    registry.insert(make_lazy(id, base, &registry));
+  }
+  EXPECT_EQ(registry.size(), ids.size());
+  EXPECT_THROW(registry.insert(make_lazy(ids[7], base, &registry)),
+               std::invalid_argument);
+
+  // Erase every third id, confirm the others still resolve.
+  std::size_t erased = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    EXPECT_TRUE(registry.erase(ids[i]));
+    ++erased;
+  }
+  EXPECT_EQ(registry.size(), ids.size() - erased);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i % 3 == 0) {
+      EXPECT_EQ(registry.find(ids[i]), nullptr) << "id " << ids[i];
+      EXPECT_FALSE(registry.erase(ids[i]));
+    } else {
+      const Device* device = registry.find(ids[i]);
+      ASSERT_NE(device, nullptr) << "id " << ids[i];
+      EXPECT_EQ(device->id(), ids[i]);
+    }
+  }
+
+  // Reinsert over the tombstones: recycled slots must key correctly.
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    registry.insert(make_lazy(ids[i], base, &registry));
+  }
+  EXPECT_EQ(registry.size(), ids.size());
+  for (const std::size_t id : ids) {
+    EXPECT_EQ(registry.at(id).id(), id);
+  }
+  EXPECT_THROW(registry.at(0xdeadbeefULL), std::out_of_range);
+}
+
+TEST(RegistryChurn, ShardAssignmentIsStableAndMasked) {
+  DeviceRegistry registry;
+  registry.configure(FleetConfig{.shards = 8});
+  EXPECT_EQ(registry.num_shards(), 8u);
+  for (std::size_t id = 0; id < 4096; ++id) {
+    const std::size_t shard = registry.shard_of(id);
+    EXPECT_LT(shard, registry.num_shards());
+    EXPECT_EQ(shard, registry.shard_of(id));  // deterministic
+  }
+  // configure() is construction-time only.
+  const std::vector<float> init(8, 0.0f);
+  const Snapshot base = SnapshotStore::global().publish(init);
+  registry.insert(make_lazy(1, base, &registry));
+  EXPECT_THROW(registry.configure(FleetConfig{}), std::logic_error);
+}
+
+TEST(RegistryChurn, ResidentFreelistRecyclesBuffers) {
+  DeviceRegistry registry;
+  registry.configure(FleetConfig{});
+  const std::vector<float> init(32, 1.0f);
+  const Snapshot base = SnapshotStore::global().publish(init);
+  registry.insert(make_lazy(5, base, &registry));
+
+  middlefl::tensor::Tensor a = registry.acquire_resident(5);
+  EXPECT_EQ(registry.materializations(), 1u);
+  EXPECT_EQ(registry.resident_devices(), 1u);
+  const float* raw = a.data().data();
+  registry.release_resident(5, std::move(a));
+  EXPECT_EQ(registry.resident_devices(), 0u);
+
+  // Same shard, same buffer back.
+  middlefl::tensor::Tensor b = registry.acquire_resident(5);
+  EXPECT_EQ(registry.materializations(), 2u);
+  EXPECT_EQ(b.data().data(), raw);
+  registry.release_resident(5, std::move(b));
+}
+
+}  // namespace
