@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "config/json.hpp"
+#include "config/scenario_build.hpp"
 #include "parallel/thread_pool.hpp"
 #include "util/stats.hpp"
 
@@ -263,6 +265,27 @@ TaskSetup make_task_setup(data::TaskKind kind, const BenchOptions& options) {
   return setup;
 }
 
+TaskSetup make_task_setup(const config::ScenarioSpec& spec) {
+  config::BuiltScenario built = config::build_scenario(spec);
+  TaskSetup setup;
+  setup.kind = data::parse_task(spec.data.task);
+  setup.train = std::make_shared<data::Dataset>(std::move(built.train));
+  setup.test = std::make_shared<data::Dataset>(std::move(built.test));
+  setup.partition = std::move(built.partition);
+  setup.initial_edges = std::move(built.homes);
+  setup.model_spec = built.model;
+  setup.optimizer = std::move(built.optimizer);
+  setup.sim_cfg = spec.sim;
+  setup.sim_cfg.lr_schedule =
+      config::make_lr_schedule(spec.lr_schedule, spec.sim.local_steps);
+  setup.num_edges = spec.edges;
+  return setup;
+}
+
+TaskSetup load_scenario_setup(const std::string& path) {
+  return make_task_setup(config::load_scenario_file(path));
+}
+
 std::unique_ptr<core::Simulation> make_simulation(
     const TaskSetup& setup, core::Algorithm algorithm,
     const BenchOptions& options, std::size_t repeat) {
@@ -329,6 +352,116 @@ core::RunHistory run_and_collect(core::Simulation& simulation,
     });
   }
   return simulation.run();
+}
+
+SimRunSummary SimRunSummary::capture(const core::Simulation& simulation) {
+  SimRunSummary s;
+  s.steps = simulation.current_step();
+  s.comm = simulation.comm_stats();
+  for (const auto& link : simulation.transport().bytes_by_link()) {
+    s.links.push_back(LinkRow{transport::to_string(link.kind),
+                              link.stats.transfers, link.stats.dropped,
+                              link.stats.bytes, link.in_flight});
+  }
+  s.total_wire_bytes = simulation.transport().total_bytes();
+  s.total_in_flight = simulation.transport().total_in_flight();
+  s.failed_uploads = simulation.failed_uploads();
+  s.lost_downloads = simulation.lost_downloads();
+  s.straggler_drops = simulation.straggler_drops();
+  s.on_device_aggregations = simulation.on_device_aggregations();
+  s.mean_blend_weight = simulation.mean_blend_weight();
+  s.materializations = simulation.fleet().materializations();
+  s.resident_peak = simulation.fleet().resident_peak();
+  s.delta_bytes_at_rest = simulation.fleet().delta_bytes_at_rest();
+  return s;
+}
+
+std::string json_summary_fields(const SimRunSummary& summary,
+                                const std::string& indent) {
+  std::ostringstream out;
+  out << indent << "\"comm\": {\n"
+      << indent << "  \"device_downloads\": " << summary.comm.device_downloads
+      << ",\n"
+      << indent << "  \"device_uploads\": " << summary.comm.device_uploads
+      << ",\n"
+      << indent << "  \"edge_uploads\": " << summary.comm.edge_uploads
+      << ",\n"
+      << indent << "  \"edge_downloads\": " << summary.comm.edge_downloads
+      << ",\n"
+      << indent << "  \"device_broadcasts\": "
+      << summary.comm.device_broadcasts << ",\n"
+      << indent << "  \"total_transfers\": " << summary.comm.total_transfers()
+      << ",\n"
+      << indent << "  \"wan_transfers\": " << summary.comm.wan_transfers()
+      << "\n"
+      << indent << "},\n";
+  out << indent << "\"transport\": {\n";
+  for (std::size_t i = 0; i < summary.links.size(); ++i) {
+    const auto& link = summary.links[i];
+    out << indent << "  \"" << link.link << "\": {"
+        << "\"transfers\": " << link.transfers
+        << ", \"dropped\": " << link.dropped << ", \"bytes\": " << link.bytes
+        << ", \"in_flight\": " << link.in_flight << "}"
+        << (i + 1 < summary.links.size() ? "," : "") << "\n";
+  }
+  out << indent << "},\n"
+      << indent << "\"total_wire_bytes\": " << summary.total_wire_bytes
+      << ",\n"
+      << indent << "\"total_in_flight\": " << summary.total_in_flight
+      << ",\n"
+      << indent << "\"failed_uploads\": " << summary.failed_uploads << ",\n"
+      << indent << "\"lost_downloads\": " << summary.lost_downloads << ",\n"
+      << indent << "\"straggler_drops\": " << summary.straggler_drops
+      << ",\n"
+      << indent << "\"on_device_aggregations\": "
+      << summary.on_device_aggregations << ",\n"
+      << indent << "\"mean_blend_weight\": "
+      << config::format_number(summary.mean_blend_weight) << ",\n"
+      << indent << "\"fleet\": {\"materializations\": "
+      << summary.materializations
+      << ", \"resident_peak\": " << summary.resident_peak
+      << ", \"delta_bytes_at_rest\": " << summary.delta_bytes_at_rest << "}";
+  return out.str();
+}
+
+void append_summary_members(config::Json& object,
+                            const SimRunSummary& summary) {
+  using config::Json;
+  Json comm = Json::make_object();
+  comm.set("device_downloads", Json::make_uint(summary.comm.device_downloads));
+  comm.set("device_uploads", Json::make_uint(summary.comm.device_uploads));
+  comm.set("edge_uploads", Json::make_uint(summary.comm.edge_uploads));
+  comm.set("edge_downloads", Json::make_uint(summary.comm.edge_downloads));
+  comm.set("device_broadcasts",
+           Json::make_uint(summary.comm.device_broadcasts));
+  comm.set("total_transfers", Json::make_uint(summary.comm.total_transfers()));
+  comm.set("wan_transfers", Json::make_uint(summary.comm.wan_transfers()));
+  object.set("comm", std::move(comm));
+  Json transport = Json::make_object();
+  for (const auto& link : summary.links) {
+    Json row = Json::make_object();
+    row.set("transfers", Json::make_uint(link.transfers));
+    row.set("dropped", Json::make_uint(link.dropped));
+    row.set("bytes", Json::make_uint(link.bytes));
+    row.set("in_flight", Json::make_uint(link.in_flight));
+    transport.set(link.link, std::move(row));
+  }
+  object.set("transport", std::move(transport));
+  object.set("total_wire_bytes", Json::make_uint(summary.total_wire_bytes));
+  object.set("total_in_flight", Json::make_uint(summary.total_in_flight));
+  object.set("failed_uploads", Json::make_uint(summary.failed_uploads));
+  object.set("lost_downloads", Json::make_uint(summary.lost_downloads));
+  object.set("straggler_drops", Json::make_uint(summary.straggler_drops));
+  object.set("on_device_aggregations",
+             Json::make_uint(summary.on_device_aggregations));
+  object.set("mean_blend_weight",
+             Json::make_number(summary.mean_blend_weight));
+  Json fleet = Json::make_object();
+  fleet.set("materializations", Json::make_uint(summary.materializations));
+  fleet.set("resident_peak", Json::make_uint(summary.resident_peak));
+  fleet.set("delta_bytes_at_rest",
+            Json::make_uint(summary.delta_bytes_at_rest));
+  object.set("fleet", std::move(fleet));
 }
 
 namespace {

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "config/scenario.hpp"
 #include "core/simulation.hpp"
 #include "data/partition.hpp"
 #include "obs/observability.hpp"
@@ -108,6 +109,13 @@ struct TaskSetup {
 /// simulation config) for the standard evaluation setup of §6.1.
 TaskSetup make_task_setup(data::TaskKind kind, const BenchOptions& options);
 
+/// Scenario bridge: builds a TaskSetup from a declarative spec through the
+/// config builder, so figure benches and `middlefl_run --scenario` share
+/// one construction path (same derived seeds, bitwise-identical runs).
+TaskSetup make_task_setup(const config::ScenarioSpec& spec);
+/// Loads `path` (strict parse/decode) and builds its TaskSetup.
+TaskSetup load_scenario_setup(const std::string& path);
+
 /// Constructs a Simulation for `algorithm` over the given setup, with the
 /// requested mobility P (Markov model) and T_c. `repeat` shifts the
 /// simulation/mobility seeds (the datasets stay fixed), giving independent
@@ -138,6 +146,49 @@ RepeatSummary summarize_repeats(const std::vector<core::RunHistory>& runs,
 /// Runs and returns the history, echoing eval points when `echo` is set.
 core::RunHistory run_and_collect(core::Simulation& simulation,
                                  const std::string& label, bool echo = false);
+
+/// Whole-run communication/transport/dropout/fleet accounting captured
+/// from a live Simulation — the block every JSON summary emitter
+/// (middlefl_run --json-summary, step_throughput, fleet_scale,
+/// scenario_sweep) shares. Capture while the simulation is alive; format
+/// later with json_summary_fields.
+struct SimRunSummary {
+  std::size_t steps = 0;
+  core::CommStats comm;
+  struct LinkRow {
+    std::string link;
+    std::size_t transfers = 0;
+    std::size_t dropped = 0;
+    std::size_t bytes = 0;
+    std::size_t in_flight = 0;
+  };
+  std::vector<LinkRow> links;
+  std::size_t total_wire_bytes = 0;
+  std::size_t total_in_flight = 0;
+  std::size_t failed_uploads = 0;
+  std::size_t lost_downloads = 0;
+  std::size_t straggler_drops = 0;
+  std::size_t on_device_aggregations = 0;
+  double mean_blend_weight = 0.0;
+  std::uint64_t materializations = 0;
+  std::uint64_t resident_peak = 0;
+  std::uint64_t delta_bytes_at_rest = 0;
+
+  static SimRunSummary capture(const core::Simulation& simulation);
+};
+
+/// Renders the summary as JSON object members — `"comm": {...}`,
+/// `"transport": {...}`, wire-byte totals, dropout/blend counters and the
+/// `"fleet"` block — one per line, each prefixed with `indent`, without
+/// surrounding braces or a trailing comma, so emitters splice it into
+/// their own top-level object.
+std::string json_summary_fields(const SimRunSummary& summary,
+                                const std::string& indent);
+
+/// Appends the same members json_summary_fields renders onto a
+/// config::Json object — for emitters that assemble rows as Json values
+/// (scenario_sweep dumps each row compact as one JSONL line).
+void append_summary_members(config::Json& object, const SimRunSummary& summary);
 
 /// Peak resident set size (VmHWM) of this process in bytes, read from
 /// /proc/self/status; falls back to current RSS, and 0 where neither is

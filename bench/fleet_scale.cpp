@@ -42,10 +42,10 @@ struct FleetMeasurement {
   std::size_t rss_before_bytes = 0;
   std::size_t peak_rss_bytes = 0;
   std::size_t peak_delta_bytes = 0;
-  std::uint64_t materializations = 0;
   double materializations_per_step = 0.0;
-  std::size_t resident_peak = 0;
-  std::size_t delta_bytes_at_rest = 0;
+  /// Whole-run comm/transport/dropout/fleet accounting (shared capture;
+  /// the fleet fields the sweep reports are read from here).
+  middlefl::bench::SimRunSummary summary;
 };
 
 struct FleetTask {
@@ -124,11 +124,10 @@ FleetMeasurement run_config(const FleetTask& task, std::size_t devices,
   m.peak_delta_bytes = m.peak_rss_bytes > m.rss_before_bytes
                            ? m.peak_rss_bytes - m.rss_before_bytes
                            : 0;
-  m.materializations = sim.fleet().materializations();
+  m.summary = middlefl::bench::SimRunSummary::capture(sim);
   m.materializations_per_step =
-      static_cast<double>(m.materializations) / static_cast<double>(steps);
-  m.resident_peak = sim.fleet().resident_peak();
-  m.delta_bytes_at_rest = sim.fleet().delta_bytes_at_rest();
+      static_cast<double>(m.summary.materializations) /
+      static_cast<double>(steps);
   return m;
 }
 
@@ -141,18 +140,19 @@ void print_row(const FleetMeasurement& m) {
 }
 
 void emit_json(std::ostream& out, const FleetMeasurement& m, bool last) {
-  out << "    {\"mode\": \"" << (m.lazy ? "lazy" : "eager")
-      << "\", \"devices\": " << m.devices << ", \"steps\": " << m.steps
-      << ", \"seconds\": " << m.seconds
-      << ", \"steps_per_sec\": " << m.steps_per_sec
-      << ", \"rss_before_bytes\": " << m.rss_before_bytes
-      << ", \"peak_rss_bytes\": " << m.peak_rss_bytes
-      << ", \"peak_delta_bytes\": " << m.peak_delta_bytes
-      << ", \"materializations\": " << m.materializations
-      << ", \"materializations_per_step\": " << m.materializations_per_step
-      << ", \"resident_peak\": " << m.resident_peak
-      << ", \"delta_bytes_at_rest\": " << m.delta_bytes_at_rest << "}"
-      << (last ? "\n" : ",\n");
+  out << "    {\n"
+      << "      \"mode\": \"" << (m.lazy ? "lazy" : "eager") << "\",\n"
+      << "      \"devices\": " << m.devices << ",\n"
+      << "      \"steps\": " << m.steps << ",\n"
+      << "      \"seconds\": " << m.seconds << ",\n"
+      << "      \"steps_per_sec\": " << m.steps_per_sec << ",\n"
+      << "      \"rss_before_bytes\": " << m.rss_before_bytes << ",\n"
+      << "      \"peak_rss_bytes\": " << m.peak_rss_bytes << ",\n"
+      << "      \"peak_delta_bytes\": " << m.peak_delta_bytes << ",\n"
+      << "      \"materializations_per_step\": "
+      << m.materializations_per_step << ",\n"
+      << middlefl::bench::json_summary_fields(m.summary, "      ") << "\n"
+      << "    }" << (last ? "\n" : ",\n");
 }
 
 }  // namespace

@@ -33,6 +33,9 @@ struct Measurement {
   bool oversubscribed = false;
   double seconds = 0.0;
   double steps_per_sec = 0.0;
+  /// Whole-run comm/transport/dropout/fleet accounting (captured while the
+  /// simulation is alive; emitted for the main measurement only).
+  bench::SimRunSummary summary;
 };
 
 /// Runs warmup + timed steps of a fresh simulation on `pool` (nullptr =
@@ -66,6 +69,7 @@ Measurement measure(const bench::TaskSetup& setup, core::Algorithm algorithm,
   m.pool_threads = pool == nullptr ? 1 : pool->size();
   m.seconds = std::chrono::duration<double>(stop - start).count();
   m.steps_per_sec = static_cast<double>(timed_steps) / m.seconds;
+  m.summary = bench::SimRunSummary::capture(*sim);
   return m;
 }
 
@@ -175,6 +179,7 @@ int run(int argc, const char* const* argv) {
       << "  \"peak_rss_bytes\": " << peak_rss << ",\n"
       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
       << ",\n"
+      << bench::json_summary_fields(main.summary, "  ") << ",\n"
       << "  \"thread_sweep\": [";
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     out << (i == 0 ? "\n" : ",\n")

@@ -1,0 +1,58 @@
+#include "config/scenario.hpp"
+
+#include <fstream>
+
+namespace middlefl::config {
+
+// Compile-time half of the schema-registration guard: on the reference ABI
+// a new SimulationConfig member changes the struct size before anyone
+// remembers the describe() entry, so the build fails here with a pointer
+// to the schema instead of silently dropping the field from specs.
+// (config_test pins the flattened leaf counts for every platform.)
+#if defined(__x86_64__) && defined(__GLIBCXX__) && defined(_GLIBCXX_RELEASE)
+#define MIDDLEFL_SIMCONFIG_SIZE 440
+static_assert(sizeof(core::SimulationConfig) == MIDDLEFL_SIMCONFIG_SIZE,
+              "SimulationConfig changed size: register the new member in "
+              "Schema<SimulationConfig> (src/config/scenario.hpp) and "
+              "update MIDDLEFL_SIMCONFIG_SIZE");
+#endif
+
+ScenarioSpec scenario_from_json(const Json& document,
+                                const std::string& source_name) {
+  ScenarioSpec spec;
+  from_json(document, source_name, spec);
+  try {
+    core::reconcile_uplink_aliases(spec.sim);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error(source_name + ": " + e.what());
+  }
+  return spec;
+}
+
+ScenarioSpec parse_scenario(std::string_view text,
+                            const std::string& source_name) {
+  return scenario_from_json(parse_json(text, source_name), source_name);
+}
+
+ScenarioSpec load_scenario_file(const std::string& path) {
+  return scenario_from_json(parse_json_file(path), path);
+}
+
+Json scenario_to_json(const ScenarioSpec& spec) { return to_json(spec); }
+
+std::string scenario_to_text(const ScenarioSpec& spec) {
+  return scenario_to_json(spec).dump() + "\n";
+}
+
+void save_scenario_file(const ScenarioSpec& spec, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  out << scenario_to_text(spec);
+  if (!out) {
+    throw std::runtime_error("failed writing scenario to '" + path + "'");
+  }
+}
+
+}  // namespace middlefl::config

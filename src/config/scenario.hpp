@@ -1,0 +1,404 @@
+// ScenarioSpec: the complete declarative description of one simulator run.
+//
+// One JSON document covers every layer the flag-driven front ends wire by
+// hand: the synthetic task and its Non-IID partition, the edge topology
+// and mobility process, the model architecture, the optimizer prototype,
+// the learning-rate schedule, the algorithm policy, and the full
+// core::SimulationConfig (nested transport link policies, fleet/lazy
+// device machinery, heterogeneity knobs). scenario_build.hpp turns a spec
+// into live simulator objects via exactly the construction sequence
+// tools/middlefl_run has always used, so a config-built run is bitwise
+// identical to the equivalent flag-built run (pinned by ctest).
+//
+// Contract (see ARCHITECTURE.md "Declarative scenarios"):
+//   - defaults live in the structs; absent JSON keys keep them;
+//   - unknown keys are hard errors with file:line:column context;
+//   - the writer emits every schema field in describe order, so
+//     write -> read -> write is a byte-for-byte fixpoint;
+//   - legacy aliases (upload_failure_prob, upload_compression) are
+//     accepted on load, normalized into transport.wireless_up in exactly
+//     one place (core::reconcile_uplink_aliases), never re-emitted, and
+//     conflicting values across the two views are a hard error.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "config/reflect.hpp"
+#include "core/simulation.hpp"
+#include "data/synthetic.hpp"
+#include "mobility/markov_mobility.hpp"
+#include "nn/model_factory.hpp"
+#include "transport/compression.hpp"
+
+namespace middlefl::config {
+
+/// Synthetic dataset + Non-IID partition + initial edge clustering.
+struct DataSpec {
+  std::string task = "mnist";  // mnist|emnist|cifar10|speech
+  /// Spatial scale of the synthetic inputs, in (0, 1].
+  double scale = 0.5;
+  std::size_t train_per_class = 60;
+  std::size_t test_per_class = 30;
+  /// major-class|single-class|iid|dirichlet|fleet-window.
+  std::string partition = "major-class";
+  std::size_t devices = 50;
+  /// Local dataset size d_m (major-class/single-class/fleet-window).
+  std::size_t samples_per_device = 80;
+  /// Major-class share for the major-class partition.
+  double major_fraction = 0.9;
+  /// Label-skew concentration for the dirichlet partition.
+  double dirichlet_alpha = 0.5;
+  /// by-major-class|uniform initial device->edge clustering.
+  std::string edge_assignment = "by-major-class";
+};
+
+/// Mobility process. `model` selects which parameter block applies:
+/// markov reads switch_prob/topology/home_bias, random-waypoint reads the
+/// plane geometry and speeds, trace reads trace_file.
+struct MobilitySpec {
+  std::string model = "markov";  // markov|random-waypoint|trace
+  /// Markov move probability P (the Fig. 7 sweep axis).
+  double switch_prob = 0.5;
+  std::string topology = "home-ring";  // uniform|ring|home-ring
+  double home_bias = 0.5;
+  double width = 1000.0;
+  double height = 1000.0;
+  double speed_min = 20.0;
+  double speed_max = 60.0;
+  double pause_probability = 0.1;
+  std::string trace_file;
+};
+
+/// Optimizer prototype cloned into every device runtime.
+struct OptimizerSpec {
+  std::string kind = "sgd";  // sgd|adam
+  double learning_rate = 0.005;
+  double momentum = 0.9;        // sgd
+  double weight_decay = 0.0;
+  double beta1 = 0.9;           // adam
+  double beta2 = 0.999;         // adam
+  double epsilon = 1e-8;        // adam
+};
+
+/// Declarative form of optim::LrSchedule (a std::function, which cannot
+/// itself round-trip). kind "default" leaves SimulationConfig::lr_schedule
+/// empty, preserving the simulator's historical constant-0.01 fallback.
+struct LrScheduleSpec {
+  std::string kind = "default";  // default|constant|step-decay|theorem1|warmup
+  double base_lr = 0.01;
+  double decay = 0.5;            // step-decay factor
+  std::size_t decay_every = 100; // step-decay interval
+  std::size_t warmup_steps = 100;
+  double mu = 0.1;               // theorem1
+  double beta = 1.0;             // theorem1
+};
+
+/// The whole run description; see the header comment.
+struct ScenarioSpec {
+  std::string name = "unnamed";
+  std::string description;
+  std::size_t edges = 10;
+  std::string algorithm = "middle";
+  DataSpec data;
+  MobilitySpec mobility;
+  nn::ModelSpec model;
+  OptimizerSpec optimizer;
+  LrScheduleSpec lr_schedule;
+  core::SimulationConfig sim;
+};
+
+// ---------------------------------------------------------------------------
+// Leaf-count guards. config_test pins count_fields<T>() against these, so
+// adding a struct member without a describe() entry fails the suite (and
+// the sizeof static_assert in scenario.cpp catches SimulationConfig growth
+// at compile time on the reference ABI).
+
+/// SimulationConfig flattened: 5 loop + 3 aggregation + 5 eval + 24
+/// transport (6 links x loss/kind/fraction/latency) + 3 regularizer + 2
+/// heterogeneity + 4 fleet + seed + 2 execution. Excluded members:
+/// lr_schedule (std::function; declared via LrScheduleSpec), pool (runtime
+/// pointer), upload_failure_prob/upload_compression (decode-only aliases).
+inline constexpr std::size_t kSimulationConfigLeaves = 49;
+/// ScenarioSpec flattened: 4 top-level + 10 data + 10 mobility + 4 model
+/// + 7 optimizer + 7 lr_schedule + kSimulationConfigLeaves.
+inline constexpr std::size_t kScenarioSpecLeaves =
+    42 + kSimulationConfigLeaves;
+
+// ---------------------------------------------------------------------------
+// Choice-string helpers shared by the schemas below.
+
+inline std::string require_name(const std::string& value,
+                                std::initializer_list<std::string_view> legal,
+                                const char* what) {
+  for (const std::string_view option : legal) {
+    if (option == value) return value;
+  }
+  throw std::invalid_argument(std::string("unknown ") + what + " '" + value +
+                              "'");
+}
+
+inline std::string compression_kind_name(transport::CompressionKind kind) {
+  switch (kind) {
+    case transport::CompressionKind::kNone: return "none";
+    case transport::CompressionKind::kTopK: return "topk";
+    case transport::CompressionKind::kQuant8: return "q8";
+  }
+  return "none";
+}
+
+inline transport::CompressionKind parse_compression_kind_name(
+    const std::string& name) {
+  if (name == "none") return transport::CompressionKind::kNone;
+  if (name == "topk") return transport::CompressionKind::kTopK;
+  if (name == "q8") return transport::CompressionKind::kQuant8;
+  throw std::invalid_argument("unknown compression kind '" + name + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Schemas.
+
+template <>
+struct Schema<transport::CompressionConfig> {
+  template <class V>
+  static void describe(V& v, transport::CompressionConfig& c) {
+    v.choice("kind", compression_kind_name(c.kind), {"none", "topk", "q8"},
+             [&c](const std::string& s) {
+               c.kind = parse_compression_kind_name(s);
+             });
+    v.field("top_k_fraction", c.top_k_fraction);
+  }
+};
+
+template <>
+struct Schema<transport::LinkPolicy> {
+  template <class V>
+  static void describe(V& v, transport::LinkPolicy& p) {
+    v.field("loss_prob", p.loss_prob);
+    v.field("compression", p.compression);
+    v.field("latency_steps", p.latency_steps);
+  }
+};
+
+template <>
+struct Schema<transport::TransportConfig> {
+  template <class V>
+  static void describe(V& v, transport::TransportConfig& t) {
+    v.field("wireless_down", t.wireless_down);
+    v.field("wireless_up", t.wireless_up);
+    v.field("wan_up", t.wan_up);
+    v.field("wan_down", t.wan_down);
+    v.field("broadcast", t.broadcast);
+    v.field("carry", t.carry);
+  }
+};
+
+template <>
+struct Schema<core::FleetConfig> {
+  template <class V>
+  static void describe(V& v, core::FleetConfig& f) {
+    v.field("lazy_devices", f.lazy_devices);
+    v.field("at_rest", f.at_rest);
+    v.field("shards", f.shards);
+  }
+};
+
+template <>
+struct Schema<core::SimulationConfig> {
+  template <class V>
+  static void describe(V& v, core::SimulationConfig& c) {
+    v.field("select_per_edge", c.select_per_edge);
+    v.field("local_steps", c.local_steps);
+    v.field("cloud_interval", c.cloud_interval);
+    v.field("batch_size", c.batch_size);
+    v.field("total_steps", c.total_steps);
+    v.field("reset_optimizer_each_round", c.reset_optimizer_each_round);
+    v.field("broadcast_to_devices", c.broadcast_to_devices);
+    v.field("weighted_cloud_aggregation", c.weighted_cloud_aggregation);
+    v.field("eval_every", c.eval_every);
+    v.field("eval_samples", c.eval_samples);
+    v.field("track_per_class", c.track_per_class);
+    v.field("track_edge_accuracy", c.track_edge_accuracy);
+    v.field("eval_edges", c.eval_edges);
+    v.field("transport", c.transport);
+    v.field("prox_mu", c.prox_mu);
+    v.field("clip_norm", c.clip_norm);
+    v.field("server_momentum", c.server_momentum);
+    v.field("device_speeds", c.device_speeds);
+    v.field("round_deadline", c.round_deadline);
+    v.field("fleet", c.fleet);
+    v.field("seed", c.seed);
+    v.field("parallel_devices", c.parallel_devices);
+    v.field("use_similarity_cache", c.use_similarity_cache);
+    // Legacy spellings: accepted on load, normalized into
+    // transport.wireless_up by core::reconcile_uplink_aliases (the single
+    // normalization point), never emitted.
+    v.alias("upload_failure_prob", c.upload_failure_prob);
+    v.alias("upload_compression", c.upload_compression);
+  }
+};
+
+/// input_shape and num_classes are derived from the task preset at build
+/// time, so only the free architecture knobs are part of the schema.
+template <>
+struct Schema<nn::ModelSpec> {
+  template <class V>
+  static void describe(V& v, nn::ModelSpec& m) {
+    v.choice("arch", nn::to_string(m.arch),
+             {"logistic", "mlp", "mlp2", "cnn2", "cnn3"},
+             [&m](const std::string& s) { m.arch = nn::parse_model_arch(s); });
+    v.field("hidden", m.hidden);
+    v.field("base_channels", m.base_channels);
+    v.field("dropout", m.dropout);
+  }
+};
+
+template <>
+struct Schema<DataSpec> {
+  template <class V>
+  static void describe(V& v, DataSpec& d) {
+    v.choice("task", d.task, {"mnist", "emnist", "cifar10", "speech"},
+             [&d](const std::string& s) {
+               data::parse_task(s);
+               d.task = s;
+             });
+    v.field("scale", d.scale);
+    v.field("train_per_class", d.train_per_class);
+    v.field("test_per_class", d.test_per_class);
+    v.choice("partition", d.partition,
+             {"major-class", "single-class", "iid", "dirichlet",
+              "fleet-window"},
+             [&d](const std::string& s) {
+               d.partition = require_name(
+                   s,
+                   {"major-class", "single-class", "iid", "dirichlet",
+                    "fleet-window"},
+                   "partition scheme");
+             });
+    v.field("devices", d.devices);
+    v.field("samples_per_device", d.samples_per_device);
+    v.field("major_fraction", d.major_fraction);
+    v.field("dirichlet_alpha", d.dirichlet_alpha);
+    v.choice("edge_assignment", d.edge_assignment,
+             {"by-major-class", "uniform"}, [&d](const std::string& s) {
+               d.edge_assignment = require_name(
+                   s, {"by-major-class", "uniform"}, "edge assignment");
+             });
+  }
+};
+
+template <>
+struct Schema<MobilitySpec> {
+  template <class V>
+  static void describe(V& v, MobilitySpec& m) {
+    v.choice("model", m.model, {"markov", "random-waypoint", "trace"},
+             [&m](const std::string& s) {
+               m.model = require_name(
+                   s, {"markov", "random-waypoint", "trace"},
+                   "mobility model");
+             });
+    v.field("switch_prob", m.switch_prob);
+    v.choice("topology", m.topology, {"uniform", "ring", "home-ring"},
+             [&m](const std::string& s) {
+               mobility::parse_topology(s);
+               m.topology = s;
+             });
+    v.field("home_bias", m.home_bias);
+    v.field("width", m.width);
+    v.field("height", m.height);
+    v.field("speed_min", m.speed_min);
+    v.field("speed_max", m.speed_max);
+    v.field("pause_probability", m.pause_probability);
+    v.field("trace_file", m.trace_file);
+  }
+};
+
+template <>
+struct Schema<OptimizerSpec> {
+  template <class V>
+  static void describe(V& v, OptimizerSpec& o) {
+    v.choice("kind", o.kind, {"sgd", "adam"}, [&o](const std::string& s) {
+      o.kind = require_name(s, {"sgd", "adam"}, "optimizer");
+    });
+    v.field("learning_rate", o.learning_rate);
+    v.field("momentum", o.momentum);
+    v.field("weight_decay", o.weight_decay);
+    v.field("beta1", o.beta1);
+    v.field("beta2", o.beta2);
+    v.field("epsilon", o.epsilon);
+  }
+};
+
+template <>
+struct Schema<LrScheduleSpec> {
+  template <class V>
+  static void describe(V& v, LrScheduleSpec& l) {
+    v.choice("kind", l.kind,
+             {"default", "constant", "step-decay", "theorem1", "warmup"},
+             [&l](const std::string& s) {
+               l.kind = require_name(
+                   s,
+                   {"default", "constant", "step-decay", "theorem1",
+                    "warmup"},
+                   "lr schedule");
+             });
+    v.field("base_lr", l.base_lr);
+    v.field("decay", l.decay);
+    v.field("decay_every", l.decay_every);
+    v.field("warmup_steps", l.warmup_steps);
+    v.field("mu", l.mu);
+    v.field("beta", l.beta);
+  }
+};
+
+template <>
+struct Schema<ScenarioSpec> {
+  template <class V>
+  static void describe(V& v, ScenarioSpec& s) {
+    v.field("name", s.name);
+    v.field("description", s.description);
+    v.field("edges", s.edges);
+    v.choice("algorithm", s.algorithm,
+             {"middle", "oort", "fedmes", "greedy", "ensemble", "hierfavg"},
+             [&s](const std::string& a) {
+               core::parse_algorithm(a);
+               s.algorithm = a;
+             });
+    v.field("data", s.data);
+    v.field("mobility", s.mobility);
+    v.field("model", s.model);
+    v.field("optimizer", s.optimizer);
+    v.field("lr_schedule", s.lr_schedule);
+    v.field("sim", s.sim);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Load / save.
+
+/// Decodes a parsed document into a spec (strict: unknown keys error) and
+/// normalizes the legacy uplink aliases. `source_name` prefixes errors.
+ScenarioSpec scenario_from_json(const Json& document,
+                                const std::string& source_name);
+
+/// Parses + decodes a JSON text.
+ScenarioSpec parse_scenario(std::string_view text,
+                            const std::string& source_name);
+
+/// Reads, parses and decodes `path`.
+ScenarioSpec load_scenario_file(const std::string& path);
+
+/// Canonical JSON form: every schema field, describe order.
+Json scenario_to_json(const ScenarioSpec& spec);
+
+/// scenario_to_json rendered with 2-space indent and a trailing newline —
+/// the byte-exact form shipped under examples/scenarios/.
+std::string scenario_to_text(const ScenarioSpec& spec);
+
+/// Writes scenario_to_text to `path`; throws std::runtime_error on I/O
+/// failure.
+void save_scenario_file(const ScenarioSpec& spec, const std::string& path);
+
+}  // namespace middlefl::config

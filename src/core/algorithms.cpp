@@ -77,6 +77,16 @@ AlgorithmSpec make_algorithm(Algorithm algorithm) {
   return spec;
 }
 
+AlgorithmSpec make_algorithm(const std::string& name) {
+  return make_algorithm(parse_algorithm(name));
+}
+
+const std::vector<std::string>& algorithm_names() {
+  static const std::vector<std::string> names = {
+      "middle", "oort", "fedmes", "greedy", "ensemble", "hierfavg"};
+  return names;
+}
+
 double apply_on_device_rule(OnDeviceRule rule,
                             std::span<const float> edge_params,
                             std::span<const float> local_params,

@@ -19,6 +19,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/selection.hpp"
 
@@ -56,6 +57,15 @@ struct AlgorithmSpec {
 
 /// Builds the named policy.
 AlgorithmSpec make_algorithm(Algorithm algorithm);
+
+/// String-keyed registry entry point: make_algorithm("fedmes"). Accepts
+/// anything parse_algorithm does (case-insensitive; "general" is an alias
+/// of hierfavg); throws std::invalid_argument otherwise.
+AlgorithmSpec make_algorithm(const std::string& name);
+
+/// Canonical registry keys for all six Algorithm values, in enum order —
+/// what --list-algorithms prints and what sweep axes reference.
+const std::vector<std::string>& algorithm_names();
 
 /// Applies the on-device initialization rule, writing w_hat into `out`.
 /// `prev_edge_params` is only consulted by kPrevEdgeAverage and may be

@@ -32,6 +32,34 @@ constexpr std::uint64_t kBroadcastTag = 0xB9CA;  // broadcast loss
 
 }  // namespace
 
+void reconcile_uplink_aliases(SimulationConfig& cfg) {
+  auto& up = cfg.transport.wireless_up;
+  if (cfg.upload_failure_prob != 0.0) {
+    if (up.loss_prob != 0.0 && up.loss_prob != cfg.upload_failure_prob) {
+      throw std::invalid_argument(
+          "upload_failure_prob=" + std::to_string(cfg.upload_failure_prob) +
+          " conflicts with transport.wireless_up.loss_prob=" +
+          std::to_string(up.loss_prob) +
+          "; set the uplink loss through one view only");
+    }
+    up.loss_prob = cfg.upload_failure_prob;
+  }
+  if (cfg.upload_compression.kind != CompressionKind::kNone) {
+    const auto& explicit_c = up.compression;
+    if (explicit_c.kind != CompressionKind::kNone &&
+        (explicit_c.kind != cfg.upload_compression.kind ||
+         explicit_c.top_k_fraction != cfg.upload_compression.top_k_fraction)) {
+      throw std::invalid_argument(
+          "upload_compression conflicts with "
+          "transport.wireless_up.compression; set the uplink compression "
+          "through one view only");
+    }
+    up.compression = cfg.upload_compression;
+  }
+  cfg.upload_failure_prob = up.loss_prob;
+  cfg.upload_compression = up.compression;
+}
+
 std::string to_string(StepPhase phase) {
   switch (phase) {
     case StepPhase::kSelect:
@@ -82,17 +110,7 @@ Simulation::Simulation(SimulationConfig cfg, const nn::ModelSpec& model_spec,
     throw std::invalid_argument("Simulation: K, I, T_c and batch must be positive");
   }
 
-  // Legacy uplink knobs alias into the transport policy; after this, the
-  // per-link config is the single source of truth and the legacy fields
-  // mirror its effective values.
-  if (cfg_.upload_failure_prob != 0.0) {
-    cfg_.transport.wireless_up.loss_prob = cfg_.upload_failure_prob;
-  }
-  if (cfg_.upload_compression.kind != CompressionKind::kNone) {
-    cfg_.transport.wireless_up.compression = cfg_.upload_compression;
-  }
-  cfg_.upload_failure_prob = cfg_.transport.wireless_up.loss_prob;
-  cfg_.upload_compression = cfg_.transport.wireless_up.compression;
+  reconcile_uplink_aliases(cfg_);
 
   pool_ = cfg_.parallel_devices
               ? (cfg_.pool != nullptr ? cfg_.pool

@@ -151,6 +151,15 @@ struct SimulationConfig {
   bool use_similarity_cache = true;
 };
 
+/// Folds the legacy uplink spellings (`upload_failure_prob`,
+/// `upload_compression`) into `transport.wireless_up` — the single
+/// normalization point for both the Simulation constructor and the config
+/// loader. Setting BOTH views to different nonzero/non-kNone values is a
+/// hard error (std::invalid_argument) instead of silent last-writer-wins;
+/// afterwards the legacy fields mirror the effective per-link policy, so
+/// the call is idempotent.
+void reconcile_uplink_aliases(SimulationConfig& cfg);
+
 class Simulation {
  public:
   /// `partition.device_indices.size()` fixes the device count and must

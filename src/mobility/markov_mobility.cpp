@@ -5,6 +5,25 @@
 
 namespace middlefl::mobility {
 
+std::string to_string(MoveTopology topology) {
+  switch (topology) {
+    case MoveTopology::kUniform: return "uniform";
+    case MoveTopology::kRing: return "ring";
+    case MoveTopology::kHomeRing: return "home-ring";
+  }
+  return "?";
+}
+
+MoveTopology parse_topology(const std::string& name) {
+  if (name == "uniform") return MoveTopology::kUniform;
+  if (name == "ring") return MoveTopology::kRing;
+  if (name == "home-ring" || name == "home_ring" || name == "home") {
+    return MoveTopology::kHomeRing;
+  }
+  throw std::invalid_argument("unknown topology '" + name +
+                              "' (uniform|ring|home-ring)");
+}
+
 MarkovMobility::MarkovMobility(std::vector<std::size_t> initial_assignment,
                                std::size_t num_edges, double move_probability,
                                std::uint64_t seed)

@@ -24,6 +24,12 @@ namespace middlefl::mobility {
 /// for the paper-style experiments).
 enum class MoveTopology { kUniform, kRing, kHomeRing };
 
+/// "uniform" | "ring" | "home-ring".
+std::string to_string(MoveTopology topology);
+/// Inverse of to_string; also accepts the legacy "home_ring" spelling.
+/// Throws std::invalid_argument for anything else.
+MoveTopology parse_topology(const std::string& name);
+
 class MarkovMobility final : public MobilityModel {
  public:
   /// Uniform move probability P for all devices.

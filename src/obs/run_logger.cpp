@@ -53,6 +53,11 @@ void RunLogger::log_eval(const EvalRecord& record) {
   ++records_;
 }
 
+void RunLogger::log_line(const std::string& line) {
+  *out_ << line << "\n";
+  ++records_;
+}
+
 void RunLogger::flush() { out_->flush(); }
 
 }  // namespace middlefl::obs

@@ -76,6 +76,11 @@ class RunLogger {
 
   void log_step(const StepRecord& record);
   void log_eval(const EvalRecord& record);
+  /// Writes one caller-formatted JSONL row verbatim (plus the newline) —
+  /// used by sweep runners that assemble rows from whole-run summaries
+  /// rather than per-step records. `line` must be one complete JSON
+  /// object without a trailing newline.
+  void log_line(const std::string& line);
 
   std::size_t records_written() const noexcept { return records_; }
   void flush();

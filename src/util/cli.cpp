@@ -39,7 +39,7 @@ bool parse_bool(std::string_view name, std::string_view value) {
 void CliParser::add_impl(std::string name, std::string help,
                          std::string default_value, bool is_bool,
                          std::function<void(std::string_view)> set) {
-  Flag flag{std::move(help), std::move(default_value), is_bool,
+  Flag flag{std::move(help), std::move(default_value), is_bool, false,
             std::move(set)};
   if (!flags_.emplace(name, std::move(flag)).second) {
     throw std::logic_error("duplicate flag --" + name);
@@ -126,12 +126,18 @@ bool CliParser::parse(int argc, const char* const* argv) {
     }
     try {
       flag.set(*value);
+      flag.seen = true;
     } catch (const std::invalid_argument&) {
       throw std::invalid_argument("invalid value '" + std::string(*value) +
                                   "' for --" + std::string(name));
     }
   }
   return true;
+}
+
+bool CliParser::was_set(std::string_view name) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() && it->second.seen;
 }
 
 std::string CliParser::help_text() const {

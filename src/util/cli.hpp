@@ -34,11 +34,17 @@ class CliParser {
   /// Renders the help text.
   std::string help_text() const;
 
+  /// True when `name` appeared on the parsed command line — the hook
+  /// override layers (e.g. --scenario plus explicit flags) use to tell
+  /// "explicitly set" from "still the default".
+  bool was_set(std::string_view name) const;
+
  private:
   struct Flag {
     std::string help;
     std::string default_value;
     bool is_bool = false;
+    bool seen = false;
     std::function<void(std::string_view)> set;
   };
 

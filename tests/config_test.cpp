@@ -1,0 +1,304 @@
+// The declarative-scenario contract: strict JSON parsing with source
+// locations, schema round trips (write -> read -> write is a fixpoint),
+// unknown-key rejection, legacy-alias normalization, the reflection-driven
+// per-leaf perturbation property, and config-built vs hand-built
+// simulation equivalence.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "config/json.hpp"
+#include "config/reflect.hpp"
+#include "config/scenario.hpp"
+#include "config/scenario_build.hpp"
+#include "core/simulation.hpp"
+#include "data/partition.hpp"
+#include "data/synthetic.hpp"
+#include "mobility/markov_mobility.hpp"
+#include "optim/sgd.hpp"
+#include "parallel/rng.hpp"
+
+namespace {
+
+using namespace middlefl;
+using config::Json;
+
+// ---------------------------------------------------------------------------
+// JSON value/parser
+
+TEST(JsonParser, ParsesScalarsAndStructure) {
+  const Json doc = config::parse_json(
+      R"({"a": 1, "b": -2.5, "c": "s", "d": [true, false, null], "e": {}})",
+      "buf");
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc.find("a")->is_unsigned());
+  EXPECT_EQ(doc.find("a")->as_uint(), 1u);
+  EXPECT_FALSE(doc.find("b")->is_unsigned());
+  EXPECT_DOUBLE_EQ(doc.find("b")->as_number(), -2.5);
+  EXPECT_EQ(doc.find("c")->as_string(), "s");
+  ASSERT_TRUE(doc.find("d")->is_array());
+  EXPECT_EQ(doc.find("d")->items().size(), 3u);
+  EXPECT_TRUE(doc.find("e")->is_object());
+}
+
+TEST(JsonParser, ErrorsCarrySourceLineAndColumn) {
+  try {
+    config::parse_json("{\n  \"a\": 1,\n  \"b\": nul\n}", "spec.json");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("spec.json:3:"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonParser, RejectsDuplicateKeys) {
+  EXPECT_THROW(config::parse_json(R"({"a": 1, "a": 2})", "buf"),
+               std::runtime_error);
+}
+
+TEST(JsonParser, RejectsTrailingContent) {
+  EXPECT_THROW(config::parse_json("{} {}", "buf"), std::runtime_error);
+}
+
+TEST(JsonParser, PreservesUint64BeyondDoubleRange) {
+  const std::uint64_t big = (1ull << 53) + 1;  // not representable as double
+  const Json doc =
+      config::parse_json("{\"seed\": " + std::to_string(big) + "}", "buf");
+  ASSERT_TRUE(doc.find("seed")->is_unsigned());
+  EXPECT_EQ(doc.find("seed")->as_uint(), big);
+  EXPECT_NE(doc.dump(0).find(std::to_string(big)), std::string::npos);
+}
+
+TEST(JsonParser, DumpParseDumpIsFixpoint) {
+  const Json doc = config::parse_json(
+      R"({"w": 0.1, "x": [1, 2.75, "s"], "y": {"z": true}, "n": null})",
+      "buf");
+  const std::string once = doc.dump();
+  const std::string twice = config::parse_json(once, "buf").dump();
+  EXPECT_EQ(once, twice);
+}
+
+TEST(JsonSetByPath, ReplacesNestedLeavesAndCreatesMissingOnes) {
+  Json doc = config::parse_json(R"({"sim": {"seed": 1}})", "buf");
+  config::set_by_path(doc, "sim.seed", Json::make_uint(7));
+  config::set_by_path(doc, "sim.transport.wan_up.loss_prob",
+                      Json::make_number(0.25));
+  EXPECT_EQ(doc.find("sim")->find("seed")->as_uint(), 7u);
+  EXPECT_DOUBLE_EQ(doc.find("sim")
+                       ->find("transport")
+                       ->find("wan_up")
+                       ->find("loss_prob")
+                       ->as_number(),
+                   0.25);
+  EXPECT_THROW(config::set_by_path(doc, "sim.seed.deeper", Json::make_null()),
+               std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// ScenarioSpec schema
+
+TEST(ScenarioSchema, LeafCountsArePinned) {
+  // Adding a member to SimulationConfig (or any spec struct) without a
+  // describe() entry fails here: bump the constant only together with the
+  // schema entry, the perturbation property below then covers the new leaf.
+  EXPECT_EQ(config::count_fields<core::SimulationConfig>(),
+            config::kSimulationConfigLeaves);
+  EXPECT_EQ(config::count_fields<config::ScenarioSpec>(),
+            config::kScenarioSpecLeaves);
+}
+
+TEST(ScenarioSchema, DefaultSpecRoundTripsAsFixpoint) {
+  const config::ScenarioSpec spec;
+  const std::string once = config::scenario_to_text(spec);
+  const config::ScenarioSpec reparsed =
+      config::parse_scenario(once, "default");
+  EXPECT_EQ(config::scenario_to_text(reparsed), once);
+}
+
+TEST(ScenarioSchema, EveryLeafPerturbationRoundTrips) {
+  const std::string baseline =
+      config::scenario_to_text(config::ScenarioSpec{});
+  for (std::size_t leaf = 0; leaf < config::kScenarioSpecLeaves; ++leaf) {
+    config::ScenarioSpec spec;
+    const std::string name = config::perturb_field(spec, leaf);
+    ASSERT_FALSE(name.empty()) << "leaf " << leaf << " not reachable";
+    const std::string once = config::scenario_to_text(spec);
+    EXPECT_NE(once, baseline)
+        << "leaf " << leaf << " ('" << name << "') is invisible in the "
+        << "serialized form";
+    config::ScenarioSpec reparsed;
+    ASSERT_NO_THROW(reparsed = config::parse_scenario(once, name))
+        << "leaf " << leaf << " ('" << name << "')";
+    EXPECT_EQ(config::scenario_to_text(reparsed), once)
+        << "leaf " << leaf << " ('" << name << "') does not round-trip";
+  }
+  // One past the last leaf: nothing to mutate.
+  config::ScenarioSpec spec;
+  EXPECT_TRUE(
+      config::perturb_field(spec, config::kScenarioSpecLeaves).empty());
+}
+
+TEST(ScenarioSchema, RejectsUnknownKeysWithLocation) {
+  try {
+    config::parse_scenario("{\n  \"edges\": 4,\n  \"edgez\": 5\n}",
+                           "spec.json");
+    FAIL() << "expected unknown-key error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("spec.json:3:"), std::string::npos) << what;
+    EXPECT_NE(what.find("unknown key 'edgez'"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioSchema, RejectsUnknownNestedKeysWithLocation) {
+  try {
+    config::parse_scenario(
+        "{\n  \"mobility\": {\n    \"switch_probability\": 0.5\n  }\n}",
+        "spec.json");
+    FAIL() << "expected unknown-key error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("spec.json:3:"), std::string::npos) << what;
+    EXPECT_NE(what.find("'switch_probability'"), std::string::npos) << what;
+  }
+}
+
+TEST(ScenarioSchema, RejectsTypeMismatch) {
+  EXPECT_THROW(config::parse_scenario(R"({"edges": "ten"})", "buf"),
+               std::runtime_error);
+  EXPECT_THROW(config::parse_scenario(R"({"edges": -4})", "buf"),
+               std::runtime_error);
+}
+
+TEST(ScenarioSchema, RejectsIllegalChoiceListingOptions) {
+  try {
+    config::parse_scenario(R"({"algorithm": "fedfoo"})", "buf");
+    FAIL() << "expected choice error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("middle"), std::string::npos)
+        << e.what();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy uplink aliases
+
+TEST(ScenarioAliases, UploadFailureProbNormalizesIntoTransport) {
+  const auto spec = config::parse_scenario(
+      R"({"sim": {"upload_failure_prob": 0.2}})", "buf");
+  EXPECT_DOUBLE_EQ(spec.sim.transport.wireless_up.loss_prob, 0.2);
+  EXPECT_DOUBLE_EQ(spec.sim.upload_failure_prob, 0.2);
+  // The canonical form speaks only the transport view.
+  EXPECT_EQ(config::scenario_to_text(spec).find("upload_failure_prob"),
+            std::string::npos);
+}
+
+TEST(ScenarioAliases, AgreeingViewsAreAccepted) {
+  const auto spec = config::parse_scenario(
+      R"({"sim": {"upload_failure_prob": 0.2,
+                  "transport": {"wireless_up": {"loss_prob": 0.2}}}})",
+      "buf");
+  EXPECT_DOUBLE_EQ(spec.sim.transport.wireless_up.loss_prob, 0.2);
+}
+
+TEST(ScenarioAliases, ConflictingViewsAreAHardError) {
+  EXPECT_THROW(config::parse_scenario(
+                   R"({"sim": {"upload_failure_prob": 0.2,
+                               "transport": {"wireless_up":
+                                             {"loss_prob": 0.1}}}})",
+                   "buf"),
+               std::runtime_error);
+}
+
+TEST(ScenarioAliases, ReconcileIsIdempotent) {
+  core::SimulationConfig cfg;
+  cfg.upload_failure_prob = 0.3;
+  core::reconcile_uplink_aliases(cfg);
+  core::reconcile_uplink_aliases(cfg);
+  EXPECT_DOUBLE_EQ(cfg.transport.wireless_up.loss_prob, 0.3);
+  EXPECT_DOUBLE_EQ(cfg.upload_failure_prob, 0.3);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm registry
+
+TEST(AlgorithmRegistry, CoversEveryEnumValue) {
+  const auto& names = core::algorithm_names();
+  ASSERT_EQ(names.size(), 6u);
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    // Registry keys are listed in enum order and round-trip through the
+    // parser; every entry builds a complete policy.
+    EXPECT_EQ(core::parse_algorithm(names[i]),
+              static_cast<core::Algorithm>(i));
+    const core::AlgorithmSpec spec = core::make_algorithm(names[i]);
+    EXPECT_NE(spec.selection, nullptr) << names[i];
+  }
+  EXPECT_THROW(core::make_algorithm("fedfoo"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Builder equivalence: config-built == hand-built, bit for bit
+
+TEST(ScenarioBuilder, MatchesHandConstructedSimulationBitwise) {
+  config::ScenarioSpec spec;
+  spec.sim.total_steps = 20;
+  spec.sim.eval_every = 10;
+  spec.sim.eval_samples = 100;
+  spec.data.devices = 12;
+  spec.edges = 3;
+
+  const auto built = config::build_scenario(spec);
+  auto config_sim = config::make_simulation(built);
+  const auto config_history =
+      config_sim->run([](const core::EvalPoint&) {});
+
+  // The same construction sequence, written out by hand the way the flag
+  // front ends always did it.
+  auto dcfg = data::task_config(data::TaskKind::kMnist, 0.5);
+  dcfg.seed = parallel::hash_combine(dcfg.seed, spec.sim.seed);
+  const data::SyntheticGenerator generator(dcfg);
+  const data::Dataset train = generator.generate(60, 1);
+  const data::Dataset test = generator.generate(30, 2);
+  const auto partition =
+      data::partition_major_class(train, 12, 80, 0.9, spec.sim.seed + 11);
+  auto homes =
+      data::assign_edges_by_major_class(partition, 3, dcfg.num_classes);
+  auto mobility_model = std::make_unique<mobility::MarkovMobility>(
+      homes, 3, 0.5, spec.sim.seed + 101);
+  mobility_model->set_topology(mobility::MoveTopology::kHomeRing, 0.5);
+  nn::ModelSpec model = spec.model;
+  model.input_shape =
+      tensor::Shape{dcfg.channels, dcfg.height, dcfg.width};
+  model.num_classes = dcfg.num_classes;
+  optim::Sgd optimizer(
+      optim::SgdConfig{.learning_rate = 0.005, .momentum = 0.9});
+  core::Simulation manual_sim(spec.sim, model, optimizer, train, partition,
+                              test, std::move(mobility_model),
+                              core::make_algorithm(core::Algorithm::kMiddle));
+  const auto manual_history =
+      manual_sim.run([](const core::EvalPoint&) {});
+
+  ASSERT_EQ(config_history.points.size(), manual_history.points.size());
+  for (std::size_t i = 0; i < config_history.points.size(); ++i) {
+    EXPECT_EQ(config_history.points[i].step, manual_history.points[i].step);
+    EXPECT_EQ(config_history.points[i].accuracy,
+              manual_history.points[i].accuracy);
+    EXPECT_EQ(config_history.points[i].loss, manual_history.points[i].loss);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Topology names (shared parser used by CLI and schema)
+
+TEST(TopologyNames, RoundTripAndLegacyAliases) {
+  EXPECT_EQ(mobility::parse_topology("home-ring"),
+            mobility::MoveTopology::kHomeRing);
+  EXPECT_EQ(mobility::parse_topology("home_ring"),
+            mobility::MoveTopology::kHomeRing);
+  EXPECT_EQ(mobility::to_string(mobility::MoveTopology::kRing), "ring");
+  EXPECT_THROW(mobility::parse_topology("torus"), std::invalid_argument);
+}
+
+}  // namespace

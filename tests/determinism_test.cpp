@@ -99,6 +99,10 @@ TEST(Determinism, LossyTransportPoliciesParallelMatchesSerialBitwise) {
   // outcomes must not depend on scheduling.
   expect_identical_runs(Algorithm::kMiddle,
                         [](middlefl::core::SimulationConfig& cfg) {
+                          // The uplink loss is set through the transport
+                          // view here; clear the fixture's legacy alias —
+                          // conflicting views are a hard error now.
+                          cfg.upload_failure_prob = 0.0;
                           auto& tp = cfg.transport;
                           tp.wireless_down.loss_prob = 0.2;
                           tp.wireless_up.loss_prob = 0.15;

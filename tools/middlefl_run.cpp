@@ -7,21 +7,34 @@
 //                --k 3 --local-steps 10 --tc 10 --mobility 0.5
 //                --steps 800 --out history.csv      (one command line)
 //
+// Every run is described internally by a config::ScenarioSpec.
+// `--scenario file.json` loads a declarative spec; any flag given
+// explicitly on the command line then overrides the corresponding spec
+// field (flags keep their historical defaults when no spec is loaded, so
+// flag-only invocations behave exactly as before). `--dump-scenario
+// file.json` (or `-` for stdout) writes the fully-resolved spec in
+// canonical form and exits — the way the shipped examples/scenarios/*.json
+// were produced.
+//
 // Per-link transport policies (loss probability, lossy compression,
 // latency in steps) are set with the --uplink-*, --downlink-*, --wan-* and
 // --broadcast-loss flags; --upload-failure remains as the legacy alias for
-// --uplink-loss. `--json-summary <path>` dumps the final accuracy,
+// --uplink-loss (setting both views to conflicting values is an error).
+// `--json-summary <path>` dumps the final accuracy,
 // communication/transport statistics and dropout counters as JSON for
 // sweep tooling.
 //
 // Defaults mirror the fast-scale benchmark configuration. `--list` prints
-// the available tasks/algorithms/architectures/topologies.
+// the available tasks/algorithms/architectures/topologies;
+// `--list-algorithms` prints the algorithm registry keys one per line.
 #include <fstream>
-#include <iomanip>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
 
+#include "bench_common.hpp"
+#include "config/scenario.hpp"
+#include "config/scenario_build.hpp"
 #include "middlefl.hpp"
 
 namespace {
@@ -29,6 +42,9 @@ namespace {
 using namespace middlefl;
 
 struct Options {
+  std::string scenario;       // --scenario file.json
+  std::string dump_scenario;  // --dump-scenario file.json | -
+
   std::string task = "mnist";
   std::string algorithm = "middle";
   std::string arch = "mlp2";
@@ -80,81 +96,133 @@ struct Options {
 
   bool quiet = false;
   bool list = false;
+  bool list_algorithms = false;
 };
 
-/// Machine-readable run summary for sweep tooling. Hand-rolled emitter:
-/// flat structure, known keys, no external JSON dependency.
-void write_json_summary(const std::string& path, const Options& opt,
+/// seed flag is an override of spec.sim.seed, but several spec fields are
+/// derived from it; keep one place that writes it.
+void apply_overrides(config::ScenarioSpec& spec, const Options& opt,
+                     const util::CliParser& cli, bool have_scenario) {
+  // With no spec loaded every flag applies (the historical flag-only
+  // behavior); on top of a spec only explicitly-given flags override.
+  const auto use = [&](const char* flag) {
+    return !have_scenario || cli.was_set(flag);
+  };
+
+  if (use("task")) spec.data.task = opt.task;
+  if (use("algorithm")) {
+    core::parse_algorithm(opt.algorithm);  // fail fast on typos
+    spec.algorithm = opt.algorithm;
+  }
+  if (use("arch")) spec.model.arch = nn::parse_model_arch(opt.arch);
+  if (use("optimizer")) spec.optimizer.kind = opt.optimizer;
+  if (use("topology")) {
+    mobility::parse_topology(opt.topology);
+    spec.mobility.topology = opt.topology;
+  }
+  if (use("edges")) spec.edges = opt.edges;
+  if (use("devices")) spec.data.devices = opt.devices;
+  if (use("k")) spec.sim.select_per_edge = opt.k;
+  if (use("local-steps")) spec.sim.local_steps = opt.local_steps;
+  if (use("tc")) spec.sim.cloud_interval = opt.tc;
+  if (use("batch")) spec.sim.batch_size = opt.batch;
+  if (use("steps")) spec.sim.total_steps = opt.steps;
+  if (use("eval-every")) spec.sim.eval_every = opt.eval_every;
+  if (use("eval-samples")) spec.sim.eval_samples = opt.eval_samples;
+  if (use("samples-per-device")) {
+    spec.data.samples_per_device = opt.samples_per_device;
+  }
+  if (use("train-per-class")) spec.data.train_per_class = opt.train_per_class;
+  if (use("test-per-class")) spec.data.test_per_class = opt.test_per_class;
+  if (use("hidden")) spec.model.hidden = opt.hidden;
+  if (use("seed")) spec.sim.seed = opt.seed;
+  if (use("mobility")) spec.mobility.switch_prob = opt.mobility;
+  if (use("home-bias")) spec.mobility.home_bias = opt.home_bias;
+  if (use("major-fraction")) spec.data.major_fraction = opt.major_fraction;
+  if (use("lr")) spec.optimizer.learning_rate = opt.lr;
+  if (use("momentum")) spec.optimizer.momentum = opt.momentum;
+  if (use("data-scale")) spec.data.scale = opt.data_scale;
+  if (use("prox-mu")) spec.sim.prox_mu = opt.prox_mu;
+  if (use("clip-norm")) spec.sim.clip_norm = opt.clip_norm;
+  if (use("server-momentum")) spec.sim.server_momentum = opt.server_momentum;
+  if (use("upload-failure")) {
+    spec.sim.upload_failure_prob = opt.upload_failure;
+  }
+
+  // Per-link transport policies. --upload-failure stays as the legacy
+  // alias for the uplink loss (reconcile_uplink_aliases merges the views
+  // and rejects conflicting settings). The >0 guard on --uplink-loss is
+  // historical: a zero keeps whatever the alias resolution produces.
+  auto& transport = spec.sim.transport;
+  if (use("uplink-loss") && opt.uplink_loss > 0.0) {
+    transport.wireless_up.loss_prob = opt.uplink_loss;
+  }
+  if (use("uplink-compression")) {
+    transport.wireless_up.compression =
+        transport::parse_compression(opt.uplink_compression);
+  }
+  if (use("uplink-latency")) {
+    transport.wireless_up.latency_steps = opt.uplink_latency;
+  }
+  if (use("downlink-loss")) {
+    transport.wireless_down.loss_prob = opt.downlink_loss;
+  }
+  if (use("downlink-compression")) {
+    transport.wireless_down.compression =
+        transport::parse_compression(opt.downlink_compression);
+  }
+  if (use("wan-loss")) {
+    transport.wan_up.loss_prob = opt.wan_loss;
+    transport.wan_down.loss_prob = opt.wan_loss;
+  }
+  if (use("wan-compression")) {
+    const auto wan_compression =
+        transport::parse_compression(opt.wan_compression);
+    transport.wan_up.compression = wan_compression;
+    transport.wan_down.compression = wan_compression;
+  }
+  if (use("wan-latency")) transport.wan_up.latency_steps = opt.wan_latency;
+  if (use("broadcast-loss")) {
+    transport.broadcast.loss_prob = opt.broadcast_loss;
+  }
+}
+
+/// Machine-readable run summary for sweep tooling: run identity and
+/// accuracy up front, then the shared comm/transport/dropout/fleet block
+/// (bench::json_summary_fields — the same fields every summary emitter
+/// writes).
+void write_json_summary(const std::string& path,
+                        const config::ScenarioSpec& spec, double target,
                         const core::Simulation& sim,
                         const core::RunHistory& history) {
   std::ofstream file(path);
   if (!file) {
     throw std::runtime_error("cannot write JSON summary to '" + path + "'");
   }
-  file << std::setprecision(17);
+  const auto summary = bench::SimRunSummary::capture(sim);
   file << "{\n";
-  file << "  \"task\": \"" << opt.task << "\",\n";
-  file << "  \"algorithm\": \"" << opt.algorithm << "\",\n";
-  file << "  \"seed\": " << opt.seed << ",\n";
-  file << "  \"steps\": " << sim.current_step() << ",\n";
-  file << "  \"final_accuracy\": " << history.final_accuracy() << ",\n";
-  file << "  \"best_accuracy\": " << history.best_accuracy() << ",\n";
+  file << "  \"task\": \"" << spec.data.task << "\",\n";
+  file << "  \"algorithm\": \"" << spec.algorithm << "\",\n";
+  file << "  \"seed\": " << spec.sim.seed << ",\n";
+  file << "  \"steps\": " << summary.steps << ",\n";
+  file << "  \"final_accuracy\": "
+       << config::format_number(history.final_accuracy()) << ",\n";
+  file << "  \"best_accuracy\": "
+       << config::format_number(history.best_accuracy()) << ",\n";
   file << "  \"final_loss\": "
-       << (history.points.empty() ? 0.0 : history.points.back().loss)
+       << config::format_number(
+              history.points.empty() ? 0.0 : history.points.back().loss)
        << ",\n";
-  if (opt.target > 0.0) {
-    const auto tta = history.time_to_accuracy(opt.target);
-    file << "  \"target_accuracy\": " << opt.target << ",\n";
+  if (target > 0.0) {
+    const auto tta = history.time_to_accuracy(target);
+    file << "  \"target_accuracy\": " << config::format_number(target)
+         << ",\n";
     file << "  \"time_to_target\": "
          << (tta ? std::to_string(*tta) : std::string("null")) << ",\n";
   }
-
-  const core::CommStats& comm = sim.comm_stats();
-  file << "  \"comm\": {\n";
-  file << "    \"device_downloads\": " << comm.device_downloads << ",\n";
-  file << "    \"device_uploads\": " << comm.device_uploads << ",\n";
-  file << "    \"edge_uploads\": " << comm.edge_uploads << ",\n";
-  file << "    \"edge_downloads\": " << comm.edge_downloads << ",\n";
-  file << "    \"device_broadcasts\": " << comm.device_broadcasts << ",\n";
-  file << "    \"total_transfers\": " << comm.total_transfers() << ",\n";
-  file << "    \"wan_transfers\": " << comm.wan_transfers() << "\n";
-  file << "  },\n";
-
-  file << "  \"transport\": {\n";
-  const auto report = sim.transport().bytes_by_link();
-  for (std::size_t i = 0; i < report.size(); ++i) {
-    const auto& link = report[i];
-    file << "    \"" << transport::to_string(link.kind) << "\": {"
-         << "\"transfers\": " << link.stats.transfers
-         << ", \"dropped\": " << link.stats.dropped
-         << ", \"bytes\": " << link.stats.bytes
-         << ", \"in_flight\": " << link.in_flight << "}"
-         << (i + 1 < report.size() ? "," : "") << "\n";
-  }
-  file << "  },\n";
-  file << "  \"total_wire_bytes\": " << sim.transport().total_bytes()
-       << ",\n";
-  file << "  \"total_in_flight\": " << sim.transport().total_in_flight()
-       << ",\n";
-
-  file << "  \"failed_uploads\": " << sim.failed_uploads() << ",\n";
-  file << "  \"lost_downloads\": " << sim.lost_downloads() << ",\n";
-  file << "  \"straggler_drops\": " << sim.straggler_drops() << ",\n";
-  file << "  \"on_device_aggregations\": " << sim.on_device_aggregations()
-       << ",\n";
-  file << "  \"mean_blend_weight\": " << sim.mean_blend_weight() << ",\n";
+  file << bench::json_summary_fields(summary, "  ") << ",\n";
   file << "  \"eval_points\": " << history.points.size() << "\n";
   file << "}\n";
-}
-
-mobility::MoveTopology parse_topology(const std::string& name) {
-  if (name == "uniform") return mobility::MoveTopology::kUniform;
-  if (name == "ring") return mobility::MoveTopology::kRing;
-  if (name == "home-ring" || name == "home") {
-    return mobility::MoveTopology::kHomeRing;
-  }
-  throw std::invalid_argument("unknown topology '" + name +
-                              "' (uniform|ring|home-ring)");
 }
 
 int run(int argc, const char* const* argv) {
@@ -162,6 +230,14 @@ int run(int argc, const char* const* argv) {
   util::CliParser cli(
       "middlefl_run: hierarchical federated learning simulator (MIDDLE, "
       "ICPP 2023 reproduction)");
+  cli.add_flag("scenario",
+               "load a declarative scenario JSON; explicit flags override "
+               "its fields",
+               &opt.scenario);
+  cli.add_flag("dump-scenario",
+               "write the resolved scenario JSON here ('-' = stdout) and "
+               "exit",
+               &opt.dump_scenario);
   cli.add_flag("task", "mnist|emnist|cifar10|speech", &opt.task);
   cli.add_flag("algorithm", "middle|oort|fedmes|greedy|ensemble|hierfavg",
                &opt.algorithm);
@@ -241,6 +317,9 @@ int run(int argc, const char* const* argv) {
                &opt.threads);
   cli.add_flag("quiet", "suppress per-eval progress lines", &opt.quiet);
   cli.add_flag("list", "print available options and exit", &opt.list);
+  cli.add_flag("list-algorithms",
+               "print the algorithm registry keys and exit",
+               &opt.list_algorithms);
   if (!cli.parse(argc, argv)) return 0;
 
   // Before the first ThreadPool::global() use, so the shared pool is built
@@ -255,78 +334,34 @@ int run(int argc, const char* const* argv) {
               << "topologies: uniform ring home-ring\n";
     return 0;
   }
-
-  // Data.
-  auto dcfg = data::task_config(data::parse_task(opt.task), opt.data_scale);
-  dcfg.seed = parallel::hash_combine(dcfg.seed, opt.seed);
-  const data::SyntheticGenerator generator(dcfg);
-  const auto train = generator.generate(opt.train_per_class, 1);
-  const auto test = generator.generate(opt.test_per_class, 2);
-  const auto partition = data::partition_major_class(
-      train, opt.devices, opt.samples_per_device, opt.major_fraction,
-      opt.seed + 11);
-  const auto homes = data::assign_edges_by_major_class(partition, opt.edges,
-                                                       dcfg.num_classes);
-
-  // Mobility.
-  auto mobility_model = std::make_unique<mobility::MarkovMobility>(
-      homes, opt.edges, opt.mobility, opt.seed + 101);
-  mobility_model->set_topology(parse_topology(opt.topology), opt.home_bias);
-
-  // Model + optimizer.
-  nn::ModelSpec spec;
-  spec.arch = nn::parse_model_arch(opt.arch);
-  spec.input_shape = tensor::Shape{dcfg.channels, dcfg.height, dcfg.width};
-  spec.num_classes = dcfg.num_classes;
-  spec.hidden = opt.hidden;
-  std::unique_ptr<optim::Optimizer> optimizer;
-  if (opt.optimizer == "adam") {
-    optimizer = std::make_unique<optim::Adam>(
-        optim::AdamConfig{.learning_rate = opt.lr});
-  } else if (opt.optimizer == "sgd") {
-    optimizer = std::make_unique<optim::Sgd>(
-        optim::SgdConfig{.learning_rate = opt.lr, .momentum = opt.momentum});
-  } else {
-    throw std::invalid_argument("unknown optimizer '" + opt.optimizer + "'");
+  if (opt.list_algorithms) {
+    for (const auto& name : core::algorithm_names()) {
+      std::cout << name << "\n";
+    }
+    return 0;
   }
 
-  core::SimulationConfig cfg;
-  cfg.select_per_edge = opt.k;
-  cfg.local_steps = opt.local_steps;
-  cfg.cloud_interval = opt.tc;
-  cfg.batch_size = opt.batch;
-  cfg.total_steps = opt.steps;
-  cfg.eval_every = opt.eval_every;
-  cfg.eval_samples = opt.eval_samples;
-  cfg.seed = opt.seed;
-  cfg.prox_mu = opt.prox_mu;
-  cfg.clip_norm = opt.clip_norm;
-  cfg.server_momentum = opt.server_momentum;
-  cfg.upload_failure_prob = opt.upload_failure;
-
-  // Per-link transport policies. --upload-failure stays as the legacy
-  // alias for the uplink loss (the Simulation reconciles the two views).
-  if (opt.uplink_loss > 0.0) {
-    cfg.transport.wireless_up.loss_prob = opt.uplink_loss;
+  // Resolve the run description: spec file (when given), then explicit
+  // flags on top.
+  const bool have_scenario = !opt.scenario.empty();
+  config::ScenarioSpec spec;
+  if (have_scenario) {
+    spec = config::load_scenario_file(opt.scenario);
   }
-  cfg.transport.wireless_up.compression =
-      transport::parse_compression(opt.uplink_compression);
-  cfg.transport.wireless_up.latency_steps = opt.uplink_latency;
-  cfg.transport.wireless_down.loss_prob = opt.downlink_loss;
-  cfg.transport.wireless_down.compression =
-      transport::parse_compression(opt.downlink_compression);
-  cfg.transport.wan_up.loss_prob = opt.wan_loss;
-  cfg.transport.wan_down.loss_prob = opt.wan_loss;
-  const auto wan_compression =
-      transport::parse_compression(opt.wan_compression);
-  cfg.transport.wan_up.compression = wan_compression;
-  cfg.transport.wan_down.compression = wan_compression;
-  cfg.transport.wan_up.latency_steps = opt.wan_latency;
-  cfg.transport.broadcast.loss_prob = opt.broadcast_loss;
+  apply_overrides(spec, opt, cli, have_scenario);
 
-  core::Simulation sim(cfg, spec, *optimizer, train, partition, test,
-                       std::move(mobility_model),
-                       core::make_algorithm(core::parse_algorithm(opt.algorithm)));
+  if (!opt.dump_scenario.empty()) {
+    if (opt.dump_scenario == "-") {
+      std::cout << config::scenario_to_text(spec);
+    } else {
+      config::save_scenario_file(spec, opt.dump_scenario);
+      std::cerr << "scenario written to " << opt.dump_scenario << "\n";
+    }
+    return 0;
+  }
+
+  const config::BuiltScenario built = config::build_scenario(spec);
+  auto sim = config::make_simulation(built);
 
   // Observability: each recorder exists only when its output was requested;
   // an all-null bundle keeps the simulator on the zero-cost path. The pool
@@ -349,14 +384,14 @@ int run(int argc, const char* const* argv) {
     bundle.logger = logger.get();
   }
   if (bundle.enabled()) {
-    sim.set_observability(bundle);
+    sim->set_observability(bundle);
     parallel::ThreadPool::global().set_trace(bundle.trace);
     if (bundle.metrics != nullptr) {
       parallel::ThreadPool::global().set_accounting(true);
     }
   }
 
-  const auto history = sim.run([&opt](const core::EvalPoint& point) {
+  const auto history = sim->run([&opt](const core::EvalPoint& point) {
     if (!opt.quiet) {
       std::cerr << "step " << point.step << "  acc " << point.accuracy
                 << "  loss " << point.loss << "\n";
@@ -370,7 +405,7 @@ int run(int argc, const char* const* argv) {
               << trace->event_count() << " events)\n";
   }
   if (metrics != nullptr) {
-    sim.transport().export_metrics(*metrics);
+    sim->transport().export_metrics(*metrics);
     const parallel::ThreadPool& pool = parallel::ThreadPool::global();
     metrics->set(metrics->gauge("pool.workers"),
                  static_cast<double>(pool.size()));
@@ -396,13 +431,13 @@ int run(int argc, const char* const* argv) {
     std::cerr << "history written to " << opt.out << "\n";
   }
   if (!opt.json_summary.empty()) {
-    write_json_summary(opt.json_summary, opt, sim, history);
+    write_json_summary(opt.json_summary, spec, opt.target, *sim, history);
     std::cerr << "summary written to " << opt.json_summary << "\n";
   }
   std::cerr << "final accuracy " << history.final_accuracy() << "  best "
             << history.best_accuracy() << "  on-device aggregations "
-            << sim.on_device_aggregations() << "  uplink "
-            << static_cast<double>(sim.upload_bytes()) / (1024.0 * 1024.0)
+            << sim->on_device_aggregations() << "  uplink "
+            << static_cast<double>(sim->upload_bytes()) / (1024.0 * 1024.0)
             << " MB\n";
   if (opt.target > 0.0) {
     const auto tta = history.time_to_accuracy(opt.target);
