@@ -1,0 +1,358 @@
+// Serving load bench: QPS and latency of the edge inference path while
+// Fig-6 training runs concurrently on the SAME thread pool.
+//
+// Two driver modes (--mode): `open` (default) paces requests at a fixed
+// offered rate with a bounded in-flight ring per client, so queue depth —
+// and therefore batch coalescing — builds whenever the serving path falls
+// behind the offered load; `closed` keeps one outstanding request per
+// client, which bounds occupancy by the client count (on a single-core
+// host submits serialize with drains and batches rarely form — the
+// batched/unbatched gap is an open-mode measurement).
+//
+// Protocol — interleaved A/B: the run alternates measurement windows
+// between the batched arm (max_batch from the serving config) and the
+// unbatched baseline (max_batch = 1), e.g. A B A B A B for --windows 3.
+// Interleaving means slow drift (thermal, page cache, competing load)
+// lands on both arms symmetrically instead of biasing whichever arm runs
+// last. Each window: the load generator's client threads submit
+// single-sample requests against every edge while the main thread drives
+// --steps-per-window training steps; the window closes by stopping the
+// clients and quiescing the hub, so arms never bleed into each other.
+// Training republishes every edge aggregate into the serving hub
+// throughout, so the hot-swap path is exercised at full training rate.
+//
+// Figures of merit, emitted as JSON (default BENCH_serving_load.json):
+// per-arm QPS + exact client-side p50/p95/p99 latency, batched/unbatched
+// QPS speedup (the acceptance gate: >= 1.3x), a QPS-vs-latency sweep
+// (batched arm; offered-load steps in open mode, client counts in closed
+// mode), histogram-derived percentiles from the
+// MetricsRegistry fixed buckets (serve.latency_us via quantile()) as a
+// cross-check of the exact ones, and the shared training summary block.
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/serving.hpp"
+
+namespace {
+
+using namespace middlefl;
+using bench::BenchOptions;
+
+/// Exact percentile (linear interpolation between order statistics) of a
+/// SORTED sample.
+double pct(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+/// One arm's accumulated measurement across its interleaved windows.
+struct Arm {
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  double wall_seconds = 0.0;
+  std::vector<double> latencies_us;
+  std::uint64_t batches = 0;  // hub predict() calls attributed to this arm
+  std::uint64_t served = 0;
+
+  void absorb(const serve::LoadGenerator::Window& window) {
+    completed += window.completed;
+    rejected += window.rejected;
+    wall_seconds += window.wall_seconds;
+    latencies_us.insert(latencies_us.end(), window.latencies_us.begin(),
+                        window.latencies_us.end());
+  }
+  double qps() const {
+    return wall_seconds > 0.0 ? static_cast<double>(completed) / wall_seconds
+                              : 0.0;
+  }
+  double mean_occupancy() const {
+    return batches > 0
+               ? static_cast<double>(served) / static_cast<double>(batches)
+               : 0.0;
+  }
+};
+
+std::string arm_json(Arm& arm, const std::string& indent) {
+  std::sort(arm.latencies_us.begin(), arm.latencies_us.end());
+  double mean = 0.0;
+  for (const double v : arm.latencies_us) mean += v;
+  if (!arm.latencies_us.empty()) {
+    mean /= static_cast<double>(arm.latencies_us.size());
+  }
+  std::ostringstream out;
+  out << "{\n"
+      << indent << "  \"completed\": " << arm.completed << ",\n"
+      << indent << "  \"rejected\": " << arm.rejected << ",\n"
+      << indent << "  \"wall_seconds\": " << arm.wall_seconds << ",\n"
+      << indent << "  \"qps\": " << arm.qps() << ",\n"
+      << indent << "  \"latency_mean_us\": " << mean << ",\n"
+      << indent << "  \"latency_p50_us\": " << pct(arm.latencies_us, 0.50)
+      << ",\n"
+      << indent << "  \"latency_p95_us\": " << pct(arm.latencies_us, 0.95)
+      << ",\n"
+      << indent << "  \"latency_p99_us\": " << pct(arm.latencies_us, 0.99)
+      << ",\n"
+      << indent << "  \"batches\": " << arm.batches << ",\n"
+      << indent << "  \"mean_batch_occupancy\": " << arm.mean_occupancy()
+      << "\n"
+      << indent << "}";
+  return out.str();
+}
+
+int run(int argc, const char* const* argv) {
+  BenchOptions options;
+  std::string task_flag = "mnist";
+  std::string algorithm_flag = "middle";
+  std::string json_path = "BENCH_serving_load.json";
+  std::string mode_flag = "open";
+  std::size_t steps_per_window = 40;
+  std::size_t warmup_steps = 10;
+  std::size_t windows = 3;
+  std::size_t clients = 2;
+  std::size_t serve_edges = 1;
+  std::size_t max_batch = 16;
+  double offered_qps = 200000.0;
+  bool no_sweep = false;
+  util::CliParser cli(
+      "serving_load: edge inference QPS/latency under concurrent training");
+  options.register_flags(cli);
+  cli.add_flag("task", "learning task", &task_flag);
+  cli.add_flag("algorithm", "algorithm policy", &algorithm_flag);
+  cli.add_flag("json", "JSON output path", &json_path);
+  cli.add_flag("mode", "load mode: closed | open", &mode_flag);
+  cli.add_flag("steps-per-window", "training steps per measurement window",
+               &steps_per_window);
+  cli.add_flag("warmup", "untimed warmup training steps", &warmup_steps);
+  cli.add_flag("windows", "A/B window pairs", &windows);
+  cli.add_flag("clients", "load-generator client threads", &clients);
+  cli.add_flag("serve-edges",
+               "edges the clients target (0 = all; few edges = deeper "
+               "coalescing)",
+               &serve_edges);
+  cli.add_flag("max-batch", "coalescing cap for the batched arm", &max_batch);
+  cli.add_flag("offered-qps", "open mode: total offered request rate",
+               &offered_qps);
+  cli.add_flag("no-sweep", "skip the QPS-vs-latency client sweep", &no_sweep);
+  if (!cli.parse(argc, argv)) return 0;
+  if (mode_flag != "closed" && mode_flag != "open") {
+    std::cerr << "error: --mode must be closed or open\n";
+    return 1;
+  }
+  if (windows == 0 || steps_per_window == 0 || clients == 0) {
+    std::cerr << "error: --windows/--steps-per-window/--clients must be >=1\n";
+    return 1;
+  }
+
+  bench::print_banner("Serving load (QPS/latency)", options);
+  const auto kind = data::parse_task(task_flag);
+  const auto algorithm = core::parse_algorithm(algorithm_flag);
+
+  // QPS-vs-latency sweep points: open mode walks the offered load up to
+  // the configured rate (the classic load/latency curve); closed mode
+  // walks the client count (concurrency-limited curve).
+  struct SweepPoint {
+    std::size_t clients = 0;
+    double offered_qps = 0.0;
+  };
+  std::vector<SweepPoint> sweep_points;
+  if (!no_sweep) {
+    if (mode_flag == "open") {
+      for (const double f : {0.125, 0.25, 0.5, 1.0}) {
+        sweep_points.push_back(SweepPoint{clients, offered_qps * f});
+      }
+    } else {
+      for (const std::size_t c : {1u, 2u, 4u, 8u}) {
+        sweep_points.push_back(SweepPoint{c, 0.0});
+      }
+    }
+  }
+
+  auto setup = bench::make_task_setup(kind, options);
+  parallel::ThreadPool& pool = parallel::ThreadPool::global();
+  setup.sim_cfg.total_steps =
+      warmup_steps + 2 * windows * steps_per_window +
+      sweep_points.size() * steps_per_window;
+  setup.sim_cfg.eval_edges = false;
+  setup.sim_cfg.parallel_devices = true;
+  setup.sim_cfg.pool = &pool;
+  setup.sim_cfg.serving.enabled = true;
+  setup.sim_cfg.serving.max_batch = max_batch;
+
+  bench::ObsSession obs(options);
+  auto sim = bench::make_simulation(setup, algorithm, options);
+  obs.attach(*sim);
+
+  // The hub gets its own MetricsRegistry regardless of --metrics-out so
+  // the JSON can cross-check the exact client-side percentiles against
+  // the fixed-bucket quantile() estimates.
+  obs::MetricsRegistry serve_metrics;
+  obs::Observability serve_obs;
+  serve_obs.metrics = &serve_metrics;
+  serve_obs.trace = obs.trace();
+  serve::ServingHub hub(setup.sim_cfg.serving, setup.num_edges,
+                        setup.model_spec, &pool);
+  hub.set_observability(serve_obs);
+  sim->set_edge_model_sink(&hub);  // publishes every edge's current model
+
+  serve::LoadGenerator::Options gen_options;
+  gen_options.clients = clients;
+  gen_options.open_loop = mode_flag == "open";
+  gen_options.offered_qps = offered_qps;
+  gen_options.target_edges = serve_edges;
+  serve::LoadGenerator generator(hub, *setup.test, gen_options);
+
+  for (std::size_t s = 0; s < warmup_steps; ++s) sim->step();
+
+  // Interleaved A/B windows: batched first, then unbatched, repeated.
+  Arm batched;
+  Arm unbatched;
+  std::size_t trained_steps = warmup_steps;
+  for (std::size_t w = 0; w < windows; ++w) {
+    for (const bool is_batched : {true, false}) {
+      Arm& arm = is_batched ? batched : unbatched;
+      hub.set_max_batch(is_batched ? max_batch : 1);
+      const serve::ServingHub::Stats before = hub.stats();
+      generator.start();
+      for (std::size_t s = 0; s < steps_per_window; ++s) sim->step();
+      arm.absorb(generator.stop());
+      hub.quiesce();
+      const serve::ServingHub::Stats after = hub.stats();
+      arm.batches += after.batches - before.batches;
+      arm.served += after.served - before.served;
+      trained_steps += steps_per_window;
+    }
+  }
+  const double speedup =
+      unbatched.qps() > 0.0 ? batched.qps() / unbatched.qps() : 0.0;
+  std::cerr << "   batched   " << batched.qps() << " qps  (occupancy "
+            << batched.mean_occupancy() << ")\n"
+            << "   unbatched " << unbatched.qps() << " qps\n"
+            << "   speedup   " << speedup << "x\n";
+
+  // QPS-vs-latency: one batched window per client count.
+  struct SweepRow {
+    std::size_t clients = 0;
+    double offered_qps = 0.0;
+    double qps = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  std::vector<SweepRow> sweep;
+  hub.set_max_batch(max_batch);
+  for (const SweepPoint& point : sweep_points) {
+    serve::LoadGenerator::Options sweep_options = gen_options;
+    sweep_options.clients = point.clients;
+    if (point.offered_qps > 0.0) sweep_options.offered_qps = point.offered_qps;
+    serve::LoadGenerator sweep_gen(hub, *setup.test, sweep_options);
+    sweep_gen.start();
+    for (std::size_t s = 0; s < steps_per_window; ++s) sim->step();
+    serve::LoadGenerator::Window window = sweep_gen.stop();
+    hub.quiesce();
+    trained_steps += steps_per_window;
+    std::sort(window.latencies_us.begin(), window.latencies_us.end());
+    sweep.push_back(SweepRow{point.clients, point.offered_qps, window.qps(),
+                             pct(window.latencies_us, 0.50),
+                             pct(window.latencies_us, 0.95),
+                             pct(window.latencies_us, 0.99)});
+    std::cerr << "   sweep " << point.clients << " client"
+              << (point.clients == 1 ? "" : "s");
+    if (point.offered_qps > 0.0) {
+      std::cerr << " @ " << point.offered_qps << " offered";
+    }
+    std::cerr << ": " << sweep.back().qps << " qps, p95 " << sweep.back().p95
+              << " us\n";
+  }
+
+  obs.collect(*sim);
+  obs.finish();
+  const bench::SimRunSummary summary = bench::SimRunSummary::capture(*sim);
+  const serve::ServingHub::Stats totals = hub.stats();
+
+  // Histogram cross-check: quantiles from the serve.latency_us fixed
+  // buckets (covers all arms + sweep combined).
+  double hist_p50 = 0.0;
+  double hist_p95 = 0.0;
+  double hist_p99 = 0.0;
+  for (const auto& hist : serve_metrics.snapshot().histograms) {
+    if (hist.name != "serve.latency_us") continue;
+    hist_p50 = hist.quantile(0.50);
+    hist_p95 = hist.quantile(0.95);
+    hist_p99 = hist.quantile(0.99);
+  }
+
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "error: cannot write " << json_path << "\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"serving_load\",\n"
+      << "  \"task\": \"" << data::to_string(kind) << "\",\n"
+      << "  \"scale\": \"" << (options.paper ? "paper" : "fast") << "\",\n"
+      << "  \"algorithm\": \"" << core::to_string(algorithm) << "\",\n"
+      << "  \"protocol\": {\n"
+      << "    \"interleaved_ab\": true,\n"
+      << "    \"windows_per_arm\": " << windows << ",\n"
+      << "    \"order\": \"batched,unbatched per pair\",\n"
+      << "    \"steps_per_window\": " << steps_per_window << ",\n"
+      << "    \"warmup_steps\": " << warmup_steps << ",\n"
+      << "    \"mode\": \"" << mode_flag << "\",\n"
+      << "    \"clients\": " << clients << ",\n"
+      << "    \"max_batch_batched\": " << max_batch << ",\n"
+      << "    \"max_batch_unbatched\": 1,\n"
+      << "    \"offered_qps\": " << offered_qps << "\n"
+      << "  },\n"
+      << "  \"batched\": " << arm_json(batched, "  ") << ",\n"
+      << "  \"unbatched\": " << arm_json(unbatched, "  ") << ",\n"
+      << "  \"speedup_qps\": " << speedup << ",\n"
+      << "  \"qps_vs_latency\": [";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    {\"clients\": " << sweep[i].clients
+        << ", \"offered_qps\": " << sweep[i].offered_qps
+        << ", \"qps\": " << sweep[i].qps << ", \"p50_us\": " << sweep[i].p50
+        << ", \"p95_us\": " << sweep[i].p95
+        << ", \"p99_us\": " << sweep[i].p99 << "}";
+  }
+  out << (sweep.empty() ? "],\n" : "\n  ],\n")
+      << "  \"histogram_quantiles\": {\"p50_us\": " << hist_p50
+      << ", \"p95_us\": " << hist_p95 << ", \"p99_us\": " << hist_p99
+      << "},\n"
+      << "  \"serving_totals\": {\"submitted\": " << totals.submitted
+      << ", \"served\": " << totals.served
+      << ", \"rejected\": " << totals.rejected
+      << ", \"batches\": " << totals.batches
+      << ", \"model_publishes\": " << totals.publishes
+      << ", \"runtime_reloads\": " << totals.reloads << "},\n"
+      << "  \"trained_steps\": " << trained_steps << ",\n"
+      << "  \"pool_threads\": " << pool.size() << ",\n"
+      << "  \"peak_rss_bytes\": " << bench::peak_rss_bytes() << ",\n"
+      << bench::json_summary_fields(summary, "  ") << "\n"
+      << "}\n";
+  std::cerr << "   wrote " << json_path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

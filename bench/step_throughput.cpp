@@ -7,9 +7,12 @@
 // perf trajectory is tracked across PRs. Besides the main measurement on
 // the configured pool, a thread-scaling sweep (requested sizes 1/2/4/8,
 // clamped to the hardware concurrency so a small host measures real scaling
-// instead of oversubscription noise; each entry records the requested size
-// and an `oversubscribed` flag) records how the per-edge task-graph
-// scheduler scales; --no-sweep skips it.
+// instead of oversubscription noise) records how the per-edge task-graph
+// scheduler scales; --no-sweep skips it. Requested sizes that clamp to the
+// same effective pool collapse into ONE sweep row whose
+// `threads_requested` lists every requested size it covers (with an
+// `oversubscribed` flag when any of them exceeded the hardware), so a
+// 1-core host emits one row instead of four duplicates.
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -29,7 +32,8 @@ using bench::BenchOptions;
 
 struct Measurement {
   std::size_t pool_threads = 0;
-  std::size_t threads_requested = 0;
+  /// Every requested sweep size that clamped to this pool size.
+  std::vector<std::size_t> threads_requested;
   bool oversubscribed = false;
   double seconds = 0.0;
   double steps_per_sec = 0.0;
@@ -126,8 +130,9 @@ int run(int argc, const char* const* argv) {
   // disturb the shared pool. Requested sizes beyond the hardware
   // concurrency are clamped: oversubscribing a small host measures
   // scheduler contention, not scaling, and each distinct clamped size only
-  // needs to run once. The requested size and an `oversubscribed` flag are
-  // still recorded so sweep entries stay comparable across hosts.
+  // needs to run once — further requested sizes that clamp to the same
+  // pool fold into the existing row's `threads_requested` list instead of
+  // duplicating the measurement.
   std::vector<Measurement> sweep;
   if (!no_sweep) {
     const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
@@ -135,21 +140,17 @@ int run(int argc, const char* const* argv) {
     for (const std::size_t n : {1u, 2u, 4u, 8u}) {
       const std::size_t clamped = std::min(n, hw);
       if (clamped == last_run) {
-        // Same effective pool as the previous entry: reuse its timing
-        // instead of re-measuring the identical configuration.
-        Measurement repeat = sweep.back();
-        repeat.threads_requested = n;
-        repeat.oversubscribed = n > hw;
-        sweep.push_back(repeat);
+        sweep.back().threads_requested.push_back(n);
+        sweep.back().oversubscribed |= n > hw;
         continue;
       }
       std::unique_ptr<parallel::ThreadPool> pool;
       if (clamped > 1) pool = std::make_unique<parallel::ThreadPool>(clamped);
       Measurement m = measure(setup, algorithm, options, warmup_steps,
                               timed_steps, pool.get());
-      m.threads_requested = n;
+      m.threads_requested = {n};
       m.oversubscribed = n > hw;
-      sweep.push_back(m);
+      sweep.push_back(std::move(m));
       last_run = clamped;
       std::cerr << "   sweep " << clamped << " thread"
                 << (clamped == 1 ? " " : "s")
@@ -184,8 +185,11 @@ int run(int argc, const char* const* argv) {
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     out << (i == 0 ? "\n" : ",\n")
         << "    {\"threads\": " << sweep[i].pool_threads
-        << ", \"threads_requested\": " << sweep[i].threads_requested
-        << ", \"oversubscribed\": "
+        << ", \"threads_requested\": [";
+    for (std::size_t r = 0; r < sweep[i].threads_requested.size(); ++r) {
+      out << (r == 0 ? "" : ", ") << sweep[i].threads_requested[r];
+    }
+    out << "], \"oversubscribed\": "
         << (sweep[i].oversubscribed ? "true" : "false")
         << ", \"seconds\": " << sweep[i].seconds
         << ", \"steps_per_sec\": " << sweep[i].steps_per_sec << "}";

@@ -118,10 +118,11 @@ struct ScenarioSpec {
 
 /// SimulationConfig flattened: 5 loop + 3 aggregation + 5 eval + 24
 /// transport (6 links x loss/kind/fraction/latency) + 3 regularizer + 2
-/// heterogeneity + 4 fleet + seed + 2 execution. Excluded members:
-/// lr_schedule (std::function; declared via LrScheduleSpec), pool (runtime
-/// pointer), upload_failure_prob/upload_compression (decode-only aliases).
-inline constexpr std::size_t kSimulationConfigLeaves = 49;
+/// heterogeneity + 4 fleet + 4 serving + seed + 2 execution. Excluded
+/// members: lr_schedule (std::function; declared via LrScheduleSpec), pool
+/// (runtime pointer), upload_failure_prob/upload_compression (decode-only
+/// aliases).
+inline constexpr std::size_t kSimulationConfigLeaves = 53;
 /// ScenarioSpec flattened: 4 top-level + 10 data + 10 mobility + 4 model
 /// + 7 optimizer + 7 lr_schedule + kSimulationConfigLeaves.
 inline constexpr std::size_t kScenarioSpecLeaves =
@@ -206,6 +207,17 @@ struct Schema<core::FleetConfig> {
 };
 
 template <>
+struct Schema<core::ServingConfig> {
+  template <class V>
+  static void describe(V& v, core::ServingConfig& s) {
+    v.field("enabled", s.enabled);
+    v.field("max_batch", s.max_batch);
+    v.field("max_queue", s.max_queue);
+    v.field("runtimes", s.runtimes);
+  }
+};
+
+template <>
 struct Schema<core::SimulationConfig> {
   template <class V>
   static void describe(V& v, core::SimulationConfig& c) {
@@ -229,6 +241,7 @@ struct Schema<core::SimulationConfig> {
     v.field("device_speeds", c.device_speeds);
     v.field("round_deadline", c.round_deadline);
     v.field("fleet", c.fleet);
+    v.field("serving", c.serving);
     v.field("seed", c.seed);
     v.field("parallel_devices", c.parallel_devices);
     v.field("use_similarity_cache", c.use_similarity_cache);

@@ -1,0 +1,55 @@
+// Serving-side configuration and the edge-model publication hook.
+//
+// ServingConfig is the SimulationConfig block that sizes the edge
+// inference path (src/serve): how many single-sample requests an
+// EdgeServer coalesces into one forward batch, how deep its pending queue
+// may grow before it sheds load, and how many pooled inference runtimes
+// the hub keeps. The simulator itself never serves — it only republishes
+// every edge-model change through an EdgeModelSink — so the block is
+// consumed by serving-capable front ends (bench/serving_load,
+// middlefl_run --serve-clients) that build a serve::ServingHub from it.
+//
+// Determinism contract: the sink fires at points where the training-side
+// state is already final for the step (end of EdgeAggregate inside the
+// edge's own chain, and the serial CloudSync broadcast). Publication is a
+// refcount bump of an immutable block; it consumes no RNG draws and never
+// writes back into simulation state, so a run with serving attached is
+// bit-identical to a bare one (pinned by serve_test).
+#pragma once
+
+#include <cstddef>
+
+#include "core/snapshot.hpp"
+
+namespace middlefl::core {
+
+struct ServingConfig {
+  /// Master switch consumed by serving-capable front ends; the simulator
+  /// republishes to an attached sink regardless (attaching is opt-in).
+  bool enabled = false;
+  /// Largest request batch one drain pass feeds the forward path. 1 =
+  /// the naive one-request-one-GEMM baseline (the serving_load B arm).
+  std::size_t max_batch = 16;
+  /// Pending requests an EdgeServer queues before rejecting new ones
+  /// (load shedding; rejects are counted, never silently dropped).
+  std::size_t max_queue = 1024;
+  /// Pooled inference runtimes (model clone + batch buffers) shared by
+  /// all edges of a hub. Bounds serving's memory to
+  /// runtimes * (param_count + activations), independent of edge count.
+  std::size_t runtimes = 2;
+};
+
+/// Receiver of edge-model publications (the serving hot-swap hook).
+/// on_edge_model is called from inside the publishing edge's task chain —
+/// concurrently across different edges, never concurrently for one edge —
+/// and from the serial cloud-sync broadcast. Implementations must be
+/// thread-safe across edges and must not block (a lock-free or
+/// briefly-locked snapshot swap; serve::ServingHub publishes into a
+/// SnapshotSlot).
+class EdgeModelSink {
+ public:
+  virtual ~EdgeModelSink() = default;
+  virtual void on_edge_model(std::size_t edge, const Snapshot& model) = 0;
+};
+
+}  // namespace middlefl::core

@@ -211,6 +211,16 @@ void Simulation::set_observability(const obs::Observability& obs) {
   }
 }
 
+void Simulation::set_edge_model_sink(EdgeModelSink* sink) {
+  serving_sink_ = sink;
+  if (serving_sink_ == nullptr) return;
+  // Initial publication: serving starts against whatever each edge holds
+  // right now (the common init, or mid-run models when attached late).
+  for (std::size_t n = 0; n < edges_.size(); ++n) {
+    serving_sink_->on_edge_model(n, edges_[n].snapshot());
+  }
+}
+
 void Simulation::notify_phase(StepPhase phase) {
   for (StepObserver* obs : observers_) obs->on_phase(phase, t_);
 }
@@ -562,6 +572,12 @@ void Simulation::aggregate_edge(std::size_t n) {
   weighted_average(models, std::span<float>(fresh));
   edges_[n].adopt(SnapshotStore::global().seal(std::move(fresh)));
   edges_[n].add_participation(participating);
+  // Serving hot-swap: hand the fresh aggregate to the sink from inside
+  // this edge's own chain (single writer per edge slot). A refcount bump
+  // of the immutable block — no RNG, no mutation, no effect on goldens.
+  if (serving_sink_ != nullptr) {
+    serving_sink_->on_edge_model(n, edges_[n].snapshot());
+  }
 }
 
 void Simulation::settle_edge(std::size_t n) {
@@ -760,6 +776,12 @@ void Simulation::stage_cloud_sync() {
       }
     }
     edges_[n].reset_participation();
+    // Serving hot-swap after the broadcast: a lossless push republishes
+    // the shared global block; a lost push republishes the edge's
+    // unchanged model (same version — readers treat it as a no-op).
+    if (serving_sink_ != nullptr) {
+      serving_sink_->on_edge_model(n, edges_[n].snapshot());
+    }
   }
   if (cfg_.broadcast_to_devices) {
     const bool bcast_lossy = broadcast.policy().loss_prob > 0.0;
@@ -878,6 +900,11 @@ void Simulation::warm_start(std::span<const float> params) {
   for (auto& edge : edges_) edge.adopt(snapshot);
   for (std::size_t m = 0; m < registry_.size(); ++m) {
     registry_.at(m).adopt(snapshot);
+  }
+  if (serving_sink_ != nullptr) {
+    for (std::size_t n = 0; n < edges_.size(); ++n) {
+      serving_sink_->on_edge_model(n, edges_[n].snapshot());
+    }
   }
 }
 

@@ -52,6 +52,7 @@
 #include "core/entities.hpp"
 #include "core/fleet.hpp"
 #include "core/metrics.hpp"
+#include "core/serving_config.hpp"
 #include "core/similarity_cache.hpp"
 #include "core/snapshot.hpp"
 #include "core/step_observer.hpp"
@@ -137,6 +138,11 @@ struct SimulationConfig {
   /// fleet.lazy_devices = false restores the historical eager layout.
   FleetConfig fleet;
 
+  /// Edge inference serving (src/serve): batch coalescing and runtime-pool
+  /// sizing for the hub a serving-capable front end attaches. The
+  /// simulator itself only republishes edge models through the sink hook.
+  ServingConfig serving;
+
   std::uint64_t seed = 42;
   /// Run the per-edge task chains (and sharded evaluation) on the thread
   /// pool. Results are bitwise identical either way.
@@ -208,6 +214,15 @@ class Simulation {
   /// so instrumented runs are bit-identical to bare ones.
   void set_observability(const obs::Observability& obs);
   const obs::Observability& observability() const noexcept { return obs_; }
+
+  /// Attaches the serving hot-swap hook (non-owning; nullptr detaches; the
+  /// sink must outlive the simulation or be detached first). Every edge's
+  /// CURRENT model is published immediately, then republished whenever it
+  /// changes: at the end of its EdgeAggregate (inside that edge's chain —
+  /// one writer per edge) and after the CloudSync broadcast (serial).
+  /// Publication shares immutable blocks and consumes no RNG draws, so
+  /// attaching a sink never perturbs training (pinned by serve_test).
+  void set_edge_model_sink(EdgeModelSink* sink);
 
   // --- Introspection (benches, tests) ---
   std::size_t current_step() const noexcept { return t_; }
@@ -401,6 +416,7 @@ class Simulation {
   std::size_t blends_ = 0;
   double blend_weight_sum_ = 0.0;
   obs::Observability obs_;
+  EdgeModelSink* serving_sink_ = nullptr;
   SimMetricIds metric_ids_;
   StepEventSummary last_events_;
   std::size_t last_sync_contributing_ = 0;

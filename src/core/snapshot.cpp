@@ -24,6 +24,22 @@ void BlockRecycler::operator()(const ParamBlock* block) const noexcept {
 
 }  // namespace detail
 
+void SnapshotSlot::publish(Snapshot snapshot) {
+  const std::uint64_t v = snapshot == nullptr ? 0 : snapshot->version();
+  std::lock_guard lock(mutex_);
+  current_ = std::move(snapshot);
+  // Release-store after the pointer swap: a reader that sees the new stamp
+  // and takes the mutex observes the matching pointer (the mutex orders
+  // it); a reader that sees the old stamp keeps serving the old immutable
+  // block, which stays alive through its own reference.
+  version_.store(v, std::memory_order_release);
+}
+
+Snapshot SnapshotSlot::acquire() const {
+  std::lock_guard lock(mutex_);
+  return current_;
+}
+
 SnapshotStore::SnapshotStore() : pool_(std::make_shared<detail::BufferPool>()) {}
 
 SnapshotStore& SnapshotStore::global() {

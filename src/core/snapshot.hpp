@@ -62,6 +62,64 @@ class ParamBlock {
   std::uint64_t version_;
 };
 
+/// Atomically hot-swappable snapshot holder — the serving-side view of one
+/// entity's current model.
+///
+/// One writer (the entity's own task chain, or the serial cloud sync)
+/// publishes already-sealed blocks; many readers run inference against
+/// whatever block they last saw. The design splits the read path in two:
+///
+///   fast path   one acquire load of the version stamp. A reader that
+///               caches the Snapshot it holds (InferenceRuntime does)
+///               calls refresh() before each batch; while the model is
+///               unchanged that is the whole cost — no lock, no refcount
+///               traffic, no clock reads.
+///   swap path   when the stamp moved, the reader takes a brief mutex to
+///               copy the shared_ptr (a refcount bump), then runs
+///               inference entirely outside the lock.
+///
+/// Torn models are impossible by construction: ParamBlocks are immutable
+/// and the version stamp is written release-after the pointer swap, so a
+/// reader that observes version v and then acquires holds a block whose
+/// version() is >= v and whose contents are exactly the published ones.
+class SnapshotSlot {
+ public:
+  SnapshotSlot() = default;
+  SnapshotSlot(const SnapshotSlot&) = delete;
+  SnapshotSlot& operator=(const SnapshotSlot&) = delete;
+
+  /// Installs `snapshot` as the current model (writer side). Readers see
+  /// the new version stamp only after the pointer is in place.
+  void publish(Snapshot snapshot);
+
+  /// Version stamp of the current snapshot (0 = nothing published yet).
+  /// The reader fast path: one acquire load.
+  std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+
+  /// The current snapshot (swap path: brief lock, refcount bump). Null
+  /// before the first publish.
+  Snapshot acquire() const;
+
+  /// Reader fast path: when `cached` already holds the slot's current
+  /// version this is a single atomic load and `cached` is untouched;
+  /// otherwise `cached` is re-pointed at the current snapshot. Returns
+  /// true when `cached` changed (the caller should re-load model
+  /// parameters).
+  bool refresh(Snapshot& cached) const {
+    const std::uint64_t v = version();
+    if (cached != nullptr && cached->version() == v) return false;
+    cached = acquire();
+    return cached != nullptr;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  Snapshot current_;
+  std::atomic<std::uint64_t> version_{0};
+};
+
 class SnapshotStore {
  public:
   SnapshotStore();

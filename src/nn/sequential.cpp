@@ -149,6 +149,23 @@ void Sequential::backward(const Tensor& grad_output) {
   have_training_forward_ = false;
 }
 
+void Sequential::predict(const Tensor& batch, std::span<std::int32_t> out) {
+  const std::size_t rows = batch.rank() == 0 ? 0 : batch.dim(0);
+  if (out.size() != rows) {
+    throw std::invalid_argument("Sequential::predict: out size " +
+                                std::to_string(out.size()) +
+                                " != batch rows " + std::to_string(rows));
+  }
+  const Tensor& logits = forward(batch, /*training=*/false);
+  const std::size_t classes = logits.numel() / rows;
+  const std::span<const float> values = logits.data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::span<const float> row = values.subspan(r * classes, classes);
+    out[r] = static_cast<std::int32_t>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+}
+
 bool Sequential::has_dropout() const noexcept {
   for (const auto& layer : layers_) {
     if (dynamic_cast<const Dropout*>(layer.get()) != nullptr) return true;

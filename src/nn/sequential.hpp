@@ -13,7 +13,9 @@
 // src/core works on.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "nn/module.hpp"
@@ -62,6 +64,15 @@ class Sequential {
   /// Backpropagates from d(loss)/d(output); accumulates into gradients().
   /// Must follow forward(batch, training=true).
   void backward(const Tensor& grad_output);
+
+  /// Forward-only batched inference: runs `batch` (dim 0 = batch) through
+  /// the network in eval mode and writes the argmax class per row into
+  /// `out` (`out.size()` must equal the batch rows). Shares forward()'s
+  /// fused bias+ReLU epilogues and high-water activation buffers; skips
+  /// the training-only input copy and touches no gradient or optimizer
+  /// state. The serving drain loop (src/serve) calls this once per
+  /// coalesced batch.
+  void predict(const Tensor& batch, std::span<std::int32_t> out);
 
   /// Deep copy: same architecture, same parameter values, fresh buffers.
   std::unique_ptr<Sequential> clone() const;

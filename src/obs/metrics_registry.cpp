@@ -152,6 +152,30 @@ void MetricsRegistry::observe(MetricId histogram_id, double value) {
                   std::memory_order_relaxed);
 }
 
+double MetricsRegistry::HistogramSnapshot::quantile(double q) const {
+  if (count == 0 || counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Target cumulative rank in (0, count]; the max(.., small) keeps q=0 on
+  // the first populated bucket's lower edge instead of before it.
+  const double rank = std::max(q * static_cast<double>(count), 1e-12);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double in_bucket = static_cast<double>(counts[b]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= rank) {
+      if (b >= bounds.size()) return bounds.back();  // overflow bucket
+      const double lo = b == 0 ? std::min(0.0, bounds[0]) : bounds[b - 1];
+      const double hi = bounds[b];
+      const double fraction = (rank - cumulative) / in_bucket;
+      return lo + fraction * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  // Every count sits below rank only through floating-point drift; report
+  // the top of the resolvable range.
+  return bounds.back();
+}
+
 MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
   std::lock_guard lock(mutex_);
   Snapshot snap;

@@ -68,6 +68,21 @@ class MetricsRegistry {
     std::vector<std::uint64_t> counts;  // bounds.size() + 1 entries
     std::uint64_t count = 0;
     double sum = 0.0;
+
+    /// Quantile estimate from the fixed buckets, `q` in [0, 1] (clamped):
+    /// the value at cumulative rank q*count, linearly interpolated within
+    /// the containing bucket. Conventions for the unbounded edges: the
+    /// first bucket interpolates from min(0, bounds[0]) — exact for the
+    /// non-negative quantities (latencies, sizes) these histograms hold —
+    /// and ranks landing in the overflow bucket report bounds.back(), the
+    /// largest value the histogram can still resolve. Returns 0 when the
+    /// histogram is empty. p50/p95/p99 for serving latencies; any future
+    /// bench gets percentiles from the same buckets.
+    double quantile(double q) const;
+    /// sum / count (0 when empty) — the exact mean, no bucketing error.
+    double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
   };
   struct Snapshot {
     std::vector<std::pair<std::string, double>> counters;

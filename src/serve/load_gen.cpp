@@ -1,0 +1,144 @@
+#include "serve/load_gen.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace middlefl::serve {
+
+namespace {
+
+/// Deterministic request stream: sample index for client c's i-th request.
+std::size_t sample_for(std::size_t client, std::uint64_t i,
+                       std::size_t dataset_size) {
+  return static_cast<std::size_t>((client * 9973 + i * 7919) % dataset_size);
+}
+
+}  // namespace
+
+LoadGenerator::LoadGenerator(ServingHub& hub, const data::Dataset& samples,
+                             Options options)
+    : hub_(hub), samples_(samples), options_(options) {
+  if (options_.clients == 0) {
+    throw std::invalid_argument("LoadGenerator: clients must be >= 1");
+  }
+  if (samples_.size() == 0) {
+    throw std::invalid_argument("LoadGenerator: empty sample dataset");
+  }
+  if (options_.open_loop &&
+      (options_.offered_qps <= 0.0 || options_.ring == 0)) {
+    throw std::invalid_argument(
+        "LoadGenerator: open mode needs offered_qps > 0 and ring >= 1");
+  }
+}
+
+LoadGenerator::~LoadGenerator() {
+  if (running_) stop();
+}
+
+void LoadGenerator::start() {
+  if (running_) throw std::logic_error("LoadGenerator: already running");
+  running_ = true;
+  stop_.store(false, std::memory_order_relaxed);
+  stats_.assign(options_.clients, ClientStats{});
+  threads_.clear();
+  threads_.reserve(options_.clients);
+  started_ = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < options_.clients; ++c) {
+    threads_.emplace_back([this, c] {
+      if (options_.open_loop) {
+        run_open(c, stats_[c]);
+      } else {
+        run_closed(c, stats_[c]);
+      }
+    });
+  }
+}
+
+LoadGenerator::Window LoadGenerator::stop() {
+  if (!running_) throw std::logic_error("LoadGenerator: not running");
+  stop_.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+  running_ = false;
+  Window window;
+  window.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_)
+          .count();
+  for (ClientStats& s : stats_) {
+    window.rejected += s.rejected;
+    window.completed += s.latencies_us.size();
+    window.latencies_us.insert(window.latencies_us.end(),
+                               s.latencies_us.begin(), s.latencies_us.end());
+  }
+  return window;
+}
+
+void LoadGenerator::run_closed(std::size_t client, ClientStats& stats) {
+  const std::size_t edges =
+      options_.target_edges == 0
+          ? hub_.num_edges()
+          : std::min(options_.target_edges, hub_.num_edges());
+  ServeTicket ticket;
+  std::uint64_t i = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const std::size_t edge = (client + i) % edges;
+    const std::span<const float> features =
+        samples_.features(sample_for(client, i, samples_.size()));
+    ++i;
+    if (!hub_.edge(edge).submit(features, ticket)) {
+      ++stats.rejected;
+      std::this_thread::yield();
+      continue;
+    }
+    ticket.wait();
+    stats.latencies_us.push_back(ticket.latency_us());
+  }
+}
+
+void LoadGenerator::run_open(std::size_t client, ClientStats& stats) {
+  const std::size_t edges =
+      options_.target_edges == 0
+          ? hub_.num_edges()
+          : std::min(options_.target_edges, hub_.num_edges());
+  // deque: ServeTicket is non-movable and the server holds pointers to
+  // in-flight slots, so storage must be stable.
+  std::deque<ServeTicket> ring(options_.ring);
+  std::vector<bool> in_flight(options_.ring, false);
+  const auto period = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(std::chrono::duration<double>(
+      static_cast<double>(options_.clients) / options_.offered_qps));
+  auto next = std::chrono::steady_clock::now();
+  std::uint64_t i = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now < next) std::this_thread::sleep_until(next);
+    next += period;
+    const std::size_t slot = static_cast<std::size_t>(i % options_.ring);
+    if (in_flight[slot]) {
+      // Ring wrapped onto an outstanding request: block (backpressure)
+      // and harvest its latency before reusing the ticket.
+      ring[slot].wait();
+      stats.latencies_us.push_back(ring[slot].latency_us());
+      in_flight[slot] = false;
+    }
+    const std::size_t edge = (client + i) % edges;
+    const std::span<const float> features =
+        samples_.features(sample_for(client, i, samples_.size()));
+    ++i;
+    if (hub_.edge(edge).submit(features, ring[slot])) {
+      in_flight[slot] = true;
+    } else {
+      ++stats.rejected;
+    }
+  }
+  // Drain the in-flight tail so the server never touches a dead ticket.
+  for (std::size_t slot = 0; slot < options_.ring; ++slot) {
+    if (!in_flight[slot]) continue;
+    ring[slot].wait();
+    stats.latencies_us.push_back(ring[slot].latency_us());
+  }
+}
+
+}  // namespace middlefl::serve

@@ -1,0 +1,101 @@
+// Closed/open-loop request drivers for the edge serving path.
+//
+// A LoadGenerator owns a set of client threads that submit single-sample
+// inference requests (rows of a Dataset) against a ServingHub and collect
+// per-request latencies client-side. Two modes:
+//
+//   closed  each client keeps exactly one request outstanding: submit,
+//           wait, record, repeat. Throughput is whatever the serving path
+//           sustains; latency has no queueing inflation from the driver.
+//   open    each client fires at a fixed offered rate (offered_qps split
+//           evenly across clients), keeping up to `ring` requests in
+//           flight; when the ring wraps onto an incomplete ticket the
+//           client blocks (bounded memory under overload).
+//
+// Request targeting is deterministic arithmetic — client c's i-th request
+// goes to edge (c + i) % num_edges with sample (c * 9973 + i * 7919) %
+// dataset size — so two runs offer identical request streams without
+// consuming any simulation RNG.
+//
+// Lifecycle per measurement window: start(); ... training runs ...;
+// Window w = stop(). stop() joins all clients and drains their in-flight
+// tickets, so the hub may be quiesced or reconfigured (set_max_batch)
+// immediately after.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "serve/serving.hpp"
+
+namespace middlefl::serve {
+
+class LoadGenerator {
+ public:
+  struct Options {
+    std::size_t clients = 4;
+    bool open_loop = false;
+    /// Open mode: total offered request rate across all clients.
+    double offered_qps = 1000.0;
+    /// Open mode: max in-flight requests per client.
+    std::size_t ring = 32;
+    /// Confine traffic to the first `target_edges` edges (0 = all): edge
+    /// (c + i) % target_edges for client c's i-th request. Concentrating
+    /// clients on few edges is how a bench drives batch coalescing —
+    /// spread across many edges every queue holds at most one request.
+    std::size_t target_edges = 0;
+  };
+
+  /// Aggregated results for one start()/stop() window.
+  struct Window {
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    double wall_seconds = 0.0;
+    /// One entry per completed request: server-side enqueue -> completion
+    /// latency in microseconds (unsorted).
+    std::vector<double> latencies_us;
+    double qps() const noexcept {
+      return wall_seconds > 0.0
+                 ? static_cast<double>(completed) / wall_seconds
+                 : 0.0;
+    }
+  };
+
+  /// `samples` provides the request features and must outlive the
+  /// generator; `hub` must have models published before start().
+  LoadGenerator(ServingHub& hub, const data::Dataset& samples,
+                Options options);
+  ~LoadGenerator();
+
+  LoadGenerator(const LoadGenerator&) = delete;
+  LoadGenerator& operator=(const LoadGenerator&) = delete;
+
+  /// Launches the client threads. Must not be called while running.
+  void start();
+  /// Stops the clients, joins them, and returns the merged window.
+  Window stop();
+
+ private:
+  struct ClientStats {
+    std::uint64_t rejected = 0;
+    std::vector<double> latencies_us;
+  };
+
+  void run_closed(std::size_t client, ClientStats& stats);
+  void run_open(std::size_t client, ClientStats& stats);
+
+  ServingHub& hub_;
+  const data::Dataset& samples_;
+  const Options options_;
+  std::atomic<bool> stop_{false};
+  bool running_ = false;
+  std::vector<std::thread> threads_;
+  std::vector<ClientStats> stats_;
+  std::chrono::steady_clock::time_point started_{};
+};
+
+}  // namespace middlefl::serve

@@ -115,6 +115,58 @@ TEST(MetricsRegistry, HistogramBucketsValues) {
   EXPECT_DOUBLE_EQ(h.sum, 104.5);
 }
 
+TEST(MetricsRegistry, QuantileInterpolatesWithinBucket) {
+  MetricsRegistry registry;
+  // Buckets: (0,10], (10,20], (20,+inf); 10 observations in the first
+  // bucket, 10 in the second -> exact uniform ranks.
+  const auto lat = registry.histogram("lat", {10.0, 20.0});
+  for (int i = 0; i < 10; ++i) registry.observe(lat, 5.0);
+  for (int i = 0; i < 10; ++i) registry.observe(lat, 15.0);
+
+  const auto h = registry.snapshot().histograms[0];
+  // rank 10 of 20 = top of the first bucket; rank 5 = its midpoint.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 5.0);
+  // rank 15 = midpoint of the second bucket (10, 20].
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  // q clamps to [0, 1] and q=0 sits on the first populated bucket's floor.
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+}
+
+TEST(MetricsRegistry, QuantileHandlesOverflowAndEmpty) {
+  MetricsRegistry registry;
+  const auto lat = registry.histogram("lat", {1.0, 5.0});
+  const auto empty = registry.snapshot().histograms[0];
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+  // Everything lands past the last bound: the estimate saturates at the
+  // largest value the buckets can still resolve.
+  registry.observe(lat, 100.0);
+  registry.observe(lat, 200.0);
+  const auto h = registry.snapshot().histograms[0];
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 5.0);
+}
+
+TEST(MetricsRegistry, QuantileMatchesExactPercentileOnDenseBuckets) {
+  MetricsRegistry registry;
+  // One-unit-wide buckets over [0, 100]: bucket interpolation reproduces
+  // exact percentiles of uniformly spread integer samples to within one
+  // bucket width — the cross-check bench/serving_load runs against its
+  // client-side sorted-sample percentiles.
+  std::vector<double> bounds;
+  for (int b = 1; b <= 100; ++b) bounds.push_back(b);
+  const auto lat = registry.histogram("lat", bounds);
+  for (int v = 1; v <= 100; ++v) registry.observe(lat, v - 0.5);
+
+  const auto h = registry.snapshot().histograms[0];
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+}
+
 TEST(MetricsRegistry, JsonExportHasStableShape) {
   MetricsRegistry registry;
   registry.add(registry.counter("a.count"), 2.0);

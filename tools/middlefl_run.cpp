@@ -35,6 +35,8 @@
 #include "bench_common.hpp"
 #include "config/scenario.hpp"
 #include "config/scenario_build.hpp"
+#include "serve/load_gen.hpp"
+#include "serve/serving.hpp"
 #include "middlefl.hpp"
 
 namespace {
@@ -52,6 +54,9 @@ struct Options {
   std::string topology = "home-ring";
   std::string out;
   std::string json_summary;
+  /// Closed-loop inference clients served alongside training (0 = only
+  /// when the scenario enables serving; then 2 clients).
+  std::size_t serve_clients = 0;
   std::string trace_out;    // Chrome trace-event JSON (Perfetto)
   std::string metrics_out;  // metrics snapshot JSON
   std::string log_jsonl;    // per-step/per-eval JSONL flight record
@@ -303,6 +308,10 @@ int run(int argc, const char* const* argv) {
                &opt.broadcast_loss);
   cli.add_flag("json-summary", "write a JSON run summary here",
                &opt.json_summary);
+  cli.add_flag("serve-clients",
+               "serve inference to this many closed-loop clients during "
+               "the run (implies serving even if the scenario disables it)",
+               &opt.serve_clients);
   cli.add_flag("trace-out",
                "write a Chrome trace-event JSON (Perfetto-loadable) here",
                &opt.trace_out);
@@ -391,12 +400,39 @@ int run(int argc, const char* const* argv) {
     }
   }
 
+  // Edge inference serving rides along when the scenario enables it or
+  // --serve-clients asks for it: every edge aggregate is republished into
+  // the hub and closed-loop clients issue requests for the whole run.
+  std::unique_ptr<serve::ServingHub> hub;
+  std::unique_ptr<serve::LoadGenerator> load;
+  if (opt.serve_clients > 0 || spec.sim.serving.enabled) {
+    hub = std::make_unique<serve::ServingHub>(
+        spec.sim.serving, spec.edges, built.model,
+        &parallel::ThreadPool::global());
+    if (bundle.enabled()) hub->set_observability(bundle);
+    sim->set_edge_model_sink(hub.get());
+    serve::LoadGenerator::Options gen;
+    gen.clients = opt.serve_clients > 0 ? opt.serve_clients : 2;
+    load = std::make_unique<serve::LoadGenerator>(*hub, built.test, gen);
+    load->start();
+  }
+
   const auto history = sim->run([&opt](const core::EvalPoint& point) {
     if (!opt.quiet) {
       std::cerr << "step " << point.step << "  acc " << point.accuracy
                 << "  loss " << point.loss << "\n";
     }
   });
+
+  if (load != nullptr) {
+    const serve::LoadGenerator::Window window = load->stop();
+    hub->quiesce();
+    const serve::ServingHub::Stats totals = hub->stats();
+    std::cerr << "served " << window.completed << " requests ("
+              << window.qps() << " qps, " << window.rejected
+              << " rejected) over " << totals.batches << " batches, "
+              << totals.publishes << " model hot-swaps\n";
+  }
 
   parallel::ThreadPool::global().set_trace(nullptr);
   if (trace != nullptr) {
