@@ -373,6 +373,19 @@ SimRunSummary SimRunSummary::capture(const core::Simulation& simulation) {
   s.materializations = simulation.fleet().materializations();
   s.resident_peak = simulation.fleet().resident_peak();
   s.delta_bytes_at_rest = simulation.fleet().delta_bytes_at_rest();
+  s.comm_backend = std::string(simulation.communicator().backend());
+  const comm::CommCounters reduce_counters = simulation.comm_reduce_counters();
+  s.reduces = reduce_counters.reduces;
+  s.reduce_tasks = reduce_counters.reduce_tasks;
+  s.reduce_max_depth = reduce_counters.max_depth;
+  s.async_cloud = simulation.config().comm.async_cloud;
+  s.max_staleness = simulation.config().comm.max_staleness;
+  const comm::AsyncStats& async = simulation.async_stats();
+  s.async_published = async.published;
+  s.async_applied = async.applied;
+  s.async_deferred = async.deferred;
+  s.async_dropped_stale = async.dropped_stale;
+  s.async_applies = async.applies;
   return s;
 }
 
@@ -393,7 +406,23 @@ std::string json_summary_fields(const SimRunSummary& summary,
       << indent << "  \"total_transfers\": " << summary.comm.total_transfers()
       << ",\n"
       << indent << "  \"wan_transfers\": " << summary.comm.wan_transfers()
-      << "\n"
+      << ",\n"
+      << indent << "  \"backend\": \"" << summary.comm_backend << "\",\n"
+      << indent << "  \"reduces\": " << summary.reduces << ",\n"
+      << indent << "  \"reduce_tasks\": " << summary.reduce_tasks << ",\n"
+      << indent << "  \"reduce_max_depth\": " << summary.reduce_max_depth
+      << ",\n"
+      << indent << "  \"async_cloud\": "
+      << (summary.async_cloud ? "true" : "false") << ",\n"
+      << indent << "  \"max_staleness\": " << summary.max_staleness << ",\n"
+      << indent << "  \"async_published\": " << summary.async_published
+      << ",\n"
+      << indent << "  \"async_applied\": " << summary.async_applied << ",\n"
+      << indent << "  \"async_deferred\": " << summary.async_deferred
+      << ",\n"
+      << indent << "  \"async_dropped_stale\": "
+      << summary.async_dropped_stale << ",\n"
+      << indent << "  \"async_applies\": " << summary.async_applies << "\n"
       << indent << "},\n";
   out << indent << "\"transport\": {\n";
   for (std::size_t i = 0; i < summary.links.size(); ++i) {
@@ -436,6 +465,18 @@ void append_summary_members(config::Json& object,
            Json::make_uint(summary.comm.device_broadcasts));
   comm.set("total_transfers", Json::make_uint(summary.comm.total_transfers()));
   comm.set("wan_transfers", Json::make_uint(summary.comm.wan_transfers()));
+  comm.set("backend", Json::make_string(summary.comm_backend));
+  comm.set("reduces", Json::make_uint(summary.reduces));
+  comm.set("reduce_tasks", Json::make_uint(summary.reduce_tasks));
+  comm.set("reduce_max_depth", Json::make_uint(summary.reduce_max_depth));
+  comm.set("async_cloud", Json::make_bool(summary.async_cloud));
+  comm.set("max_staleness", Json::make_uint(summary.max_staleness));
+  comm.set("async_published", Json::make_uint(summary.async_published));
+  comm.set("async_applied", Json::make_uint(summary.async_applied));
+  comm.set("async_deferred", Json::make_uint(summary.async_deferred));
+  comm.set("async_dropped_stale",
+           Json::make_uint(summary.async_dropped_stale));
+  comm.set("async_applies", Json::make_uint(summary.async_applies));
   object.set("comm", std::move(comm));
   Json transport = Json::make_object();
   for (const auto& link : summary.links) {

@@ -1,0 +1,59 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+
+#include "obs/trace_recorder.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace middlefl::comm {
+namespace {
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t seen = slot.load(std::memory_order_relaxed);
+  while (seen < value &&
+         !slot.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void InProcessCommunicator::reduce(std::span<const Contribution> contribs,
+                                   std::span<float> out) {
+  // Trace only at serial points: in-chain (pool-worker) reduces must not
+  // read clocks so bare and observed runs stay bit-identical per chain.
+  const bool traced =
+      trace_ != nullptr && !parallel::ThreadPool::in_worker();
+  obs::TraceRecorder::Clock::time_point begin{};
+  if (traced) begin = obs::TraceRecorder::Clock::now();
+  const Reducer::Plan ran = reducer_.reduce(contribs, out, pool_);
+  reduces_.fetch_add(1, std::memory_order_relaxed);
+  reduce_tasks_.fetch_add(ran.tasks, std::memory_order_relaxed);
+  atomic_max(max_depth_, ran.depth);
+  if (traced) {
+    trace_->complete("comm.reduce", "comm", begin,
+                     obs::TraceRecorder::Clock::now(), ran.depth, "depth");
+  }
+}
+
+void InProcessCommunicator::all_reduce(std::span<const Contribution> contribs,
+                                       std::span<float> out) {
+  // Every in-process rank shares `out`; the redistribution round of a
+  // multi-process backend is a no-op here.
+  reduce(contribs, out);
+}
+
+void InProcessCommunicator::broadcast(std::span<const float> root,
+                                      std::span<float> dst) {
+  broadcasts_.fetch_add(1, std::memory_order_relaxed);
+  if (root.data() == dst.data() || root.empty()) return;
+  std::copy(root.begin(), root.end(), dst.begin());
+}
+
+CommCounters InProcessCommunicator::counters() const noexcept {
+  return CommCounters{reduces_.load(std::memory_order_relaxed),
+                      reduce_tasks_.load(std::memory_order_relaxed),
+                      max_depth_.load(std::memory_order_relaxed),
+                      broadcasts_.load(std::memory_order_relaxed)};
+}
+
+}  // namespace middlefl::comm

@@ -1,0 +1,126 @@
+#include "comm/reducer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "parallel/thread_pool.hpp"
+#include "tensor/workspace.hpp"
+
+namespace middlefl::comm {
+
+void normalize_weights(std::span<const Contribution> contribs,
+                       std::size_t out_size, std::span<double> norm,
+                       const char* what) {
+  if (contribs.empty()) {
+    throw std::invalid_argument(std::string(what) + ": no models");
+  }
+  double total = 0.0;
+  for (const Contribution& c : contribs) {
+    if (c.params.size() != out_size) {
+      throw std::invalid_argument(std::string(what) +
+                                  ": parameter size mismatch");
+    }
+    if (c.weight < 0.0) {
+      throw std::invalid_argument(std::string(what) + ": negative weight");
+    }
+    total += c.weight;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument(std::string(what) + ": all weights zero");
+  }
+  for (std::size_t k = 0; k < contribs.size(); ++k) {
+    norm[k] = contribs[k].weight / total;
+  }
+}
+
+void accumulate_range(std::span<const Contribution> contribs,
+                      std::span<const double> norm_weights,
+                      std::span<float> out, std::span<double> acc,
+                      std::size_t lo, std::size_t hi) {
+  std::fill(acc.begin() + lo, acc.begin() + hi, 0.0);
+  for (std::size_t k = 0; k < contribs.size(); ++k) {
+    const double w = norm_weights[k];
+    if (w == 0.0) continue;
+    const std::span<const float> params = contribs[k].params;
+    for (std::size_t i = lo; i < hi; ++i) {
+      acc[i] += w * static_cast<double>(params[i]);
+    }
+  }
+  for (std::size_t i = lo; i < hi; ++i) {
+    out[i] = static_cast<float>(acc[i]);
+  }
+}
+
+Reducer::Plan Reducer::plan(std::size_t elements) {
+  Plan p;
+  p.blocks = std::max<std::size_t>(1, (elements + kReduceBlock - 1) / kReduceBlock);
+  p.depth = 0;
+  for (std::size_t width = p.blocks; width > 1; width = (width + 1) / 2) {
+    ++p.depth;
+  }
+  // Leaves plus one join node per pair at every level of the tree.
+  p.tasks = p.blocks;
+  for (std::size_t width = p.blocks; width > 1; width = (width + 1) / 2) {
+    p.tasks += width / 2;
+  }
+  return p;
+}
+
+Reducer::Plan Reducer::reduce(std::span<const Contribution> contribs,
+                              std::span<float> out,
+                              parallel::ThreadPool* pool) {
+  auto& ws = tensor::Workspace::tls();
+  // Normalized weights ride in the tail of the accumulator slot so the
+  // whole call stays allocation-free after warm-up (same layout the
+  // historical weighted_average used).
+  std::span<double> scratch = ws.doubles(tensor::WsDoubleSlot::kAccumulate,
+                                         out.size() + contribs.size());
+  std::span<double> acc = scratch.first(out.size());
+  std::span<double> norm = scratch.last(contribs.size());
+  normalize_weights(contribs, out.size(), norm, "comm::Reducer::reduce");
+
+  const std::size_t n = out.size();
+  if (pool == nullptr || pool->size() <= 1 || n <= kReduceBlock ||
+      parallel::ThreadPool::in_worker()) {
+    accumulate_range(contribs, norm, out, acc, 0, n);
+    return Plan{1, 0, 1};
+  }
+
+  // Fixed-shape binary tree over element blocks. Leaves do the arithmetic
+  // for disjoint ranges; join nodes are barriers of the schedule shape (no
+  // floating-point work — the ranges never overlap). The shape depends
+  // only on n, never on the pool, so the graph is identical at any thread
+  // count and the leaf arithmetic is the serial loop's, range by range.
+  const Plan shape = plan(n);
+  graph_.clear();
+  std::vector<sched::TaskGraph::TaskId> level;
+  level.reserve(shape.blocks);
+  for (std::size_t b = 0; b < shape.blocks; ++b) {
+    const std::size_t lo = b * kReduceBlock;
+    const std::size_t hi = std::min(n, lo + kReduceBlock);
+    level.push_back(graph_.add(
+        "reduce-leaf/" + std::to_string(b),
+        [contribs, norm, out, acc, lo, hi] {
+          accumulate_range(contribs, norm, out, acc, lo, hi);
+        }));
+  }
+  std::size_t depth = 0;
+  std::vector<sched::TaskGraph::TaskId> next;
+  while (level.size() > 1) {
+    ++depth;
+    next.clear();
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      const sched::TaskGraph::TaskId deps[2] = {level[i], level[i + 1]};
+      next.push_back(graph_.add(
+          "reduce-join/d" + std::to_string(depth) + "/" + std::to_string(i / 2),
+          [] {}, deps));
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level.swap(next);
+  }
+  graph_.run(pool);
+  return shape;
+}
+
+}  // namespace middlefl::comm

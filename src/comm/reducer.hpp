@@ -1,0 +1,96 @@
+// Deterministic tree-reduction engine behind comm::Communicator.
+//
+// The Reducer computes the weighted average of P contributions over E
+// elements as a fixed-shape binary reduction tree scheduled on the shared
+// sched::TaskGraph pool. The tree is built over ELEMENT BLOCKS, not over
+// participants: each leaf task owns a disjoint range of elements and
+// computes the full canonical-order (contribution 0..P-1) double-
+// accumulated sum for that range — arithmetic identical to the historical
+// serial fixed-order loop — while the interior join nodes only merge
+// completion (their ranges are disjoint, so "combining" two children is
+// concatenation, never a floating-point reorder). That split is what makes
+// the contract possible at all: double addition is non-associative, so a
+// participant-space tree would change bits, but an element-space tree only
+// changes WHEN ranges are computed, never the per-element sum order.
+// Result: bitwise equality with the serial loop at any pool size, with a
+// bounded-fan-in reduction schedule whose depth (ceil(log2(blocks))) is
+// the shape a future multi-process backend executes for real.
+//
+// Concurrency contract: reduce() with a tree plan must only be called from
+// a serial point (it owns one TaskGraph). Calls from inside a pool worker
+// (the per-edge chains) or under a null/size-1 pool take the serial path,
+// which touches no shared state, so concurrent in-chain reduces are safe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "sched/task_graph.hpp"
+
+namespace middlefl::comm {
+
+/// One contribution to a weighted reduction: a flat parameter vector and
+/// its aggregation weight (data-sample count at the edge,
+/// participating-sample count at the cloud). core::WeightedModel is an
+/// alias of this type, so existing aggregation call sites interoperate.
+struct Contribution {
+  std::span<const float> params;
+  double weight = 0.0;
+};
+
+/// Elements per leaf task. Per-element sums are independent and each runs
+/// in contribution order, so the block size only affects scheduling, never
+/// the result. Matches the historical core::weighted_average block.
+inline constexpr std::size_t kReduceBlock = std::size_t{1} << 13;
+
+/// Validates `contribs` against `out_size` and writes the normalized
+/// weights (w_k / sum w) into `norm` (size contribs.size()). Throws
+/// std::invalid_argument — empty input, size mismatch, negative weight,
+/// all-zero weights — with messages prefixed by `what`.
+void normalize_weights(std::span<const Contribution> contribs,
+                       std::size_t out_size, std::span<double> norm,
+                       const char* what);
+
+/// Averages elements [lo, hi) into `out` using `acc` as the double
+/// accumulator for that range, in canonical contribution order (k = 0 ..
+/// P-1). Weights are pre-normalized. This is THE aggregation arithmetic:
+/// every reduce path in the system (serial, parallel_for, tree) runs
+/// exactly this loop over its ranges.
+void accumulate_range(std::span<const Contribution> contribs,
+                      std::span<const double> norm_weights,
+                      std::span<float> out, std::span<double> acc,
+                      std::size_t lo, std::size_t hi);
+
+class Reducer {
+ public:
+  /// Shape of the reduction schedule for `elements` elements: leaf count,
+  /// tree depth (0 = a single flat range, no tree) and total task count
+  /// (leaves + interior joins).
+  struct Plan {
+    std::size_t blocks = 1;
+    std::size_t depth = 0;
+    std::size_t tasks = 1;
+  };
+  static Plan plan(std::size_t elements);
+
+  /// out = sum_k weight_k * params_k / sum_k weight_k, accumulated in
+  /// double per element in contribution order. Serial when `pool` is null,
+  /// size <= 1, the caller is a pool worker, or the output fits one block;
+  /// otherwise scheduled as the binary tree described above. Bitwise
+  /// identical across all paths. Returns the shape that actually ran
+  /// (depth 0 for the serial path).
+  Plan reduce(std::span<const Contribution> contribs, std::span<float> out,
+              parallel::ThreadPool* pool);
+
+  /// Attaches a span recorder to the tree's task graph ("sched" spans per
+  /// leaf/join task). nullptr detaches. Never alters scheduling order.
+  void set_trace(obs::TraceRecorder* trace) noexcept {
+    graph_.set_trace(trace);
+  }
+
+ private:
+  sched::TaskGraph graph_;  // rebuilt per tree reduce, buffers reused
+};
+
+}  // namespace middlefl::comm

@@ -118,11 +118,12 @@ struct ScenarioSpec {
 
 /// SimulationConfig flattened: 5 loop + 3 aggregation + 5 eval + 24
 /// transport (6 links x loss/kind/fraction/latency) + 3 regularizer + 2
-/// heterogeneity + 4 fleet + 4 serving + seed + 2 execution. Excluded
+/// heterogeneity + 4 fleet + 4 serving + 2 comm + seed + 2 execution.
+/// Excluded
 /// members: lr_schedule (std::function; declared via LrScheduleSpec), pool
 /// (runtime pointer), upload_failure_prob/upload_compression (decode-only
 /// aliases).
-inline constexpr std::size_t kSimulationConfigLeaves = 53;
+inline constexpr std::size_t kSimulationConfigLeaves = 55;
 /// ScenarioSpec flattened: 4 top-level + 10 data + 10 mobility + 4 model
 /// + 7 optimizer + 7 lr_schedule + kSimulationConfigLeaves.
 inline constexpr std::size_t kScenarioSpecLeaves =
@@ -218,6 +219,15 @@ struct Schema<core::ServingConfig> {
 };
 
 template <>
+struct Schema<comm::CommConfig> {
+  template <class V>
+  static void describe(V& v, comm::CommConfig& c) {
+    v.field("async_cloud", c.async_cloud);
+    v.field("max_staleness", c.max_staleness);
+  }
+};
+
+template <>
 struct Schema<core::SimulationConfig> {
   template <class V>
   static void describe(V& v, core::SimulationConfig& c) {
@@ -242,6 +252,7 @@ struct Schema<core::SimulationConfig> {
     v.field("round_deadline", c.round_deadline);
     v.field("fleet", c.fleet);
     v.field("serving", c.serving);
+    v.field("comm", c.comm);
     v.field("seed", c.seed);
     v.field("parallel_devices", c.parallel_devices);
     v.field("use_similarity_cache", c.use_similarity_cache);

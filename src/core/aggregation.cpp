@@ -8,75 +8,31 @@
 #include "tensor/workspace.hpp"
 
 namespace middlefl::core {
-namespace {
-
-/// Elements per parallel block. Per-element sums are independent and each
-/// runs in model order, so the block size only affects scheduling, never
-/// the result.
-constexpr std::size_t kAverageBlock = std::size_t{1} << 13;
-
-/// Averages elements [lo, hi) into `out` using `acc` as the double
-/// accumulator for that range. Weights are pre-normalized.
-void average_range(std::span<const WeightedModel> models,
-                   std::span<const double> norm_weights, std::span<float> out,
-                   std::span<double> acc, std::size_t lo, std::size_t hi) {
-  std::fill(acc.begin() + lo, acc.begin() + hi, 0.0);
-  for (std::size_t k = 0; k < models.size(); ++k) {
-    const double w = norm_weights[k];
-    if (w == 0.0) continue;
-    const std::span<const float> params = models[k].params;
-    for (std::size_t i = lo; i < hi; ++i) {
-      acc[i] += w * static_cast<double>(params[i]);
-    }
-  }
-  for (std::size_t i = lo; i < hi; ++i) {
-    out[i] = static_cast<float>(acc[i]);
-  }
-}
-
-}  // namespace
 
 void weighted_average(std::span<const WeightedModel> models,
                       std::span<float> out, parallel::ThreadPool* pool) {
-  if (models.empty()) {
-    throw std::invalid_argument("weighted_average: no models");
-  }
-  double total = 0.0;
-  for (const auto& m : models) {
-    if (m.params.size() != out.size()) {
-      throw std::invalid_argument("weighted_average: parameter size mismatch");
-    }
-    if (m.weight < 0.0) {
-      throw std::invalid_argument("weighted_average: negative weight");
-    }
-    total += m.weight;
-  }
-  if (total <= 0.0) {
-    throw std::invalid_argument("weighted_average: all weights zero");
-  }
-
   auto& ws = tensor::Workspace::tls();
   // Normalized weights ride in the tail of the accumulator slot so the
   // whole call stays allocation-free after warm-up.
-  std::span<double> scratch =
-      ws.doubles(tensor::WsDoubleSlot::kAccumulate, out.size() + models.size());
+  std::span<double> scratch = ws.doubles(tensor::WsDoubleSlot::kAccumulate,
+                                         out.size() + models.size());
   std::span<double> acc = scratch.first(out.size());
   std::span<double> norm_weights = scratch.last(models.size());
-  for (std::size_t k = 0; k < models.size(); ++k) {
-    norm_weights[k] = models[k].weight / total;
-  }
+  comm::normalize_weights(models, out.size(), norm_weights,
+                          "weighted_average");
 
   const std::size_t n = out.size();
-  if (pool == nullptr || pool->size() <= 1 || n <= kAverageBlock ||
+  if (pool == nullptr || pool->size() <= 1 || n <= comm::kReduceBlock ||
       parallel::ThreadPool::in_worker()) {
-    average_range(models, norm_weights, out, acc, 0, n);
+    comm::accumulate_range(models, norm_weights, out, acc, 0, n);
     return;
   }
-  const std::size_t num_blocks = (n + kAverageBlock - 1) / kAverageBlock;
+  const std::size_t num_blocks =
+      (n + comm::kReduceBlock - 1) / comm::kReduceBlock;
   parallel::parallel_for(*pool, 0, num_blocks, [&](std::size_t b) {
-    const std::size_t lo = b * kAverageBlock;
-    const std::size_t hi = std::min(n, lo + kAverageBlock);
-    average_range(models, norm_weights, out, acc, lo, hi);
+    const std::size_t lo = b * comm::kReduceBlock;
+    const std::size_t hi = std::min(n, lo + comm::kReduceBlock);
+    comm::accumulate_range(models, norm_weights, out, acc, lo, hi);
   });
 }
 

@@ -1,10 +1,15 @@
 // Weighted model aggregation (FedAvg), used at both the edge (Eq. 6) and
-// the cloud (Eq. 7).
+// the cloud (Eq. 7). The arithmetic lives in the collectives layer
+// (src/comm): this header keeps the historical free-function API for
+// tests and algorithm code, while the Simulation itself routes its
+// aggregations through comm::Communicator.
 #pragma once
 
 #include <cstddef>
 #include <span>
 #include <vector>
+
+#include "comm/reducer.hpp"
 
 namespace middlefl::parallel {
 class ThreadPool;
@@ -13,21 +18,22 @@ class ThreadPool;
 namespace middlefl::core {
 
 /// One contribution to a weighted average: a flat model and its weight
-/// (data-sample count d_m at the edge, participating-sample count d_hat_n at
-/// the cloud).
-struct WeightedModel {
-  std::span<const float> params;
-  double weight = 0.0;
-};
+/// (data-sample count d_m at the edge, participating-sample count d_hat_n
+/// at the cloud). Alias of the collectives layer's contribution type so
+/// aggregation call sites and comm::Communicator::reduce interoperate
+/// without conversion.
+using WeightedModel = comm::Contribution;
 
 /// out = sum_i weight_i * params_i / sum_i weight_i.
 /// Throws if the inputs are empty, sizes differ, a weight is negative, or
 /// all weights are zero. Accumulates in double to keep aggregation exact
-/// enough to be order-independent in tests. With a non-null `pool`, element
-/// ranges are averaged in parallel; every element's sum runs in model order
-/// regardless of how the range splits, so the result is bitwise identical
-/// to the serial path. The double accumulator comes from the thread-local
-/// Workspace, so steady-state calls allocate nothing.
+/// enough to be order-independent in tests. With a non-null `pool`,
+/// element ranges are averaged in parallel; every element's sum runs in
+/// model order regardless of how the range splits, so the result is
+/// bitwise identical to the serial path (the same contract
+/// comm::Reducer's tree schedule keeps). The double accumulator comes
+/// from the thread-local Workspace, so steady-state calls allocate
+/// nothing.
 void weighted_average(std::span<const WeightedModel> models,
                       std::span<float> out,
                       parallel::ThreadPool* pool = nullptr);

@@ -133,9 +133,26 @@ Simulation::Simulation(SimulationConfig cfg, const nn::ModelSpec& model_spec,
   }
 
   // One uplink delay-queue shard per edge: a chain enqueues into and
-  // drains only its own shard, without locks.
+  // drains only its own shard, without locks. (The WAN uplink shares the
+  // shard count for the async publishes.)
   transport_ = std::make_unique<transport::Transport>(cfg_.transport, num_edges);
   observers_.push_back(&comm_observer_);
+
+  // Collectives backend: the seam every edge/cloud aggregation reduces
+  // through.
+  communicator_ = std::make_unique<comm::InProcessCommunicator>(pool_);
+  if (cfg_.comm.async_cloud) {
+    if (cfg_.server_momentum > 0.0) {
+      throw std::invalid_argument(
+          "Simulation: comm.async_cloud is incompatible with server_momentum "
+          "(FedAvgM needs the barriered aggregate-minus-global step)");
+    }
+    cloud_mailbox_.resize(num_edges);
+    fold_credit_.assign(num_edges, 0.0);
+    anchor_weight_.assign(num_edges, 0.0);
+    anchor_round_.assign(num_edges, 0);
+    anchor_valid_.assign(num_edges, 0);
+  }
 
   const std::size_t num_devices = partition.num_devices();
   registry_.configure(cfg_.fleet);
@@ -192,6 +209,7 @@ void Simulation::set_observability(const obs::Observability& obs) {
   obs_ = obs;
   graph_.set_trace(obs_.trace);
   evaluator_->set_trace(obs_.trace);
+  communicator_->set_trace(obs_.trace);
   if (obs_.trace != nullptr) obs_.trace->name_this_thread("sim");
   if (obs_.metrics != nullptr) {
     obs::MetricsRegistry& m = *obs_.metrics;
@@ -208,6 +226,12 @@ void Simulation::set_observability(const obs::Observability& obs) {
     metric_ids_.fleet_materializations = m.counter("fleet.materializations");
     metric_ids_.fleet_resident = m.gauge("fleet.resident_devices");
     metric_ids_.fleet_delta_bytes = m.gauge("fleet.delta_bytes_at_rest");
+    metric_ids_.comm_reduces = m.counter("comm.reduces");
+    metric_ids_.comm_reduce_depth = m.gauge("comm.reduce_max_depth");
+    metric_ids_.comm_published = m.counter("comm.async_published");
+    metric_ids_.comm_applied = m.counter("comm.async_applied");
+    metric_ids_.comm_deferred = m.counter("comm.async_deferred");
+    metric_ids_.comm_dropped_stale = m.counter("comm.async_dropped_stale");
   }
 }
 
@@ -243,6 +267,8 @@ bool Simulation::step() {
     // re-arm the resident high-water mark. Pure accounting — bare runs
     // skip it and stay bit-identical.
     prev_materializations_ = registry_.materializations();
+    prev_comm_counters_ = communicator_->counters();
+    prev_async_stats_ = async_stats_;
     registry_.reset_resident_peak();
   }
   ++t_;
@@ -258,9 +284,26 @@ bool Simulation::step() {
   graph_.run(pool_);
 
   replay_step_events();
-  const bool sync = (t_ % cfg_.cloud_interval) == 0;
+  bool sync = false;
   double sync_us = 0.0;
-  if (sync) {
+  if (cfg_.comm.async_cloud) {
+    // Semi-async: the serial apply point runs EVERY step — contributions
+    // land whenever the WAN delivers them, not only at round boundaries.
+    // `sync` reports whether the global model changed this step.
+    if (observed) {
+      const auto begin = obs::TraceRecorder::Clock::now();
+      sync = stage_cloud_sync_async();
+      const auto end = obs::TraceRecorder::Clock::now();
+      sync_us = elapsed_us(begin, end);
+      if (sync && obs_.trace != nullptr) {
+        obs_.trace->complete("cloud_sync", "phase", begin, end,
+                             last_sync_contributing_, "contributing");
+      }
+    } else {
+      sync = stage_cloud_sync_async();
+    }
+  } else if ((t_ % cfg_.cloud_interval) == 0) {
+    sync = true;
     if (observed) {
       const auto begin = obs::TraceRecorder::Clock::now();
       stage_cloud_sync();
@@ -322,9 +365,14 @@ void Simulation::edge_chain(std::size_t n) {
   trace.down = transport::LinkStats{};
   trace.carry = transport::LinkStats{};
   trace.up = transport::LinkStats{};
+  trace.wan = transport::LinkStats{};
   trace.stragglers = 0;
   trace.lost_downloads = 0;
   trace.blend_weights.clear();
+  // Async mode: the chain ends with its WAN publish at round boundaries,
+  // instead of waiting for the barriered CloudSync stage.
+  const bool publish =
+      cfg_.comm.async_cloud && (t_ % cfg_.cloud_interval) == 0;
 
   if (!obs_.enabled()) {
     select_edge(n);
@@ -333,6 +381,7 @@ void Simulation::edge_chain(std::size_t n) {
     upload_edge(n, trace);
     aggregate_edge(n);
     settle_edge(n);
+    if (publish) publish_edge(n, trace);
     return;
   }
 
@@ -355,6 +404,7 @@ void Simulation::edge_chain(std::size_t n) {
   timed(4, "edge_aggregate", [&] {
     aggregate_edge(n);
     settle_edge(n);
+    if (publish) publish_edge(n, trace);
   });
 }
 
@@ -569,7 +619,9 @@ void Simulation::aggregate_edge(std::size_t n) {
   // block may be shared (it IS this step's snapshot, and possibly the
   // cloud broadcast), so in-place writes would corrupt concurrent readers.
   std::vector<float> fresh = SnapshotStore::global().borrow(param_count_);
-  weighted_average(models, std::span<float>(fresh));
+  // Reduce through the collectives backend. Inside a worker this takes the
+  // serial fixed-order path — exactly the historical in-chain loop.
+  communicator_->reduce(models, std::span<float>(fresh));
   edges_[n].adopt(SnapshotStore::global().seal(std::move(fresh)));
   edges_[n].add_participation(participating);
   // Serving hot-swap: hand the fresh aggregate to the sink from inside
@@ -728,7 +780,7 @@ void Simulation::stage_cloud_sync() {
       // smooth it with momentum on the server.
       std::span<float> aggregate = tensor::Workspace::tls().floats(
           tensor::WsSlot::kScratch, param_count_);
-      weighted_average(models, aggregate, pool_);
+      communicator_->reduce(models, aggregate);
       if (server_velocity_.size() != aggregate.size()) {
         server_velocity_.assign(aggregate.size(), 0.0f);
       }
@@ -740,7 +792,9 @@ void Simulation::stage_cloud_sync() {
         next[i] = cloud[i] + server_velocity_[i];
       }
     } else {
-      weighted_average(models, next, pool_);
+      // Serial point: the backend runs its deterministic element-block
+      // tree on the pool, bitwise identical to the serial loop.
+      communicator_->all_reduce(models, next);
     }
     // One publish replaces the old global model; the fresh version
     // invalidates cached Eq. 11 scores by construction.
@@ -815,6 +869,234 @@ void Simulation::stage_cloud_sync() {
   notify_phase(StepPhase::kCloudSync);
 }
 
+void Simulation::publish_edge(std::size_t n, EdgeTrace& trace) {
+  transport::Link& wan_up = transport_->wan_up();
+  const bool lossy = wan_up.policy().loss_prob > 0.0;
+  const bool compressed =
+      wan_up.policy().compression.kind != CompressionKind::kNone;
+  const double weight = cfg_.weighted_cloud_aggregation
+                            ? edges_[n].participation_weight()
+                            : 1.0;
+  parallel::Xoshiro256 rng;
+  transport::SendContext ctx;
+  ctx.step = t_;
+  ctx.shard = n;  // one WAN shard per edge: lock-free from inside the chain
+  ctx.weight = weight;
+  ctx.tally = &trace.wan;
+  // No delta reference: without the barrier the edge cannot know which
+  // global model the cloud will hold when this lands, so compression codes
+  // the raw model instead of a delta.
+  if (lossy) {
+    rng = streams_.stream(kWanUpTag, n, t_);
+    ctx.rng = &rng;
+  }
+  if (compressed) ctx.arena = &recon_arena_[n];
+  const transport::Delivery up = wan_up.send(edges_[n].params(), ctx);
+
+  CloudContribution c;
+  c.weight = weight;
+  c.round = t_ / cfg_.cloud_interval;
+  c.sent_step = t_;
+  c.version = edges_[n].snapshot()->version();
+  if (up.queued) {
+    c.queued = true;  // surfaces through the delay queue later
+  } else if (!up.delivered) {
+    c.dropped = true;  // lost in transit; the weight vanishes with it
+  } else if (!up.payload.empty() &&
+             up.payload.data() == edges_[n].params().data()) {
+    c.shared = edges_[n].snapshot();  // lossless pass-through: zero copy
+  } else {
+    c.owned.assign(up.payload.begin(), up.payload.end());
+  }
+  cloud_mailbox_.post(n, std::move(c));
+  // Participation resets at publish (not at the cloud's broadcast): the
+  // next window accumulates toward the next contribution.
+  edges_[n].reset_participation();
+}
+
+bool Simulation::stage_cloud_sync_async() {
+  transport::Link& wan_up = transport_->wan_up();
+  transport::Link& wan_down = transport_->wan_down();
+  transport::Link& broadcast = transport_->broadcast();
+  const transport::LinkStats before_down = wan_down.stats();
+  const transport::LinkStats before_bcast = broadcast.stats();
+  // This step's WAN-uplink traffic happened inside the chains; the
+  // per-chain tallies are its exact delta (the link's global counters
+  // cannot be before/after'd around a parallel section).
+  transport::LinkStats wan_up_delta{};
+  for (const EdgeTrace& trace : traces_) wan_up_delta += trace.wan;
+
+  const std::uint64_t round_now = t_ / cfg_.cloud_interval;
+  const bool delayed = wan_up.policy().latency_steps > 0;
+
+  // The apply batch: bounded-stale contributions in canonical edge order,
+  // each discounted by 1/(1 + staleness). The payload storage (drained
+  // arrivals, mailbox posts) outlives the reduce below.
+  struct PendingApply {
+    std::size_t edge;
+    std::span<const float> payload;
+    double eff;           // staleness-discounted weight entering the reduce
+    double raw;           // undiscounted weight (anchor bookkeeping)
+    std::uint64_t round;  // cloud round the contribution was sent in
+  };
+  std::vector<PendingApply> batch;
+  std::vector<CloudContribution> delivered;
+  delivered.reserve(edges_.size());
+  std::vector<transport::Arrival> drained;
+
+  const auto admit = [&](std::size_t n, std::span<const float> payload,
+                         double weight, std::size_t sent_step) {
+    const std::uint64_t staleness = round_now - sent_step / cfg_.cloud_interval;
+    if (staleness > cfg_.comm.max_staleness) {
+      // Past the bound: the model is discarded but its weight is folded
+      // into this edge's next accepted contribution.
+      ++async_stats_.dropped_stale;
+      fold_credit_[n] += weight;
+      return;
+    }
+    const double raw = weight + fold_credit_[n];
+    fold_credit_[n] = 0.0;
+    if (raw <= 0.0) return;  // idle window: nothing to contribute
+    const double eff = raw / (1.0 + static_cast<double>(staleness));
+    batch.push_back(
+        PendingApply{n, payload, eff, raw, round_now - staleness});
+    ++async_stats_.applied;
+  };
+
+  for (std::size_t n = 0; n < edges_.size(); ++n) {
+    if (delayed) {
+      // In-flight publishes whose delivery step arrived, oldest first.
+      for (transport::Arrival& a : wan_up.drain(t_, n)) {
+        const double weight = a.weight;
+        const std::size_t sent_step = a.sent_step;
+        drained.push_back(std::move(a));
+        admit(n, drained.back().payload, weight, sent_step);
+      }
+    }
+    if (auto posted = cloud_mailbox_.take(n)) {
+      ++async_stats_.published;
+      if (posted->queued) {
+        ++async_stats_.deferred;  // surfaces through drain() later
+      } else if (!posted->dropped) {
+        delivered.push_back(std::move(*posted));
+        const CloudContribution& c = delivered.back();
+        admit(n, c.view(), c.weight, c.sent_step);
+      }
+    }
+  }
+
+  const bool applied = !batch.empty();
+  if (applied) {
+    // Anchor: edges absent from this batch whose last applied contribution
+    // is still within the staleness bound keep the current global model
+    // weighted in, so one straggler batch cannot wipe the mass already
+    // folded in. With max_staleness == 0 the anchor is always empty and
+    // each apply is a plain FedAvg over the batch — which is exactly the
+    // synchronous Eq. 7 when the links add no latency.
+    double anchor = 0.0;
+    for (std::size_t n = 0; n < edges_.size(); ++n) {
+      if (!anchor_valid_[n]) continue;
+      bool in_batch = false;
+      for (const PendingApply& p : batch) {
+        if (p.edge == n) {
+          in_batch = true;
+          break;
+        }
+      }
+      if (in_batch) continue;
+      const std::uint64_t age = round_now - anchor_round_[n];
+      if (age > cfg_.comm.max_staleness) continue;
+      anchor += anchor_weight_[n] / (1.0 + static_cast<double>(age));
+    }
+    std::vector<WeightedModel> models;
+    models.reserve(batch.size() + 1);
+    if (anchor > 0.0) {
+      models.push_back(WeightedModel{cloud_.params(), anchor});
+    }
+    for (const PendingApply& p : batch) {
+      models.push_back(WeightedModel{p.payload, p.eff});
+    }
+    std::vector<float> fresh = SnapshotStore::global().borrow(param_count_);
+    communicator_->all_reduce(models, std::span<float>(fresh));
+    cloud_.adopt(SnapshotStore::global().seal(std::move(fresh)));
+    for (const PendingApply& p : batch) {
+      anchor_weight_[p.edge] = p.raw;
+      anchor_round_[p.edge] = p.round;
+      anchor_valid_[p.edge] = 1;
+    }
+    ++async_stats_.applies;
+    last_sync_contributing_ = batch.size();
+
+    // Push the fresh global model down to the edges — same links, same
+    // RNG streams as the barriered sync. Participation is NOT reset here;
+    // publish_edge owns that.
+    wan_arena_.clear();
+    const Snapshot& global_block = cloud_.snapshot();
+    const bool down_lossy = wan_down.policy().loss_prob > 0.0;
+    const bool down_compressed =
+        wan_down.policy().compression.kind != CompressionKind::kNone;
+    for (std::size_t n = 0; n < edges_.size(); ++n) {
+      parallel::Xoshiro256 rng;
+      transport::SendContext ctx;
+      ctx.step = t_;
+      if (down_lossy) {
+        rng = streams_.stream(kWanDownTag, n, t_);
+        ctx.rng = &rng;
+      }
+      if (down_compressed) ctx.arena = &wan_arena_;
+      const transport::Delivery down = wan_down.send(cloud_.params(), ctx);
+      if (down.delivered) {
+        if (down.payload.data() == global_block->span().data()) {
+          edges_[n].adopt(global_block);
+        } else {
+          edges_[n].set_params(down.payload);
+        }
+      }
+      if (serving_sink_ != nullptr) {
+        serving_sink_->on_edge_model(n, edges_[n].snapshot());
+      }
+    }
+    // The device broadcast only fires at round boundaries (Algorithm 1's
+    // cadence — and the bound=0 zero-latency degeneracy to sync mode).
+    // Off-boundary applies propagate lazily through the next edge
+    // downloads instead of paying the M-device broadcast: the async
+    // mode's per-step saving.
+    if (cfg_.broadcast_to_devices && (t_ % cfg_.cloud_interval) == 0) {
+      const bool bcast_lossy = broadcast.policy().loss_prob > 0.0;
+      const bool bcast_compressed =
+          broadcast.policy().compression.kind != CompressionKind::kNone;
+      for (std::size_t m = 0; m < registry_.size(); ++m) {
+        parallel::Xoshiro256 rng;
+        transport::SendContext ctx;
+        ctx.step = t_;
+        if (bcast_lossy) {
+          rng = streams_.stream(kBroadcastTag, m, t_);
+          ctx.rng = &rng;
+        }
+        if (bcast_compressed) ctx.arena = &wan_arena_;
+        const transport::Delivery push = broadcast.send(cloud_.params(), ctx);
+        if (push.delivered) {
+          install_download(registry_.at(m), push.payload, global_block);
+        }
+      }
+    }
+  }
+
+  notify_transfers(StepPhase::kCloudSync, transport::LinkKind::kWanUp,
+                   wan_up_delta);
+  notify_transfers(StepPhase::kCloudSync, transport::LinkKind::kWanDown,
+                   wan_down.stats() - before_down);
+  notify_transfers(StepPhase::kCloudSync, transport::LinkKind::kBroadcast,
+                   broadcast.stats() - before_bcast);
+  if (applied) {
+    for (StepObserver* obs : observers_) {
+      obs->on_cloud_sync(t_, last_sync_contributing_);
+    }
+    notify_phase(StepPhase::kCloudSync);
+  }
+  return applied;
+}
+
 void Simulation::finish_step_obs(bool sync,
                                  obs::TraceRecorder::Clock::time_point begin,
                                  double sync_us) {
@@ -853,6 +1135,32 @@ void Simulation::finish_step_obs(bool sync,
     }
     m.set(metric_ids_.fleet_resident, static_cast<double>(resident_peak));
     m.set(metric_ids_.fleet_delta_bytes, static_cast<double>(delta_bytes));
+    const comm::CommCounters cc = communicator_->counters();
+    if (cc.reduces > prev_comm_counters_.reduces) {
+      m.add(metric_ids_.comm_reduces,
+            static_cast<double>(cc.reduces - prev_comm_counters_.reduces));
+    }
+    m.set(metric_ids_.comm_reduce_depth, static_cast<double>(cc.max_depth));
+    if (async_stats_.published > prev_async_stats_.published) {
+      m.add(metric_ids_.comm_published,
+            static_cast<double>(async_stats_.published -
+                                prev_async_stats_.published));
+    }
+    if (async_stats_.applied > prev_async_stats_.applied) {
+      m.add(metric_ids_.comm_applied,
+            static_cast<double>(async_stats_.applied -
+                                prev_async_stats_.applied));
+    }
+    if (async_stats_.deferred > prev_async_stats_.deferred) {
+      m.add(metric_ids_.comm_deferred,
+            static_cast<double>(async_stats_.deferred -
+                                prev_async_stats_.deferred));
+    }
+    if (async_stats_.dropped_stale > prev_async_stats_.dropped_stale) {
+      m.add(metric_ids_.comm_dropped_stale,
+            static_cast<double>(async_stats_.dropped_stale -
+                                prev_async_stats_.dropped_stale));
+    }
     m.observe(metric_ids_.step_ms, step_us / 1000.0);
   }
   if (obs_.logger != nullptr) {

@@ -46,6 +46,8 @@
 #include <limits>
 #include <memory>
 
+#include "comm/communicator.hpp"
+#include "comm/mailbox.hpp"
 #include "core/algorithms.hpp"
 #include "core/comm_stats.hpp"
 #include "core/compression.hpp"
@@ -142,6 +144,14 @@ struct SimulationConfig {
   /// sizing for the hub a serving-capable front end attaches. The
   /// simulator itself only republishes edge models through the sink hook.
   ServingConfig serving;
+
+  /// Collectives layer (src/comm): reduction backend selection and the
+  /// staleness-bounded semi-asynchronous edge->cloud sync. With
+  /// comm.async_cloud off (the default) the pipeline is the barriered
+  /// Algorithm 1 and results are bitwise identical to historical runs.
+  /// Async mode is incompatible with server_momentum (FedAvgM needs the
+  /// barriered aggregate-minus-global step) — the constructor throws.
+  comm::CommConfig comm;
 
   std::uint64_t seed = 42;
   /// Run the per-edge task chains (and sharded evaluation) on the thread
@@ -291,6 +301,24 @@ class Simulation {
     return similarity_cache_;
   }
 
+  /// The collectives backend every edge and cloud aggregation routes
+  /// through (the seam a future multi-process backend plugs into).
+  const comm::Communicator& communicator() const noexcept {
+    return *communicator_;
+  }
+  /// Reduction counters (count, task totals, deepest tree) since
+  /// construction.
+  comm::CommCounters comm_reduce_counters() const noexcept {
+    return communicator_->counters();
+  }
+  /// Semi-async sync counters (published/applied/deferred/dropped-stale);
+  /// all zero when comm.async_cloud is off. Cross-checks: published equals
+  /// the WAN-uplink transfer count, applied equals the summed contributing
+  /// counts reported through StepObserver::on_cloud_sync.
+  const comm::AsyncStats& async_stats() const noexcept {
+    return async_stats_;
+  }
+
  private:
   /// Everything a fused edge chain must not publish directly while other
   /// chains run: its exact link traffic (mirrored by SendContext::tally),
@@ -301,6 +329,9 @@ class Simulation {
     transport::LinkStats down;   // wireless downlink traffic of this chain
     transport::LinkStats carry;  // carry-link traffic of this chain
     transport::LinkStats up;     // wireless uplink traffic of this chain
+    /// WAN-uplink traffic of this chain's async publish (comm.async_cloud
+    /// only; sync mode sends WAN traffic from the serial stage directly).
+    transport::LinkStats wan;
     std::size_t stragglers = 0;
     std::size_t lost_downloads = 0;
     /// Blend weights in selection order (the canonical reduction order).
@@ -334,6 +365,12 @@ class Simulation {
     obs::MetricsRegistry::MetricId fleet_materializations = 0;
     obs::MetricsRegistry::MetricId fleet_resident = 0;     // gauge
     obs::MetricsRegistry::MetricId fleet_delta_bytes = 0;  // gauge
+    obs::MetricsRegistry::MetricId comm_reduces = 0;
+    obs::MetricsRegistry::MetricId comm_reduce_depth = 0;  // gauge
+    obs::MetricsRegistry::MetricId comm_published = 0;
+    obs::MetricsRegistry::MetricId comm_applied = 0;
+    obs::MetricsRegistry::MetricId comm_deferred = 0;
+    obs::MetricsRegistry::MetricId comm_dropped_stale = 0;
   };
 
   // Serial step prologue: mobility advance, per-edge membership, immutable
@@ -355,6 +392,15 @@ class Simulation {
   // ordered blend/straggler reductions.
   void replay_step_events();
   void stage_cloud_sync();
+  // Async mode (comm.async_cloud): the edge's end-of-chain WAN publish —
+  // send over wan_up (shard n, so concurrent chains never contend) and
+  // post the result into the cloud mailbox; resets participation.
+  void publish_edge(std::size_t n, EdgeTrace& trace);
+  // Async mode's serial apply point, run EVERY step: consumes mailbox
+  // posts and due delay-queue arrivals, applies the staleness-weighted
+  // bounded-stale batch to the global model without a global barrier.
+  // Returns true if the global model changed this step.
+  bool stage_cloud_sync_async();
   // End-of-step observability flush (serial point): the step span, metric
   // increments and the JSONL step record. Called only when obs_.enabled().
   void finish_step_obs(bool sync, obs::TraceRecorder::Clock::time_point begin,
@@ -412,6 +458,38 @@ class Simulation {
   // storage (serial stage, one of each).
   std::vector<transport::Arrival> wan_stale_;
   std::vector<std::vector<float>> wan_arena_;
+  // Collectives backend: all edge and cloud aggregations reduce through
+  // it (in-process today; the Communicator interface is the seam for a
+  // multi-process backend).
+  std::unique_ptr<comm::InProcessCommunicator> communicator_;
+  // Async mode: one version-stamped contribution an edge chain publishes
+  // at its round boundary; consumed serially by stage_cloud_sync_async.
+  struct CloudContribution {
+    Snapshot shared;           // lossless pass-through: share the block
+    std::vector<float> owned;  // otherwise: the reconstructed payload
+    double weight = 0.0;
+    std::uint64_t round = 0;     // sent_step / T_c, for staleness
+    std::size_t sent_step = 0;
+    std::uint64_t version = 0;   // edge model version at publish
+    bool queued = false;         // in the WAN delay queue, arrives later
+    bool dropped = false;        // lost to the WAN loss policy
+    std::span<const float> view() const noexcept {
+      return shared != nullptr ? shared->span()
+                               : std::span<const float>(owned);
+    }
+  };
+  comm::Mailbox<CloudContribution> cloud_mailbox_;
+  comm::AsyncStats async_stats_;
+  // Per-edge async bookkeeping. fold_credit_ carries the weight of
+  // contributions dropped past the staleness bound into the edge's next
+  // accepted one. The anchor_* arrays remember each edge's last applied
+  // (raw weight, round): when a new batch lands, still-fresh absent edges
+  // anchor the current global with their decayed weight so one straggler
+  // batch cannot wipe the mass already folded in.
+  std::vector<double> fold_credit_;
+  std::vector<double> anchor_weight_;
+  std::vector<std::uint64_t> anchor_round_;
+  std::vector<std::uint8_t> anchor_valid_;
   RunHistory history_;
   std::size_t blends_ = 0;
   double blend_weight_sum_ = 0.0;
@@ -424,6 +502,9 @@ class Simulation {
   std::vector<transport::Transport::LinkReport> prev_links_;
   // Fleet counter at step begin (observed steps), for the per-step delta.
   std::uint64_t prev_materializations_ = 0;
+  // Comm counters at step begin (observed steps), for per-step deltas.
+  comm::CommCounters prev_comm_counters_;
+  comm::AsyncStats prev_async_stats_;
   CommStatsObserver comm_observer_;
   std::vector<StepObserver*> observers_;
   std::vector<float> server_velocity_;

@@ -13,8 +13,11 @@ Transport::Transport(const TransportConfig& config,
   links_[index(LinkKind::kWirelessUp)] = std::make_unique<WirelessLink>(
       LinkKind::kWirelessUp, config.wireless_up,
       uplink_shards == 0 ? 1 : uplink_shards);
-  links_[index(LinkKind::kWanUp)] =
-      std::make_unique<WanLink>(LinkKind::kWanUp, config.wan_up);
+  // The WAN uplink shares the shard count: the semi-async sync publishes
+  // from inside the per-edge chains (shard n = edge n, lock-free); the
+  // synchronous stage keeps using the default shard 0.
+  links_[index(LinkKind::kWanUp)] = std::make_unique<WanLink>(
+      LinkKind::kWanUp, config.wan_up, uplink_shards == 0 ? 1 : uplink_shards);
   links_[index(LinkKind::kWanDown)] =
       std::make_unique<WanLink>(LinkKind::kWanDown, config.wan_down);
   links_[index(LinkKind::kBroadcast)] = std::make_unique<WirelessLink>(

@@ -95,6 +95,8 @@ struct Options {
   double broadcast_loss = 0.0;
   std::size_t uplink_latency = 0;
   std::size_t wan_latency = 0;
+  bool async_cloud = false;       // comm.async_cloud
+  std::size_t max_staleness = 1;  // comm.max_staleness
   double target = 0.0;  // optional time-to-accuracy report
   /// Worker threads (0 = MIDDLEFL_THREADS env or hardware concurrency).
   std::size_t threads = 0;
@@ -187,6 +189,8 @@ void apply_overrides(config::ScenarioSpec& spec, const Options& opt,
     transport.wan_down.compression = wan_compression;
   }
   if (use("wan-latency")) transport.wan_up.latency_steps = opt.wan_latency;
+  if (use("async-cloud")) spec.sim.comm.async_cloud = opt.async_cloud;
+  if (use("max-staleness")) spec.sim.comm.max_staleness = opt.max_staleness;
   if (use("broadcast-loss")) {
     transport.broadcast.loss_prob = opt.broadcast_loss;
   }
@@ -304,6 +308,12 @@ int run(int argc, const char* const* argv) {
   cli.add_flag("wan-latency",
                "edge->cloud delivery delay in steps (stale cloud sync)",
                &opt.wan_latency);
+  cli.add_flag("async-cloud",
+               "staleness-bounded semi-async edge->cloud sync (src/comm)",
+               &opt.async_cloud);
+  cli.add_flag("max-staleness",
+               "staleness bound in cloud rounds for --async-cloud",
+               &opt.max_staleness);
   cli.add_flag("broadcast-loss", "cloud->device broadcast loss probability",
                &opt.broadcast_loss);
   cli.add_flag("json-summary", "write a JSON run summary here",
