@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <stdexcept>
 
 #include "core/similarity.hpp"
 #include "core/similarity_cache.hpp"
@@ -12,6 +13,9 @@ namespace middlefl::core {
 namespace {
 
 /// Random permutation of [0, n) used both for sampling and tie-breaking.
+/// The std::shuffle draw pattern is part of the determinism contract (it
+/// feeds the pipeline golden fingerprints), so both top-k paths run it
+/// verbatim and only differ in how they rank the result.
 std::vector<std::size_t> shuffled_positions(std::size_t n,
                                             parallel::Xoshiro256& rng) {
   std::vector<std::size_t> order(n);
@@ -20,9 +24,13 @@ std::vector<std::size_t> shuffled_positions(std::size_t n,
   return order;
 }
 
-/// Ranks candidates by descending score after a random shuffle (so equal
-/// scores are broken uniformly at random) and returns the top-k ids.
-std::vector<std::size_t> top_k_by_score(
+/// Work threshold (candidates x parameters) below which parallel scoring
+/// costs more in dispatch than it saves.
+constexpr std::size_t kParallelScoreWork = std::size_t{1} << 17;
+
+}  // namespace
+
+std::vector<std::size_t> top_k_by_score_reference(
     std::span<const Candidate> candidates, const std::vector<double>& scores,
     std::size_t k, parallel::Xoshiro256& rng) {
   auto order = shuffled_positions(candidates.size(), rng);
@@ -39,11 +47,40 @@ std::vector<std::size_t> top_k_by_score(
   return ids;
 }
 
-/// Work threshold (candidates x parameters) below which parallel scoring
-/// costs more in dispatch than it saves.
-constexpr std::size_t kParallelScoreWork = std::size_t{1} << 17;
-
-}  // namespace
+std::vector<std::size_t> top_k_by_score(std::span<const Candidate> candidates,
+                                        const std::vector<double>& scores,
+                                        std::size_t k,
+                                        parallel::Xoshiro256& rng) {
+  const std::size_t n = candidates.size();
+  const auto order = shuffled_positions(n, rng);
+  const std::size_t take = std::min(k, n);
+  // Rank-equivalence: stable_sort of `order` by score keeps equal-score
+  // positions in shuffle order, i.e. it orders by the composite key
+  // (score desc, shuffle-rank asc) — a strict total order (ranks are
+  // distinct). Selecting the `take` smallest composite keys with
+  // nth_element + sort therefore yields the identical prefix without
+  // sorting the n - k tail.
+  std::vector<std::size_t> ranks(n);
+  std::iota(ranks.begin(), ranks.end(), std::size_t{0});
+  const auto by_key = [&](std::size_t ra, std::size_t rb) {
+    const double sa = scores[order[ra]];
+    const double sb = scores[order[rb]];
+    if (sa != sb) return sa > sb;
+    return ra < rb;
+  };
+  if (take < n) {
+    std::nth_element(ranks.begin(), ranks.begin() + static_cast<std::ptrdiff_t>(take),
+                     ranks.end(), by_key);
+    ranks.resize(take);
+  }
+  std::sort(ranks.begin(), ranks.end(), by_key);
+  std::vector<std::size_t> ids;
+  ids.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    ids.push_back(candidates[order[ranks[i]]].device_id);
+  }
+  return ids;
+}
 
 std::vector<double> score_selection_utilities(
     std::span<const Candidate> candidates, std::span<const float> cloud_params,
@@ -92,6 +129,13 @@ std::vector<double> score_selection_utilities(
   return scores;
 }
 
+std::vector<std::size_t> SelectionStrategy::select_ids(
+    std::span<const std::size_t> /*ids*/, std::size_t /*k*/,
+    parallel::Xoshiro256& /*rng*/) const {
+  throw std::logic_error("SelectionStrategy::select_ids: '" + name() +
+                         "' reads candidate metadata; call select()");
+}
+
 std::vector<std::size_t> RandomSelection::select(
     std::span<const Candidate> candidates,
     std::span<const float> /*cloud_params*/, std::size_t k,
@@ -104,6 +148,22 @@ std::vector<std::size_t> RandomSelection::select(
     ids.push_back(candidates[order[i]].device_id);
   }
   return ids;
+}
+
+std::vector<std::size_t> RandomSelection::select_ids(
+    std::span<const std::size_t> ids, std::size_t k,
+    parallel::Xoshiro256& rng) const {
+  // Same draws and same result as select() over candidates built from
+  // `ids` in order: the shuffle depends only on the count, and
+  // candidates[i].device_id == ids[i].
+  auto order = shuffled_positions(ids.size(), rng);
+  const std::size_t take = std::min(k, ids.size());
+  std::vector<std::size_t> picked;
+  picked.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    picked.push_back(ids[order[i]]);
+  }
+  return picked;
 }
 
 std::vector<std::size_t> StatUtilitySelection::select(

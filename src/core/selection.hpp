@@ -63,6 +63,23 @@ std::vector<double> score_selection_utilities(
     std::span<const Candidate> candidates, std::span<const float> cloud_params,
     const SelectionContext& context);
 
+/// Top-k ids by descending score after a random shuffle (equal scores break
+/// uniformly at random). Production path: O(n + k log k) — nth_element +
+/// partial sort over the composite key (score desc, shuffle-rank asc),
+/// which returns exactly the ids of stable-sorting the shuffled order by
+/// score. Consumes the same rng draws (the shuffle only) as the reference.
+std::vector<std::size_t> top_k_by_score(std::span<const Candidate> candidates,
+                                        const std::vector<double>& scores,
+                                        std::size_t k,
+                                        parallel::Xoshiro256& rng);
+
+/// Reference implementation of the same ranking contract: full
+/// stable_sort of the shuffled permutation, O(n log n). Kept as the
+/// ground truth the equivalence property test pins top_k_by_score against.
+std::vector<std::size_t> top_k_by_score_reference(
+    std::span<const Candidate> candidates, const std::vector<double>& scores,
+    std::size_t k, parallel::Xoshiro256& rng);
+
 class SelectionStrategy {
  public:
   virtual ~SelectionStrategy() = default;
@@ -75,6 +92,14 @@ class SelectionStrategy {
   /// lever that keeps selection O(1) per candidate at fleet scale.
   virtual bool needs_params() const noexcept { return true; }
 
+  /// True when select() reads any Candidate field beyond device_id.
+  /// Random selection ranks on nothing at all, so it overrides this to
+  /// false and callers may hand it bare member ids through select_ids(),
+  /// skipping the per-member device dereference and Candidate build — the
+  /// second fleet-scale lever (a million-device edge pays O(K), not O(n),
+  /// to pick K devices).
+  virtual bool needs_metadata() const noexcept { return true; }
+
   /// Returns the ids of min(k, candidates.size()) devices. `cloud_params`
   /// is the current global model w_c (the proxy for w_c* in Eq. 11).
   /// Implementations must be deterministic given `rng` (the context only
@@ -84,6 +109,15 @@ class SelectionStrategy {
       std::span<const float> cloud_params, std::size_t k,
       parallel::Xoshiro256& rng,
       const SelectionContext& context = SelectionContext{}) const = 0;
+
+  /// Metadata-free fast path: selects straight from member ids. Only
+  /// meaningful when needs_metadata() is false; strategies overriding
+  /// needs_metadata() must override this to return exactly the ids (and
+  /// consume exactly the rng draws) select() would for id-only candidates.
+  /// The default forbids the call so a mismatch fails loudly.
+  virtual std::vector<std::size_t> select_ids(std::span<const std::size_t> ids,
+                                              std::size_t k,
+                                              parallel::Xoshiro256& rng) const;
 };
 
 /// Uniform random K-subset (FedMes, HierFAVG).
@@ -91,11 +125,15 @@ class RandomSelection final : public SelectionStrategy {
  public:
   std::string name() const override { return "random"; }
   bool needs_params() const noexcept override { return false; }
+  bool needs_metadata() const noexcept override { return false; }
   std::vector<std::size_t> select(
       std::span<const Candidate> candidates,
       std::span<const float> cloud_params, std::size_t k,
       parallel::Xoshiro256& rng,
       const SelectionContext& context = SelectionContext{}) const override;
+  std::vector<std::size_t> select_ids(
+      std::span<const std::size_t> ids, std::size_t k,
+      parallel::Xoshiro256& rng) const override;
 };
 
 /// Top-K by Oort statistical utility; never-trained candidates rank first

@@ -116,6 +116,9 @@ Simulation::Simulation(SimulationConfig cfg, const nn::ModelSpec& model_spec,
               ? (cfg_.pool != nullptr ? cfg_.pool
                                       : &parallel::ThreadPool::global())
               : nullptr;
+  // Models with order-free per-device transitions shard advance() over the
+  // same pool the chains run on; serial models ignore the hint.
+  mobility_->set_pool(pool_);
 
   // Common initialization: one model drawn from the seed, copied everywhere
   // (cloud, edges, devices all start aligned, as in Algorithm 1's t = 0).
@@ -323,8 +326,35 @@ bool Simulation::step() {
 }
 
 void Simulation::begin_step() {
-  prev_assignment_ = mobility_->assignment();
+  const bool observed = obs_.enabled();
+  last_phase_us_ = StepPhaseUs{};
+
+  // Bring prev_assignment_ up to the PRE-advance assignment by patching
+  // the previous advance's movers instead of copying all n entries. The
+  // full copy remains for the first step and for models that do not track
+  // their movers.
+  {
+    const auto& before = mobility_->assignment();
+    const std::vector<std::size_t>* prev_movers = mobility_->movers();
+    if (prev_assignment_.size() != before.size() || prev_movers == nullptr) {
+      prev_assignment_ = before;
+    } else {
+      for (const std::size_t m : *prev_movers) {
+        prev_assignment_[m] = before[m];
+      }
+    }
+  }
+
+  obs::TraceRecorder::Clock::time_point t0{};
+  if (observed) t0 = obs::TraceRecorder::Clock::now();
   mobility_->advance();
+  if (observed) {
+    const auto t1 = obs::TraceRecorder::Clock::now();
+    last_phase_us_.mobility = elapsed_us(t0, t1);
+    if (obs_.trace != nullptr) {
+      obs_.trace->complete("mobility", "phase", t0, t1, t_, "t");
+    }
+  }
   const auto& assignment = mobility_->assignment();
 
   // Snapshot the edge models of this step (w^t_n): an O(1) share of each
@@ -338,13 +368,36 @@ void Simulation::begin_step() {
     edge_snapshot_[n] = edges_[n].snapshot();
   }
 
-  // Group connected devices per edge (the candidate sets M_t_n). Touches
-  // only the assignment vector — no device (cold state) is dereferenced.
-  if (members_.size() != edges_.size()) members_.resize(edges_.size());
-  for (auto& members : members_) members.clear();
-  for (std::size_t m = 0; m < registry_.size(); ++m) {
-    members_[assignment[m]].push_back(m);
+  // Candidate sets M_t_n: patch the per-edge member lists from the mover
+  // delta when the model provides one (only dirty edges pay a re-merge);
+  // rebuild from scratch otherwise, or when churn is heavy enough that
+  // the full scatter is cheaper. Either path touches only the assignment
+  // vector — no device (cold state) is dereferenced — and produces the
+  // identical ascending-id lists (pinned by MembershipIncremental tests).
+  if (observed) t0 = obs::TraceRecorder::Clock::now();
+  const std::vector<std::size_t>* movers = mobility_->movers();
+  if (members_ready_ && movers != nullptr &&
+      members_.size() == edges_.size() &&
+      movers->size() < registry_.size() / 2) {
+    patch_members(assignment, *movers);
+  } else {
+    rebuild_members(assignment);
   }
+  if (observed) {
+    const auto t1 = obs::TraceRecorder::Clock::now();
+    last_phase_us_.membership = elapsed_us(t0, t1);
+    if (obs_.trace != nullptr) {
+      obs_.trace->complete("membership", "phase", t0, t1, t_, "t");
+    }
+  }
+
+  // One O(members) settle scan per edge is only needed when non-selected
+  // devices can be resident: param-reading selection materializes diverged
+  // candidates, and a lossy/compressed broadcast installs private copies
+  // fleet-wide. Otherwise settle walks the O(K) selection ids.
+  settle_scan_members_ =
+      algorithm_.selection->needs_params() || fleet_scan_needed_;
+  fleet_scan_needed_ = false;
 
   if (last_selection_.size() != edges_.size()) {
     last_selection_.resize(edges_.size());
@@ -358,6 +411,76 @@ void Simulation::begin_step() {
   }
 
   for (StepObserver* obs : observers_) obs->on_step_begin(t_);
+}
+
+void Simulation::rebuild_members(const std::vector<std::size_t>& assignment) {
+  if (members_.size() != edges_.size()) members_.resize(edges_.size());
+  for (auto& members : members_) members.clear();
+  for (std::size_t m = 0; m < registry_.size(); ++m) {
+    members_[assignment[m]].push_back(m);
+  }
+  members_ready_ = true;
+}
+
+void Simulation::patch_members(const std::vector<std::size_t>& assignment,
+                               const std::vector<std::size_t>& movers) {
+  if (movers.empty()) return;
+  if (moved_flag_.size() != registry_.size()) {
+    moved_flag_.assign(registry_.size(), 0);
+  }
+  if (arrivals_by_edge_.size() != edges_.size()) {
+    arrivals_by_edge_.resize(edges_.size());
+  }
+  if (edge_dirty_.size() != edges_.size()) {
+    edge_dirty_.assign(edges_.size(), 0);
+  }
+  dirty_edges_.clear();
+  // prev_assignment_ holds the pre-advance assignment, so it names each
+  // mover's source edge. Movers arrive ascending, so every per-edge
+  // arrival list is ascending by construction.
+  for (const std::size_t m : movers) {
+    const std::size_t from = prev_assignment_[m];
+    const std::size_t to = assignment[m];
+    moved_flag_[m] = 1;
+    arrivals_by_edge_[to].push_back(m);
+    if (!edge_dirty_[from]) {
+      edge_dirty_[from] = 1;
+      dirty_edges_.push_back(from);
+    }
+    if (!edge_dirty_[to]) {
+      edge_dirty_[to] = 1;
+      dirty_edges_.push_back(to);
+    }
+  }
+  for (const std::size_t e : dirty_edges_) {
+    auto& list = members_[e];
+    // Compact out the departures (a mover cannot already be in its
+    // destination list, so flagged entries here are exactly the leavers).
+    std::size_t keep = 0;
+    for (const std::size_t m : list) {
+      if (!moved_flag_[m]) list[keep++] = m;
+    }
+    list.resize(keep);
+    auto& arrivals = arrivals_by_edge_[e];
+    if (!arrivals.empty()) {
+      // Backward in-place merge of two ascending runs; allocation-free
+      // past the capacity high-water mark.
+      std::size_t i = keep;
+      std::size_t j = arrivals.size();
+      list.resize(keep + arrivals.size());
+      std::size_t out = list.size();
+      while (j > 0) {
+        if (i > 0 && list[i - 1] > arrivals[j - 1]) {
+          list[--out] = list[--i];
+        } else {
+          list[--out] = arrivals[--j];
+        }
+      }
+      arrivals.clear();
+    }
+    edge_dirty_[e] = 0;
+  }
+  for (const std::size_t m : movers) moved_flag_[m] = 0;
 }
 
 void Simulation::edge_chain(std::size_t n) {
@@ -420,6 +543,16 @@ void Simulation::select_edge(std::size_t n) {
   };
   last_selection_[n].clear();
   if (members_[n].empty()) return;
+  auto rng = streams_.stream(kSelectTag, n, t_);
+  if (!algorithm_.selection->needs_metadata()) {
+    // Id-only fast path (random selection): the strategy ranks on nothing,
+    // so hand it the member ids directly — no Candidate build and, above
+    // all, no per-member device dereference. Same draws, same ids as the
+    // metadata path (pinned by selection_test).
+    last_selection_[n] = algorithm_.selection->select_ids(
+        members_[n], cfg_.select_per_edge, rng);
+    return;
+  }
   auto& candidates = candidates_[n];
   candidates.clear();
   candidates.reserve(members_[n].size());
@@ -439,7 +572,6 @@ void Simulation::select_edge(std::size_t n) {
         .params_version = device.params_version(),
     });
   }
-  auto rng = streams_.stream(kSelectTag, n, t_);
   last_selection_[n] = algorithm_.selection->select(
       candidates, cloud_.params(), cfg_.select_per_edge, rng, context);
 }
@@ -531,14 +663,15 @@ void Simulation::distribute_edge(std::size_t n, EdgeTrace& trace) {
   }
 }
 
-void Simulation::install_download(Device& device,
+bool Simulation::install_download(Device& device,
                                   std::span<const float> payload,
                                   const Snapshot& source) {
   if (!payload.empty() && payload.data() == source->span().data()) {
     device.adopt(source);
-  } else {
-    device.set_params(payload);
+    return true;
   }
+  device.set_params(payload);
+  return false;
 }
 
 void Simulation::train_edge(std::size_t n) {
@@ -633,12 +766,22 @@ void Simulation::aggregate_edge(std::size_t n) {
 }
 
 void Simulation::settle_edge(std::size_t n) {
-  // De-materialize every lazy member that is still holding a resident
-  // buffer. Members beyond last_selection matter too: a similarity-driven
-  // selection materializes every diverged candidate's parameters. This must
-  // run after aggregate_edge — the upload arrival spans alias the resident
-  // buffers until the weighted average has consumed them.
-  for (std::size_t m : members_[n]) {
+  // De-materialize every lazy device that is still holding a resident
+  // buffer. This must run after aggregate_edge — the upload arrival spans
+  // alias the resident buffers until the weighted average has consumed
+  // them. The full member scan is only paid when non-selected members can
+  // be resident (param-reading selection materializes diverged candidates;
+  // a lossy broadcast installs private copies fleet-wide — see
+  // settle_scan_members_); otherwise only this chain's selected devices
+  // ever touched their parameters, and settle walks the O(K) ids.
+  if (settle_scan_members_) {
+    for (std::size_t m : members_[n]) {
+      Device& device = registry_.at(m);
+      if (device.lazy() && device.resident()) device.settle();
+    }
+    return;
+  }
+  for (std::size_t m : last_selection_[n]) {
     Device& device = registry_.at(m);
     if (device.lazy() && device.resident()) device.settle();
   }
@@ -851,8 +994,11 @@ void Simulation::stage_cloud_sync() {
       }
       if (bcast_compressed) ctx.arena = &wan_arena_;
       const transport::Delivery push = broadcast.send(cloud_.params(), ctx);
-      if (push.delivered) {
-        install_download(registry_.at(m), push.payload, global_block);
+      if (push.delivered &&
+          !install_download(registry_.at(m), push.payload, global_block)) {
+        // A private install can leave any lazy device resident; the next
+        // step's settle must scan full member lists to find them.
+        fleet_scan_needed_ = true;
       }
     }
   }
@@ -1075,8 +1221,9 @@ bool Simulation::stage_cloud_sync_async() {
         }
         if (bcast_compressed) ctx.arena = &wan_arena_;
         const transport::Delivery push = broadcast.send(cloud_.params(), ctx);
-        if (push.delivered) {
-          install_download(registry_.at(m), push.payload, global_block);
+        if (push.delivered &&
+            !install_download(registry_.at(m), push.payload, global_block)) {
+          fleet_scan_needed_ = true;
         }
       }
     }
@@ -1102,6 +1249,15 @@ void Simulation::finish_step_obs(bool sync,
                                  double sync_us) {
   const auto end = obs::TraceRecorder::Clock::now();
   const double step_us = elapsed_us(begin, end);
+  // Complete the public per-phase breakdown (mobility/membership were
+  // recorded by begin_step; the chain phases come from the replayed
+  // traces, cross-edge summed).
+  last_phase_us_.select = last_events_.phase_us[0];
+  last_phase_us_.distribute = last_events_.phase_us[1];
+  last_phase_us_.local_train = last_events_.phase_us[2];
+  last_phase_us_.upload = last_events_.phase_us[3];
+  last_phase_us_.edge_aggregate = last_events_.phase_us[4];
+  last_phase_us_.cloud_sync = sync_us;
   std::size_t selected = 0;
   for (const auto& selection : last_selection_) selected += selection.size();
   const std::uint64_t step_materializations =
@@ -1177,7 +1333,9 @@ void Simulation::finish_step_obs(bool sync,
     record.delta_bytes_at_rest = delta_bytes;
     if (sync) record.contributing_edges = last_sync_contributing_;
     record.step_wall_us = step_us;
-    record.phase_us = {{"select", last_events_.phase_us[0]},
+    record.phase_us = {{"mobility", last_phase_us_.mobility},
+                       {"membership", last_phase_us_.membership},
+                       {"select", last_events_.phase_us[0]},
                        {"distribute", last_events_.phase_us[1]},
                        {"local_train", last_events_.phase_us[2]},
                        {"upload", last_events_.phase_us[3]},

@@ -234,8 +234,33 @@ class Simulation {
   /// attaching a sink never perturbs training (pinned by serve_test).
   void set_edge_model_sink(EdgeModelSink* sink);
 
+  /// Wall-microsecond totals of one step's phases: the five fused chain
+  /// phases summed across edges, the serial cloud sync, and the serial
+  /// prologue split into the mobility advance and the per-edge membership
+  /// update. Filled only while observability is attached (all zeros on
+  /// bare runs — timing is part of the obs-off "no clock reads" contract).
+  struct StepPhaseUs {
+    double mobility = 0.0;
+    double membership = 0.0;
+    double select = 0.0;
+    double distribute = 0.0;
+    double local_train = 0.0;
+    double upload = 0.0;
+    double edge_aggregate = 0.0;
+    double cloud_sync = 0.0;
+  };
+
   // --- Introspection (benches, tests) ---
   std::size_t current_step() const noexcept { return t_; }
+  /// Phase breakdown of the LAST step (see StepPhaseUs for the contract).
+  const StepPhaseUs& last_step_phase_us() const noexcept {
+    return last_phase_us_;
+  }
+  /// Devices connected to each edge as of the last step, ascending by id —
+  /// the incrementally-patched membership lists candidate sets build from.
+  const std::vector<std::vector<std::size_t>>& edge_members() const noexcept {
+    return members_;
+  }
   std::size_t num_devices() const noexcept { return registry_.size(); }
   std::size_t num_edges() const noexcept { return edges_.size(); }
   std::span<const float> cloud_params() const { return cloud_.params(); }
@@ -408,8 +433,18 @@ class Simulation {
 
   /// Adopts `source` when the delivered payload is a lossless pass-through
   /// of its block (zero-copy sharing); installs a private copy otherwise.
-  void install_download(Device& device, std::span<const float> payload,
+  /// Returns true on the shared-adopt path — false means set_params ran
+  /// and a lazy device may now hold a resident buffer.
+  bool install_download(Device& device, std::span<const float> payload,
                         const Snapshot& source);
+  /// Full membership rebuild from the assignment (first step, untracked
+  /// movers, or churn past the patch/rebuild crossover).
+  void rebuild_members(const std::vector<std::size_t>& assignment);
+  /// Patches members_ from the mover delta: each mover is removed from its
+  /// previous edge's list and merged into its new one, preserving the
+  /// canonical ascending-id order; clean edges keep their lists untouched.
+  void patch_members(const std::vector<std::size_t>& assignment,
+                     const std::vector<std::size_t>& movers);
 
   void notify_phase(StepPhase phase);
   void notify_transfers(StepPhase phase, transport::LinkKind kind,
@@ -442,6 +477,22 @@ class Simulation {
   // own slot) or per device (each device belongs to one chain), reused
   // across steps to keep the hot loop allocation-light.
   std::vector<std::vector<std::size_t>> members_;
+  /// False until the first full rebuild seeds members_ for patching.
+  bool members_ready_ = false;
+  /// Membership-patch scratch (sized lazily, reused across steps): mover
+  /// flags per device, per-edge arrival lists, and the dirty-edge set.
+  std::vector<std::uint8_t> moved_flag_;
+  std::vector<std::vector<std::size_t>> arrivals_by_edge_;
+  std::vector<std::uint8_t> edge_dirty_;
+  std::vector<std::size_t> dirty_edges_;
+  /// True when this step's settle must scan every member: the selection
+  /// strategy materializes candidate params, or the last broadcast
+  /// installed private copies (fleet_scan_needed_). Otherwise only
+  /// selected devices can be resident and settle_edge walks O(K) ids.
+  bool settle_scan_members_ = true;
+  /// Latched by a lossy/compressed broadcast (set_params on arbitrary
+  /// devices); consumed by the next begin_step.
+  bool fleet_scan_needed_ = false;
   std::vector<std::vector<Candidate>> candidates_;
   std::vector<EdgeTrace> traces_;
   // Per-edge upload arrivals feeding EdgeAggregate: payload views into
@@ -497,6 +548,7 @@ class Simulation {
   EdgeModelSink* serving_sink_ = nullptr;
   SimMetricIds metric_ids_;
   StepEventSummary last_events_;
+  StepPhaseUs last_phase_us_;
   std::size_t last_sync_contributing_ = 0;
   // Link totals at step begin; the JSONL record logs this step's delta.
   std::vector<transport::Transport::LinkReport> prev_links_;

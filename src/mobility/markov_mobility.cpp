@@ -1,7 +1,11 @@
 #include "mobility/markov_mobility.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace middlefl::mobility {
 
@@ -33,6 +37,7 @@ MarkovMobility::MarkovMobility(std::vector<std::size_t> initial_assignment,
     throw std::invalid_argument("MarkovMobility: P must be in [0, 1]");
   }
   move_prob_.assign(current_.size(), move_probability);
+  finalize_probabilities();
 }
 
 MarkovMobility::MarkovMobility(std::vector<std::size_t> initial_assignment,
@@ -62,6 +67,25 @@ MarkovMobility::MarkovMobility(std::vector<std::size_t> initial_assignment,
       throw std::invalid_argument("MarkovMobility: P_m must be in [0, 1]");
     }
   }
+  finalize_probabilities();
+}
+
+void MarkovMobility::finalize_probabilities() {
+  // An empty vector used to pass validation yet advance() indexed
+  // move_prob_[m] unconditionally — normalize to explicit P = 0 so the
+  // hot loop never has to branch on the degenerate shape.
+  if (move_prob_.empty()) move_prob_.assign(initial_.size(), 0.0);
+  if (device_keys_.size() != initial_.size()) {
+    device_keys_.resize(initial_.size());
+    for (std::size_t m = 0; m < device_keys_.size(); ++m) {
+      device_keys_[m] = parallel::hash_combine(streams_.root_seed(), m);
+    }
+  }
+  global_mobility_ =
+      move_prob_.empty()
+          ? 0.0
+          : std::accumulate(move_prob_.begin(), move_prob_.end(), 0.0) /
+                static_cast<double>(move_prob_.size());
 }
 
 void MarkovMobility::set_topology(MoveTopology topology, double home_bias) {
@@ -72,12 +96,17 @@ void MarkovMobility::set_topology(MoveTopology topology, double home_bias) {
   home_bias_ = home_bias;
 }
 
-void MarkovMobility::advance() {
-  ++step_;
-  if (num_edges_ == 1) return;  // nowhere to go
-  for (std::size_t m = 0; m < current_.size(); ++m) {
-    auto rng = streams_.stream(m, step_);
-    if (rng.uniform() >= move_prob_[m]) continue;
+void MarkovMobility::advance_range(std::size_t lo, std::size_t hi,
+                                   std::vector<std::size_t>& movers) {
+  for (std::size_t m = lo; m < hi; ++m) {
+    const double p = move_prob_[m];
+    // uniform() lands in [0, 1), so P = 0 never passes the gate — skip
+    // the draw entirely. The skipped stream is private to (m, step) and
+    // consumed nowhere else, so no other device's draws shift.
+    if (p <= 0.0) continue;
+    parallel::Xoshiro256 rng(parallel::hash_combine(device_keys_[m], step_));
+    if (rng.uniform() >= p) continue;
+    const std::size_t before = current_[m];
     switch (topology_) {
       case MoveTopology::kUniform: {
         // Teleport to a uniformly random other edge.
@@ -104,19 +133,47 @@ void MarkovMobility::advance() {
         break;
       }
     }
+    if (current_[m] != before) movers.push_back(m);
+  }
+}
+
+std::size_t MarkovMobility::shard_count(std::size_t devices) const {
+  // Boundaries depend only on the fleet size — never on the pool — so the
+  // shard-local mover lists concatenate into the same ascending order at
+  // any worker count. The grain keeps dispatch overhead off small fleets.
+  constexpr std::size_t kGrain = 16384;
+  const std::size_t by_grain = (devices + kGrain - 1) / kGrain;
+  return std::clamp<std::size_t>(by_grain, 1, 64);
+}
+
+void MarkovMobility::advance() {
+  ++step_;
+  movers_.clear();
+  if (num_edges_ == 1) return;  // nowhere to go
+  const std::size_t devices = current_.size();
+  const std::size_t shards = shard_count(devices);
+  if (pool_ == nullptr || pool_->size() <= 1 || shards <= 1 ||
+      parallel::ThreadPool::in_worker()) {
+    advance_range(0, devices, movers_);
+    return;
+  }
+  const std::size_t per = (devices + shards - 1) / shards;
+  shard_movers_.resize(shards);
+  parallel::parallel_for(*pool_, 0, shards, [&](std::size_t s) {
+    auto& local = shard_movers_[s];
+    local.clear();
+    const std::size_t lo = s * per;
+    advance_range(lo, std::min(devices, lo + per), local);
+  });
+  for (const auto& local : shard_movers_) {
+    movers_.insert(movers_.end(), local.begin(), local.end());
   }
 }
 
 void MarkovMobility::reset() {
   current_ = initial_;
+  movers_.clear();
   step_ = 0;
-}
-
-double MarkovMobility::global_mobility() const noexcept {
-  if (move_prob_.empty()) return 0.0;
-  const double sum =
-      std::accumulate(move_prob_.begin(), move_prob_.end(), 0.0);
-  return sum / static_cast<double>(move_prob_.size());
 }
 
 }  // namespace middlefl::mobility

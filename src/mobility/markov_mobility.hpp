@@ -4,7 +4,10 @@
 // probability P_m and stays put otherwise. The global mobility P is the
 // mean of P_m over devices — exactly the quantity swept in Fig. 7. The
 // transition draw is keyed on (seed, device, step) so runs are reproducible
-// and independent of evaluation order.
+// and independent of evaluation order — which also makes advance() free to
+// shard over a thread pool in fixed device ranges: each shard walks its own
+// slice of the SoA (keys, probabilities, assignment) arrays and emits a
+// local mover list, concatenated in shard order into one ascending delta.
 #pragma once
 
 #include "mobility/mobility_model.hpp"
@@ -38,6 +41,7 @@ class MarkovMobility final : public MobilityModel {
                  std::uint64_t seed);
 
   /// Heterogeneous per-device probabilities P_m (global P is their mean).
+  /// An empty vector means P_m = 0 for every device (no movement).
   MarkovMobility(std::vector<std::size_t> initial_assignment,
                  std::size_t num_edges,
                  std::vector<double> move_probabilities, std::uint64_t seed);
@@ -54,17 +58,41 @@ class MarkovMobility final : public MobilityModel {
     return current_;
   }
   void advance() override;
+  const std::vector<std::size_t>* movers() const override { return &movers_; }
+  void set_pool(parallel::ThreadPool* pool) override { pool_ = pool; }
   void reset() override;
   std::size_t step() const override { return step_; }
 
-  double global_mobility() const noexcept;
+  /// Mean of P_m over devices (cached; probabilities are fixed after
+  /// construction, so there is nothing to invalidate — a future mutator
+  /// must call finalize_probabilities()).
+  double global_mobility() const noexcept { return global_mobility_; }
 
  private:
+  /// Normalizes move_prob_ (empty -> all-zero, fixing the latent OOB read
+  /// in advance()), rebuilds the cached per-device stream keys, and
+  /// recomputes the cached global mobility.
+  void finalize_probabilities();
+  /// Serial transition loop over devices [lo, hi), appending movers in
+  /// ascending id order. Thread-safe across disjoint ranges: each device
+  /// draws from its own (device, step) stream and writes only its own
+  /// current_ slot.
+  void advance_range(std::size_t lo, std::size_t hi,
+                     std::vector<std::size_t>& movers);
+  std::size_t shard_count(std::size_t devices) const;
+
   std::vector<std::size_t> initial_;
   std::vector<std::size_t> current_;
   std::size_t num_edges_;
   std::vector<double> move_prob_;
   parallel::StreamRng streams_;
+  /// hash_combine(seed, device), the step-independent half of each
+  /// device's stream key — advance() finishes it with one combine.
+  std::vector<std::uint64_t> device_keys_;
+  std::vector<std::size_t> movers_;
+  std::vector<std::vector<std::size_t>> shard_movers_;
+  parallel::ThreadPool* pool_ = nullptr;
+  double global_mobility_ = 0.0;
   std::size_t step_ = 0;
   MoveTopology topology_ = MoveTopology::kUniform;
   double home_bias_ = 0.5;

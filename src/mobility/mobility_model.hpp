@@ -15,6 +15,10 @@
 #include <string>
 #include <vector>
 
+namespace middlefl::parallel {
+class ThreadPool;
+}
+
 namespace middlefl::mobility {
 
 class MobilityModel {
@@ -32,6 +36,21 @@ class MobilityModel {
 
   /// Advances one time step, updating the assignment.
   virtual void advance() = 0;
+
+  /// Devices whose edge changed in the last advance(), ascending by id —
+  /// the mover delta that lets callers patch per-edge membership instead
+  /// of rescanning the whole fleet. nullptr when the model does not track
+  /// movers (callers must fall back to a full scan). The list is empty
+  /// after reset() / before the first advance(), and valid until the next
+  /// advance() or reset(). Invariant (pinned by mobility_test): the list
+  /// equals moved_devices(assignment before, assignment after).
+  virtual const std::vector<std::size_t>* movers() const { return nullptr; }
+
+  /// Non-owning worker pool for models whose advance() can shard across
+  /// devices (per-device draws keyed on (device, step) make evaluation
+  /// order free). nullptr reverts to serial. Sharding never changes the
+  /// assignment or the mover list.
+  virtual void set_pool(parallel::ThreadPool* /*pool*/) {}
 
   /// Restores the initial assignment (step 0).
   virtual void reset() = 0;

@@ -71,9 +71,16 @@ std::size_t RandomWaypointMobility::nearest_edge(Point p) const {
 }
 
 void RandomWaypointMobility::recompute_assignment() {
+  // Devices move every step but only association flips count as movers:
+  // diff the fresh nearest-edge result against the previous assignment
+  // while writing it (ascending id order by construction).
+  const bool diff = assignment_.size() == cfg_.num_devices;
+  movers_.clear();
   assignment_.resize(cfg_.num_devices);
   for (std::size_t m = 0; m < cfg_.num_devices; ++m) {
-    assignment_[m] = nearest_edge(positions_[m]);
+    const std::size_t edge = nearest_edge(positions_[m]);
+    if (diff && assignment_[m] != edge) movers_.push_back(m);
+    assignment_[m] = edge;
   }
 }
 
@@ -111,6 +118,9 @@ void RandomWaypointMobility::advance() {
 void RandomWaypointMobility::reset() {
   step_ = 0;
   init_states();
+  // init_states() diffed against the pre-reset assignment; step 0 has no
+  // "last advance" so the mover list must be empty.
+  movers_.clear();
 }
 
 WaypointConfig calibrate_speed(WaypointConfig config, double target_p,

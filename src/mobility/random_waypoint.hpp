@@ -45,6 +45,7 @@ class RandomWaypointMobility final : public MobilityModel {
     return assignment_;
   }
   void advance() override;
+  const std::vector<std::size_t>* movers() const override { return &movers_; }
   void reset() override;
   std::size_t step() const override { return step_; }
 
@@ -73,6 +74,7 @@ class RandomWaypointMobility final : public MobilityModel {
   std::vector<DeviceState> states_;
   std::vector<Point> positions_;
   std::vector<std::size_t> assignment_;
+  std::vector<std::size_t> movers_;
   parallel::StreamRng streams_;
   std::size_t step_ = 0;
 };

@@ -116,9 +116,13 @@ TraceMobility::TraceMobility(Trace trace) : trace_(std::move(trace)) {
 
 void TraceMobility::load_step(std::size_t step) {
   const std::size_t bounded = std::min(step, trace_.num_steps() - 1);
+  const bool diff = current_.size() == trace_.num_devices();
+  movers_.clear();
   current_.resize(trace_.num_devices());
   for (std::size_t m = 0; m < current_.size(); ++m) {
-    current_[m] = trace_.edge_at(bounded, m);
+    const std::size_t edge = trace_.edge_at(bounded, m);
+    if (diff && current_[m] != edge) movers_.push_back(m);
+    current_[m] = edge;
   }
 }
 
@@ -130,6 +134,9 @@ void TraceMobility::advance() {
 void TraceMobility::reset() {
   step_ = 0;
   load_step(0);
+  // Rewinding is not an advance: the delta computed against the pre-reset
+  // assignment must not leak into the first step's membership patch.
+  movers_.clear();
 }
 
 }  // namespace middlefl::mobility

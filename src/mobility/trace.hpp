@@ -63,6 +63,7 @@ class TraceMobility final : public MobilityModel {
     return current_;
   }
   void advance() override;
+  const std::vector<std::size_t>* movers() const override { return &movers_; }
   void reset() override;
   std::size_t step() const override { return step_; }
 
@@ -71,6 +72,7 @@ class TraceMobility final : public MobilityModel {
 
   Trace trace_;
   std::vector<std::size_t> current_;
+  std::vector<std::size_t> movers_;
   std::size_t step_ = 0;
 };
 

@@ -1,0 +1,92 @@
+// Incremental edge membership: Simulation patches members_ from the
+// mobility mover delta instead of rescanning the fleet. These tests pin
+// the invariant that makes the patch safe to trust — after every step the
+// patched lists are exactly what a full rebuild from the assignment would
+// produce: same devices, same edges, ascending by id, each device on
+// exactly one edge.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "mobility/markov_mobility.hpp"
+#include "optim/sgd.hpp"
+#include "sim_fixture.hpp"
+
+namespace {
+
+using middlefl::core::Algorithm;
+using middlefl::core::Simulation;
+using middlefl::mobility::MarkovMobility;
+using middlefl::mobility::MoveTopology;
+using middlefl::testing::SimBundle;
+
+std::vector<std::vector<std::size_t>> rebuild_members(
+    const std::vector<std::size_t>& assignment, std::size_t num_edges) {
+  std::vector<std::vector<std::size_t>> members(num_edges);
+  for (std::size_t m = 0; m < assignment.size(); ++m) {
+    members[assignment[m]].push_back(m);
+  }
+  return members;
+}
+
+/// Steps the simulation to completion, checking the patched membership
+/// against a from-scratch rebuild after every step.
+void expect_members_match_rebuild(const SimBundle& bundle,
+                                  Algorithm algorithm, MoveTopology topology,
+                                  double mobility_p, double home_bias) {
+  auto mobility = std::make_unique<MarkovMobility>(
+      bundle.initial_edges, bundle.num_edges, mobility_p, bundle.seed + 1);
+  mobility->set_topology(topology, home_bias);
+  const middlefl::optim::Sgd sgd(
+      {.learning_rate = 0.05, .momentum = 0.9, .weight_decay = 0.0});
+  Simulation sim(bundle.cfg, bundle.model_spec, sgd, bundle.train,
+                 bundle.partition, bundle.test, std::move(mobility),
+                 middlefl::core::make_algorithm(algorithm));
+  for (std::size_t t = 0; t < bundle.cfg.total_steps; ++t) {
+    sim.step();
+    const auto expected = rebuild_members(sim.assignment(), sim.num_edges());
+    ASSERT_EQ(sim.edge_members(), expected) << "step " << t;
+    // Partition check: ascending lists covering every device exactly once.
+    std::size_t covered = 0;
+    for (const auto& list : sim.edge_members()) {
+      EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+      covered += list.size();
+    }
+    EXPECT_EQ(covered, sim.num_devices()) << "step " << t;
+  }
+}
+
+TEST(MembershipIncremental, HomeRingChurnMatchesRebuild) {
+  // Commuter pattern: a steady minority of devices moves each step, so the
+  // delta-patch path (movers < fleet/2) runs on every step.
+  SimBundle bundle(4, 60, 6);
+  bundle.cfg.total_steps = 25;
+  bundle.cfg.eval_every = 25;
+  expect_members_match_rebuild(bundle, Algorithm::kMiddle,
+                               MoveTopology::kHomeRing, 0.4, 0.6);
+}
+
+TEST(MembershipIncremental, HeavyUniformChurnMatchesRebuild) {
+  // P = 0.9 moves nearly everyone: the movers-per-step heuristic tips into
+  // the full-rebuild fallback, which must land on the same lists.
+  SimBundle bundle(4, 40, 5);
+  bundle.cfg.total_steps = 15;
+  bundle.cfg.eval_every = 15;
+  expect_members_match_rebuild(bundle, Algorithm::kFedMes,
+                               MoveTopology::kUniform, 0.9, 0.0);
+}
+
+TEST(MembershipIncremental, StationaryFleetMatchesRebuild) {
+  // P = 0: after the first build no mover delta ever arrives; the lists
+  // must simply persist unchanged.
+  SimBundle bundle(4, 30, 3);
+  bundle.cfg.total_steps = 10;
+  bundle.cfg.eval_every = 10;
+  expect_members_match_rebuild(bundle, Algorithm::kHierFavg,
+                               MoveTopology::kUniform, 0.0, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Sharded mobility advance: pins the two contracts the sublinear stepping
+// path leans on.
+//
+//  1. Bitwise equivalence — because every transition draws from a private
+//     (device, step) stream, advancing the fleet in parallel shards must
+//     reproduce the serial walk exactly: same assignments, same mover
+//     delta, at every pool size.
+//  2. The mover-list contract — each model's movers() equals
+//     moved_devices(before, after), ascending by id, and clears on reset;
+//     this is what lets Simulation patch edge membership instead of
+//     rescanning the fleet.
+//
+// Also holds the regression for the latent out-of-bounds read when
+// MarkovMobility was built with an empty per-device probability vector.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "mobility/markov_mobility.hpp"
+#include "mobility/mobility_model.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "mobility/trace.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using middlefl::mobility::MarkovMobility;
+using middlefl::mobility::MobilityModel;
+using middlefl::mobility::moved_devices;
+using middlefl::mobility::MoveTopology;
+using middlefl::mobility::RandomWaypointMobility;
+using middlefl::mobility::record_trace;
+using middlefl::mobility::TraceMobility;
+using middlefl::mobility::WaypointConfig;
+using middlefl::parallel::ThreadPool;
+
+std::vector<std::size_t> initial_assignment(std::size_t devices,
+                                            std::size_t edges) {
+  std::vector<std::size_t> a(devices);
+  for (std::size_t m = 0; m < devices; ++m) a[m] = m % edges;
+  return a;
+}
+
+/// Asserts movers() matches the brute-force diff and stays ascending.
+void expect_movers_contract(const MobilityModel& model,
+                            const std::vector<std::size_t>& before) {
+  const auto* movers = model.movers();
+  ASSERT_NE(movers, nullptr) << model.name();
+  EXPECT_EQ(*movers, moved_devices(before, model.assignment()))
+      << model.name();
+  EXPECT_TRUE(std::is_sorted(movers->begin(), movers->end())) << model.name();
+}
+
+// Big enough for several 16k-device shards so the pooled path actually
+// fans out instead of falling back to the serial loop.
+constexpr std::size_t kFleet = 40000;
+constexpr std::size_t kEdges = 8;
+
+void expect_parallel_matches_serial(MoveTopology topology,
+                                    std::size_t pool_size) {
+  MarkovMobility serial(initial_assignment(kFleet, kEdges), kEdges, 0.3, 91);
+  MarkovMobility sharded(initial_assignment(kFleet, kEdges), kEdges, 0.3, 91);
+  serial.set_topology(topology, 0.6);
+  sharded.set_topology(topology, 0.6);
+  ThreadPool pool(pool_size);
+  sharded.set_pool(&pool);
+  for (int t = 0; t < 8; ++t) {
+    const auto before = serial.assignment();
+    serial.advance();
+    sharded.advance();
+    ASSERT_EQ(serial.assignment(), sharded.assignment())
+        << to_string(topology) << " pool=" << pool_size << " step " << t;
+    ASSERT_EQ(*serial.movers(), *sharded.movers())
+        << to_string(topology) << " pool=" << pool_size << " step " << t;
+    expect_movers_contract(sharded, before);
+  }
+}
+
+TEST(MobilityParallel, UniformMatchesSerialAtEveryPoolSize) {
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    expect_parallel_matches_serial(MoveTopology::kUniform, workers);
+  }
+}
+
+TEST(MobilityParallel, RingMatchesSerialAtEveryPoolSize) {
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    expect_parallel_matches_serial(MoveTopology::kRing, workers);
+  }
+}
+
+TEST(MobilityParallel, HomeRingMatchesSerialAtEveryPoolSize) {
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    expect_parallel_matches_serial(MoveTopology::kHomeRing, workers);
+  }
+}
+
+TEST(MobilityParallel, WholeRunHashUnchangedByPool) {
+  // Fold every step's assignment into one hash; the whole trajectory, not
+  // just the endpoint, must be pool-size invariant.
+  const auto run_hash = [](ThreadPool* pool) {
+    MarkovMobility model(initial_assignment(kFleet, kEdges), kEdges, 0.25, 7);
+    model.set_topology(MoveTopology::kHomeRing, 0.5);
+    model.set_pool(pool);
+    std::uint64_t h = 0;
+    for (int t = 0; t < 10; ++t) {
+      model.advance();
+      for (const std::size_t e : model.assignment()) {
+        h = middlefl::parallel::hash_combine(h, e);
+      }
+    }
+    return h;
+  };
+  const std::uint64_t serial = run_hash(nullptr);
+  for (std::size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(run_hash(&pool), serial) << "pool=" << workers;
+  }
+}
+
+// --- Mover-list contract across the other models ---
+
+TEST(MobilityParallel, WaypointMoversMatchDiff) {
+  WaypointConfig cfg;
+  cfg.num_devices = 60;
+  cfg.num_edges = 9;
+  cfg.speed_max = 120.0;
+  RandomWaypointMobility model(cfg);
+  for (int t = 0; t < 20; ++t) {
+    const auto before = model.assignment();
+    model.advance();
+    expect_movers_contract(model, before);
+  }
+  model.reset();
+  ASSERT_NE(model.movers(), nullptr);
+  EXPECT_TRUE(model.movers()->empty());
+}
+
+TEST(MobilityParallel, TraceMoversMatchDiff) {
+  MarkovMobility source(initial_assignment(30, 5), 5, 0.6, 17);
+  TraceMobility replay(record_trace(source, 15));
+  for (int t = 0; t < 20; ++t) {  // runs past the end: held steps move nobody
+    const auto before = replay.assignment();
+    replay.advance();
+    expect_movers_contract(replay, before);
+  }
+  replay.reset();
+  ASSERT_NE(replay.movers(), nullptr);
+  EXPECT_TRUE(replay.movers()->empty());
+}
+
+TEST(MobilityParallel, MarkovResetClearsMovers) {
+  MarkovMobility model(initial_assignment(50, 4), 4, 1.0, 3);
+  model.advance();
+  ASSERT_FALSE(model.movers()->empty());
+  model.reset();
+  EXPECT_TRUE(model.movers()->empty());
+}
+
+// --- Regression: empty per-device probability vector ---
+
+TEST(MobilityParallel, EmptyMoveProbabilitiesMeansNoMovement) {
+  // The heterogeneous constructor documents an empty vector as P_m = 0,
+  // but advance() used to index move_prob_[m] unconditionally — an
+  // out-of-bounds read for every device. Now it must be a well-defined
+  // stationary fleet.
+  MarkovMobility model(initial_assignment(25, 4), 4, std::vector<double>{},
+                       19);
+  EXPECT_EQ(model.global_mobility(), 0.0);
+  const auto before = model.assignment();
+  for (int t = 0; t < 10; ++t) {
+    model.advance();
+    EXPECT_TRUE(model.movers()->empty());
+  }
+  EXPECT_EQ(model.assignment(), before);
+}
+
+}  // namespace

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/selection.hpp"
+#include "core/similarity.hpp"
 
 namespace {
 
@@ -168,6 +169,135 @@ TEST(Selection, DeterministicGivenRng) {
   Xoshiro256 rng1(10), rng2(10);
   EXPECT_EQ(strategy.select(pool.candidates, cloud, 3, rng1),
             strategy.select(pool.candidates, cloud, 3, rng2));
+}
+
+// --- Partial top-k vs legacy full sort ---
+//
+// top_k_by_score replaced the full stable_sort with nth_element + partial
+// sort over (score desc, shuffle-rank asc). The ids must be bitwise
+// identical to the legacy path for ANY score vector — every strategy's
+// selection, and therefore every golden fingerprint, rides on this.
+
+using middlefl::core::HybridSelection;
+using middlefl::core::selection_utility;
+using middlefl::core::top_k_by_score;
+using middlefl::core::top_k_by_score_reference;
+
+TEST(SelectionEquivalence, PartialMatchesReferenceUnderHeavyTies) {
+  for (std::uint64_t trial = 0; trial < 300; ++trial) {
+    Xoshiro256 gen(trial * 7919 + 1);
+    const std::size_t n = gen.bounded(65);  // includes n = 0 and n = 1
+    Pool pool;
+    std::vector<double> scores(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.add(i, {1.0f});
+      // Three discrete levels: long runs of equal scores stress the
+      // shuffle-rank tiebreak far harder than continuous draws would.
+      scores[i] = 0.5 * static_cast<double>(gen.bounded(3));
+    }
+    for (const std::size_t k : {std::size_t{0}, std::size_t{1}, n / 2,
+                                n > 0 ? n - 1 : 0, n, n + 5}) {
+      Xoshiro256 rng_fast(trial), rng_ref(trial);
+      EXPECT_EQ(top_k_by_score(pool.candidates, scores, k, rng_fast),
+                top_k_by_score_reference(pool.candidates, scores, k, rng_ref))
+          << "trial " << trial << " n " << n << " k " << k;
+    }
+  }
+}
+
+TEST(SelectionEquivalence, AllStrategiesMatchLegacyRanking) {
+  // Reconstruct each strategy's documented score vector and pin select()
+  // against the legacy reference ranking of those scores. Candidates mix
+  // never-trained devices (no utility) with duplicated utilities and
+  // duplicated parameter vectors so every tiebreak path fires.
+  Pool pool;
+  const std::vector<float> cloud{1.0f, -0.5f, 2.0f};
+  for (std::size_t i = 0; i < 24; ++i) {
+    std::vector<float> params{static_cast<float>(i % 4), 1.0f, -1.0f};
+    std::optional<double> utility;
+    if (i % 3 != 0) utility = static_cast<double>(i % 5);
+    pool.add(i, std::move(params), utility);
+  }
+  const std::size_t n = pool.candidates.size();
+
+  double max_utility = 0.0;
+  std::vector<double> similarity(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& c = pool.candidates[i];
+    if (c.stat_utility) max_utility = std::max(max_utility, *c.stat_utility);
+    similarity[i] = selection_utility(cloud, c.local_params);
+  }
+  std::vector<double> stat_scores(n), middle_scores(n), hybrid_scores(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& c = pool.candidates[i];
+    stat_scores[i] = c.stat_utility ? *c.stat_utility : max_utility + 1.0;
+    middle_scores[i] = -similarity[i];
+    hybrid_scores[i] = c.stat_utility
+                           ? *c.stat_utility * (1.0 - similarity[i])
+                           : (max_utility + 1.0) * 2.0;
+  }
+  const std::vector<double> equal_scores(n, 0.0);  // random = pure shuffle
+
+  struct Case {
+    const middlefl::core::SelectionStrategy& strategy;
+    const std::vector<double>& scores;
+  };
+  const RandomSelection random;
+  const StatUtilitySelection stat;
+  const SimilaritySelection middle;
+  const HybridSelection hybrid;
+  const Case cases[] = {{random, equal_scores},
+                        {stat, stat_scores},
+                        {middle, middle_scores},
+                        {hybrid, hybrid_scores}};
+  for (const auto& c : cases) {
+    for (const std::size_t k : {std::size_t{1}, std::size_t{5}, n}) {
+      for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        Xoshiro256 rng_strategy(seed), rng_ref(seed);
+        EXPECT_EQ(c.strategy.select(pool.candidates, cloud, k, rng_strategy),
+                  top_k_by_score_reference(pool.candidates, c.scores, k,
+                                           rng_ref))
+            << c.strategy.name() << " k " << k << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(SelectionEquivalence, RandomSelectIdsMatchesSelect) {
+  // The id-only fast path must make exactly the draws select() makes over
+  // candidates carrying the same ids, and return the same picks.
+  Pool pool;
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < 17; ++i) {
+    const std::size_t id = i * 3 + 1;  // non-contiguous ids
+    pool.add(id, {1.0f});
+    ids.push_back(id);
+  }
+  const RandomSelection strategy;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    for (const std::size_t k : {std::size_t{0}, std::size_t{4}, ids.size(),
+                                ids.size() + 3}) {
+      Xoshiro256 rng_ids(seed), rng_full(seed);
+      EXPECT_EQ(strategy.select_ids(ids, k, rng_ids),
+                strategy.select(pool.candidates, std::vector<float>{1.0f}, k,
+                                rng_full))
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(SelectionEquivalence, MetadataStrategiesRejectIdOnlyPath) {
+  // Strategies that rank on candidate metadata must fail loudly if handed
+  // bare ids, instead of silently selecting on nothing.
+  const std::vector<std::size_t> ids{1, 2, 3};
+  Xoshiro256 rng(4);
+  EXPECT_THROW(StatUtilitySelection().select_ids(ids, 2, rng),
+               std::logic_error);
+  EXPECT_THROW(SimilaritySelection().select_ids(ids, 2, rng),
+               std::logic_error);
+  EXPECT_THROW(HybridSelection().select_ids(ids, 2, rng), std::logic_error);
+  EXPECT_FALSE(RandomSelection().needs_metadata());
+  EXPECT_TRUE(StatUtilitySelection().needs_metadata());
 }
 
 }  // namespace
